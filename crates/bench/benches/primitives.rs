@@ -1,0 +1,67 @@
+//! Primitive-cost benches: the numbers the paper quotes in §3.4
+//! ("the two epoch operations only involve cheap computations, ~93
+//! cycles per epoch"; clock_gettime ~45 cycles; 20+ cycles for the
+//! lock redirection).
+
+use asl_core::epoch;
+use asl_locks::{McsLock, PthreadMutex, RawLock, TasLock, TicketLock};
+use asl_runtime::clock::now_ns;
+use asl_runtime::registry::is_big_core;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn epoch_pair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives");
+    g.bench_function("epoch_start_end_pair", |b| {
+        epoch::reset_thread_epochs();
+        b.iter(|| {
+            epoch::epoch_start(0);
+            epoch::epoch_end(0, 1_000_000)
+        });
+    });
+    g.bench_function("clock_now_ns", |b| b.iter(now_ns));
+    g.bench_function("is_big_core", |b| b.iter(is_big_core));
+    g.finish();
+}
+
+fn uncontended_locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uncontended_lock_unlock");
+    let tas = TasLock::new();
+    g.bench_function("tas", |b| {
+        b.iter(|| {
+            let t = tas.lock();
+            tas.unlock(t);
+        })
+    });
+    let ticket = TicketLock::new();
+    g.bench_function("ticket", |b| {
+        b.iter(|| {
+            let t = ticket.lock();
+            ticket.unlock(t);
+        })
+    });
+    let mcs = McsLock::new();
+    g.bench_function("mcs", |b| {
+        b.iter(|| {
+            let t = mcs.lock();
+            mcs.unlock(t);
+        })
+    });
+    let pthread = PthreadMutex::new();
+    g.bench_function("pthread", |b| {
+        b.iter(|| {
+            let t = pthread.lock();
+            pthread.unlock(t);
+        })
+    });
+    let asl = asl_core::AslSpinLock::default();
+    g.bench_function("libasl (big core)", |b| {
+        b.iter(|| {
+            let t = asl.lock();
+            asl.unlock(t);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, epoch_pair, uncontended_locks);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! # asl-bench — Criterion bench targets
+//!
+//! This crate holds no library code; its `benches/` directory carries
+//! one Criterion target per paper table/figure plus the ablations:
+//!
+//! * `figures_micro` — Figures 1, 4, 5, 8a/8b/8e/8g/8h.
+//! * `figures_db` — Figures 9 (Kyoto Cabinet, upscaledb, LMDB) and
+//!   10 (LevelDB, SQLite).
+//! * `ablations` — standby back-off policy, underlying FIFO lock,
+//!   and dispatch-rule ablations.
+//! * `primitives` — uncontended lock/unlock and epoch-call costs.
+//!
+//! Full figure regeneration (with per-class tail latencies, SLO
+//! sweeps and CDFs, which Criterion's time-per-op model cannot
+//! express) lives in the `repro` binary of `asl-harness`.

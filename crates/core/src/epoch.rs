@@ -1,0 +1,351 @@
+//! Epoch annotation and the SLO feedback loop (paper Algorithm 2).
+//!
+//! An *epoch* is an application-designated latency-critical span —
+//! typically one request-handling procedure — identified by a small
+//! static id. Each thread keeps, per epoch id, a reorder window, the
+//! epoch's start timestamp, and a growth unit. [`epoch_end`] compares
+//! the measured epoch latency against the caller-supplied SLO and
+//! adjusts the window the way TCP congestion control adjusts its
+//! window:
+//!
+//! * **violation** (`latency > SLO`): `window >>= 1` and
+//!   `unit = window * (100 - PCT) / 100`;
+//! * **success**: `window += unit` (clamped to the configured max).
+//!
+//! With PCT = 99 the growth unit is 1% of the last reduced window, so
+//! after a violation it takes ~100 successful epochs to climb back —
+//! which is exactly what bounds the violation probability near
+//! `1 - PCT/100` (paper footnote 4).
+//!
+//! Nesting is supported with a per-thread stack; `epoch_end` of an
+//! inner epoch restores the outer epoch as current (the paper's
+//! "LibASL always prioritizes the inner epoch").
+//!
+//! Everything here is thread-local: no synchronization on the epoch
+//! path. The paper measures ~93 cycles for the pair of epoch calls;
+//! ours is two `clock_gettime`-class reads plus arithmetic.
+
+use std::cell::RefCell;
+
+use asl_runtime::clock::now_ns;
+use asl_runtime::registry::is_big_core;
+
+use crate::config;
+
+/// Number of distinct epoch ids usable per thread.
+pub const MAX_EPOCHS: usize = 128;
+
+/// Per-epoch, per-thread metadata (paper's `epoch_t`: 24 bytes).
+#[derive(Debug, Clone, Copy)]
+pub struct EpochMeta {
+    /// Current reorder window (ns).
+    pub window: u64,
+    /// Timestamp of the last `epoch_start` (ns).
+    pub start: u64,
+    /// Linear growth unit (ns).
+    pub unit: u64,
+    /// Whether this id has been used on this thread yet.
+    pub used: bool,
+}
+
+impl EpochMeta {
+    fn fresh() -> Self {
+        let cfg = config::current();
+        EpochMeta {
+            window: cfg.default_window_ns,
+            start: 0,
+            unit: config::unit_for_window(cfg.default_window_ns, cfg.pct),
+            used: false,
+        }
+    }
+}
+
+struct EpochTls {
+    epochs: Box<[EpochMeta; MAX_EPOCHS]>,
+    /// Currently open epoch id, or -1 (paper's `cur_epoch_id`).
+    cur: i32,
+    /// Stack of outer epochs (paper's `epoch_stack`).
+    stack: Vec<i32>,
+}
+
+impl EpochTls {
+    fn new() -> Self {
+        EpochTls {
+            epochs: Box::new([EpochMeta::fresh(); MAX_EPOCHS]),
+            cur: -1,
+            stack: Vec::with_capacity(8),
+        }
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<EpochTls> = RefCell::new(EpochTls::new());
+}
+
+/// Begin epoch `id` on this thread (paper `epoch_start`).
+///
+/// Pushes any currently open epoch onto the nesting stack.
+///
+/// # Panics
+/// Panics if `id >= MAX_EPOCHS`.
+pub fn epoch_start(id: usize) {
+    assert!(id < MAX_EPOCHS, "epoch id {id} out of range");
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        if t.cur >= 0 {
+            let cur = t.cur;
+            t.stack.push(cur);
+        }
+        t.cur = id as i32;
+        t.epochs[id].start = now_ns();
+        t.epochs[id].used = true;
+    });
+}
+
+/// End epoch `id` with the given latency SLO in nanoseconds (paper
+/// `epoch_end`). Returns the measured epoch latency (ns).
+///
+/// On big cores the window is left untouched (big cores never stand
+/// by), but nesting state is still maintained.
+///
+/// # Panics
+/// Panics if `id >= MAX_EPOCHS`.
+pub fn epoch_end(id: usize, slo_ns: u64) -> u64 {
+    assert!(id < MAX_EPOCHS, "epoch id {id} out of range");
+    let end = now_ns();
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        let latency = end.saturating_sub(t.epochs[id].start);
+        if !is_big_core() {
+            let cfg = config::current();
+            let e = &mut t.epochs[id];
+            if latency > slo_ns {
+                e.window >>= 1;
+                e.unit = config::unit_for_window(e.window, cfg.pct);
+            } else {
+                e.window = (e.window + e.unit).min(cfg.max_window_ns);
+            }
+        }
+        t.cur = t.stack.pop().unwrap_or(-1);
+        latency
+    })
+}
+
+/// Reorder window of the currently open epoch, if any (used by the
+/// dispatch layer, paper Algorithm 3 lines 4–8).
+#[inline]
+pub fn current_window() -> Option<u64> {
+    TLS.with(|t| {
+        let t = t.borrow();
+        if t.cur < 0 {
+            None
+        } else {
+            Some(t.epochs[t.cur as usize].window)
+        }
+    })
+}
+
+/// Id of the currently open epoch, if any.
+pub fn current_epoch_id() -> Option<usize> {
+    TLS.with(|t| {
+        let c = t.borrow().cur;
+        (c >= 0).then_some(c as usize)
+    })
+}
+
+/// Current metadata for epoch `id` on this thread.
+pub fn epoch_meta(id: usize) -> EpochMeta {
+    assert!(id < MAX_EPOCHS);
+    TLS.with(|t| t.borrow().epochs[id])
+}
+
+/// Overwrite the reorder window of epoch `id` (used by LibASL-OPT
+/// experiments that pin a static window, and by tests).
+pub fn set_epoch_window(id: usize, window_ns: u64) {
+    assert!(id < MAX_EPOCHS);
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        t.epochs[id].window = window_ns;
+        t.epochs[id].used = true;
+    });
+}
+
+/// Reset all of this thread's epoch state to defaults (tests and
+/// between-experiment hygiene).
+pub fn reset_thread_epochs() {
+    TLS.with(|t| *t.borrow_mut() = EpochTls::new());
+}
+
+/// Scoped helper: run `f` inside epoch `id` with the given SLO.
+/// Returns `f`'s result and the measured latency (ns).
+pub fn with_epoch_timed<R>(id: usize, slo_ns: u64, f: impl FnOnce() -> R) -> (R, u64) {
+    epoch_start(id);
+    let r = f();
+    let lat = epoch_end(id, slo_ns);
+    (r, lat)
+}
+
+/// Scoped helper: run `f` inside epoch `id` with the given SLO.
+pub fn with_epoch<R>(id: usize, slo_ns: u64, f: impl FnOnce() -> R) -> R {
+    with_epoch_timed(id, slo_ns, f).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asl_runtime::registry::{register_on_core, unregister};
+    use asl_runtime::topology::{CoreId, Topology};
+
+    fn on_little<R>(f: impl FnOnce() -> R) -> R {
+        let t = Topology::apple_m1();
+        register_on_core(&t, CoreId(5));
+        let r = f();
+        unregister();
+        r
+    }
+
+    #[test]
+    fn window_shrinks_on_violation() {
+        on_little(|| {
+            reset_thread_epochs();
+            set_epoch_window(1, 8_000);
+            epoch_start(1);
+            // SLO of 0 ns: guaranteed violation.
+            epoch_end(1, 0);
+            let m = epoch_meta(1);
+            assert_eq!(m.window, 4_000);
+            // unit = window * (100-99)/100 = 40ns, above the floor? floor=100
+            assert_eq!(m.unit, config::unit_for_window(4_000, 99));
+        });
+    }
+
+    #[test]
+    fn window_grows_on_success() {
+        on_little(|| {
+            reset_thread_epochs();
+            set_epoch_window(2, 10_000);
+            let before = epoch_meta(2);
+            epoch_start(2);
+            // Huge SLO: success.
+            epoch_end(2, u64::MAX);
+            let after = epoch_meta(2);
+            assert_eq!(after.window, before.window + before.unit);
+        });
+    }
+
+    #[test]
+    fn window_clamped_to_max() {
+        on_little(|| {
+            reset_thread_epochs();
+            let max = config::max_window_ns();
+            set_epoch_window(3, max);
+            epoch_start(3);
+            epoch_end(3, u64::MAX);
+            assert_eq!(epoch_meta(3).window, max);
+        });
+    }
+
+    #[test]
+    fn repeated_violations_collapse_to_fifo() {
+        on_little(|| {
+            reset_thread_epochs();
+            set_epoch_window(4, 1 << 20);
+            for _ in 0..40 {
+                epoch_start(4);
+                epoch_end(4, 0);
+            }
+            // Fallback-to-FIFO regime: window hits zero.
+            assert_eq!(epoch_meta(4).window, 0);
+            // And can recover thanks to the unit floor.
+            epoch_start(4);
+            epoch_end(4, u64::MAX);
+            assert!(epoch_meta(4).window > 0);
+        });
+    }
+
+    #[test]
+    fn big_core_does_not_adjust() {
+        let t = Topology::apple_m1();
+        register_on_core(&t, CoreId(0)); // big
+        reset_thread_epochs();
+        set_epoch_window(5, 4_096);
+        epoch_start(5);
+        epoch_end(5, 0); // would violate on a little core
+        assert_eq!(epoch_meta(5).window, 4_096);
+        unregister();
+    }
+
+    #[test]
+    fn nesting_restores_outer() {
+        on_little(|| {
+            reset_thread_epochs();
+            assert_eq!(current_epoch_id(), None);
+            epoch_start(7);
+            assert_eq!(current_epoch_id(), Some(7));
+            epoch_start(8);
+            assert_eq!(current_epoch_id(), Some(8));
+            epoch_end(8, u64::MAX);
+            assert_eq!(current_epoch_id(), Some(7));
+            epoch_end(7, u64::MAX);
+            assert_eq!(current_epoch_id(), None);
+        });
+    }
+
+    #[test]
+    fn current_window_reflects_open_epoch() {
+        on_little(|| {
+            reset_thread_epochs();
+            assert_eq!(current_window(), None);
+            set_epoch_window(9, 12_345);
+            epoch_start(9);
+            assert_eq!(current_window(), Some(12_345));
+            epoch_end(9, u64::MAX);
+            assert_eq!(current_window(), None);
+        });
+    }
+
+    #[test]
+    fn latency_measured_sanely() {
+        on_little(|| {
+            reset_thread_epochs();
+            let (_, lat) = with_epoch_timed(10, u64::MAX, || {
+                asl_runtime::clock::busy_wait_ns(300_000);
+            });
+            assert!(lat >= 300_000, "latency {lat} < busy-wait time");
+        });
+    }
+
+    #[test]
+    fn growth_unit_follows_pct() {
+        on_little(|| {
+            config::set_pct(90);
+            reset_thread_epochs();
+            set_epoch_window(11, 100_000);
+            epoch_start(11);
+            epoch_end(11, 0); // violate: window -> 50_000, unit -> 10% = 5_000
+            let m = epoch_meta(11);
+            assert_eq!(m.window, 50_000);
+            assert_eq!(m.unit, 5_000);
+            config::set_pct(99);
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn epoch_id_out_of_range() {
+        epoch_start(MAX_EPOCHS);
+    }
+
+    #[test]
+    fn epoch_state_is_per_thread() {
+        on_little(|| {
+            reset_thread_epochs();
+            set_epoch_window(12, 77);
+        });
+        std::thread::spawn(|| {
+            assert_ne!(epoch_meta(12).window, 77, "TLS leaked across threads");
+        })
+        .join()
+        .unwrap();
+    }
+}

@@ -1,0 +1,57 @@
+//! # asl-core — LibASL: asymmetry-aware scalable locking
+//!
+//! The paper's contribution (PPoPP 2022), faithfully reproduced:
+//!
+//! * [`ReorderableLock`] (paper Algorithm 1) — exposes *bounded
+//!   reordering* atop any underlying lock: `lock_immediately` enqueues
+//!   now; `lock_reorder(window)` first stands by, polling the lock
+//!   with binary exponential back-off, and only enqueues when the lock
+//!   looks free or the window expires.
+//! * [`epoch`] (Algorithm 2) — per-thread epoch metadata and the
+//!   SLO feedback loop: on violation the reorder window halves and the
+//!   growth unit becomes `(100-PCT)%` of it; on success the window
+//!   grows by one unit (TCP-congestion style).
+//! * [`AslLock`] / [`AslMutex`] (Algorithm 3) — the dispatch layer:
+//!   big cores lock immediately, little cores stand by for the current
+//!   epoch's window (or the default max window outside epochs).
+//! * [`wait`] — standby waiting policies: spinning (default) and
+//!   `nanosleep`-based back-off for over-subscribed systems (Bench-6),
+//!   plus a fixed-interval policy used by the ablation benches.
+//! * [`profile`] — the paper's profiling tool: sweep an SLO range and
+//!   emit the latency-throughput curve for applications without a
+//!   predefined SLO.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use asl_core::{epoch, AslMutex};
+//! use asl_runtime::{register_on_core, Topology};
+//! use asl_runtime::topology::CoreId;
+//!
+//! // Describe the AMP and register this thread on a little core.
+//! let topo = Topology::apple_m1();
+//! register_on_core(&topo, CoreId(5));
+//!
+//! let counter = AslMutex::new(0u64);
+//! // A latency-critical request handler: epoch 0 with a 1 ms SLO.
+//! epoch::with_epoch(0, 1_000_000, || {
+//!     *counter.lock() += 1;
+//! });
+//! assert_eq!(*counter.lock(), 1);
+//! ```
+
+pub mod condvar;
+pub mod config;
+pub mod epoch;
+pub mod mutex;
+pub mod profile;
+pub mod reorderable;
+pub mod stats;
+pub mod wait;
+
+pub use condvar::AslCondvar;
+pub use config::AslConfig;
+pub use mutex::{AslBlockingLock, AslLock, AslMutex, AslMutexGuard, AslSpinLock};
+pub use reorderable::ReorderableLock;
+pub use stats::{LockStats, LockStatsSnapshot};
+pub use wait::{FixedCheckWait, SleepWait, SpinWait, WaitPolicy};

@@ -1,0 +1,374 @@
+//! The asymmetry-aware dispatch layer (paper Algorithm 3) and the
+//! user-facing mutex.
+//!
+//! [`AslLock`] is the raw lock the paper's `asl_mutex_lock` implements:
+//!
+//! * big core → `lock_immediately`;
+//! * little core inside an epoch → `lock_reorder(current window)`;
+//! * little core outside any epoch → `lock_reorder(MAX_WINDOW)` so the
+//!   thread still eventually locks ("the default maximum window is
+//!   used to ensure that the thread will eventually lock").
+//!
+//! [`AslMutex`] wraps it in the idiomatic Rust shape — data owned by
+//! the mutex, RAII guard — which plays the role of the paper's
+//! transparent `pthread_mutex_lock` redirection: application code
+//! locks exactly as it would any mutex and gets LibASL behaviour.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+
+use asl_locks::plain::{PlainLock, PlainToken};
+use asl_locks::{McsLock, PthreadMutex, RawLock};
+use asl_runtime::registry::is_big_core;
+
+use crate::epoch;
+use crate::reorderable::ReorderableLock;
+use crate::stats::LockStats;
+use crate::wait::{SleepWait, SpinWait, WaitPolicy};
+
+/// Raw LibASL lock: epoch-aware dispatch over a reorderable lock.
+pub struct AslLock<L: RawLock = McsLock, W: WaitPolicy = SpinWait> {
+    reorderable: ReorderableLock<L, W>,
+}
+
+/// The default (non-blocking) LibASL lock: reorderable MCS with
+/// spinning standby — the configuration used in most of the paper's
+/// evaluation.
+pub type AslSpinLock = AslLock<McsLock, SpinWait>;
+
+/// The blocking LibASL lock for over-subscribed systems (Bench-6):
+/// a futex-based mutex underneath, `nanosleep` back-off standby.
+pub type AslBlockingLock = AslLock<PthreadMutex, SleepWait>;
+
+impl Default for AslSpinLock {
+    fn default() -> Self {
+        AslLock::new(McsLock::new())
+    }
+}
+
+impl AslBlockingLock {
+    /// Blocking LibASL lock with default sleep back-off.
+    pub fn new_blocking() -> Self {
+        AslLock::with_waiter(PthreadMutex::new(), SleepWait::new())
+    }
+}
+
+impl<L: RawLock> AslLock<L, SpinWait> {
+    /// Build over `inner` with the default spinning standby policy.
+    pub fn new(inner: L) -> Self {
+        AslLock { reorderable: ReorderableLock::new(inner) }
+    }
+}
+
+impl<L: RawLock, W: WaitPolicy> AslLock<L, W> {
+    /// Build over `inner` with an explicit standby policy.
+    pub fn with_waiter(inner: L, waiter: W) -> Self {
+        AslLock { reorderable: ReorderableLock::with_waiter(inner, waiter) }
+    }
+
+    /// Acquire with SLO-guided ordering (paper `asl_mutex_lock`).
+    #[inline]
+    pub fn lock(&self) -> L::Token {
+        if is_big_core() {
+            self.reorderable.lock_immediately()
+        } else {
+            match epoch::current_window() {
+                Some(w) => self.reorderable.lock_reorder(w),
+                None => self.reorderable.lock_reorder(self.reorderable.max_window_ns()),
+            }
+        }
+    }
+
+    /// Release.
+    #[inline]
+    pub fn unlock(&self, token: L::Token) {
+        self.reorderable.unlock(token)
+    }
+
+    /// Try-lock (supported because the underlying lock is unmodified).
+    #[inline]
+    pub fn try_lock(&self) -> Option<L::Token> {
+        self.reorderable.try_lock()
+    }
+
+    /// Whether the lock is currently held or queued.
+    #[inline]
+    pub fn is_locked(&self) -> bool {
+        self.reorderable.is_locked()
+    }
+
+    /// Acquisition-path statistics.
+    pub fn stats(&self) -> &LockStats {
+        self.reorderable.stats()
+    }
+
+    /// The inner reorderable lock (for advanced configuration).
+    pub fn reorderable_mut(&mut self) -> &mut ReorderableLock<L, W> {
+        &mut self.reorderable
+    }
+}
+
+// Object-safe facades for the two dynamically selected configurations.
+impl PlainLock for AslSpinLock {
+    #[inline]
+    fn acquire(&self) -> PlainToken {
+        PlainToken(self.lock().into_raw(), 0)
+    }
+    #[inline]
+    fn try_acquire(&self) -> Option<PlainToken> {
+        self.try_lock().map(|t| PlainToken(t.into_raw(), 0))
+    }
+    #[inline]
+    fn release(&self, token: PlainToken) {
+        // SAFETY: token produced by acquire/try_acquire on this lock.
+        self.unlock(unsafe { asl_locks::mcs::McsToken::from_raw(token.0) });
+    }
+    #[inline]
+    fn held(&self) -> bool {
+        self.is_locked()
+    }
+    fn lock_name(&self) -> &'static str {
+        "libasl"
+    }
+}
+
+impl PlainLock for AslBlockingLock {
+    #[inline]
+    fn acquire(&self) -> PlainToken {
+        self.lock();
+        PlainToken::UNIT
+    }
+    #[inline]
+    fn try_acquire(&self) -> Option<PlainToken> {
+        self.try_lock().map(|_| PlainToken::UNIT)
+    }
+    #[inline]
+    fn release(&self, _token: PlainToken) {
+        self.unlock(());
+    }
+    #[inline]
+    fn held(&self) -> bool {
+        self.is_locked()
+    }
+    fn lock_name(&self) -> &'static str {
+        "libasl-blocking"
+    }
+}
+
+/// A mutual-exclusion container with LibASL ordering.
+///
+/// Drop-in replacement shape for `std::sync::Mutex` (no poisoning —
+/// lock protocols here are panic-agnostic like `parking_lot`).
+pub struct AslMutex<T, L: RawLock = McsLock, W: WaitPolicy = SpinWait> {
+    lock: AslLock<L, W>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: standard mutex reasoning — the lock serializes access.
+unsafe impl<T: Send, L: RawLock, W: WaitPolicy> Send for AslMutex<T, L, W> {}
+unsafe impl<T: Send, L: RawLock, W: WaitPolicy> Sync for AslMutex<T, L, W> {}
+
+impl<T> AslMutex<T> {
+    /// New mutex over the default reorderable-MCS LibASL lock.
+    pub fn new(value: T) -> Self {
+        AslMutex { lock: AslSpinLock::default(), data: UnsafeCell::new(value) }
+    }
+}
+
+impl<T, L: RawLock, W: WaitPolicy> AslMutex<T, L, W> {
+    /// New mutex over a caller-supplied LibASL lock.
+    pub fn with_lock(value: T, lock: AslLock<L, W>) -> Self {
+        AslMutex { lock, data: UnsafeCell::new(value) }
+    }
+
+    /// Acquire, returning an RAII guard.
+    pub fn lock(&self) -> AslMutexGuard<'_, T, L, W> {
+        let token = self.lock.lock();
+        AslMutexGuard { mutex: self, token: Some(token) }
+    }
+
+    /// Try to acquire without waiting.
+    pub fn try_lock(&self) -> Option<AslMutexGuard<'_, T, L, W>> {
+        self.lock.try_lock().map(|token| AslMutexGuard { mutex: self, token: Some(token) })
+    }
+
+    /// Whether the lock is currently held or queued.
+    pub fn is_locked(&self) -> bool {
+        self.lock.is_locked()
+    }
+
+    /// Acquisition statistics of the underlying LibASL lock.
+    pub fn stats(&self) -> &LockStats {
+        self.lock.stats()
+    }
+
+    /// Consume the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for AslMutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+/// RAII guard for [`AslMutex`].
+pub struct AslMutexGuard<'a, T, L: RawLock, W: WaitPolicy> {
+    mutex: &'a AslMutex<T, L, W>,
+    token: Option<L::Token>,
+}
+
+impl<'a, T, L: RawLock, W: WaitPolicy> AslMutexGuard<'a, T, L, W> {
+    /// The mutex this guard locks (used by [`crate::AslCondvar`] to
+    /// re-acquire after waiting).
+    pub fn mutex(&self) -> &'a AslMutex<T, L, W> {
+        self.mutex
+    }
+}
+
+impl<T, L: RawLock, W: WaitPolicy> Deref for AslMutexGuard<'_, T, L, W> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: guard existence proves exclusive acquisition.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T, L: RawLock, W: WaitPolicy> DerefMut for AslMutexGuard<'_, T, L, W> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: guard existence proves exclusive acquisition.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T, L: RawLock, W: WaitPolicy> Drop for AslMutexGuard<'_, T, L, W> {
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            self.mutex.lock.unlock(token);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asl_runtime::registry::{register_on_core, unregister};
+    use asl_runtime::topology::{CoreId, Topology};
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basic() {
+        let m = AslMutex::new(5u64);
+        {
+            let mut g = m.lock();
+            *g += 1;
+        }
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn try_lock_guard() {
+        let m = AslMutex::new(());
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn get_mut_bypasses_lock() {
+        let mut m = AslMutex::new(1);
+        *m.get_mut() = 9;
+        assert_eq!(*m.lock(), 9);
+    }
+
+    #[test]
+    fn concurrent_counter() {
+        let m = Arc::new(AslMutex::new(0u64));
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    *m.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 80_000);
+    }
+
+    #[test]
+    fn big_core_takes_immediate_path() {
+        let t = Topology::apple_m1();
+        register_on_core(&t, CoreId(0));
+        let m = AslMutex::new(());
+        drop(m.lock());
+        let s = m.stats().snapshot();
+        assert_eq!(s.immediate, 1);
+        assert_eq!(s.standby_total(), 0);
+        unregister();
+    }
+
+    #[test]
+    fn little_core_takes_standby_path() {
+        let t = Topology::apple_m1();
+        register_on_core(&t, CoreId(5));
+        crate::epoch::reset_thread_epochs();
+        let m = AslMutex::new(());
+        drop(m.lock()); // outside any epoch: max-window standby, free entry
+        let s = m.stats().snapshot();
+        assert_eq!(s.immediate, 0);
+        assert_eq!(s.standby_free_entry, 1);
+        unregister();
+    }
+
+    #[test]
+    fn little_core_in_epoch_uses_epoch_window() {
+        let t = Topology::apple_m1();
+        register_on_core(&t, CoreId(4));
+        crate::epoch::reset_thread_epochs();
+        crate::epoch::set_epoch_window(3, 0); // zero window: immediate FIFO entry
+        let m = AslMutex::new(());
+        crate::epoch::with_epoch(3, u64::MAX, || {
+            drop(m.lock());
+        });
+        let s = m.stats().snapshot();
+        // Lock was free, so it entered via the free-entry fast path.
+        assert_eq!(s.standby_total(), 1);
+        unregister();
+    }
+
+    #[test]
+    fn blocking_variant_works() {
+        let lock = AslBlockingLock::new_blocking();
+        let t = lock.lock();
+        assert!(lock.is_locked());
+        lock.unlock(t);
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn plain_lock_facades() {
+        let spin: Arc<dyn PlainLock> = Arc::new(AslSpinLock::default());
+        let t = spin.acquire();
+        assert!(spin.held());
+        spin.release(t);
+        assert_eq!(spin.lock_name(), "libasl");
+
+        let blocking: Arc<dyn PlainLock> = Arc::new(AslBlockingLock::new_blocking());
+        let t = blocking.acquire();
+        blocking.release(t);
+        assert_eq!(blocking.lock_name(), "libasl-blocking");
+    }
+}

@@ -1,0 +1,181 @@
+//! Standby waiting policies.
+//!
+//! A standby competitor (paper Fig. 7) waits out its reorder window
+//! while occasionally probing whether the lock has become free. How
+//! it waits is orthogonal to the reorderable protocol:
+//!
+//! * [`SpinWait`] — the paper's Algorithm 1: busy-wait, probing with
+//!   *binary exponential back-off* (probe at iteration 1, 2, 4, 8, …)
+//!   to keep standby competitors from hammering the lock word.
+//! * [`SleepWait`] — the blocking version (§3.2 footnote 3 / Bench-6):
+//!   `nanosleep` between probes with doubling sleep times, for
+//!   over-subscribed systems where spinning steals CPU from the
+//!   holder.
+//! * [`FixedCheckWait`] — probe every N iterations; exists to ablate
+//!   the exponential back-off choice (bench `ablate_backoff`).
+
+use asl_runtime::clock::{nanosleep_ns, now_ns};
+
+/// Outcome of a standby wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// A probe saw the lock free before the window expired.
+    ObservedFree,
+    /// The reorder window expired.
+    WindowExpired,
+}
+
+/// How a standby competitor waits out its reorder window.
+pub trait WaitPolicy: Send + Sync + 'static {
+    /// Wait until `deadline_ns` (a [`now_ns`] timestamp), returning
+    /// early when `is_free()` observes the lock available.
+    fn standby_wait(&self, deadline_ns: u64, is_free: &dyn Fn() -> bool) -> WaitOutcome;
+}
+
+/// Busy-wait with binary exponential probe back-off (paper default).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SpinWait;
+
+impl WaitPolicy for SpinWait {
+    #[inline]
+    fn standby_wait(&self, deadline_ns: u64, is_free: &dyn Fn() -> bool) -> WaitOutcome {
+        let mut cnt: u64 = 0;
+        let mut next_check: u64 = 1;
+        while now_ns() < deadline_ns {
+            cnt += 1;
+            if cnt == next_check {
+                if is_free() {
+                    return WaitOutcome::ObservedFree;
+                }
+                next_check <<= 1;
+            }
+            std::hint::spin_loop();
+        }
+        WaitOutcome::WindowExpired
+    }
+}
+
+/// `nanosleep`-based waiting with doubling sleep durations.
+#[derive(Debug, Clone, Copy)]
+pub struct SleepWait {
+    /// First sleep duration (ns).
+    pub min_sleep_ns: u64,
+    /// Sleep-duration cap (ns).
+    pub max_sleep_ns: u64,
+}
+
+impl SleepWait {
+    /// Paper-style defaults: 1 µs first sleep, 1 ms cap.
+    pub fn new() -> Self {
+        SleepWait { min_sleep_ns: 1_000, max_sleep_ns: 1_000_000 }
+    }
+}
+
+impl Default for SleepWait {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WaitPolicy for SleepWait {
+    fn standby_wait(&self, deadline_ns: u64, is_free: &dyn Fn() -> bool) -> WaitOutcome {
+        let mut sleep = self.min_sleep_ns;
+        loop {
+            let now = now_ns();
+            if now >= deadline_ns {
+                return WaitOutcome::WindowExpired;
+            }
+            if is_free() {
+                return WaitOutcome::ObservedFree;
+            }
+            let remaining = deadline_ns - now;
+            nanosleep_ns(sleep.min(remaining));
+            sleep = (sleep * 2).min(self.max_sleep_ns);
+        }
+    }
+}
+
+/// Probe every `interval` spin iterations (ablation baseline).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedCheckWait {
+    /// Iterations between probes.
+    pub interval: u64,
+}
+
+impl WaitPolicy for FixedCheckWait {
+    fn standby_wait(&self, deadline_ns: u64, is_free: &dyn Fn() -> bool) -> WaitOutcome {
+        let mut cnt: u64 = 0;
+        while now_ns() < deadline_ns {
+            cnt += 1;
+            if cnt % self.interval.max(1) == 0 && is_free() {
+                return WaitOutcome::ObservedFree;
+            }
+            std::hint::spin_loop();
+        }
+        WaitOutcome::WindowExpired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    #[test]
+    fn spin_wait_expires() {
+        let t0 = now_ns();
+        let out = SpinWait.standby_wait(t0 + 200_000, &|| false);
+        assert_eq!(out, WaitOutcome::WindowExpired);
+        assert!(now_ns() - t0 >= 200_000);
+    }
+
+    #[test]
+    fn spin_wait_returns_when_free() {
+        let out = SpinWait.standby_wait(now_ns() + 50_000_000, &|| true);
+        assert_eq!(out, WaitOutcome::ObservedFree);
+    }
+
+    #[test]
+    fn spin_wait_probe_count_is_logarithmic() {
+        // Binary exponential back-off: the number of probes over a
+        // window should be ~log2(iterations), not linear.
+        let probes = AtomicU64::new(0);
+        let out = SpinWait.standby_wait(now_ns() + 2_000_000, &|| {
+            probes.fetch_add(1, Ordering::Relaxed);
+            false
+        });
+        assert_eq!(out, WaitOutcome::WindowExpired);
+        let p = probes.load(Ordering::Relaxed);
+        assert!(p > 0 && p < 64, "expected O(log) probes, got {p}");
+    }
+
+    #[test]
+    fn sleep_wait_expires_and_frees() {
+        let t0 = now_ns();
+        let out = SleepWait::new().standby_wait(t0 + 3_000_000, &|| false);
+        assert_eq!(out, WaitOutcome::WindowExpired);
+        assert!(now_ns() - t0 >= 3_000_000);
+
+        let flag = AtomicBool::new(true);
+        let out = SleepWait::new().standby_wait(now_ns() + 50_000_000, &|| {
+            flag.load(Ordering::Relaxed)
+        });
+        assert_eq!(out, WaitOutcome::ObservedFree);
+    }
+
+    #[test]
+    fn sleep_wait_zero_window_expires_immediately() {
+        let out = SleepWait::new().standby_wait(0, &|| false);
+        assert_eq!(out, WaitOutcome::WindowExpired);
+    }
+
+    #[test]
+    fn fixed_check_probes_linearly() {
+        let probes = AtomicU64::new(0);
+        FixedCheckWait { interval: 100 }.standby_wait(now_ns() + 1_000_000, &|| {
+            probes.fetch_add(1, Ordering::Relaxed);
+            false
+        });
+        assert!(probes.load(Ordering::Relaxed) > 64, "fixed policy should probe often");
+    }
+}

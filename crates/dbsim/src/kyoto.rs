@@ -1,0 +1,204 @@
+//! Kyoto-Cabinet-like in-memory hash KV.
+//!
+//! Table 1: "In-memory KV, 50% Put 50% Get; Slot-level Lock, Method
+//! Lock". Kyoto Cabinet's `HashDB` hashes each key to one of a fixed
+//! number of slots, locks that slot for the record operation, and
+//! takes a short global *method* lock on every API call. We reproduce
+//! exactly that: a chained hash table split into independently locked
+//! slots plus a brief method-lock critical section per request.
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+use asl_locks::plain::PlainLock;
+use asl_runtime::work::execute_units;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::{random_key, value_for, Engine, LockFactory, Value};
+
+const BUCKETS_PER_SLOT: usize = 512;
+
+/// Emulated record-processing cost (units) for a put.
+const PUT_UNITS: u64 = 260;
+/// Emulated record-processing cost for a get.
+const GET_UNITS: u64 = 120;
+/// Emulated method-dispatch cost under the method lock.
+const METHOD_UNITS: u64 = 25;
+
+struct Slot {
+    lock: Arc<dyn PlainLock>,
+    buckets: UnsafeCell<Vec<Vec<(u64, Value)>>>,
+}
+
+// SAFETY: `buckets` is only touched while `lock` is held.
+unsafe impl Sync for Slot {}
+
+/// The Kyoto-Cabinet-like engine.
+pub struct Kyoto {
+    method_lock: Arc<dyn PlainLock>,
+    slots: Vec<Slot>,
+}
+
+impl Kyoto {
+    /// Create with `slots` independently locked hash slots.
+    pub fn new(factory: &dyn LockFactory, slots: usize) -> Self {
+        assert!(slots > 0);
+        Kyoto {
+            method_lock: factory.make(),
+            slots: (0..slots)
+                .map(|_| Slot {
+                    lock: factory.make(),
+                    buckets: UnsafeCell::new(vec![Vec::new(); BUCKETS_PER_SLOT]),
+                })
+                .collect(),
+        }
+    }
+
+    /// Default sizing used by the figures (16 slots, paper-like
+    /// slot-level contention at 8 threads).
+    pub fn with_default_size(factory: &dyn LockFactory) -> Self {
+        Self::new(factory, 16)
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> &Slot {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.slots[(h >> 32) as usize % self.slots.len()]
+    }
+
+    /// Insert or update a record.
+    pub fn put(&self, key: u64, value: Value) {
+        // Method lock: short API-dispatch critical section.
+        let t = self.method_lock.acquire();
+        execute_units(METHOD_UNITS);
+        self.method_lock.release(t);
+
+        let slot = self.slot_of(key);
+        let t = slot.lock.acquire();
+        // SAFETY: slot lock held.
+        let buckets = unsafe { &mut *slot.buckets.get() };
+        let b = &mut buckets[(key as usize) % BUCKETS_PER_SLOT];
+        match b.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v = value,
+            None => b.push((key, value)),
+        }
+        execute_units(PUT_UNITS);
+        slot.lock.release(t);
+    }
+
+    /// Look up a record.
+    pub fn get(&self, key: u64) -> Option<Value> {
+        let t = self.method_lock.acquire();
+        execute_units(METHOD_UNITS);
+        self.method_lock.release(t);
+
+        let slot = self.slot_of(key);
+        let t = slot.lock.acquire();
+        // SAFETY: slot lock held.
+        let buckets = unsafe { &*slot.buckets.get() };
+        let found = buckets[(key as usize) % BUCKETS_PER_SLOT]
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v);
+        execute_units(GET_UNITS);
+        slot.lock.release(t);
+        found
+    }
+
+    /// Total records (test helper; takes every slot lock).
+    pub fn len(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| {
+                let t = s.lock.acquire();
+                // SAFETY: slot lock held.
+                let n = unsafe { &*s.buckets.get() }.iter().map(Vec::len).sum::<usize>();
+                s.lock.release(t);
+                n
+            })
+            .sum()
+    }
+
+    /// True when no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Engine for Kyoto {
+    fn run_request(&self, rng: &mut SmallRng) {
+        let key = random_key(rng);
+        if rng.gen_bool(0.5) {
+            self.put(key, value_for(key));
+        } else {
+            let _ = self.get(key);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "kyoto"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn mcs_factory() -> impl LockFactory {
+        || -> Arc<dyn PlainLock> { Arc::new(asl_locks::McsLock::new()) }
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let db = Kyoto::new(&mcs_factory(), 4);
+        assert!(db.get(7).is_none());
+        db.put(7, value_for(7));
+        assert_eq!(db.get(7), Some(value_for(7)));
+        db.put(7, value_for(8)); // update in place
+        assert_eq!(db.get(7), Some(value_for(8)));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn many_keys_across_slots() {
+        let db = Kyoto::new(&mcs_factory(), 8);
+        for k in 0..1_000 {
+            db.put(k, value_for(k));
+        }
+        assert_eq!(db.len(), 1_000);
+        for k in 0..1_000 {
+            assert_eq!(db.get(k), Some(value_for(k)), "key {k}");
+        }
+    }
+
+    #[test]
+    fn concurrent_requests_consistent() {
+        let db = Arc::new(Kyoto::new(&mcs_factory(), 8));
+        let mut handles = vec![];
+        for i in 0..8 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(i);
+                for _ in 0..2_000 {
+                    db.run_request(&mut rng);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Values must always round-trip to their key.
+        for k in 0..crate::KEYSPACE {
+            if let Some(v) = db.get(k) {
+                assert_eq!(v, value_for(k));
+            }
+        }
+    }
+
+    #[test]
+    fn engine_name() {
+        assert_eq!(Kyoto::new(&mcs_factory(), 1).name(), "kyoto");
+    }
+}

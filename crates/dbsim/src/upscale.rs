@@ -1,0 +1,153 @@
+//! upscaledb-like on-disk KV.
+//!
+//! Table 1: "On-disk KV, 50% Put 50% Get; Global Lock, Worker Pool
+//! Lock". upscaledb serializes every operation on one global
+//! environment lock (the dominant contention point — which is why TAS
+//! shows its biggest wins/losses here in the paper) and dispatches
+//! requests through a worker pool protected by a short queue lock.
+
+use std::cell::UnsafeCell;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use asl_locks::plain::PlainLock;
+use asl_runtime::work::execute_units;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::{random_key, value_for, Engine, LockFactory, Value};
+
+/// Emulated B-tree insert + page-dirty cost under the global lock.
+const PUT_UNITS: u64 = 420;
+/// Emulated B-tree probe cost under the global lock.
+const GET_UNITS: u64 = 180;
+/// Emulated queue push/pop under the worker-pool lock.
+const POOL_UNITS: u64 = 30;
+
+/// The upscaledb-like engine.
+pub struct UpscaleDb {
+    pool_lock: Arc<dyn PlainLock>,
+    global_lock: Arc<dyn PlainLock>,
+    tree: UnsafeCell<BTreeMap<u64, Value>>,
+    pool_depth: UnsafeCell<u64>,
+}
+
+// SAFETY: `tree` only under `global_lock`; `pool_depth` only under
+// `pool_lock`.
+unsafe impl Sync for UpscaleDb {}
+
+impl UpscaleDb {
+    /// Create the engine with locks from `factory`.
+    pub fn new(factory: &dyn LockFactory) -> Self {
+        UpscaleDb {
+            pool_lock: factory.make(),
+            global_lock: factory.make(),
+            tree: UnsafeCell::new(BTreeMap::new()),
+            pool_depth: UnsafeCell::new(0),
+        }
+    }
+
+    fn enqueue_dispatch(&self) {
+        let t = self.pool_lock.acquire();
+        // SAFETY: pool lock held.
+        unsafe { *self.pool_depth.get() += 1 };
+        execute_units(POOL_UNITS);
+        unsafe { *self.pool_depth.get() -= 1 };
+        self.pool_lock.release(t);
+    }
+
+    /// Insert or update.
+    pub fn put(&self, key: u64, value: Value) {
+        self.enqueue_dispatch();
+        let t = self.global_lock.acquire();
+        // SAFETY: global lock held.
+        unsafe { (*self.tree.get()).insert(key, value) };
+        execute_units(PUT_UNITS);
+        self.global_lock.release(t);
+    }
+
+    /// Look up.
+    pub fn get(&self, key: u64) -> Option<Value> {
+        self.enqueue_dispatch();
+        let t = self.global_lock.acquire();
+        // SAFETY: global lock held.
+        let v = unsafe { (*self.tree.get()).get(&key).copied() };
+        execute_units(GET_UNITS);
+        self.global_lock.release(t);
+        v
+    }
+
+    /// Record count (test helper).
+    pub fn len(&self) -> usize {
+        let t = self.global_lock.acquire();
+        // SAFETY: global lock held.
+        let n = unsafe { (*self.tree.get()).len() };
+        self.global_lock.release(t);
+        n
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Engine for UpscaleDb {
+    fn run_request(&self, rng: &mut SmallRng) {
+        let key = random_key(rng);
+        if rng.gen_bool(0.5) {
+            self.put(key, value_for(key));
+        } else {
+            let _ = self.get(key);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "upscaledb"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn factory() -> impl LockFactory {
+        || -> Arc<dyn PlainLock> { Arc::new(asl_locks::McsLock::new()) }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let db = UpscaleDb::new(&factory());
+        assert!(db.is_empty());
+        db.put(1, value_for(1));
+        db.put(2, value_for(2));
+        assert_eq!(db.get(1), Some(value_for(1)));
+        assert_eq!(db.get(3), None);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_consistency() {
+        let db = Arc::new(UpscaleDb::new(&factory()));
+        let mut handles = vec![];
+        for i in 0..6 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(100 + i);
+                for _ in 0..1_500 {
+                    db.run_request(&mut rng);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let t = db.global_lock.acquire();
+        // SAFETY: global lock held.
+        for (k, v) in unsafe { &*db.tree.get() } {
+            assert_eq!(*v, value_for(*k));
+        }
+        db.global_lock.release(t);
+    }
+}

@@ -1,0 +1,102 @@
+//! `repro` — regenerate the paper's figures.
+//!
+//! ```text
+//! repro list                 # available figure ids
+//! repro fig8a                # one figure (full profile)
+//! repro fig1 fig4 --quick    # several figures, quick profile
+//! repro all --quick --out results/
+//! ```
+//!
+//! Each figure prints aligned text tables; with `--out DIR` every
+//! table is also written as `DIR/<table-id>.csv`.
+
+use std::io::Write as _;
+
+use asl_harness::figures::{self, Profile};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+
+    let mut quick = false;
+    let mut out_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--full" => quick = false,
+            "--out" => {
+                i += 1;
+                out_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "list" => {
+                for (id, _) in figures::registry() {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(figures::registry().into_iter().map(|(id, _)| id.to_string())),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag: {other}");
+                usage();
+                std::process::exit(2);
+            }
+            id => ids.push(id.to_string()),
+        }
+        i += 1;
+    }
+    ids.dedup();
+
+    let profile = if quick { Profile::quick() } else { Profile::full() };
+    eprintln!(
+        "profile: {} ({}ms/point, warmup {}ms, pin={})",
+        if quick { "quick" } else { "full" },
+        profile.duration_ms,
+        profile.warmup_ms,
+        profile.pin
+    );
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create --out dir");
+    }
+
+    let mut failed = false;
+    for id in &ids {
+        let Some(driver) = figures::find(id) else {
+            eprintln!("unknown figure id: {id} (try `repro list`)");
+            failed = true;
+            continue;
+        };
+        eprintln!("running {id} ...");
+        let t0 = std::time::Instant::now();
+        let tables = driver(&profile);
+        for table in &tables {
+            println!("{}", table.render_text());
+            if let Some(dir) = &out_dir {
+                let path = format!("{dir}/{}.csv", table.id);
+                let mut f = std::fs::File::create(&path).expect("create csv");
+                f.write_all(table.render_csv().as_bytes()).expect("write csv");
+                eprintln!("wrote {path}");
+            }
+        }
+        eprintln!("{id} done in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: repro [--quick|--full] [--out DIR] <figure-id>... | all | list\n\
+         figure ids: fig1 fig4 fig5 fig8a fig8b fig8c fig8d fig8ef fig8g fig8hi\n\
+         \u{20}          fig9-kyoto fig9-upscale fig9-lmdb fig10-leveldb fig10-sqlite alt-topology"
+    );
+}

@@ -1,0 +1,345 @@
+//! Figures 8a–8d and 8h/8i: the Bench-1 epoch workload.
+//!
+//! Bench-1: every operation is one epoch containing four critical
+//! sections of different lengths under two different locks (64 shared
+//! cache lines in total), with fixed think time between epochs.
+//! LibASL SLO settings are anchored to the measured MCS P99 (see
+//! `figures` module docs).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use asl_runtime::clock::now_ns;
+use asl_runtime::spawn::run_on_topology_with_stop;
+use asl_runtime::{AtomicAffinity, CoreKind};
+
+use crate::locks::LockSpec;
+use crate::report::{fmt_us, Table};
+use crate::scenario::{LengthModel, MicroScenario};
+
+use super::micro::{comparison_row, COMPARISON_COLS};
+use super::{run_micro, seed_tls_rng, with_tls_rng, Profile};
+
+/// Measured MCS P99 on Bench-1 (the anchor all SLOs derive from).
+fn mcs_anchor(profile: &Profile) -> u64 {
+    let scenario = MicroScenario::bench1(&LockSpec::Mcs);
+    let r = run_micro(profile, &scenario, 8);
+    r.overall.p99().max(1_000)
+}
+
+/// Figure 8a: Bench-1 comparison bars across all competitors.
+pub fn fig8a(profile: &Profile) -> Vec<Table> {
+    let anchor = mcs_anchor(profile);
+    // The paper's SLO picks (25/50/65 µs) sit at ~1.7x/3.3x/4.3x its
+    // measured MCS P99 of 15 µs; reuse those multipliers.
+    let slo_a = anchor * 17 / 10;
+    let slo_b = anchor * 33 / 10;
+    let slo_c = anchor * 43 / 10;
+
+    // LibASL-OPT: offline search for the best static window whose P99
+    // still meets slo_b (the paper pairs OPT with LibASL-50).
+    let mut best: Option<(u64, f64, u64)> = None;
+    for w in [anchor / 4, anchor / 2, anchor, anchor * 2] {
+        let scenario = MicroScenario::bench1(&LockSpec::AslOpt { window_ns: w });
+        let r = run_micro(profile, &scenario, 8);
+        let p99 = r.overall.p99();
+        if p99 <= slo_b && best.map(|(_, t, _)| r.throughput > t).unwrap_or(true) {
+            best = Some((w, r.throughput, p99));
+        }
+    }
+    let opt_window = best.map(|(w, _, _)| w).unwrap_or(anchor / 2);
+
+    let specs = vec![
+        LockSpec::Pthread,
+        LockSpec::Tas(AtomicAffinity::big_wins()),
+        LockSpec::Ticket,
+        LockSpec::ShflPb(10),
+        LockSpec::Mcs,
+        LockSpec::Asl { slo_ns: Some(0) },
+        LockSpec::Asl { slo_ns: Some(slo_a) },
+        LockSpec::AslOpt { window_ns: opt_window },
+        LockSpec::Asl { slo_ns: Some(slo_b) },
+        LockSpec::Asl { slo_ns: Some(slo_c) },
+        LockSpec::Asl { slo_ns: None },
+    ];
+
+    let mut table = Table::new("fig8a", "Bench-1 performance comparison", &COMPARISON_COLS);
+    for spec in &specs {
+        let scenario = MicroScenario::bench1(spec);
+        let r = run_micro(profile, &scenario, 8);
+        table.push_row(comparison_row(&spec.label(), &r));
+    }
+    table.note(format!(
+        "SLO anchor: measured MCS P99 = {}us; LibASL SLOs at 1.7x/3.3x/4.3x anchor",
+        anchor / 1_000
+    ));
+    table.note(format!("LibASL-OPT static window = {}us", opt_window / 1_000));
+    vec![table]
+}
+
+/// Figure 8b: Bench-1 under an SLO sweep.
+pub fn fig8b(profile: &Profile) -> Vec<Table> {
+    let anchor = mcs_anchor(profile);
+    let mut table = Table::new(
+        "fig8b",
+        "Bench-1 with variant SLOs",
+        &["slo_us", "big_p99_us", "little_p99_us", "overall_p99_us", "thpt_ops_s"],
+    );
+    let hi = anchor * 6;
+    let steps = 10usize;
+    for i in 0..=steps {
+        let slo = hi * i as u64 / steps as u64;
+        let scenario = MicroScenario::bench1(&LockSpec::Asl { slo_ns: Some(slo) });
+        let r = run_micro(profile, &scenario, 8);
+        table.push_row(vec![
+            format!("{:.1}", slo as f64 / 1_000.0),
+            fmt_us(r.big.p99()),
+            fmt_us(r.little.p99()),
+            fmt_us(r.overall.p99()),
+            format!("{:.0}", r.throughput),
+        ]);
+    }
+    table.note(format!("MCS P99 anchor = {}us; below it LibASL falls back to FIFO", anchor / 1_000));
+    vec![table]
+}
+
+/// Figure 8c (Bench-3): epochs of mixed lengths at different ratios.
+pub fn fig8c(profile: &Profile) -> Vec<Table> {
+    const LONG_FACTOR: u64 = 16;
+    // SLO: the measured MCS P99 when *all* epochs are long, so that at
+    // ratio=100% LibASL must fall back to FIFO (normalized thpt -> 1).
+    let slo = {
+        let mut scenario = MicroScenario::bench1(&LockSpec::Mcs);
+        scenario.length = LengthModel::Mixed { long_ratio: 1.0, long_factor: LONG_FACTOR };
+        run_micro(profile, &scenario, 8).overall.p99().max(1_000)
+    };
+
+    let mut table = Table::new(
+        "fig8c",
+        "Bench-3: mixed short/long epochs (normalized to MCS)",
+        &[
+            "long_pct",
+            "mcs_thpt",
+            "libasl_thpt",
+            "libasl_norm",
+            "opt_norm",
+            "little_p99_us",
+            "overall_p99_us",
+        ],
+    );
+    for long_pct in [0u64, 20, 40, 60, 80, 100] {
+        let ratio = long_pct as f64 / 100.0;
+        let mix = LengthModel::Mixed { long_ratio: ratio, long_factor: LONG_FACTOR };
+
+        let mut mcs = MicroScenario::bench1(&LockSpec::Mcs);
+        mcs.length = mix.clone();
+        let r_mcs = run_micro(profile, &mcs, 8);
+
+        let mut asl = MicroScenario::bench1(&LockSpec::Asl { slo_ns: Some(slo) });
+        asl.length = mix.clone();
+        let r_asl = run_micro(profile, &asl, 8);
+
+        // OPT: offline choice among candidate static windows — the
+        // best throughput meeting the SLO, else (measurement noise
+        // pushed everything over) the closest-to-SLO candidate.
+        let mut opt_best = 0.0f64;
+        let mut fallback: Option<(u64, f64)> = None;
+        for w in [slo / 8, slo / 4, slo / 2, slo] {
+            let mut opt = MicroScenario::bench1(&LockSpec::AslOpt { window_ns: w });
+            opt.length = mix.clone();
+            let r = run_micro(profile, &opt, 8);
+            let p99 = r.overall.p99();
+            if p99 <= slo && r.throughput > opt_best {
+                opt_best = r.throughput;
+            }
+            if fallback.map(|(p, _)| p99 < p).unwrap_or(true) {
+                fallback = Some((p99, r.throughput));
+            }
+        }
+        if opt_best == 0.0 {
+            opt_best = fallback.map(|(_, t)| t).unwrap_or(0.0);
+        }
+
+        table.push_row(vec![
+            long_pct.to_string(),
+            format!("{:.0}", r_mcs.throughput),
+            format!("{:.0}", r_asl.throughput),
+            format!("{:.2}", r_asl.throughput / r_mcs.throughput.max(1.0)),
+            format!("{:.2}", opt_best / r_mcs.throughput.max(1.0)),
+            fmt_us(r_asl.little.p99()),
+            fmt_us(r_asl.overall.p99()),
+        ]);
+    }
+    table.note(format!(
+        "long epochs {LONG_FACTOR}x longer; SLO = all-long MCS P99 = {}us",
+        slo / 1_000
+    ));
+    vec![table]
+}
+
+/// Figure 8d (Bench-2): per-epoch latency timeline under abrupt
+/// workload changes, showing the reorder window re-adapting.
+pub fn fig8d(profile: &Profile) -> Vec<Table> {
+    let anchor = mcs_anchor(profile);
+    let slo = anchor * 4;
+
+    // Phase schedule (fractions of the total run), mirroring the
+    // paper's 350 ms trace: base, heavy(x128->scaled), base, random,
+    // impossible(x1024->scaled).
+    let total_ms = (profile.duration_ms * 3).max(350);
+    let phases: &[(f64, u64, &str)] = &[
+        (2.0 / 7.0, 1, "base"),
+        (2.0 / 7.0, 3, "long(feasible)"),
+        (1.0 / 7.0, 1, "base"),
+        (1.0 / 7.0, u64::MAX, "random"),
+        (1.0 / 7.0, 32, "impossible"),
+    ];
+
+    let multiplier = Arc::new(AtomicU64::new(1));
+    let scenario = {
+        let mut s = MicroScenario::bench1(&LockSpec::Asl { slo_ns: Some(slo) });
+        s.length = LengthModel::Dynamic(multiplier.clone());
+        Arc::new(s)
+    };
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let t_start = now_ns();
+
+    // Controller: walk the phase schedule.
+    let controller = {
+        let multiplier = multiplier.clone();
+        let stop = stop.clone();
+        let phases: Vec<(f64, u64)> = phases.iter().map(|(f, m, _)| (*f, *m)).collect();
+        std::thread::spawn(move || {
+            for (frac, mult) in phases {
+                multiplier.store(mult, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(
+                    (total_ms as f64 * frac) as u64,
+                ));
+            }
+            stop.store(true, Ordering::Relaxed);
+        })
+    };
+
+    // Workers: record (timestamp, latency, class) per epoch.
+    let topo = asl_runtime::Topology::apple_m1();
+    let traces: Vec<Vec<(u64, u64, CoreKind)>> =
+        run_on_topology_with_stop(&topo, 8, profile.pin, stop.clone(), |ctx| {
+            asl_core::epoch::reset_thread_epochs();
+            seed_tls_rng(ctx.index);
+            let mut trace = Vec::with_capacity(1 << 14);
+            while !ctx.stopped() {
+                let lat = with_tls_rng(|rng| scenario.run_op(rng));
+                trace.push((now_ns() - t_start, lat, ctx.assignment.kind));
+            }
+            trace
+        });
+    controller.join().unwrap();
+
+    // Summary per phase.
+    let mut summary = Table::new(
+        "fig8d",
+        "Bench-2: self-adaptive reorder window under workload changes",
+        &["phase", "multiplier", "little_p99_us", "little_viol_pct", "slo_us"],
+    );
+    let mut t_edge = 0.0f64;
+    for (frac, mult, name) in phases {
+        let t0 = (t_edge * total_ms as f64 * 1e6) as u64;
+        t_edge += frac;
+        let t1 = (t_edge * total_ms as f64 * 1e6) as u64;
+        let mut hist = crate::hist::Hist::new();
+        let mut viol = 0u64;
+        let mut n = 0u64;
+        for trace in &traces {
+            for &(t, lat, kind) in trace {
+                if kind == CoreKind::Little && t >= t0 && t < t1 {
+                    hist.record(lat);
+                    n += 1;
+                    if lat > slo {
+                        viol += 1;
+                    }
+                }
+            }
+        }
+        let mult_str =
+            if *mult == u64::MAX { "rand".to_string() } else { format!("{mult}x") };
+        summary.push_row(vec![
+            name.to_string(),
+            mult_str,
+            fmt_us(hist.p99()),
+            format!("{:.1}", 100.0 * viol as f64 / n.max(1) as f64),
+            format!("{:.1}", slo as f64 / 1_000.0),
+        ]);
+    }
+    summary.note(format!("SLO = 4x MCS anchor = {}us; trace length {total_ms}ms", slo / 1_000));
+
+    // Downsampled trace for plotting.
+    let mut all: Vec<(u64, u64, CoreKind)> = traces.into_iter().flatten().collect();
+    all.sort_unstable_by_key(|&(t, _, _)| t);
+    let keep = 1_200usize;
+    let step = (all.len() / keep).max(1);
+    let mut trace_table = Table::new(
+        "fig8d-trace",
+        "Bench-2 latency trace (downsampled)",
+        &["t_ms", "latency_us", "class"],
+    );
+    for (t, lat, kind) in all.into_iter().step_by(step) {
+        trace_table.push_row(vec![
+            format!("{:.1}", t as f64 / 1e6),
+            format!("{:.1}", lat as f64 / 1e3),
+            kind.label().to_string(),
+        ]);
+    }
+    vec![summary, trace_table]
+}
+
+/// Figures 8h/8i (Bench-6): blocking locks under 2x core
+/// over-subscription.
+pub fn fig8hi(profile: &Profile) -> Vec<Table> {
+    let threads = 16; // 2 per core on the 8-core topology
+
+    // Anchor on the blocking pthread mutex tail.
+    let anchor = {
+        let scenario = MicroScenario::bench1(&LockSpec::Pthread);
+        run_micro(profile, &scenario, threads).overall.p99().max(1_000)
+    };
+
+    let specs = vec![
+        LockSpec::Pthread,
+        LockSpec::McsStp,
+        LockSpec::AslBlocking { slo_ns: Some(0) },
+        LockSpec::AslBlocking { slo_ns: Some(anchor) },
+        LockSpec::AslBlocking { slo_ns: Some(anchor * 2) },
+        LockSpec::AslBlocking { slo_ns: None },
+    ];
+    let mut t8h = Table::new(
+        "fig8h",
+        "Bench-6: blocking locks, 2x over-subscription",
+        &COMPARISON_COLS,
+    );
+    for spec in &specs {
+        let scenario = MicroScenario::bench1(spec);
+        let r = run_micro(profile, &scenario, threads);
+        t8h.push_row(comparison_row(&spec.label(), &r));
+    }
+    t8h.note(format!("16 threads on 8 cores; SLO anchor = pthread P99 = {}us", anchor / 1_000));
+
+    let mut t8i = Table::new(
+        "fig8i",
+        "Bench-6 with variant SLOs",
+        &["slo_us", "big_p99_us", "little_p99_us", "overall_p99_us", "thpt_ops_s"],
+    );
+    for i in 0..=6u64 {
+        let slo = anchor * i / 2; // 0 .. 3x anchor
+        let scenario = MicroScenario::bench1(&LockSpec::AslBlocking { slo_ns: Some(slo) });
+        let r = run_micro(profile, &scenario, threads);
+        t8i.push_row(vec![
+            format!("{:.1}", slo as f64 / 1_000.0),
+            fmt_us(r.big.p99()),
+            fmt_us(r.little.p99()),
+            fmt_us(r.overall.p99()),
+            format!("{:.0}", r.throughput),
+        ]);
+    }
+    vec![t8h, t8i]
+}

@@ -1,0 +1,188 @@
+//! Per-figure reproduction drivers.
+//!
+//! Each driver regenerates one paper figure (or a group sharing a
+//! workload) as [`Table`]s: the same series the paper plots, in text
+//! form. Absolute values differ from the paper (our substrate is an
+//! emulated AMP, not an Apple M1); the *shape* — who wins, by what
+//! rough factor, where crossovers sit — is the reproduction target.
+//!
+//! LibASL SLO settings are anchored to the *measured* MCS P99 of the
+//! same workload (the paper picks absolute values hand-tuned to its
+//! hardware; anchoring keeps the comparisons meaningful on any host).
+
+pub mod bench1;
+pub mod db;
+pub mod extra;
+pub mod micro;
+
+use std::cell::RefCell;
+use std::time::Duration;
+
+use asl_runtime::topology::Topology;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::report::Table;
+use crate::runner::{run_timed_with_setup, RunConfig, RunResult};
+use crate::scenario::MicroScenario;
+
+/// Measurement effort per data point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Profile {
+    /// Measurement window per point (ms).
+    pub duration_ms: u64,
+    /// Warmup per point (ms).
+    pub warmup_ms: u64,
+    /// Pin threads to physical CPUs.
+    pub pin: bool,
+}
+
+impl Profile {
+    /// Fast mode for CI / smoke runs.
+    pub fn quick() -> Self {
+        Profile { duration_ms: 120, warmup_ms: 40, pin: true }
+    }
+
+    /// Paper-style mode (longer, steadier points).
+    pub fn full() -> Self {
+        Profile { duration_ms: 600, warmup_ms: 150, pin: true }
+    }
+
+    /// Runner config on the default M1-like topology.
+    pub fn config(&self, threads: usize) -> RunConfig {
+        self.config_on(Topology::apple_m1(), threads)
+    }
+
+    /// Runner config on an explicit topology.
+    pub fn config_on(&self, topology: Topology, threads: usize) -> RunConfig {
+        RunConfig {
+            topology,
+            threads,
+            duration: Duration::from_millis(self.duration_ms),
+            warmup: Duration::from_millis(self.warmup_ms),
+            pin: self.pin,
+        }
+    }
+}
+
+thread_local! {
+    static TLS_RNG: RefCell<SmallRng> = RefCell::new(SmallRng::seed_from_u64(42));
+}
+
+/// Seed this worker's scenario RNG (called from runner setup).
+pub fn seed_tls_rng(thread_idx: usize) {
+    TLS_RNG.with(|r| *r.borrow_mut() = SmallRng::seed_from_u64(0x5EED_0000 + thread_idx as u64));
+}
+
+/// Run `f` with this worker's scenario RNG.
+pub fn with_tls_rng<R>(f: impl FnOnce(&mut SmallRng) -> R) -> R {
+    TLS_RNG.with(|r| f(&mut r.borrow_mut()))
+}
+
+/// Run a micro-scenario for one data point: workers reset their epoch
+/// state, seed their RNG, then hammer `scenario.run_op`.
+pub fn run_micro(profile: &Profile, scenario: &MicroScenario, threads: usize) -> RunResult {
+    run_micro_on(profile, Topology::apple_m1(), scenario, threads)
+}
+
+/// [`run_micro`] on an explicit topology (Hikey970, Intel-DVFS, ...).
+pub fn run_micro_on(
+    profile: &Profile,
+    topology: Topology,
+    scenario: &MicroScenario,
+    threads: usize,
+) -> RunResult {
+    let cfg = profile.config_on(topology, threads);
+    run_timed_with_setup(
+        &cfg,
+        |ctx| {
+            asl_core::epoch::reset_thread_epochs();
+            seed_tls_rng(ctx.index);
+        },
+        |_octx| with_tls_rng(|rng| scenario.run_op(rng)),
+    )
+}
+
+/// All registered figures, in paper order.
+pub fn registry() -> Vec<(&'static str, fn(&Profile) -> Vec<Table>)> {
+    vec![
+        ("fig1", micro::fig1 as fn(&Profile) -> Vec<Table>),
+        ("fig4", micro::fig4),
+        ("fig5", micro::fig5),
+        ("fig8a", bench1::fig8a),
+        ("fig8b", bench1::fig8b),
+        ("fig8c", bench1::fig8c),
+        ("fig8d", bench1::fig8d),
+        ("fig8ef", micro::fig8ef),
+        ("fig8g", micro::fig8g),
+        ("fig8hi", bench1::fig8hi),
+        ("fig9-kyoto", db::fig9_kyoto),
+        ("fig9-upscale", db::fig9_upscale),
+        ("fig9-lmdb", db::fig9_lmdb),
+        ("fig10-leveldb", db::fig10_leveldb),
+        ("fig10-sqlite", db::fig10_sqlite),
+        ("alt-topology", db::alt_topology),
+        ("sec2-numa", extra::sec2_numa),
+        ("sec5-delegation", extra::sec5_delegation),
+    ]
+}
+
+/// Look up one figure driver by id.
+pub fn find(id: &str) -> Option<fn(&Profile) -> Vec<Table>> {
+    registry().into_iter().find(|(n, _)| *n == id).map(|(_, f)| f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_unique_and_findable() {
+        let reg = registry();
+        let mut ids: Vec<_> = reg.iter().map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), reg.len(), "duplicate figure ids");
+        for (id, _) in &reg {
+            assert!(find(id).is_some(), "{id} not findable");
+        }
+        assert!(find("not-a-figure").is_none());
+    }
+
+    #[test]
+    fn registry_covers_every_paper_figure() {
+        let reg = registry();
+        let has = |id: &str| reg.iter().any(|(n, _)| *n == id);
+        // One driver per paper figure group, plus the §2.2/§5 claims.
+        for id in [
+            "fig1", "fig4", "fig5", "fig8a", "fig8b", "fig8c", "fig8d", "fig8ef", "fig8g",
+            "fig8hi", "fig9-kyoto", "fig9-upscale", "fig9-lmdb", "fig10-leveldb",
+            "fig10-sqlite", "alt-topology", "sec2-numa", "sec5-delegation",
+        ] {
+            assert!(has(id), "missing driver for {id}");
+        }
+    }
+
+    #[test]
+    fn profiles_sane() {
+        let q = Profile::quick();
+        let f = Profile::full();
+        assert!(q.duration_ms < f.duration_ms);
+        assert!(q.warmup_ms < q.duration_ms);
+        let cfg = q.config(8);
+        assert_eq!(cfg.threads, 8);
+        assert_eq!(cfg.topology.len(), 8);
+    }
+
+    #[test]
+    fn tls_rng_reseeds_per_worker() {
+        seed_tls_rng(3);
+        let a = with_tls_rng(|r| rand::Rng::gen::<u64>(r));
+        seed_tls_rng(3);
+        let b = with_tls_rng(|r| rand::Rng::gen::<u64>(r));
+        assert_eq!(a, b, "same seed must reproduce");
+        seed_tls_rng(4);
+        let c = with_tls_rng(|r| rand::Rng::gen::<u64>(r));
+        assert_ne!(a, c, "different workers must diverge");
+    }
+}

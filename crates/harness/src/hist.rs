@@ -1,0 +1,315 @@
+//! Log-linear latency histogram.
+//!
+//! HDR-histogram-style layout: values are bucketed by octave
+//! (power of two) and 32 linear sub-buckets per octave, giving a
+//! worst-case relative error of ~3% — plenty for tail-latency *shape*
+//! comparisons. Covers 1 ns .. ~18 s in 2048 counters.
+
+const SUB_BITS: u32 = 5;
+const SUB_COUNT: usize = 1 << SUB_BITS; // 32
+const OCTAVES: usize = 64 - SUB_BITS as usize; // value fits u64
+const BUCKETS: usize = OCTAVES * SUB_COUNT;
+
+/// A mergeable latency histogram (nanosecond domain).
+#[derive(Clone)]
+pub struct Hist {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hist {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Hist {
+            counts: Box::new([0; BUCKETS]),
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn index_for(value: u64) -> usize {
+        let v = value.max(1);
+        let msb = 63 - v.leading_zeros(); // floor(log2(v))
+        if msb < SUB_BITS {
+            // Small values land in the first linear region, exactly.
+            return v as usize;
+        }
+        // Octave o >= 1 covers [2^(o+SUB_BITS-1), 2^(o+SUB_BITS)) in
+        // SUB_COUNT equal steps: the sub index is the SUB_BITS bits
+        // right below the most-significant bit.
+        let octave = (msb - SUB_BITS + 1) as usize;
+        let sub = ((v >> (msb - SUB_BITS)) & (SUB_COUNT as u64 - 1)) as usize;
+        let idx = octave * SUB_COUNT + sub;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Upper bound (ns) of the bucket at `idx` — the value reported
+    /// for percentiles falling in that bucket.
+    fn value_for(idx: usize) -> u64 {
+        if idx < SUB_COUNT {
+            return idx as u64;
+        }
+        let octave = (idx / SUB_COUNT) as u32;
+        let sub = (idx % SUB_COUNT) as u64;
+        let base = 1u64 << (octave + SUB_BITS - 1);
+        let step = (base >> SUB_BITS).max(1);
+        base + (sub + 1) * step - 1
+    }
+
+    /// Record one latency sample (ns).
+    #[inline]
+    pub fn record(&mut self, value_ns: u64) {
+        self.counts[Self::index_for(value_ns)] += 1;
+        self.total += 1;
+        self.sum += value_ns as u128;
+        self.min = self.min.min(value_ns);
+        self.max = self.max.max(value_ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Value at percentile `p` (0 < p <= 100), with ~3% bucket error.
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= rank {
+                return Self::value_for(idx).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// P99 shorthand (the paper's default tail percentile).
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Cumulative distribution: `(latency_ns, cumulative_fraction)`
+    /// per non-empty bucket — the paper's CDF plots (Figs. 9c/f/i,
+    /// 10c/f).
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        if self.total == 0 {
+            return out;
+        }
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            out.push((
+                Self::value_for(idx).min(self.max),
+                cum as f64 / self.total as f64,
+            ));
+        }
+        out
+    }
+
+    /// Fraction of samples at or below `value_ns`.
+    pub fn fraction_below(&self, value_ns: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let limit = Self::index_for(value_ns);
+        let below: u64 = self.counts[..=limit].iter().sum();
+        below as f64 / self.total as f64
+    }
+}
+
+impl std::fmt::Debug for Hist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hist")
+            .field("count", &self.total)
+            .field("min", &self.min())
+            .field("p50", &self.percentile(50.0))
+            .field("p99", &self.p99())
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let h = Hist::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.cdf().is_empty());
+    }
+
+    #[test]
+    fn single_value() {
+        let mut h = Hist::new();
+        h.record(1_000);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 1_000);
+        assert_eq!(h.max(), 1_000);
+        let p = h.percentile(50.0);
+        assert!((p as f64 - 1_000.0).abs() / 1_000.0 < 0.05, "p50={p}");
+    }
+
+    #[test]
+    fn percentile_accuracy_uniform() {
+        let mut h = Hist::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (p, expect) in [(50.0, 50_000.0), (90.0, 90_000.0), (99.0, 99_000.0)] {
+            let got = h.percentile(p) as f64;
+            let err = (got - expect).abs() / expect;
+            assert!(err < 0.05, "p{p}: got {got}, want ~{expect} (err {err:.3})");
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        let mut all = Hist::new();
+        for i in 0..1_000u64 {
+            let v = i * 37 + 5;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.p99(), all.p99());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn cdf_monotone_and_complete() {
+        let mut h = Hist::new();
+        for v in [10u64, 100, 1_000, 10_000, 100_000] {
+            for _ in 0..20 {
+                h.record(v);
+            }
+        }
+        let cdf = h.cdf();
+        assert!(!cdf.is_empty());
+        let mut last = 0.0;
+        let mut last_v = 0;
+        for (v, f) in &cdf {
+            assert!(*f >= last && *v >= last_v);
+            last = *f;
+            last_v = *v;
+        }
+        assert!((last - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_below() {
+        let mut h = Hist::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let f = h.fraction_below(500);
+        assert!((f - 0.5).abs() < 0.06, "fraction {f}");
+        assert!(h.fraction_below(0) < 0.01);
+        assert!(h.fraction_below(10_000) > 0.999);
+    }
+
+    #[test]
+    fn bucket_upper_bound_is_tight() {
+        // value_for(index_for(v)) must bound v from above within one
+        // sub-bucket step (~3.2% relative for v >= 32, exact below).
+        for v in (1u64..=4096)
+            .chain([49_999, 50_000, 99_000, (1 << 20) + 7, (1 << 40) + 12_345])
+        {
+            let ub = Hist::value_for(Hist::index_for(v));
+            assert!(ub >= v, "v={v} ub={ub}");
+            assert!(ub as f64 <= v as f64 * 1.04 + 1.0, "v={v} ub={ub}");
+        }
+    }
+
+    #[test]
+    fn zero_maps_to_smallest_bucket() {
+        let mut h = Hist::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = Hist::new();
+        h.record(u64::MAX);
+        h.record(1);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.percentile(100.0) > 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # asl-harness — measurement and paper-figure reproduction
+//!
+//! Everything needed to regenerate the paper's evaluation:
+//!
+//! * [`hist`] — log-linear latency histogram (HDR-style) with
+//!   percentiles, CDFs and merging.
+//! * [`runner`] — timed multi-threaded experiment runner over a
+//!   virtual AMP topology, with warmup/measure phases and per-core-
+//!   class result breakdown (the paper reports Big P99 / Little P99 /
+//!   Overall P99 separately).
+//! * [`locks`] — runtime lock selection: every baseline and every
+//!   LibASL configuration as an `Arc<dyn PlainLock>` plus epoch/SLO
+//!   annotation metadata.
+//! * [`scenario`] — the paper's micro-benchmark bodies (Bench-1..6,
+//!   Figures 1/4/5/8) parameterized by lock, cache-line count and
+//!   inter-acquisition work.
+//! * [`figures`] — one driver per paper figure, each returning
+//!   [`report::Table`] rows that mirror the published series.
+//! * [`report`] — markdown/CSV emitters.
+//!
+//! The `repro` binary ties it together:
+//! `repro fig8a`, `repro all --quick`, `repro list`.
+
+pub mod figures;
+pub mod hist;
+pub mod locks;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use hist::Hist;
+pub use runner::{run_timed, RunConfig, RunResult};

@@ -1,0 +1,273 @@
+//! Runtime lock selection for experiments.
+//!
+//! A [`LockSpec`] names one competitor from the paper's evaluation —
+//! a baseline (`pthread`, TAS, ticket, MCS, SHFL-PB10) or a LibASL
+//! configuration (`LibASL-X` = SLO X, `LibASL-MAX` = maximum window,
+//! `LibASL-OPT` = static window, blocking variants). [`LockSetup`]
+//! materializes the spec into lock instances plus the epoch/SLO
+//! annotation the workload should apply.
+
+use std::sync::Arc;
+
+use asl_core::{AslBlockingLock, AslSpinLock, ReorderableLock, SpinWait};
+use asl_locks::plain::{PlainLock, PlainToken};
+use asl_locks::shuffle::ClassLocalPolicy;
+use asl_locks::{
+    CnaLock, CohortLock, MalthusianLock, McsLock, McsStpLock, ProportionalLock, PthreadMutex,
+    ShuffleLock, TasLock, TicketLock,
+};
+use asl_runtime::registry::is_big_core;
+use asl_runtime::AtomicAffinity;
+
+/// Which lock to run an experiment under.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LockSpec {
+    /// glibc-style blocking mutex.
+    Pthread,
+    /// Test-and-set spinlock with an affinity model.
+    Tas(AtomicAffinity),
+    /// FIFO ticket lock.
+    Ticket,
+    /// FIFO MCS lock.
+    Mcs,
+    /// Spin-then-park MCS (blocking FIFO).
+    McsStp,
+    /// Proportional two-queue lock, `N` big grants per little grant.
+    ShflPb(u32),
+    /// Compact NUMA-aware lock on core classes (§2.2 comparator).
+    Cna,
+    /// Cohort lock (C-BO-MCS) on core classes (§2.2 comparator).
+    Cohort,
+    /// Malthusian MCS (culling + reintroduction, §2.2 comparator).
+    Malthusian,
+    /// ShflLock framework with the NUMA-local-analog class policy.
+    ShuffleClassLocal {
+        /// Consecutive out-of-order grants before forcing FIFO.
+        max_skips: u32,
+    },
+    /// LibASL with an SLO-annotated epoch (`None` = no epoch =
+    /// LibASL-MAX, maximum reordering).
+    Asl {
+        /// Epoch SLO in ns; `None` disables epochs (max window).
+        slo_ns: Option<u64>,
+    },
+    /// LibASL-OPT: static reorder window, no feedback.
+    AslOpt {
+        /// The fixed window (ns).
+        window_ns: u64,
+    },
+    /// Blocking LibASL (pthread mutex + nanosleep standby).
+    AslBlocking {
+        /// Epoch SLO in ns; `None` = max window.
+        slo_ns: Option<u64>,
+    },
+}
+
+impl LockSpec {
+    /// Paper-style label ("MCS Lock", "LibASL-50", ...).
+    pub fn label(&self) -> String {
+        match self {
+            LockSpec::Pthread => "pthread".into(),
+            LockSpec::Tas(_) => "tas".into(),
+            LockSpec::Ticket => "ticket".into(),
+            LockSpec::Mcs => "mcs".into(),
+            LockSpec::McsStp => "mcs-stp".into(),
+            LockSpec::ShflPb(n) => format!("shfl-pb{n}"),
+            LockSpec::Cna => "cna".into(),
+            LockSpec::Cohort => "cohort".into(),
+            LockSpec::Malthusian => "malthusian".into(),
+            LockSpec::ShuffleClassLocal { max_skips } => format!("shfl-local{max_skips}"),
+            LockSpec::Asl { slo_ns: None } => "libasl-max".into(),
+            LockSpec::Asl { slo_ns: Some(s) } => format!("libasl-{}", fmt_slo(*s)),
+            LockSpec::AslOpt { window_ns } => format!("libasl-opt({})", fmt_slo(*window_ns)),
+            LockSpec::AslBlocking { slo_ns: None } => "libasl-blk-max".into(),
+            LockSpec::AslBlocking { slo_ns: Some(s) } => format!("libasl-blk-{}", fmt_slo(*s)),
+        }
+    }
+
+    /// Whether the workload should wrap requests in an epoch, and the
+    /// SLO to use.
+    pub fn epoch_slo(&self) -> Option<u64> {
+        match self {
+            LockSpec::Asl { slo_ns } | LockSpec::AslBlocking { slo_ns } => *slo_ns,
+            _ => None,
+        }
+    }
+
+    /// Build `n` independent lock instances for this spec.
+    pub fn make_locks(&self, n: usize) -> Vec<Arc<dyn PlainLock>> {
+        (0..n).map(|_| self.make_lock()).collect()
+    }
+
+    /// Build one lock instance.
+    pub fn make_lock(&self) -> Arc<dyn PlainLock> {
+        match self {
+            LockSpec::Pthread => Arc::new(PthreadMutex::new()),
+            LockSpec::Tas(aff) => Arc::new(TasLock::with_affinity(*aff)),
+            LockSpec::Ticket => Arc::new(TicketLock::new()),
+            LockSpec::Mcs => Arc::new(McsLock::new()),
+            LockSpec::McsStp => Arc::new(McsStpLock::new()),
+            LockSpec::ShflPb(n) => Arc::new(ProportionalLock::new(*n)),
+            LockSpec::Cna => Arc::new(CnaLock::new()),
+            LockSpec::Cohort => Arc::new(CohortLock::new()),
+            LockSpec::Malthusian => Arc::new(MalthusianLock::new()),
+            LockSpec::ShuffleClassLocal { max_skips } => {
+                Arc::new(ShuffleLock::new(ClassLocalPolicy::new(*max_skips)))
+            }
+            LockSpec::Asl { .. } => Arc::new(AslSpinLock::default()),
+            LockSpec::AslOpt { window_ns } => Arc::new(StaticWindowLock::new(*window_ns)),
+            LockSpec::AslBlocking { .. } => Arc::new(AslBlockingLock::new_blocking()),
+        }
+    }
+}
+
+fn fmt_slo(ns: u64) -> String {
+    if ns >= 1_000_000 && ns % 1_000_000 == 0 {
+        format!("{}ms", ns / 1_000_000)
+    } else if ns >= 1_000 {
+        format!("{}us", ns / 1_000)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// LibASL-OPT: the paper's "optimal policy" comparator that "directly
+/// chooses a static window (no window adjustment)". Big cores lock
+/// immediately, little cores always stand by for the fixed window.
+pub struct StaticWindowLock {
+    inner: ReorderableLock<McsLock, SpinWait>,
+    window_ns: u64,
+}
+
+impl StaticWindowLock {
+    /// Create with the given fixed reorder window.
+    pub fn new(window_ns: u64) -> Self {
+        StaticWindowLock { inner: ReorderableLock::new(McsLock::new()), window_ns }
+    }
+
+    /// The fixed window (ns).
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+}
+
+impl PlainLock for StaticWindowLock {
+    fn acquire(&self) -> PlainToken {
+        let tok = if is_big_core() {
+            self.inner.lock_immediately()
+        } else {
+            self.inner.lock_reorder(self.window_ns)
+        };
+        PlainToken(tok.into_raw(), 0)
+    }
+    fn try_acquire(&self) -> Option<PlainToken> {
+        self.inner.try_lock().map(|t| PlainToken(t.into_raw(), 0))
+    }
+    fn release(&self, token: PlainToken) {
+        // SAFETY: token came from acquire/try_acquire on this lock.
+        self.inner.unlock(unsafe { asl_locks::mcs::McsToken::from_raw(token.0) });
+    }
+    fn held(&self) -> bool {
+        self.inner.is_locked()
+    }
+    fn lock_name(&self) -> &'static str {
+        "libasl-opt"
+    }
+}
+
+/// The paper's standard competitor set for bar-chart figures
+/// (Fig. 8a, 9a/d/g, 10a/d): baselines plus LibASL at the given SLOs
+/// and LibASL-MAX. `affinity` configures the TAS lock's bias for the
+/// scenario being reproduced.
+pub fn standard_lineup(affinity: AtomicAffinity, slos_ns: &[u64]) -> Vec<LockSpec> {
+    let mut v = vec![
+        LockSpec::Pthread,
+        LockSpec::Tas(affinity),
+        LockSpec::Ticket,
+        LockSpec::ShflPb(10),
+        LockSpec::Mcs,
+        LockSpec::Asl { slo_ns: Some(0) },
+    ];
+    for &slo in slos_ns {
+        v.push(LockSpec::Asl { slo_ns: Some(slo) });
+    }
+    v.push(LockSpec::Asl { slo_ns: None });
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(LockSpec::Mcs.label(), "mcs");
+        assert_eq!(LockSpec::ShflPb(10).label(), "shfl-pb10");
+        assert_eq!(LockSpec::Asl { slo_ns: Some(50_000) }.label(), "libasl-50us");
+        assert_eq!(LockSpec::Asl { slo_ns: Some(4_000_000) }.label(), "libasl-4ms");
+        assert_eq!(LockSpec::Asl { slo_ns: None }.label(), "libasl-max");
+        assert_eq!(LockSpec::AslOpt { window_ns: 1_000 }.label(), "libasl-opt(1us)");
+    }
+
+    #[test]
+    fn epoch_slo_only_for_asl() {
+        assert_eq!(LockSpec::Mcs.epoch_slo(), None);
+        assert_eq!(LockSpec::Asl { slo_ns: Some(5) }.epoch_slo(), Some(5));
+        assert_eq!(LockSpec::AslBlocking { slo_ns: Some(7) }.epoch_slo(), Some(7));
+    }
+
+    #[test]
+    fn all_specs_make_working_locks() {
+        let specs = [
+            LockSpec::Pthread,
+            LockSpec::Tas(AtomicAffinity::Neutral),
+            LockSpec::Ticket,
+            LockSpec::Mcs,
+            LockSpec::McsStp,
+            LockSpec::ShflPb(10),
+            LockSpec::Cna,
+            LockSpec::Cohort,
+            LockSpec::Malthusian,
+            LockSpec::ShuffleClassLocal { max_skips: 16 },
+            LockSpec::Asl { slo_ns: Some(1_000) },
+            LockSpec::AslOpt { window_ns: 500 },
+            LockSpec::AslBlocking { slo_ns: None },
+        ];
+        for spec in &specs {
+            let lock = spec.make_lock();
+            let t = lock.acquire();
+            assert!(lock.held(), "{}", spec.label());
+            lock.release(t);
+            assert!(!lock.held(), "{}", spec.label());
+        }
+    }
+
+    #[test]
+    fn make_locks_distinct_instances() {
+        let locks = LockSpec::Mcs.make_locks(2);
+        let t = locks[0].acquire();
+        assert!(!locks[1].held(), "instances must be independent");
+        locks[0].release(t);
+    }
+
+    #[test]
+    fn lineup_contains_expected_competitors() {
+        let l = standard_lineup(AtomicAffinity::Neutral, &[25_000, 50_000]);
+        let labels: Vec<_> = l.iter().map(|s| s.label()).collect();
+        assert!(labels.contains(&"pthread".to_string()));
+        assert!(labels.contains(&"mcs".to_string()));
+        assert!(labels.contains(&"shfl-pb10".to_string()));
+        assert!(labels.contains(&"libasl-25us".to_string()));
+        assert!(labels.contains(&"libasl-max".to_string()));
+    }
+
+    #[test]
+    fn static_window_lock_behaves() {
+        let l = StaticWindowLock::new(1_000);
+        assert_eq!(l.window_ns(), 1_000);
+        let t = l.acquire();
+        assert!(l.held());
+        l.release(t);
+        assert!(!l.held());
+    }
+}

@@ -1,0 +1,139 @@
+//! Result tables: the harness's common output format.
+//!
+//! Every figure driver produces a [`Table`]; the `repro` binary
+//! renders it as aligned text for the terminal and CSV for plotting.
+
+/// One reproduced figure (or sub-figure).
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Identifier, e.g. "fig8a".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (workload parameters, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the column count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as an aligned text table.
+    pub fn render_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = format!("== {} — {}\n", self.id, self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join("  ").len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-ish; cells are simple numerics/labels).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format ops/sec compactly (e.g. "2.41M", "853k").
+pub fn fmt_ops(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.0}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Format nanoseconds as microseconds with one decimal.
+pub fn fmt_us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new("figX", "demo", &["lock", "thpt"]);
+        t.push_row(vec!["mcs".into(), "1.2M".into()]);
+        t.note("quick mode");
+        let text = t.render_text();
+        assert!(text.contains("figX"));
+        assert!(text.contains("mcs"));
+        assert!(text.contains("note: quick mode"));
+        let csv = t.render_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("lock,thpt"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_checked() {
+        let mut t = Table::new("x", "y", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ops(2_410_000.0), "2.41M");
+        assert_eq!(fmt_ops(853_000.0), "853k");
+        assert_eq!(fmt_ops(12.0), "12");
+        assert_eq!(fmt_us(1_500), "1.5");
+    }
+}

@@ -1,0 +1,314 @@
+//! Timed multi-threaded experiment runner.
+//!
+//! Reproduces the paper's measurement protocol: `n` threads bound
+//! big-cores-first on a virtual topology, a warmup phase, then a
+//! fixed measurement window; throughput is completed operations per
+//! second and latency is collected per core class so reports can show
+//! Big P99 / Little P99 / Overall P99 side by side.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use asl_runtime::clock::now_ns;
+use asl_runtime::spawn::{run_on_topology_with_stop, ThreadCtx};
+use asl_runtime::topology::Topology;
+use asl_runtime::CoreKind;
+
+use crate::hist::Hist;
+
+/// Phases of a timed run.
+const PHASE_WARMUP: u8 = 0;
+const PHASE_MEASURE: u8 = 1;
+const PHASE_DONE: u8 = 2;
+
+/// Configuration for a timed run.
+#[derive(Clone)]
+pub struct RunConfig {
+    /// The virtual AMP to run on.
+    pub topology: Topology,
+    /// Worker count (may exceed core count for over-subscription).
+    pub threads: usize,
+    /// Measurement window.
+    pub duration: Duration,
+    /// Warmup (not recorded) before measuring.
+    pub warmup: Duration,
+    /// Pin workers to physical CPUs.
+    pub pin: bool,
+}
+
+impl RunConfig {
+    /// Conventional config: all 8 cores of an M1-like topology.
+    pub fn m1_default() -> Self {
+        RunConfig {
+            topology: Topology::apple_m1(),
+            threads: 8,
+            duration: Duration::from_millis(400),
+            warmup: Duration::from_millis(100),
+            pin: true,
+        }
+    }
+
+    /// Scale measurement and warmup durations by `f` (quick modes).
+    pub fn scaled(mut self, f: f64) -> Self {
+        self.duration = Duration::from_secs_f64(self.duration.as_secs_f64() * f);
+        self.warmup = Duration::from_secs_f64((self.warmup.as_secs_f64() * f).max(0.02));
+        self
+    }
+}
+
+/// Per-class and overall outcome of a timed run.
+pub struct RunResult {
+    /// Measurement window actually used.
+    pub elapsed: Duration,
+    /// Operations completed inside the measurement window.
+    pub total_ops: u64,
+    /// Operations per second.
+    pub throughput: f64,
+    /// Latency across all workers.
+    pub overall: Hist,
+    /// Latency of workers on big cores.
+    pub big: Hist,
+    /// Latency of workers on little cores.
+    pub little: Hist,
+    /// Ops completed by big-core workers.
+    pub big_ops: u64,
+    /// Ops completed by little-core workers.
+    pub little_ops: u64,
+}
+
+impl RunResult {
+    /// Overall P99 in microseconds (convenience for reports).
+    pub fn p99_us(&self) -> f64 {
+        self.overall.p99() as f64 / 1_000.0
+    }
+}
+
+/// Worker-side view of a run: drives one operation at a time.
+pub struct OpCtx<'a> {
+    /// Spawn context (index, assignment, stop flag).
+    pub thread: &'a ThreadCtx,
+    phase: &'a AtomicU8,
+}
+
+impl OpCtx<'_> {
+    /// True while the measurement (or warmup) should continue.
+    #[inline]
+    pub fn running(&self) -> bool {
+        self.phase.load(Ordering::Relaxed) != PHASE_DONE
+    }
+
+    /// True when samples should be recorded.
+    #[inline]
+    pub fn recording(&self) -> bool {
+        self.phase.load(Ordering::Relaxed) == PHASE_MEASURE
+    }
+}
+
+/// Run `op` repeatedly on every worker for the configured window.
+///
+/// `op` performs one operation (one epoch / one request) and returns
+/// the latency to record in nanoseconds.
+pub fn run_timed<F>(cfg: &RunConfig, op: F) -> RunResult
+where
+    F: Fn(&OpCtx) -> u64 + Sync,
+{
+    run_timed_with_setup(cfg, |_| {}, op)
+}
+
+/// [`run_timed`] with a per-worker setup hook executed after core
+/// registration and before the first operation (used to reset
+/// per-thread epoch state).
+pub fn run_timed_with_setup<S, F>(cfg: &RunConfig, setup: S, op: F) -> RunResult
+where
+    S: Fn(&ThreadCtx) + Sync,
+    F: Fn(&OpCtx) -> u64 + Sync,
+{
+    let phase = Arc::new(AtomicU8::new(PHASE_WARMUP));
+    let stop = Arc::new(AtomicBool::new(false));
+    let measured_ns = Arc::new(AtomicU64::new(0));
+
+    // Controller flips phases on schedule.
+    let controller = {
+        let phase = phase.clone();
+        let stop = stop.clone();
+        let measured_ns = measured_ns.clone();
+        let warmup = cfg.warmup;
+        let duration = cfg.duration;
+        std::thread::spawn(move || {
+            std::thread::sleep(warmup);
+            let t0 = now_ns();
+            phase.store(PHASE_MEASURE, Ordering::SeqCst);
+            std::thread::sleep(duration);
+            phase.store(PHASE_DONE, Ordering::SeqCst);
+            measured_ns.store(now_ns() - t0, Ordering::SeqCst);
+            stop.store(true, Ordering::SeqCst);
+        })
+    };
+
+    struct WorkerOut {
+        kind: CoreKind,
+        ops: u64,
+        hist: Hist,
+    }
+
+    let phase_ref = &phase;
+    let outs: Vec<WorkerOut> =
+        run_on_topology_with_stop(&cfg.topology, cfg.threads, cfg.pin, stop.clone(), |ctx| {
+            setup(ctx);
+            let octx = OpCtx { thread: ctx, phase: phase_ref };
+            let mut hist = Hist::new();
+            let mut ops = 0u64;
+            while octx.running() {
+                let was_recording = octx.recording();
+                let latency = op(&octx);
+                // Count an op only if it *started* during measurement;
+                // ops spanning the end are counted (paper counts
+                // executed critical sections in the window).
+                if was_recording {
+                    ops += 1;
+                    hist.record(latency);
+                }
+            }
+            WorkerOut { kind: ctx.assignment.kind, ops, hist }
+        });
+
+    controller.join().expect("controller panicked");
+
+    let elapsed = Duration::from_nanos(measured_ns.load(Ordering::SeqCst).max(1));
+    let mut overall = Hist::new();
+    let mut big = Hist::new();
+    let mut little = Hist::new();
+    let (mut big_ops, mut little_ops) = (0u64, 0u64);
+    for o in &outs {
+        overall.merge(&o.hist);
+        match o.kind {
+            CoreKind::Big => {
+                big.merge(&o.hist);
+                big_ops += o.ops;
+            }
+            CoreKind::Little => {
+                little.merge(&o.hist);
+                little_ops += o.ops;
+            }
+        }
+    }
+    let total_ops = big_ops + little_ops;
+    RunResult {
+        elapsed,
+        total_ops,
+        throughput: total_ops as f64 / elapsed.as_secs_f64(),
+        overall,
+        big,
+        little,
+        big_ops,
+        little_ops,
+    }
+}
+
+/// Run until `target_ops` operations complete across all workers;
+/// returns the elapsed wall time (for Criterion `iter_custom`).
+pub fn run_until_ops<F>(topology: &Topology, threads: usize, target_ops: u64, op: F) -> Duration
+where
+    F: Fn(&ThreadCtx) -> u64 + Sync,
+{
+    let done = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let t0 = std::time::Instant::now();
+    {
+        let done = done.clone();
+        let stop2 = stop.clone();
+        run_on_topology_with_stop(topology, threads, false, stop.clone(), move |ctx| {
+            while !ctx.stopped() {
+                let _ = op(ctx);
+                if done.fetch_add(1, Ordering::Relaxed) + 1 >= target_ops {
+                    stop2.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+        });
+    }
+    t0.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asl_runtime::work::execute_units;
+
+    fn quick_cfg(threads: usize) -> RunConfig {
+        RunConfig {
+            topology: Topology::apple_m1(),
+            threads,
+            duration: Duration::from_millis(80),
+            warmup: Duration::from_millis(20),
+            pin: false,
+        }
+    }
+
+    #[test]
+    fn measures_throughput_and_latency() {
+        let cfg = quick_cfg(4);
+        let r = run_timed(&cfg, |_| {
+            let t0 = now_ns();
+            execute_units(200);
+            now_ns() - t0
+        });
+        assert!(r.total_ops > 0);
+        assert!(r.throughput > 0.0);
+        assert!(!r.overall.is_empty());
+        assert_eq!(r.total_ops, r.big_ops + r.little_ops);
+        assert_eq!(r.overall.count(), r.total_ops);
+    }
+
+    #[test]
+    fn class_split_matches_topology() {
+        let cfg = quick_cfg(8); // 4 big + 4 little
+        let r = run_timed(&cfg, |_| {
+            let t0 = now_ns();
+            execute_units(500);
+            now_ns() - t0
+        });
+        assert!(r.big_ops > 0);
+        assert!(r.little_ops > 0);
+        // Little cores run 3x slower on pure emulated work.
+        let big_rate = r.big_ops as f64 / 4.0;
+        let little_rate = r.little_ops as f64 / 4.0;
+        assert!(
+            big_rate > little_rate * 1.5,
+            "big {big_rate} vs little {little_rate}"
+        );
+    }
+
+    #[test]
+    fn little_latency_exceeds_big() {
+        let cfg = quick_cfg(8);
+        let r = run_timed(&cfg, |_| {
+            let t0 = now_ns();
+            execute_units(1_000);
+            now_ns() - t0
+        });
+        assert!(
+            r.little.percentile(50.0) > r.big.percentile(50.0),
+            "little p50 {} <= big p50 {}",
+            r.little.percentile(50.0),
+            r.big.percentile(50.0)
+        );
+    }
+
+    #[test]
+    fn run_until_ops_completes() {
+        let topo = Topology::symmetric(4);
+        let d = run_until_ops(&topo, 4, 10_000, |_| {
+            execute_units(10);
+            0
+        });
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn scaled_config() {
+        let cfg = RunConfig::m1_default().scaled(0.5);
+        assert_eq!(cfg.duration, Duration::from_millis(200));
+    }
+}

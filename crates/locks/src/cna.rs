@@ -1,0 +1,448 @@
+//! CNA — Compact NUMA-Aware lock (Dice & Kogan, EuroSys 2019 [36]),
+//! adapted to AMP core classes.
+//!
+//! The paper's §2.2 argues that NUMA-aware locks collapse on AMP:
+//! "when splitting the asymmetric cores in AMP onto two different
+//! nodes, the long-term fairness will give the little core nodes an
+//! equal chance to lock as the big core nodes". This module provides
+//! that comparator: CNA with the big and little core classes playing
+//! the role of the two NUMA nodes.
+//!
+//! CNA is an MCS variant. The releaser scans the main queue for a
+//! waiter of its own class; waiters of the other class are detached
+//! into a *secondary queue* so that consecutive handovers stay within
+//! one class (on NUMA: one socket, saving cross-socket traffic). Every
+//! `flush_threshold` handovers the secondary queue is spliced back in
+//! front, which is exactly the periodic long-term fairness whose
+//! equal-chance batching hurts AMP throughput.
+//!
+//! ## Deviations from the original
+//!
+//! * The secondary queue head/tail live in the lock (holder-managed)
+//!   rather than being threaded through spare node fields; behaviour
+//!   is identical, the footprint is two words per lock.
+//! * Fairness is a deterministic handover counter instead of the
+//!   original's probabilistic flush (the original suggests 1/256
+//!   probability; we flush every `flush_threshold` handovers). This
+//!   keeps experiments reproducible.
+
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::ptr::{self, NonNull};
+use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+
+use asl_runtime::registry::current_core;
+use asl_runtime::CoreKind;
+
+use crate::RawLock;
+
+const WAITING: u32 = 1;
+const GRANTED: u32 = 0;
+
+/// Default handovers between secondary-queue flushes (long-term
+/// fairness period). The original CNA flushes with probability 1/256.
+pub const DEFAULT_FLUSH_THRESHOLD: u32 = 256;
+
+/// One CNA queue node: an MCS node plus the enqueuer's core class.
+#[repr(align(64))]
+pub struct CnaNode {
+    state: AtomicU32,
+    next: AtomicPtr<CnaNode>,
+    /// Written by the enqueuing thread before it publishes the node
+    /// via the tail swap; read by holders walking the queue after an
+    /// acquire load of the linking pointer.
+    kind: Cell<CoreKind>,
+}
+
+impl CnaNode {
+    fn new() -> Self {
+        CnaNode {
+            state: AtomicU32::new(GRANTED),
+            next: AtomicPtr::new(ptr::null_mut()),
+            kind: Cell::new(CoreKind::Big),
+        }
+    }
+}
+
+// SAFETY: `kind` is written pre-publication only (see field doc).
+unsafe impl Send for CnaNode {}
+unsafe impl Sync for CnaNode {}
+
+thread_local! {
+    static FREELIST: RefCell<Vec<NonNull<CnaNode>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn take_node() -> NonNull<CnaNode> {
+    FREELIST.with(|f| f.borrow_mut().pop()).unwrap_or_else(|| {
+        NonNull::from(Box::leak(Box::new(CnaNode::new())))
+    })
+}
+
+fn put_node(node: NonNull<CnaNode>) {
+    FREELIST.with(|f| f.borrow_mut().push(node));
+}
+
+/// Token proving acquisition of a [`CnaLock`]; owns the queue node.
+pub struct CnaToken(NonNull<CnaNode>);
+
+impl CnaToken {
+    /// Encode as a raw word (for the object-safe lock facade).
+    pub fn into_raw(self) -> usize {
+        self.0.as_ptr() as usize
+    }
+
+    /// Rebuild from a word produced by [`CnaToken::into_raw`].
+    ///
+    /// # Safety
+    /// `raw` must come from `into_raw` on an unreleased token of the
+    /// same lock.
+    pub unsafe fn from_raw(raw: usize) -> Self {
+        CnaToken(NonNull::new_unchecked(raw as *mut CnaNode))
+    }
+}
+
+/// Holder-managed state: only the current lock holder reads or writes
+/// these fields, so plain loads/stores are race-free (the grant
+/// release/acquire edge orders holder transitions).
+struct HolderState {
+    sec_head: *mut CnaNode,
+    sec_tail: *mut CnaNode,
+    handovers: u32,
+}
+
+/// Compact class-aware queue lock (CNA adapted to AMP).
+pub struct CnaLock {
+    tail: AtomicPtr<CnaNode>,
+    holder: UnsafeCell<HolderState>,
+    flush_threshold: u32,
+}
+
+// SAFETY: `holder` is only touched by the unique lock holder.
+unsafe impl Send for CnaLock {}
+unsafe impl Sync for CnaLock {}
+
+impl CnaLock {
+    /// New unlocked CNA lock with the default fairness period.
+    pub fn new() -> Self {
+        Self::with_threshold(DEFAULT_FLUSH_THRESHOLD)
+    }
+
+    /// New lock flushing the secondary queue every `flush_threshold`
+    /// handovers (must be ≥ 1).
+    ///
+    /// # Panics
+    /// Panics if `flush_threshold == 0`.
+    pub fn with_threshold(flush_threshold: u32) -> Self {
+        assert!(flush_threshold >= 1, "flush threshold must be >= 1");
+        CnaLock {
+            tail: AtomicPtr::new(ptr::null_mut()),
+            holder: UnsafeCell::new(HolderState {
+                sec_head: ptr::null_mut(),
+                sec_tail: ptr::null_mut(),
+                handovers: 0,
+            }),
+            flush_threshold,
+        }
+    }
+
+    /// The configured fairness period.
+    pub fn flush_threshold(&self) -> u32 {
+        self.flush_threshold
+    }
+
+    /// Wait for `node`'s successor link to appear (an enqueuer has
+    /// swapped the tail but not yet stored the link).
+    fn wait_for_link(node: NonNull<CnaNode>) -> *mut CnaNode {
+        loop {
+            let next = unsafe { node.as_ref() }.next.load(Ordering::Acquire);
+            if !next.is_null() {
+                return next;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Append `n` to the secondary queue (holder context).
+    ///
+    /// # Safety
+    /// Caller must be the lock holder and `n` a detached queue node.
+    unsafe fn sec_push(&self, n: *mut CnaNode) {
+        let h = &mut *self.holder.get();
+        (*n).next.store(ptr::null_mut(), Ordering::Relaxed);
+        if h.sec_head.is_null() {
+            h.sec_head = n;
+        } else {
+            (*h.sec_tail).next.store(n, Ordering::Relaxed);
+        }
+        h.sec_tail = n;
+    }
+
+    #[inline]
+    fn grant(n: *mut CnaNode) {
+        unsafe { (*n).state.store(GRANTED, Ordering::Release) };
+    }
+}
+
+impl Default for CnaLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RawLock for CnaLock {
+    type Token = CnaToken;
+
+    #[inline]
+    fn lock(&self) -> CnaToken {
+        let node = take_node();
+        unsafe {
+            node.as_ref().state.store(WAITING, Ordering::Relaxed);
+            node.as_ref().next.store(ptr::null_mut(), Ordering::Relaxed);
+            node.as_ref().kind.set(current_core().kind);
+        }
+        let pred = self.tail.swap(node.as_ptr(), Ordering::AcqRel);
+        if !pred.is_null() {
+            // SAFETY: `pred` is not recycled until we store the link.
+            unsafe {
+                (*pred).next.store(node.as_ptr(), Ordering::Release);
+                while node.as_ref().state.load(Ordering::Acquire) == WAITING {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        CnaToken(node)
+    }
+
+    #[inline]
+    fn try_lock(&self) -> Option<CnaToken> {
+        if !self.tail.load(Ordering::Relaxed).is_null() {
+            return None;
+        }
+        let node = take_node();
+        unsafe {
+            node.as_ref().state.store(WAITING, Ordering::Relaxed);
+            node.as_ref().next.store(ptr::null_mut(), Ordering::Relaxed);
+            node.as_ref().kind.set(current_core().kind);
+        }
+        match self.tail.compare_exchange(
+            ptr::null_mut(),
+            node.as_ptr(),
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => Some(CnaToken(node)),
+            Err(_) => {
+                put_node(node);
+                None
+            }
+        }
+    }
+
+    fn unlock(&self, token: CnaToken) {
+        let node = token.0;
+        // SAFETY (throughout): we are the holder, so `self.holder` is
+        // ours; queue nodes we dereference are pinned by their waiting
+        // owners until granted.
+        unsafe {
+            let h = &mut *self.holder.get();
+            h.handovers += 1;
+            let flush_due = h.handovers >= self.flush_threshold;
+
+            let mut succ = node.as_ref().next.load(Ordering::Acquire);
+            if succ.is_null() {
+                if h.sec_head.is_null() {
+                    // Nothing anywhere: close the queue and release.
+                    if self
+                        .tail
+                        .compare_exchange(
+                            node.as_ptr(),
+                            ptr::null_mut(),
+                            Ordering::Release,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                    {
+                        put_node(node);
+                        return;
+                    }
+                    succ = Self::wait_for_link(node);
+                } else {
+                    // Main queue looks empty but the secondary has
+                    // waiters: try to make the secondary the queue.
+                    let (sh, st) = (h.sec_head, h.sec_tail);
+                    if self
+                        .tail
+                        .compare_exchange(node.as_ptr(), st, Ordering::Release, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        h.sec_head = ptr::null_mut();
+                        h.sec_tail = ptr::null_mut();
+                        h.handovers = 0;
+                        Self::grant(sh);
+                        put_node(node);
+                        return;
+                    }
+                    // A newcomer beat the CAS; wait for the link and
+                    // fall through to the normal path.
+                    succ = Self::wait_for_link(node);
+                }
+            }
+
+            if flush_due && !h.sec_head.is_null() {
+                // Long-term fairness: splice the secondary queue in
+                // front of the main queue and grant its head.
+                let (sh, st) = (h.sec_head, h.sec_tail);
+                (*st).next.store(succ, Ordering::Relaxed);
+                h.sec_head = ptr::null_mut();
+                h.sec_tail = ptr::null_mut();
+                h.handovers = 0;
+                Self::grant(sh);
+                put_node(node);
+                return;
+            }
+
+            // Prefer a successor of the releaser's class; detach
+            // other-class waiters into the secondary queue. The last
+            // known node cannot be detached (its link state is
+            // unknowable), so it is granted regardless of class —
+            // the same concession the original CNA makes.
+            let my_kind = node.as_ref().kind.get();
+            let mut cur = succ;
+            loop {
+                if (*cur).kind.get() == my_kind {
+                    Self::grant(cur);
+                    break;
+                }
+                let nxt = (*cur).next.load(Ordering::Acquire);
+                if nxt.is_null() {
+                    Self::grant(cur);
+                    break;
+                }
+                self.sec_push(cur);
+                cur = nxt;
+            }
+            put_node(node);
+        }
+    }
+
+    #[inline]
+    fn is_locked(&self) -> bool {
+        !self.tail.load(Ordering::Relaxed).is_null()
+    }
+
+    const NAME: &'static str = "cna";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asl_runtime::registry::{register_on_core, unregister};
+    use asl_runtime::topology::{CoreId, Topology};
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic() {
+        let l = CnaLock::new();
+        assert!(!l.is_locked());
+        let t = l.lock();
+        assert!(l.is_locked());
+        l.unlock(t);
+        assert!(!l.is_locked());
+    }
+
+    #[test]
+    fn try_lock_contended() {
+        let l = CnaLock::new();
+        let t = l.lock();
+        assert!(l.try_lock().is_none());
+        l.unlock(t);
+        let t2 = l.try_lock().expect("free after unlock");
+        l.unlock(t2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threshold_rejected() {
+        let _ = CnaLock::with_threshold(0);
+    }
+
+    #[test]
+    fn threshold_accessor() {
+        assert_eq!(CnaLock::with_threshold(7).flush_threshold(), 7);
+        assert_eq!(CnaLock::new().flush_threshold(), DEFAULT_FLUSH_THRESHOLD);
+    }
+
+    #[test]
+    fn mutual_exclusion_same_class() {
+        let l = Arc::new(CnaLock::new());
+        let v = Arc::new(AtomicU64::new(0));
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let l = l.clone();
+            let v = v.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..20_000 {
+                    let t = l.lock();
+                    // Non-atomic-looking RMW through relaxed pair: the
+                    // lock must make this effectively atomic.
+                    let x = v.load(Ordering::Relaxed);
+                    v.store(x + 1, Ordering::Relaxed);
+                    l.unlock(t);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(v.load(Ordering::Relaxed), 160_000);
+    }
+
+    #[test]
+    fn mixed_classes_no_starvation() {
+        // 2 big + 2 little threads on an M1-like topology; the flush
+        // threshold must let both classes make progress.
+        let topo = Topology::apple_m1();
+        let l = Arc::new(CnaLock::with_threshold(64));
+        let big_ops = Arc::new(AtomicU64::new(0));
+        let little_ops = Arc::new(AtomicU64::new(0));
+        let mut handles = vec![];
+        for i in 0..4 {
+            let topo = topo.clone();
+            let l = l.clone();
+            let big_ops = big_ops.clone();
+            let little_ops = little_ops.clone();
+            handles.push(std::thread::spawn(move || {
+                let core = if i < 2 { CoreId(i) } else { CoreId(2 + i) };
+                let a = register_on_core(&topo, core);
+                let ctr = if a.kind == CoreKind::Big { big_ops } else { little_ops };
+                for _ in 0..30_000 {
+                    let t = l.lock();
+                    l.unlock(t);
+                }
+                ctr.fetch_add(30_000, Ordering::Relaxed);
+                unregister();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(big_ops.load(Ordering::Relaxed), 60_000);
+        assert_eq!(little_ops.load(Ordering::Relaxed), 60_000);
+    }
+
+    #[test]
+    fn batches_same_class_between_flushes() {
+        // Single-threaded structural check of the holder state: with
+        // an enormous threshold the secondary queue never flushes
+        // mid-test, so repeated lock/unlock from one thread (one
+        // class) must never touch the secondary queue.
+        let l = CnaLock::with_threshold(u32::MAX);
+        for _ in 0..1_000 {
+            let t = l.lock();
+            l.unlock(t);
+        }
+        let h = unsafe { &*l.holder.get() };
+        assert!(h.sec_head.is_null());
+        assert!(h.sec_tail.is_null());
+    }
+}

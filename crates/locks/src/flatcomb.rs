@@ -1,0 +1,389 @@
+//! Flat combining (Hendler et al., SPAA 2010 [47]) — the delegation
+//! comparator from the paper's related work (§5).
+//!
+//! Delegation locks execute *all* critical sections on one core
+//! instead of migrating the lock. The paper notes that "placing the
+//! lock server on big cores can hide the weak computing capacity of
+//! little cores", at two costs LibASL avoids: critical sections must
+//! be converted into closures (invasive), and at low contention a
+//! precious big core busy-polls.
+//!
+//! Two variants are provided:
+//!
+//! * [`FlatCombiner`] — classic flat combining: whichever thread
+//!   grabs the combiner lock executes every published pending
+//!   operation. No dedicated core, but the combiner is whichever
+//!   class happens to win — on AMP a little-core combiner executes
+//!   *everyone's* critical section slowly.
+//! * [`DedicatedServer`] — a server thread (bound by the caller to a
+//!   big core) spin-polls the publication slots, the strongest
+//!   delegation configuration on AMP (`repro sec5-delegation`).
+//!
+//! Operations are a caller-chosen `Op` type applied by a caller-
+//! chosen function, keeping the hot path allocation-free (no boxed
+//! closures).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Max threads a combiner instance supports (one slot each).
+pub const MAX_SLOTS: usize = 64;
+
+const SLOT_EMPTY: u32 = 0;
+const SLOT_PENDING: u32 = 1;
+const SLOT_DONE: u32 = 2;
+
+/// One publication slot, cache-line padded: a thread writes `op`,
+/// flips `seq` to PENDING, and spins for DONE; the combiner does the
+/// reverse.
+#[repr(align(128))]
+struct Slot<Op, Out> {
+    seq: AtomicU32,
+    op: UnsafeCell<MaybeUninit<Op>>,
+    out: UnsafeCell<MaybeUninit<Out>>,
+}
+
+// SAFETY: `op`/`out` accesses are ordered by the `seq` protocol.
+unsafe impl<Op: Send, Out: Send> Send for Slot<Op, Out> {}
+unsafe impl<Op: Send, Out: Send> Sync for Slot<Op, Out> {}
+
+impl<Op, Out> Slot<Op, Out> {
+    fn new() -> Self {
+        Slot {
+            seq: AtomicU32::new(SLOT_EMPTY),
+            op: UnsafeCell::new(MaybeUninit::uninit()),
+            out: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+}
+
+/// Shared state of a flat-combining structure over `T`.
+struct FcShared<T, Op, Out, F: Fn(&mut T, Op) -> Out> {
+    slots: Vec<Slot<Op, Out>>,
+    next_slot: AtomicUsize,
+    combiner_lock: AtomicBool,
+    data: UnsafeCell<T>,
+    apply: F,
+}
+
+// SAFETY: `data` is only touched by the combiner (combiner_lock) or
+// the dedicated server thread.
+unsafe impl<T: Send, Op: Send, Out: Send, F: Fn(&mut T, Op) -> Out + Send + Sync> Send
+    for FcShared<T, Op, Out, F>
+{
+}
+unsafe impl<T: Send, Op: Send, Out: Send, F: Fn(&mut T, Op) -> Out + Send + Sync> Sync
+    for FcShared<T, Op, Out, F>
+{
+}
+
+impl<T, Op, Out, F: Fn(&mut T, Op) -> Out> FcShared<T, Op, Out, F> {
+    /// Execute every pending published operation.
+    ///
+    /// # Safety
+    /// Caller must have exclusive access to `data` (combiner lock or
+    /// dedicated server).
+    unsafe fn combine_pass(&self) -> usize {
+        let mut executed = 0;
+        let data = &mut *self.data.get();
+        for slot in &self.slots {
+            if slot.seq.load(Ordering::Acquire) == SLOT_PENDING {
+                // SAFETY: PENDING guarantees an initialized op the
+                // owner will not touch until DONE.
+                let op = (*slot.op.get()).assume_init_read();
+                let out = (self.apply)(data, op);
+                (*slot.out.get()).write(out);
+                slot.seq.store(SLOT_DONE, Ordering::Release);
+                executed += 1;
+            }
+        }
+        executed
+    }
+}
+
+/// Classic flat combining over a value `T` with operation type `Op`.
+pub struct FlatCombiner<T, Op, Out, F: Fn(&mut T, Op) -> Out> {
+    shared: Arc<FcShared<T, Op, Out, F>>,
+}
+
+impl<T, Op, Out, F> FlatCombiner<T, Op, Out, F>
+where
+    T: Send,
+    Op: Send,
+    Out: Send,
+    F: Fn(&mut T, Op) -> Out + Send + Sync,
+{
+    /// Wrap `value`; `apply` executes one operation against it.
+    pub fn new(value: T, apply: F) -> Self {
+        let slots = (0..MAX_SLOTS).map(|_| Slot::new()).collect();
+        FlatCombiner {
+            shared: Arc::new(FcShared {
+                slots,
+                next_slot: AtomicUsize::new(0),
+                combiner_lock: AtomicBool::new(false),
+                data: UnsafeCell::new(value),
+                apply,
+            }),
+        }
+    }
+
+    /// Claim this thread's publication slot. Call once per thread;
+    /// the handle submits operations.
+    ///
+    /// # Panics
+    /// Panics when more than [`MAX_SLOTS`] handles are claimed.
+    pub fn register(&self) -> FcHandle<T, Op, Out, F> {
+        let idx = self.shared.next_slot.fetch_add(1, Ordering::Relaxed);
+        assert!(idx < MAX_SLOTS, "too many flat-combining participants");
+        FcHandle { shared: self.shared.clone(), idx }
+    }
+
+    /// Consume, returning the inner value.
+    ///
+    /// # Panics
+    /// Panics if handles still exist.
+    pub fn into_inner(self) -> T {
+        let shared = Arc::try_unwrap(self.shared)
+            .unwrap_or_else(|_| panic!("handles still registered"));
+        shared.data.into_inner()
+    }
+}
+
+/// A registered participant of a [`FlatCombiner`].
+pub struct FcHandle<T, Op, Out, F: Fn(&mut T, Op) -> Out> {
+    shared: Arc<FcShared<T, Op, Out, F>>,
+    idx: usize,
+}
+
+impl<T, Op, Out, F> FcHandle<T, Op, Out, F>
+where
+    T: Send,
+    Op: Send,
+    Out: Send,
+    F: Fn(&mut T, Op) -> Out + Send + Sync,
+{
+    /// Apply `op` to the shared value, possibly becoming the combiner
+    /// and executing other threads' operations too.
+    pub fn apply(&self, op: Op) -> Out {
+        let slot = &self.shared.slots[self.idx];
+        // SAFETY: the slot is ours (EMPTY), nobody reads `op` until
+        // we flip to PENDING.
+        unsafe { (*slot.op.get()).write(op) };
+        slot.seq.store(SLOT_PENDING, Ordering::Release);
+
+        loop {
+            if slot.seq.load(Ordering::Acquire) == SLOT_DONE {
+                break;
+            }
+            if !self.shared.combiner_lock.swap(true, Ordering::Acquire) {
+                // We are the combiner: run every pending op.
+                // SAFETY: combiner lock held.
+                unsafe { self.shared.combine_pass() };
+                self.shared.combiner_lock.store(false, Ordering::Release);
+                // Our own op was pending, so it is done now.
+                debug_assert_eq!(slot.seq.load(Ordering::Relaxed), SLOT_DONE);
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        slot.seq.store(SLOT_EMPTY, Ordering::Relaxed);
+        // SAFETY: DONE guarantees an initialized result written by
+        // the combiner; we are the only reader.
+        unsafe { (*slot.out.get()).assume_init_read() }
+    }
+}
+
+/// Delegation with a dedicated server thread.
+///
+/// The caller spawns the server loop (typically pinned to a big
+/// core) via [`DedicatedServer::serve`]; clients submit with
+/// [`ServerHandle::apply`]. Dropping all handles and calling
+/// [`DedicatedServer::shutdown`] stops the server.
+pub struct DedicatedServer<T, Op, Out, F: Fn(&mut T, Op) -> Out> {
+    shared: Arc<FcShared<T, Op, Out, F>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl<T, Op, Out, F> DedicatedServer<T, Op, Out, F>
+where
+    T: Send + 'static,
+    Op: Send + 'static,
+    Out: Send + 'static,
+    F: Fn(&mut T, Op) -> Out + Send + Sync + 'static,
+{
+    /// Wrap `value`; `apply` executes one operation against it.
+    pub fn new(value: T, apply: F) -> Self {
+        let slots = (0..MAX_SLOTS).map(|_| Slot::new()).collect();
+        DedicatedServer {
+            shared: Arc::new(FcShared {
+                slots,
+                next_slot: AtomicUsize::new(0),
+                combiner_lock: AtomicBool::new(false),
+                data: UnsafeCell::new(value),
+                apply,
+            }),
+            stop: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The server loop: call from the thread that should execute all
+    /// critical sections (pin it to a big core first). Returns when
+    /// [`DedicatedServer::shutdown`] is called.
+    pub fn serve(&self) {
+        while !self.stop.load(Ordering::Acquire) {
+            // SAFETY: the server is the only executor (no combiner
+            // lock is ever taken in this variant).
+            let n = unsafe { self.shared.combine_pass() };
+            if n == 0 {
+                std::hint::spin_loop();
+            }
+        }
+        // Drain once more so no submitter is left hanging.
+        // SAFETY: as above.
+        unsafe { self.shared.combine_pass() };
+    }
+
+    /// Ask the server loop to exit after a final drain.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Claim a client slot.
+    ///
+    /// # Panics
+    /// Panics when more than [`MAX_SLOTS`] handles are claimed.
+    pub fn register(&self) -> ServerHandle<T, Op, Out, F> {
+        let idx = self.shared.next_slot.fetch_add(1, Ordering::Relaxed);
+        assert!(idx < MAX_SLOTS, "too many delegation clients");
+        ServerHandle { shared: self.shared.clone(), idx }
+    }
+}
+
+/// A client of a [`DedicatedServer`].
+pub struct ServerHandle<T, Op, Out, F: Fn(&mut T, Op) -> Out> {
+    shared: Arc<FcShared<T, Op, Out, F>>,
+    idx: usize,
+}
+
+impl<T, Op, Out, F> ServerHandle<T, Op, Out, F>
+where
+    T: Send,
+    Op: Send,
+    Out: Send,
+    F: Fn(&mut T, Op) -> Out + Send + Sync,
+{
+    /// Submit `op` and wait for the server to execute it.
+    pub fn apply(&self, op: Op) -> Out {
+        let slot = &self.shared.slots[self.idx];
+        // SAFETY: slot protocol as in FcHandle::apply.
+        unsafe { (*slot.op.get()).write(op) };
+        slot.seq.store(SLOT_PENDING, Ordering::Release);
+        while slot.seq.load(Ordering::Acquire) != SLOT_DONE {
+            std::hint::spin_loop();
+        }
+        slot.seq.store(SLOT_EMPTY, Ordering::Relaxed);
+        // SAFETY: DONE ⇒ initialized result, single reader.
+        unsafe { (*slot.out.get()).assume_init_read() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_ops() {
+        let fc = FlatCombiner::new(0u64, |v, add: u64| {
+            *v += add;
+            *v
+        });
+        let h = fc.register();
+        assert_eq!(h.apply(5), 5);
+        assert_eq!(h.apply(7), 12);
+        drop(h);
+        assert_eq!(fc.into_inner(), 12);
+    }
+
+    #[test]
+    fn concurrent_counter_flat_combining() {
+        let fc = FlatCombiner::new(0u64, |v, add: u64| {
+            *v += add;
+            *v
+        });
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let h = fc.register();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..20_000 {
+                    h.apply(1);
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(fc.into_inner(), 160_000);
+    }
+
+    #[test]
+    fn results_routed_to_correct_thread() {
+        // Each thread adds its own id and must read back values that
+        // are consistent with its own sequence of submissions.
+        let fc = FlatCombiner::new(Vec::<u32>::new(), |v, id: u32| {
+            v.push(id);
+            v.iter().filter(|&&x| x == id).count()
+        });
+        let mut handles = vec![];
+        for id in 0..6u32 {
+            let h = fc.register();
+            handles.push(std::thread::spawn(move || {
+                for i in 1..=1_000 {
+                    let seen = h.apply(id);
+                    assert_eq!(seen, i, "thread {id} saw foreign count");
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        let v = fc.into_inner();
+        assert_eq!(v.len(), 6_000);
+    }
+
+    #[test]
+    fn dedicated_server_counter() {
+        let srv = Arc::new(DedicatedServer::new(0u64, |v, add: u64| {
+            *v += add;
+            *v
+        }));
+        let server = {
+            let srv = srv.clone();
+            std::thread::spawn(move || srv.serve())
+        };
+        let mut handles = vec![];
+        for _ in 0..6 {
+            let h = srv.register();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    h.apply(1);
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        srv.shutdown();
+        server.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic]
+    fn slot_exhaustion_panics() {
+        let fc = FlatCombiner::new((), |_, _op: ()| ());
+        let handles: Vec<_> = (0..MAX_SLOTS).map(|_| fc.register()).collect();
+        let _one_too_many = fc.register();
+        drop(handles);
+    }
+}

@@ -1,0 +1,87 @@
+//! Minimal futex wrappers (Linux) with a portable fallback.
+//!
+//! The blocking locks (glibc-style mutex, spin-then-park MCS) need an
+//! address-based wait/wake primitive. On Linux we call `futex(2)`
+//! directly; elsewhere we degrade to `yield`-spinning, which keeps the
+//! crate building and semantically correct (just less efficient).
+
+use std::sync::atomic::AtomicU32;
+#[cfg(not(target_os = "linux"))]
+use std::sync::atomic::Ordering;
+
+/// Block until `*atom != expected` (or a spurious wake-up).
+#[inline]
+pub fn futex_wait(atom: &AtomicU32, expected: u32) {
+    #[cfg(target_os = "linux")]
+    unsafe {
+        libc::syscall(
+            libc::SYS_futex,
+            atom as *const AtomicU32,
+            libc::FUTEX_WAIT | libc::FUTEX_PRIVATE_FLAG,
+            expected,
+            std::ptr::null::<libc::timespec>(),
+        );
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        if atom.load(Ordering::Relaxed) == expected {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Wake up to `n` waiters blocked on `atom`. Returns the number woken
+/// (always 0 on the portable fallback).
+#[inline]
+pub fn futex_wake(atom: &AtomicU32, n: i32) -> i32 {
+    #[cfg(target_os = "linux")]
+    unsafe {
+        libc::syscall(
+            libc::SYS_futex,
+            atom as *const AtomicU32,
+            libc::FUTEX_WAKE | libc::FUTEX_PRIVATE_FLAG,
+            n,
+        ) as i32
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = (atom, n);
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn wait_returns_when_value_differs() {
+        let a = AtomicU32::new(1);
+        // Value mismatch: futex_wait must return immediately.
+        futex_wait(&a, 0);
+    }
+
+    #[test]
+    fn wake_unblocks_waiter() {
+        let a = Arc::new(AtomicU32::new(0));
+        let a2 = a.clone();
+        let h = std::thread::spawn(move || {
+            while a2.load(Ordering::Acquire) == 0 {
+                futex_wait(&a2, 0);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        a.store(1, Ordering::Release);
+        futex_wake(&a, 1);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wake_with_no_waiters_is_fine() {
+        let a = AtomicU32::new(0);
+        let _ = futex_wake(&a, 8);
+    }
+}

@@ -1,0 +1,180 @@
+//! # asl-locks — the lock zoo
+//!
+//! Every lock the paper measures or builds on, implemented from
+//! scratch over `core::sync::atomic`:
+//!
+//! | Lock | Paper role | Module |
+//! |---|---|---|
+//! | [`TasLock`] | unfair baseline whose affinity collapses latency (Figs. 1, 4) | [`tas`] |
+//! | [`TicketLock`] | FIFO baseline (Fig. 8a) | [`ticket`] |
+//! | [`BackoffLock`] | what LibASL degenerates to among little cores (§3.4) | [`backoff`] |
+//! | [`McsLock`] | the FIFO queue under the reorderable lock (Figs. 1–10) | [`mcs`] |
+//! | [`ClhLock`] | alternative FIFO substrate (ablation) | [`clh`] |
+//! | [`ProportionalLock`] | SHFL-PB10: static proportional policy (Figs. 5, 8a, 8g, 9, 10) | [`proportional`] |
+//! | [`PthreadMutex`] | glibc-style spin-then-futex blocking mutex (Figs. 8h, 8i) | [`blocking`] |
+//! | [`McsStpLock`] | spin-then-park MCS, the blocking FIFO strawman of Bench-6 | [`blocking`] |
+//! | [`CnaLock`] | compact NUMA-aware lock on core classes (§2.2 NUMA collapse) | [`cna`] |
+//! | [`CohortLock`] | lock cohorting on core classes (§2.2 NUMA collapse) | [`cohort`] |
+//! | [`MalthusianLock`] | culling + periodic reintroduction (§2.2 long-term fairness) | [`malthusian`] |
+//! | [`ShuffleLock`] | ShflLock-style framework with pluggable policies (§5, ablations) | [`shuffle`] |
+//! | [`FlatCombiner`] | flat-combining delegation (§5 related-work comparator) | [`flatcomb`] |
+//!
+//! Two lock interfaces are provided:
+//!
+//! * [`RawLock`] — statically dispatched, token-based. Tokens carry
+//!   queue-node ownership (MCS/CLH) so locks stay allocation-free on
+//!   the hot path. The reorderable lock in `asl-core` composes over
+//!   any `RawLock + FifoLock`.
+//! * [`PlainLock`] — object-safe facade (`Arc<dyn PlainLock>`) with a
+//!   two-word opaque token, used by the database engines and the
+//!   harness to swap lock implementations at runtime.
+
+pub mod backoff;
+pub mod blocking;
+pub mod clh;
+pub mod cna;
+pub mod cohort;
+pub mod flatcomb;
+pub mod futex;
+pub mod malthusian;
+pub mod mcs;
+pub mod plain;
+pub mod proportional;
+pub mod shuffle;
+pub mod tas;
+pub mod ticket;
+
+pub use backoff::BackoffLock;
+pub use blocking::{McsStpLock, PthreadMutex};
+pub use clh::ClhLock;
+pub use cna::CnaLock;
+pub use cohort::CohortLock;
+pub use flatcomb::{DedicatedServer, FlatCombiner};
+pub use malthusian::MalthusianLock;
+pub use mcs::McsLock;
+pub use plain::{PlainLock, PlainToken};
+pub use proportional::ProportionalLock;
+pub use shuffle::{Candidate, ShuffleLock, ShufflePolicy};
+pub use tas::TasLock;
+pub use ticket::TicketLock;
+
+/// A statically dispatched lock.
+///
+/// `lock` returns a token that must be passed back to `unlock` by the
+/// same thread. Queue locks use the token to carry their queue node;
+/// simple locks use `()`.
+pub trait RawLock: Send + Sync {
+    /// Proof of acquisition, consumed by [`RawLock::unlock`].
+    type Token;
+
+    /// Acquire, blocking (spinning or parking) until granted.
+    fn lock(&self) -> Self::Token;
+
+    /// Try to acquire without waiting.
+    fn try_lock(&self) -> Option<Self::Token>;
+
+    /// Release. `token` must come from a matching `lock`/`try_lock`
+    /// on this lock by the calling thread.
+    fn unlock(&self, token: Self::Token);
+
+    /// Heuristic "is anyone holding or queued" check — the
+    /// reorderable lock's `is_lock_free` probe reads this. May be
+    /// momentarily stale; never used for mutual exclusion itself.
+    fn is_locked(&self) -> bool;
+
+    /// Short lock name for reports.
+    const NAME: &'static str;
+}
+
+/// Marker: the lock grants strictly in arrival (FIFO) order.
+/// The reorderable lock requires its underlying lock to be FIFO for
+/// the paper's bounded-reordering guarantee to hold.
+pub trait FifoLock: RawLock {}
+
+#[cfg(test)]
+mod tests {
+    //! Cross-implementation mutual-exclusion tests: every lock type
+    //! protects a plain (non-atomic) counter against data races.
+    use super::*;
+    use std::sync::Arc;
+
+    fn hammer<L: RawLock + 'static>(lock: Arc<L>, threads: usize, iters: usize) -> u64 {
+        // A non-atomic counter in an UnsafeCell: only mutual exclusion
+        // makes this race-free.
+        struct Shared<L> {
+            lock: Arc<L>,
+            value: std::cell::UnsafeCell<u64>,
+        }
+        unsafe impl<L: Send + Sync> Sync for Shared<L> {}
+        let shared = Arc::new(Shared { lock, value: std::cell::UnsafeCell::new(0) });
+        let mut handles = vec![];
+        for _ in 0..threads {
+            let s = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..iters {
+                    let tok = s.lock.lock();
+                    unsafe { *s.value.get() += 1 };
+                    s.lock.unlock(tok);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        unsafe { *shared.value.get() }
+    }
+
+    #[test]
+    fn tas_mutual_exclusion() {
+        assert_eq!(hammer(Arc::new(TasLock::default()), 8, 10_000), 80_000);
+    }
+
+    #[test]
+    fn ticket_mutual_exclusion() {
+        assert_eq!(hammer(Arc::new(TicketLock::new()), 8, 10_000), 80_000);
+    }
+
+    #[test]
+    fn backoff_mutual_exclusion() {
+        assert_eq!(hammer(Arc::new(BackoffLock::new()), 8, 10_000), 80_000);
+    }
+
+    #[test]
+    fn mcs_mutual_exclusion() {
+        assert_eq!(hammer(Arc::new(McsLock::new()), 8, 10_000), 80_000);
+    }
+
+    #[test]
+    fn clh_mutual_exclusion() {
+        assert_eq!(hammer(Arc::new(ClhLock::new()), 8, 10_000), 80_000);
+    }
+
+    #[test]
+    fn proportional_mutual_exclusion() {
+        assert_eq!(hammer(Arc::new(ProportionalLock::new(10)), 8, 10_000), 80_000);
+    }
+
+    #[test]
+    fn pthread_mutual_exclusion() {
+        assert_eq!(hammer(Arc::new(PthreadMutex::new()), 8, 10_000), 80_000);
+    }
+
+    #[test]
+    fn mcs_stp_mutual_exclusion() {
+        assert_eq!(hammer(Arc::new(McsStpLock::new()), 8, 10_000), 80_000);
+    }
+
+    #[test]
+    fn oversubscribed_blocking_locks_progress() {
+        // 4x more threads than cores: blocking locks must still finish.
+        let n = 4 * asl_runtime::affinity::online_cpus().min(8);
+        assert_eq!(
+            hammer(Arc::new(PthreadMutex::new()), n, 2_000) as usize,
+            n * 2_000
+        );
+        assert_eq!(
+            hammer(Arc::new(McsStpLock::new()), n, 2_000) as usize,
+            n * 2_000
+        );
+    }
+}

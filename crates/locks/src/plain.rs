@@ -1,0 +1,299 @@
+//! Object-safe lock facade.
+//!
+//! The database engines and the measurement harness pick lock
+//! implementations at runtime ("run Kyoto Cabinet under TAS, MCS,
+//! SHFL-PB10, LibASL-70, ..."). [`PlainLock`] is the object-safe
+//! interface they use: acquisition returns an opaque two-word
+//! [`PlainToken`] that encodes whatever the concrete lock's token was
+//! (queue-node pointers for MCS/CLH, nothing for simple locks).
+
+use crate::blocking::{McsStpLock, PthreadMutex, StpToken};
+use crate::clh::{ClhLock, ClhToken};
+use crate::cna::{CnaLock, CnaToken};
+use crate::cohort::{CohortLock, CohortToken};
+use crate::malthusian::{MalthusianLock, MalthusianToken};
+use crate::mcs::{McsLock, McsToken};
+use crate::proportional::ProportionalLock;
+use crate::shuffle::{ShuffleLock, ShufflePolicy, ShuffleToken};
+use crate::tas::TasLock;
+use crate::ticket::TicketLock;
+use crate::{BackoffLock, RawLock};
+
+/// Opaque token for [`PlainLock`]: two words of implementation state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlainToken(pub usize, pub usize);
+
+impl PlainToken {
+    /// The empty token used by locks whose `RawLock::Token` is `()`.
+    pub const UNIT: PlainToken = PlainToken(0, 0);
+}
+
+/// An object-safe lock: dynamic counterpart of [`RawLock`].
+pub trait PlainLock: Send + Sync {
+    /// Acquire, blocking until granted.
+    fn acquire(&self) -> PlainToken;
+    /// Try to acquire without waiting.
+    fn try_acquire(&self) -> Option<PlainToken>;
+    /// Release a token from `acquire`/`try_acquire` on this lock.
+    fn release(&self, token: PlainToken);
+    /// Heuristic held/queued check.
+    fn held(&self) -> bool;
+    /// Implementation name for reports.
+    fn lock_name(&self) -> &'static str;
+}
+
+/// Locks with unit tokens share one trivial encoding.
+macro_rules! impl_plain_unit {
+    ($ty:ty) => {
+        impl PlainLock for $ty {
+            #[inline]
+            fn acquire(&self) -> PlainToken {
+                RawLock::lock(self);
+                PlainToken::UNIT
+            }
+            #[inline]
+            fn try_acquire(&self) -> Option<PlainToken> {
+                RawLock::try_lock(self).map(|_| PlainToken::UNIT)
+            }
+            #[inline]
+            fn release(&self, _token: PlainToken) {
+                RawLock::unlock(self, ());
+            }
+            #[inline]
+            fn held(&self) -> bool {
+                RawLock::is_locked(self)
+            }
+            fn lock_name(&self) -> &'static str {
+                <$ty as RawLock>::NAME
+            }
+        }
+    };
+}
+
+impl_plain_unit!(TasLock);
+impl_plain_unit!(TicketLock);
+impl_plain_unit!(BackoffLock);
+impl_plain_unit!(ProportionalLock);
+impl_plain_unit!(PthreadMutex);
+
+impl PlainLock for McsLock {
+    #[inline]
+    fn acquire(&self) -> PlainToken {
+        PlainToken(RawLock::lock(self).into_raw(), 0)
+    }
+    #[inline]
+    fn try_acquire(&self) -> Option<PlainToken> {
+        RawLock::try_lock(self).map(|t| PlainToken(t.into_raw(), 0))
+    }
+    #[inline]
+    fn release(&self, token: PlainToken) {
+        // SAFETY: `token` came from acquire/try_acquire on this lock.
+        RawLock::unlock(self, unsafe { McsToken::from_raw(token.0) });
+    }
+    #[inline]
+    fn held(&self) -> bool {
+        RawLock::is_locked(self)
+    }
+    fn lock_name(&self) -> &'static str {
+        <McsLock as RawLock>::NAME
+    }
+}
+
+impl PlainLock for McsStpLock {
+    #[inline]
+    fn acquire(&self) -> PlainToken {
+        PlainToken(RawLock::lock(self).into_raw(), 0)
+    }
+    #[inline]
+    fn try_acquire(&self) -> Option<PlainToken> {
+        RawLock::try_lock(self).map(|t| PlainToken(t.into_raw(), 0))
+    }
+    #[inline]
+    fn release(&self, token: PlainToken) {
+        // SAFETY: `token` came from acquire/try_acquire on this lock.
+        RawLock::unlock(self, unsafe { StpToken::from_raw(token.0) });
+    }
+    #[inline]
+    fn held(&self) -> bool {
+        RawLock::is_locked(self)
+    }
+    fn lock_name(&self) -> &'static str {
+        <McsStpLock as RawLock>::NAME
+    }
+}
+
+impl PlainLock for ClhLock {
+    #[inline]
+    fn acquire(&self) -> PlainToken {
+        let (a, b) = RawLock::lock(self).into_raw();
+        PlainToken(a, b)
+    }
+    #[inline]
+    fn try_acquire(&self) -> Option<PlainToken> {
+        RawLock::try_lock(self).map(|t| {
+            let (a, b) = t.into_raw();
+            PlainToken(a, b)
+        })
+    }
+    #[inline]
+    fn release(&self, token: PlainToken) {
+        // SAFETY: `token` came from acquire/try_acquire on this lock.
+        RawLock::unlock(self, unsafe { ClhToken::from_raw(token.0, token.1) });
+    }
+    #[inline]
+    fn held(&self) -> bool {
+        RawLock::is_locked(self)
+    }
+    fn lock_name(&self) -> &'static str {
+        <ClhLock as RawLock>::NAME
+    }
+}
+
+/// Pointer-token queue locks share one encoding.
+macro_rules! impl_plain_ptr_token {
+    ($lock:ty, $token:ty) => {
+        impl PlainLock for $lock {
+            #[inline]
+            fn acquire(&self) -> PlainToken {
+                PlainToken(RawLock::lock(self).into_raw(), 0)
+            }
+            #[inline]
+            fn try_acquire(&self) -> Option<PlainToken> {
+                RawLock::try_lock(self).map(|t| PlainToken(t.into_raw(), 0))
+            }
+            #[inline]
+            fn release(&self, token: PlainToken) {
+                // SAFETY: `token` came from acquire/try_acquire here.
+                RawLock::unlock(self, unsafe { <$token>::from_raw(token.0) });
+            }
+            #[inline]
+            fn held(&self) -> bool {
+                RawLock::is_locked(self)
+            }
+            fn lock_name(&self) -> &'static str {
+                <$lock as RawLock>::NAME
+            }
+        }
+    };
+}
+
+impl_plain_ptr_token!(CnaLock, CnaToken);
+impl_plain_ptr_token!(MalthusianLock, MalthusianToken);
+
+impl<P: ShufflePolicy> PlainLock for ShuffleLock<P> {
+    #[inline]
+    fn acquire(&self) -> PlainToken {
+        PlainToken(RawLock::lock(self).into_raw(), 0)
+    }
+    #[inline]
+    fn try_acquire(&self) -> Option<PlainToken> {
+        RawLock::try_lock(self).map(|t| PlainToken(t.into_raw(), 0))
+    }
+    #[inline]
+    fn release(&self, token: PlainToken) {
+        // SAFETY: `token` came from acquire/try_acquire on this lock.
+        RawLock::unlock(self, unsafe { ShuffleToken::from_raw(token.0) });
+    }
+    #[inline]
+    fn held(&self) -> bool {
+        RawLock::is_locked(self)
+    }
+    fn lock_name(&self) -> &'static str {
+        "shuffle"
+    }
+}
+
+impl PlainLock for CohortLock {
+    #[inline]
+    fn acquire(&self) -> PlainToken {
+        let (a, b) = RawLock::lock(self).into_raw();
+        PlainToken(a, b)
+    }
+    #[inline]
+    fn try_acquire(&self) -> Option<PlainToken> {
+        RawLock::try_lock(self).map(|t| {
+            let (a, b) = t.into_raw();
+            PlainToken(a, b)
+        })
+    }
+    #[inline]
+    fn release(&self, token: PlainToken) {
+        // SAFETY: `token` came from acquire/try_acquire on this lock.
+        RawLock::unlock(self, unsafe { CohortToken::from_raw(token.0, token.1) });
+    }
+    #[inline]
+    fn held(&self) -> bool {
+        RawLock::is_locked(self)
+    }
+    fn lock_name(&self) -> &'static str {
+        <CohortLock as RawLock>::NAME
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn exercise(lock: Arc<dyn PlainLock>) {
+        assert!(!lock.held());
+        let t = lock.acquire();
+        assert!(lock.held());
+        assert!(lock.try_acquire().is_none());
+        lock.release(t);
+        assert!(!lock.held());
+        let t = lock.try_acquire().expect("free");
+        lock.release(t);
+
+        // Contended use through the dyn interface.
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let l = lock.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..5_000 {
+                    let t = l.acquire();
+                    l.release(t);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(!lock.held());
+    }
+
+    #[test]
+    fn all_zoo_locks_work_via_dyn() {
+        exercise(Arc::new(TasLock::new()));
+        exercise(Arc::new(TicketLock::new()));
+        exercise(Arc::new(BackoffLock::new()));
+        exercise(Arc::new(McsLock::new()));
+        exercise(Arc::new(ClhLock::new()));
+        exercise(Arc::new(ProportionalLock::new(10)));
+        exercise(Arc::new(PthreadMutex::new()));
+        exercise(Arc::new(McsStpLock::new()));
+        exercise(Arc::new(CnaLock::new()));
+        exercise(Arc::new(CohortLock::new()));
+        exercise(Arc::new(MalthusianLock::new()));
+        exercise(Arc::new(ShuffleLock::new(crate::shuffle::FifoPolicy)));
+        exercise(Arc::new(ShuffleLock::new(crate::shuffle::ClassLocalPolicy::new(16))));
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let locks: Vec<Arc<dyn PlainLock>> = vec![
+            Arc::new(TasLock::new()),
+            Arc::new(TicketLock::new()),
+            Arc::new(BackoffLock::new()),
+            Arc::new(McsLock::new()),
+            Arc::new(ClhLock::new()),
+            Arc::new(ProportionalLock::new(10)),
+            Arc::new(PthreadMutex::new()),
+            Arc::new(McsStpLock::new()),
+        ];
+        let mut names: Vec<_> = locks.iter().map(|l| l.lock_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), locks.len());
+    }
+}

@@ -1,0 +1,88 @@
+//! Nanosecond clock utilities.
+//!
+//! The paper uses `clock_gettime` (~45 cycles) for epoch timestamps
+//! and reorder-window deadlines. We expose the same thing: a
+//! monotonic nanosecond counter anchored at process start, plus
+//! busy-wait and nanosleep helpers used by the lock implementations.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Monotonic nanoseconds since process start. Cheap enough to call in
+/// lock hot paths (vDSO-backed on Linux).
+#[inline]
+pub fn now_ns() -> u64 {
+    anchor().elapsed().as_nanos() as u64
+}
+
+/// Busy-wait (spin) for approximately `ns` nanoseconds.
+#[inline]
+pub fn busy_wait_ns(ns: u64) {
+    let end = now_ns() + ns;
+    while now_ns() < end {
+        std::hint::spin_loop();
+    }
+}
+
+/// Sleep for `ns` nanoseconds using `nanosleep(2)`, the same primitive
+/// the paper's blocking standby competitors use.
+pub fn nanosleep_ns(ns: u64) {
+    let ts = libc::timespec {
+        tv_sec: (ns / 1_000_000_000) as libc::time_t,
+        tv_nsec: (ns % 1_000_000_000) as libc::c_long,
+    };
+    // Ignore EINTR: for back-off sleeps an early wake-up is harmless.
+    unsafe {
+        libc::nanosleep(&ts, std::ptr::null_mut());
+    }
+}
+
+/// Convenience: microseconds to nanoseconds.
+#[inline]
+pub const fn us(n: u64) -> u64 {
+    n * 1_000
+}
+
+/// Convenience: milliseconds to nanoseconds.
+#[inline]
+pub const fn ms(n: u64) -> u64 {
+    n * 1_000_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn busy_wait_waits() {
+        let t0 = now_ns();
+        busy_wait_ns(200_000); // 200us
+        let dt = now_ns() - t0;
+        assert!(dt >= 200_000, "waited only {dt}ns");
+    }
+
+    #[test]
+    fn nanosleep_sleeps() {
+        let t0 = now_ns();
+        nanosleep_ns(1_000_000); // 1ms
+        assert!(now_ns() - t0 >= 900_000);
+    }
+
+    #[test]
+    fn unit_helpers() {
+        assert_eq!(us(3), 3_000);
+        assert_eq!(ms(2), 2_000_000);
+    }
+}

@@ -1,0 +1,46 @@
+//! # asl-runtime — virtual asymmetric-multicore (AMP) substrate
+//!
+//! The LibASL paper (PPoPP 2022) evaluates on an Apple M1 with 4 "big"
+//! and 4 "little" cores. This crate reproduces the *behavioural*
+//! asymmetry of such a machine on ordinary symmetric hardware:
+//!
+//! * [`Topology`] describes a virtual AMP: a set of [`VirtualCore`]s,
+//!   each either [`CoreKind::Big`] or [`CoreKind::Little`], and a
+//!   `perf_ratio` — how many times slower a little core executes the
+//!   same work.
+//! * [`registry`] binds OS threads to virtual cores. Thread-locals make
+//!   `is_big_core()` a few-nanosecond lookup, exactly like the paper's
+//!   "get the core id and look up a pre-defined table".
+//! * [`work`] executes *emulated work*: a calibrated spin loop whose
+//!   iteration count is multiplied by `perf_ratio` when the calling
+//!   thread is registered on a little core. Every critical- and
+//!   non-critical-section body in the reproduction runs through it, so
+//!   little cores really do spend `ratio×` longer holding locks.
+//! * [`cacheline`] provides a shared, 64-byte-aligned arena so critical
+//!   sections generate genuine cache-coherence traffic (the paper's
+//!   "read-modify-write k shared cache lines").
+//! * [`atomic_model`] models the asymmetric success rate of atomic
+//!   operations (paper §2.2): a configurable penalty that the
+//!   disadvantaged core class pays between failed lock attempts.
+//! * [`affinity`] optionally pins threads to distinct physical CPUs for
+//!   stable measurements (the paper pins threads too).
+//!
+//! Nothing in this crate depends on the lock algorithms; it is the
+//! hardware stand-in every other crate builds on.
+
+pub mod affinity;
+pub mod atomic_model;
+pub mod cacheline;
+pub mod clock;
+pub mod registry;
+pub mod spawn;
+pub mod topology;
+pub mod work;
+
+pub use atomic_model::AtomicAffinity;
+pub use cacheline::CacheLineArena;
+pub use clock::now_ns;
+pub use registry::{current_core, is_big_core, register_on_core, CoreAssignment};
+pub use spawn::{run_on_topology, ThreadCtx};
+pub use topology::{CoreId, CoreKind, Topology};
+pub use work::{execute_raw_units, execute_units, units_per_us};

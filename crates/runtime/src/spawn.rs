@@ -1,0 +1,139 @@
+//! Scoped worker spawning on a virtual topology.
+//!
+//! [`run_on_topology`] spawns `n` worker threads, binds thread `i` to
+//! `topology.assignment_for_thread(i)` (big cores first — the paper's
+//! evaluation binding), registers the thread-local core identity,
+//! optionally pins to the corresponding physical CPU, and runs the
+//! worker body. Results are collected in thread order.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::affinity::pin_to_cpu;
+use crate::registry::{register_on_core, unregister, CoreAssignment};
+use crate::topology::Topology;
+
+/// Context handed to each worker.
+#[derive(Debug, Clone)]
+pub struct ThreadCtx {
+    /// Worker index, `0..n`.
+    pub index: usize,
+    /// The virtual-core assignment of this worker.
+    pub assignment: CoreAssignment,
+    /// Cooperative stop flag (used by timed runs).
+    pub stop: Arc<AtomicBool>,
+}
+
+impl ThreadCtx {
+    /// Whether the run has been asked to stop.
+    #[inline]
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+/// Spawn `n` workers on `topology`, run `body` on each, return results
+/// in worker order. `pin` controls physical CPU pinning.
+///
+/// The returned stop flag is shared with all workers; `body`
+/// implementations that loop should poll [`ThreadCtx::stopped`].
+pub fn run_on_topology<R, F>(topology: &Topology, n: usize, pin: bool, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&ThreadCtx) -> R + Sync,
+{
+    let stop = Arc::new(AtomicBool::new(false));
+    run_on_topology_with_stop(topology, n, pin, stop, body)
+}
+
+/// Like [`run_on_topology`] but with a caller-provided stop flag
+/// (lets a controller thread terminate timed experiments).
+pub fn run_on_topology_with_stop<R, F>(
+    topology: &Topology,
+    n: usize,
+    pin: bool,
+    stop: Arc<AtomicBool>,
+    body: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&ThreadCtx) -> R + Sync,
+{
+    let body = &body;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for index in 0..n {
+            let vc = topology.assignment_for_thread(index);
+            let stop = stop.clone();
+            let topo = topology.clone();
+            handles.push(scope.spawn(move || {
+                let assignment = register_on_core(&topo, vc.id);
+                if pin {
+                    if let Some(cpu) = vc.os_cpu {
+                        let _ = pin_to_cpu(cpu);
+                    }
+                }
+                let ctx = ThreadCtx { index, assignment, stop };
+                let r = body(&ctx);
+                unregister();
+                r
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::is_big_core;
+    use crate::topology::CoreKind;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn workers_get_correct_classes() {
+        let t = Topology::apple_m1();
+        let kinds = run_on_topology(&t, 8, false, |ctx| (ctx.index, ctx.assignment.kind));
+        for (i, kind) in kinds {
+            let expect = if i < 4 { CoreKind::Big } else { CoreKind::Little };
+            assert_eq!(kind, expect, "worker {i}");
+        }
+    }
+
+    #[test]
+    fn registration_visible_in_body() {
+        let t = Topology::apple_m1();
+        let r = run_on_topology(&t, 8, false, |_| is_big_core());
+        assert_eq!(r.iter().filter(|b| **b).count(), 4);
+    }
+
+    #[test]
+    fn all_workers_run() {
+        let t = Topology::symmetric(4);
+        let counter = AtomicUsize::new(0);
+        run_on_topology(&t, 16, false, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn external_stop_flag_terminates() {
+        let t = Topology::symmetric(2);
+        let stop = Arc::new(AtomicBool::new(false));
+        let s2 = stop.clone();
+        let stopper = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            s2.store(true, Ordering::Relaxed);
+        });
+        let iters = run_on_topology_with_stop(&t, 2, false, stop, |ctx| {
+            let mut i = 0u64;
+            while !ctx.stopped() {
+                i += 1;
+            }
+            i
+        });
+        stopper.join().unwrap();
+        assert!(iters.iter().all(|&i| i > 0));
+    }
+}

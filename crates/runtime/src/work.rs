@@ -1,0 +1,129 @@
+//! Calibrated emulated work.
+//!
+//! The paper expresses workloads in instruction counts ("execute a
+//! fixed number of NOP instructions"). We express them in abstract
+//! *work units*: one unit is one iteration of an opaque spin loop on a
+//! big core. [`execute_units`] multiplies the unit count by the
+//! calling thread's core multiplier, which is exactly the asymmetry
+//! the paper studies — the same critical section takes `ratio×` longer
+//! on a little core.
+//!
+//! [`execute_raw_units`] skips the multiplier; lock-internal delays
+//! (back-off, affinity penalties) use it so the *protocol* timing can
+//! be controlled independently of core speed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::registry::work_multiplier;
+
+/// Sink that keeps the spin loop from being optimized away without
+/// generating shared-memory traffic (one private line per thread
+/// would be ideal; a single process-global relaxed add per *call*,
+/// not per iteration, keeps overhead negligible).
+static SINK: AtomicU64 = AtomicU64::new(0);
+
+/// Execute `units` iterations of the calibration loop, *unscaled*.
+#[inline]
+pub fn execute_raw_units(units: u64) {
+    let mut acc: u64 = units;
+    for i in 0..units {
+        // A data-dependent multiply-xor chain: roughly constant work
+        // per iteration, resistant to vectorization.
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i) ^ (acc >> 29);
+        std::hint::black_box(&acc);
+    }
+    if units > 0 {
+        SINK.fetch_add(acc & 1, Ordering::Relaxed);
+    }
+}
+
+/// Execute `units` of emulated work scaled by the calling thread's
+/// core multiplier (little cores run the loop `perf_ratio×` more).
+#[inline]
+pub fn execute_units(units: u64) {
+    let m = work_multiplier();
+    let scaled = if m == 1.0 { units } else { (units as f64 * m) as u64 };
+    execute_raw_units(scaled);
+}
+
+/// Calibration: how many raw units a *big* core executes per
+/// microsecond. Measured once per process; used to convert between
+/// work units and (approximate) nanoseconds when sizing workloads.
+pub fn units_per_us() -> f64 {
+    static CAL: OnceLock<f64> = OnceLock::new();
+    *CAL.get_or_init(|| {
+        // Warm up, then measure a block long enough to dwarf timer cost.
+        execute_raw_units(200_000);
+        let trials = 5;
+        let block: u64 = 2_000_000;
+        let mut best = f64::MAX;
+        for _ in 0..trials {
+            let t0 = crate::clock::now_ns();
+            execute_raw_units(block);
+            let dt = (crate::clock::now_ns() - t0).max(1);
+            let per_us = block as f64 * 1_000.0 / dt as f64;
+            // Keep the *fastest* trial: slow trials are scheduler noise.
+            if (block as f64 / per_us) < best {
+                best = block as f64 / per_us;
+            }
+        }
+        2_000_000.0 / best
+    })
+}
+
+/// Convert a target duration in nanoseconds into raw work units using
+/// the calibration (big-core time).
+pub fn units_for_ns(ns: u64) -> u64 {
+    (ns as f64 * units_per_us() / 1_000.0).max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{register_on_core, unregister};
+    use crate::topology::{CoreId, Topology};
+
+    #[test]
+    fn raw_units_zero_is_noop() {
+        execute_raw_units(0);
+    }
+
+    #[test]
+    fn calibration_positive_and_stable() {
+        let a = units_per_us();
+        let b = units_per_us();
+        assert!(a > 0.0);
+        assert_eq!(a, b, "calibration must be cached");
+    }
+
+    #[test]
+    fn units_for_ns_monotone() {
+        assert!(units_for_ns(10_000) <= units_for_ns(100_000));
+        assert!(units_for_ns(1) >= 1);
+    }
+
+    #[test]
+    fn little_core_work_takes_longer() {
+        let t = Topology::custom(1, 1, 4.0);
+        let units = 400_000;
+
+        register_on_core(&t, CoreId(0));
+        let t0 = crate::clock::now_ns();
+        execute_units(units);
+        let big = crate::clock::now_ns() - t0;
+
+        register_on_core(&t, CoreId(1));
+        let t0 = crate::clock::now_ns();
+        execute_units(units);
+        let little = crate::clock::now_ns() - t0;
+        unregister();
+
+        // 4x multiplier: allow generous noise margins, but little must
+        // clearly exceed big.
+        assert!(
+            little as f64 > big as f64 * 2.0,
+            "little={little}ns big={big}ns"
+        );
+    }
+}

@@ -1,0 +1,402 @@
+//! The discrete-event engine.
+//!
+//! One event loop over virtual time. Threads cycle NCS → Arrive →
+//! (wait per lock model) → CS → Release. The lock models mirror the
+//! real implementations' *ordering* semantics; waiting mechanics
+//! (spinning, probing) are abstracted away — a standby competitor in
+//! the reorderable model acquires the instant the lock frees with an
+//! empty FIFO queue, a slightly optimistic stand-in for the paper's
+//! exponential-back-off probing.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{SimConfig, SimLockKind};
+use crate::percentile;
+
+const DEFAULT_MAX_WINDOW_NS: u64 = 100_000_000;
+const INIT_WINDOW_NS: u64 = 10_000;
+const UNIT_FLOOR_NS: u64 = 100;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// Thread finished its NCS and requests the lock.
+    Arrive(usize),
+    /// Thread finished its CS and releases the lock.
+    Release(usize),
+    /// A standby window expired (generation-stamped).
+    WindowExpire(usize, u64),
+}
+
+/// Deterministically ordered event queue (time, then insertion seq).
+struct EventQueue {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    payload: Vec<Ev>,
+    seq: u64,
+}
+
+impl EventQueue {
+    fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), payload: Vec::new(), seq: 0 }
+    }
+
+    fn push(&mut self, t: u64, ev: Ev) {
+        // seq doubles as the payload index (every event pushed once).
+        self.payload.push(ev);
+        self.heap.push(Reverse((t, self.seq)));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(u64, Ev)> {
+        self.heap.pop().map(|Reverse((t, s))| (t, self.payload[s as usize]))
+    }
+}
+
+struct ThreadState {
+    big: bool,
+    mult: f64,
+    request_time: u64,
+    window: u64,
+    unit: u64,
+    standby_gen: u64,
+    in_standby: bool,
+}
+
+struct LockModel {
+    kind: SimLockKind,
+    holder: Option<usize>,
+    fifo: VecDeque<usize>,
+    tas_waiters: Vec<usize>,
+    big_q: VecDeque<usize>,
+    little_q: VecDeque<usize>,
+    bigs_since_little: u32,
+    /// ClassBatched: is the current batch running on big cores?
+    cur_class_big: bool,
+    /// ClassBatched: consecutive same-class grants so far.
+    class_run: u32,
+    /// (tid, request_time) of standby competitors.
+    standby: Vec<(usize, u64)>,
+}
+
+/// Outcome of a simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Operations completed in the measurement window.
+    pub total_ops: u64,
+    /// Ops by big-core threads.
+    pub big_ops: u64,
+    /// Ops by little-core threads.
+    pub little_ops: u64,
+    /// Ops per (simulated) second.
+    pub throughput: f64,
+    /// Exact P99 of acquire→release latency, big-core threads (ns).
+    pub p99_big: u64,
+    /// Exact P99, little-core threads (ns).
+    pub p99_little: u64,
+    /// Exact P99, all threads (ns).
+    pub p99_overall: u64,
+}
+
+struct Sim<'a> {
+    cfg: &'a SimConfig,
+    rng: SmallRng,
+    threads: Vec<ThreadState>,
+    lock: LockModel,
+    q: EventQueue,
+}
+
+impl Sim<'_> {
+    fn jittered(&mut self, base: f64) -> u64 {
+        if self.cfg.jitter <= 0.0 {
+            base.max(1.0) as u64
+        } else {
+            let f = 1.0 + self.rng.gen_range(-self.cfg.jitter..self.cfg.jitter);
+            (base * f).max(1.0) as u64
+        }
+    }
+
+    fn grant(&mut self, tid: usize, t: u64) {
+        self.lock.holder = Some(tid);
+        let cs = self.jittered(self.cfg.cs_ns as f64 * self.threads[tid].mult);
+        self.q.push(t + cs, Ev::Release(tid));
+    }
+
+    fn dispatch_next(&mut self, t: u64) {
+        if self.lock.holder.is_some() {
+            return;
+        }
+        let next = match &self.lock.kind {
+            SimLockKind::Fifo => self.lock.fifo.pop_front(),
+            SimLockKind::TasAffinity { big_weight, little_weight } => {
+                if self.lock.tas_waiters.is_empty() {
+                    None
+                } else {
+                    let weights: Vec<f64> = self
+                        .lock
+                        .tas_waiters
+                        .iter()
+                        .map(|&w| if self.threads[w].big { *big_weight } else { *little_weight })
+                        .collect();
+                    let total: f64 = weights.iter().sum();
+                    let mut pick = self.rng.gen_range(0.0..total);
+                    let mut chosen = weights.len() - 1;
+                    for (i, w) in weights.iter().enumerate() {
+                        if pick < *w {
+                            chosen = i;
+                            break;
+                        }
+                        pick -= w;
+                    }
+                    Some(self.lock.tas_waiters.swap_remove(chosen))
+                }
+            }
+            SimLockKind::Proportional { n } => {
+                let little_due = self.lock.bigs_since_little >= *n;
+                if little_due && !self.lock.little_q.is_empty() {
+                    self.lock.bigs_since_little = 0;
+                    self.lock.little_q.pop_front()
+                } else if !self.lock.big_q.is_empty() {
+                    self.lock.bigs_since_little += 1;
+                    self.lock.big_q.pop_front()
+                } else if !self.lock.little_q.is_empty() {
+                    self.lock.bigs_since_little = 0;
+                    self.lock.little_q.pop_front()
+                } else {
+                    None
+                }
+            }
+            SimLockKind::ClassBatched { batch } => {
+                let batch = *batch;
+                let (cur, other): (&mut VecDeque<usize>, &mut VecDeque<usize>) =
+                    if self.lock.cur_class_big {
+                        (&mut self.lock.big_q, &mut self.lock.little_q)
+                    } else {
+                        (&mut self.lock.little_q, &mut self.lock.big_q)
+                    };
+                if self.lock.class_run < batch && !cur.is_empty() {
+                    self.lock.class_run += 1;
+                    cur.pop_front()
+                } else if !other.is_empty() {
+                    // Batch exhausted (or cohort empty): switch class.
+                    self.lock.cur_class_big = !self.lock.cur_class_big;
+                    self.lock.class_run = 1;
+                    other.pop_front()
+                } else if !cur.is_empty() {
+                    // Other class has nobody waiting: keep batching.
+                    self.lock.class_run = 1;
+                    cur.pop_front()
+                } else {
+                    None
+                }
+            }
+            SimLockKind::Reorderable { .. } => {
+                if let Some(tid) = self.lock.fifo.pop_front() {
+                    Some(tid)
+                } else if !self.lock.standby.is_empty() {
+                    // The longest-waiting standby competitor's probe
+                    // finds the free lock first.
+                    let (idx, _) = self
+                        .lock
+                        .standby
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(_, rt))| rt)
+                        .expect("non-empty");
+                    let (tid, _) = self.lock.standby.swap_remove(idx);
+                    self.threads[tid].in_standby = false;
+                    self.threads[tid].standby_gen += 1; // cancel expiry
+                    Some(tid)
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(tid) = next {
+            self.grant(tid, t);
+        }
+    }
+
+    fn arrive(&mut self, tid: usize, t: u64) {
+        self.threads[tid].request_time = t;
+        let kind = self.lock.kind.clone();
+        match kind {
+            SimLockKind::Fifo => {
+                if self.lock.holder.is_none() && self.lock.fifo.is_empty() {
+                    self.grant(tid, t);
+                } else {
+                    self.lock.fifo.push_back(tid);
+                }
+            }
+            SimLockKind::TasAffinity { .. } => {
+                if self.lock.holder.is_none() && self.lock.tas_waiters.is_empty() {
+                    self.grant(tid, t);
+                } else {
+                    self.lock.tas_waiters.push(tid);
+                }
+            }
+            SimLockKind::Proportional { .. } => {
+                if self.lock.holder.is_none()
+                    && self.lock.big_q.is_empty()
+                    && self.lock.little_q.is_empty()
+                {
+                    self.grant(tid, t);
+                } else if self.threads[tid].big {
+                    self.lock.big_q.push_back(tid);
+                } else {
+                    self.lock.little_q.push_back(tid);
+                }
+            }
+            SimLockKind::ClassBatched { .. } => {
+                if self.lock.holder.is_none()
+                    && self.lock.big_q.is_empty()
+                    && self.lock.little_q.is_empty()
+                {
+                    self.lock.cur_class_big = self.threads[tid].big;
+                    self.lock.class_run = 1;
+                    self.grant(tid, t);
+                } else if self.threads[tid].big {
+                    self.lock.big_q.push_back(tid);
+                } else {
+                    self.lock.little_q.push_back(tid);
+                }
+            }
+            SimLockKind::Reorderable { feedback, static_window_ns } => {
+                let free = self.lock.holder.is_none() && self.lock.fifo.is_empty();
+                if self.threads[tid].big {
+                    if free {
+                        self.grant(tid, t);
+                    } else {
+                        self.lock.fifo.push_back(tid);
+                    }
+                } else if free {
+                    self.grant(tid, t);
+                } else {
+                    let window = if feedback {
+                        self.threads[tid].window
+                    } else {
+                        static_window_ns.unwrap_or(DEFAULT_MAX_WINDOW_NS)
+                    }
+                    .min(DEFAULT_MAX_WINDOW_NS);
+                    self.threads[tid].in_standby = true;
+                    self.threads[tid].standby_gen += 1;
+                    let gen = self.threads[tid].standby_gen;
+                    self.lock.standby.push((tid, t));
+                    self.q.push(t.saturating_add(window), Ev::WindowExpire(tid, gen));
+                }
+            }
+        }
+    }
+}
+
+/// Run one simulation to completion.
+pub fn run(cfg: &SimConfig) -> SimResult {
+    assert!(cfg.threads >= 1);
+    assert!(cfg.threads <= cfg.big_cores + cfg.little_cores, "one thread per core");
+
+    let threads: Vec<ThreadState> = (0..cfg.threads)
+        .map(|tid| ThreadState {
+            big: cfg.is_big(tid),
+            mult: cfg.multiplier(tid),
+            request_time: 0,
+            window: INIT_WINDOW_NS,
+            unit: UNIT_FLOOR_NS,
+            standby_gen: 0,
+            in_standby: false,
+        })
+        .collect();
+
+    let mut sim = Sim {
+        cfg,
+        rng: SmallRng::seed_from_u64(cfg.seed),
+        threads,
+        lock: LockModel {
+            kind: cfg.lock.clone(),
+            holder: None,
+            fifo: VecDeque::new(),
+            tas_waiters: Vec::new(),
+            big_q: VecDeque::new(),
+            little_q: VecDeque::new(),
+            bigs_since_little: 0,
+            cur_class_big: true,
+            class_run: 0,
+            standby: Vec::new(),
+        },
+        q: EventQueue::new(),
+    };
+
+    // Stagger initial arrivals to avoid lockstep.
+    for tid in 0..cfg.threads {
+        let t0 = sim.rng.gen_range(0..cfg.ncs_ns.max(2));
+        sim.q.push(t0, Ev::Arrive(tid));
+    }
+
+    let warmup = cfg.duration_ns / 10;
+    let mut big_samples: Vec<u64> = Vec::new();
+    let mut little_samples: Vec<u64> = Vec::new();
+    let (mut big_ops, mut little_ops) = (0u64, 0u64);
+
+    while let Some((t, ev)) = sim.q.pop() {
+        if t > cfg.duration_ns {
+            break;
+        }
+        match ev {
+            Ev::Arrive(tid) => sim.arrive(tid, t),
+            Ev::WindowExpire(tid, gen) => {
+                if sim.threads[tid].in_standby && sim.threads[tid].standby_gen == gen {
+                    sim.threads[tid].in_standby = false;
+                    sim.lock.standby.retain(|&(w, _)| w != tid);
+                    sim.lock.fifo.push_back(tid);
+                    sim.dispatch_next(t);
+                }
+            }
+            Ev::Release(tid) => {
+                sim.lock.holder = None;
+                let latency = t - sim.threads[tid].request_time;
+                if t >= warmup {
+                    if sim.threads[tid].big {
+                        big_ops += 1;
+                        big_samples.push(latency);
+                    } else {
+                        little_ops += 1;
+                        little_samples.push(latency);
+                    }
+                }
+                // Algorithm-2 feedback on little threads (one
+                // acquisition == one epoch in this model).
+                if let SimLockKind::Reorderable { feedback: true, .. } = sim.lock.kind {
+                    if !sim.threads[tid].big {
+                        if let Some(slo) = cfg.slo_ns {
+                            let st = &mut sim.threads[tid];
+                            if latency > slo {
+                                st.window >>= 1;
+                                st.unit = (st.window / 100).max(UNIT_FLOOR_NS);
+                            } else {
+                                st.window = (st.window + st.unit).min(DEFAULT_MAX_WINDOW_NS);
+                            }
+                        }
+                    }
+                }
+                let ncs = sim.jittered(cfg.ncs_ns as f64 * sim.threads[tid].mult);
+                sim.q.push(t + ncs, Ev::Arrive(tid));
+                sim.dispatch_next(t);
+            }
+        }
+    }
+
+    let measured_s = (cfg.duration_ns - warmup) as f64 / 1e9;
+    let total_ops = big_ops + little_ops;
+    let mut overall: Vec<u64> =
+        big_samples.iter().chain(little_samples.iter()).copied().collect();
+    SimResult {
+        total_ops,
+        big_ops,
+        little_ops,
+        throughput: total_ops as f64 / measured_s,
+        p99_big: percentile(&mut big_samples, 99.0),
+        p99_little: percentile(&mut little_samples, 99.0),
+        p99_overall: percentile(&mut overall, 99.0),
+    }
+}

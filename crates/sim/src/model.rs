@@ -1,0 +1,111 @@
+//! Simulation configuration and lock policy models.
+
+/// Which lock policy the simulated threads compete under.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimLockKind {
+    /// Strict arrival-order handover (MCS / ticket).
+    Fifo,
+    /// Unfair atomic race: on release, one waiter wins a weighted
+    /// lottery; the weights model the asymmetric TAS success rate.
+    TasAffinity {
+        /// Relative win weight of big-core waiters.
+        big_weight: f64,
+        /// Relative win weight of little-core waiters.
+        little_weight: f64,
+    },
+    /// Two class queues; `n` big grants per little grant (SHFL-PB).
+    Proportional {
+        /// Big grants per little grant.
+        n: u32,
+    },
+    /// NUMA-style class batching (CNA / cohort / Malthusian family):
+    /// up to `batch` consecutive grants stay within the holder's core
+    /// class, then the other class gets its turn — the long-term
+    /// fairness §2.2 blames for the AMP throughput collapse.
+    ClassBatched {
+        /// Maximum consecutive same-class grants.
+        batch: u32,
+    },
+    /// The LibASL reorderable model: big threads enqueue immediately,
+    /// little threads stand by for their reorder window.
+    Reorderable {
+        /// Drive windows with the Algorithm-2 SLO feedback (requires
+        /// [`SimConfig::slo_ns`]); otherwise use `static_window_ns`.
+        feedback: bool,
+        /// Fixed window when `feedback` is false (`None` = 100 ms).
+        static_window_ns: Option<u64>,
+    },
+}
+
+/// One simulated experiment.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Big cores in the machine.
+    pub big_cores: usize,
+    /// Little cores in the machine.
+    pub little_cores: usize,
+    /// Threads (bound big-cores-first; ≤ big+little).
+    pub threads: usize,
+    /// Little-core slowdown factor.
+    pub perf_ratio: f64,
+    /// Big-core critical-section duration (ns).
+    pub cs_ns: u64,
+    /// Big-core non-critical-section duration (ns).
+    pub ncs_ns: u64,
+    /// Simulated run length (ns).
+    pub duration_ns: u64,
+    /// Lock policy.
+    pub lock: SimLockKind,
+    /// Epoch SLO for the feedback model (ns).
+    pub slo_ns: Option<u64>,
+    /// RNG seed (jitter and TAS lotteries).
+    pub seed: u64,
+    /// Relative duration jitter in `[0, 1)` (0 = fully deterministic
+    /// durations; a little jitter avoids degenerate lockstep).
+    pub jitter: f64,
+}
+
+impl SimConfig {
+    /// Duration multiplier of thread `tid` under big-cores-first
+    /// binding.
+    pub fn multiplier(&self, tid: usize) -> f64 {
+        if tid % (self.big_cores + self.little_cores) < self.big_cores {
+            1.0
+        } else {
+            self.perf_ratio
+        }
+    }
+
+    /// Whether thread `tid` runs on a big core.
+    pub fn is_big(&self, tid: usize) -> bool {
+        self.multiplier(tid) == 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_big_first() {
+        let cfg = SimConfig {
+            big_cores: 4,
+            little_cores: 4,
+            threads: 8,
+            perf_ratio: 3.0,
+            cs_ns: 1,
+            ncs_ns: 1,
+            duration_ns: 1,
+            lock: SimLockKind::Fifo,
+            slo_ns: None,
+            seed: 0,
+            jitter: 0.0,
+        };
+        assert!(cfg.is_big(0));
+        assert!(cfg.is_big(3));
+        assert!(!cfg.is_big(4));
+        assert!(!cfg.is_big(7));
+        assert_eq!(cfg.multiplier(5), 3.0);
+        assert_eq!(cfg.multiplier(2), 1.0);
+    }
+}

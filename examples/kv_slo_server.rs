@@ -1,0 +1,99 @@
+//! A latency-critical KV "server" (the paper's Figure 6 usage model).
+//!
+//! The Kyoto-Cabinet-like engine from `asl-dbsim` handles a 50/50
+//! put/get request mix on an emulated M1. Each request handler is
+//! wrapped in an epoch with an SLO — the only integration work LibASL
+//! asks of an application. The example runs the same workload under
+//! MCS and under LibASL at two SLOs, printing the familiar
+//! throughput-vs-tail-latency trade.
+//!
+//! Run with: `cargo run --release --example kv_slo_server`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use libasl::dbsim::kyoto::Kyoto;
+use libasl::dbsim::{Engine, LockFactory};
+use libasl::harness::locks::LockSpec;
+use libasl::harness::runner::{run_timed_with_setup, RunConfig};
+use libasl::locks::plain::PlainLock;
+use libasl::runtime::Topology;
+
+struct SpecFactory(LockSpec);
+impl LockFactory for SpecFactory {
+    fn make(&self) -> Arc<dyn PlainLock> {
+        self.0.make_lock()
+    }
+}
+
+fn serve(spec: &LockSpec) -> (f64, f64, f64) {
+    let engine = Arc::new(Kyoto::with_default_size(&SpecFactory(spec.clone())));
+    let cfg = RunConfig {
+        topology: Topology::apple_m1(),
+        threads: 8,
+        duration: Duration::from_millis(500),
+        warmup: Duration::from_millis(100),
+        pin: true,
+    };
+    let slo = spec.epoch_slo();
+    let engine2 = engine.clone();
+    let r = run_timed_with_setup(
+        &cfg,
+        |ctx| {
+            libasl::epoch::reset_thread_epochs();
+            libasl::harness::figures::seed_tls_rng(ctx.index);
+        },
+        move |_| {
+            let run = || {
+                libasl::harness::figures::with_tls_rng(|rng| engine2.run_request(rng))
+            };
+            match slo {
+                // The paper's integration: 2 lines around the handler.
+                Some(slo) => libasl::epoch::with_epoch_timed(0, slo, run).1,
+                None => {
+                    let t0 = libasl::runtime::clock::now_ns();
+                    run();
+                    libasl::runtime::clock::now_ns() - t0
+                }
+            }
+        },
+    );
+    (
+        r.throughput,
+        r.overall.p99() as f64 / 1_000.0,
+        r.little.p99() as f64 / 1_000.0,
+    )
+}
+
+fn main() {
+    println!("kyoto-like KV store, 8 threads on emulated M1 (50% put / 50% get)\n");
+    println!(
+        "{:<16} {:>14} {:>16} {:>16}",
+        "lock", "ops/s", "overall P99 (us)", "little P99 (us)"
+    );
+
+    // Baseline: FIFO MCS.
+    let (thpt, p99, lp99) = serve(&LockSpec::Mcs);
+    println!("{:<16} {:>14.0} {:>16.1} {:>16.1}", "mcs", thpt, p99, lp99);
+    let anchor = (p99 * 1_000.0) as u64;
+
+    // LibASL at a tight and a loose SLO (anchored on the MCS tail).
+    for (label, slo) in [("libasl (tight)", anchor * 3 / 2), ("libasl (loose)", anchor * 4)] {
+        let (thpt, p99, lp99) = serve(&LockSpec::Asl { slo_ns: Some(slo) });
+        println!(
+            "{:<16} {:>14.0} {:>16.1} {:>16.1}   (SLO {} us)",
+            label,
+            thpt,
+            p99,
+            lp99,
+            slo / 1_000
+        );
+    }
+
+    // LibASL-MAX: throughput first, latency unconstrained.
+    let (thpt, p99, lp99) = serve(&LockSpec::Asl { slo_ns: None });
+    println!("{:<16} {:>14.0} {:>16.1} {:>16.1}", "libasl-max", thpt, p99, lp99);
+
+    println!("\nexpected shape: LibASL trades little-core tail latency (up to its SLO)");
+    println!("for throughput; the loose SLO should approach libasl-max throughput.");
+}

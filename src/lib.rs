@@ -1,0 +1,61 @@
+//! # libasl — asymmetry-aware scalable locking
+//!
+//! A comprehensive Rust reproduction of *"Asymmetry-aware Scalable
+//! Locking"* (Liu et al., PPoPP 2022): the LibASL lock, every baseline
+//! it is evaluated against, the asymmetric-multicore substrate the
+//! evaluation needs, five database-like workloads, a deterministic
+//! simulator, and a harness regenerating every figure of the paper's
+//! evaluation.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`runtime`] — virtual AMP topologies, core registry, emulated
+//!   work, cache-line arenas ([`asl_runtime`]).
+//! * [`locks`] — the lock zoo: TAS, ticket, back-off, MCS, CLH,
+//!   proportional (SHFL-PB), futex mutex, spin-then-park MCS
+//!   ([`asl_locks`]).
+//! * [`core`] — LibASL itself: reorderable lock, epoch/SLO feedback,
+//!   the [`Mutex`] dispatch ([`asl_core`]).
+//! * [`sim`] — deterministic discrete-event simulation of the same
+//!   lock models ([`asl_sim`]).
+//! * [`dbsim`] — the five miniature storage engines of the paper's
+//!   application benchmarks ([`asl_dbsim`]).
+//! * [`harness`] — measurement, per-figure reproduction drivers and
+//!   the `repro` CLI ([`asl_harness`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use libasl::{epoch, Mutex};
+//! use libasl::runtime::{register_on_core, Topology};
+//! use libasl::runtime::topology::CoreId;
+//!
+//! // Describe the AMP; register this thread on a little core.
+//! let topo = Topology::apple_m1();
+//! register_on_core(&topo, CoreId(4));
+//!
+//! let inventory = Mutex::new(0u64);
+//!
+//! // A latency-critical request handler with a 2 ms SLO (epoch 0).
+//! epoch::with_epoch(0, 2_000_000, || {
+//!     *inventory.lock() += 1;
+//! });
+//! assert_eq!(*inventory.lock(), 1);
+//! ```
+
+pub use asl_core as core;
+pub use asl_dbsim as dbsim;
+pub use asl_harness as harness;
+pub use asl_locks as locks;
+pub use asl_runtime as runtime;
+pub use asl_sim as sim;
+
+pub use asl_core::epoch;
+pub use asl_core::{
+    AslBlockingLock, AslCondvar, AslLock, AslMutex, AslSpinLock, ReorderableLock,
+};
+pub use asl_runtime::{CoreKind, Topology};
+
+/// The recommended application-facing mutex: LibASL dispatch over a
+/// reorderable MCS lock.
+pub type Mutex<T> = asl_core::AslMutex<T>;

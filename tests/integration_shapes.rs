@@ -1,0 +1,208 @@
+//! Figure-shape assertions on the deterministic simulator plus quick
+//! real-thread cross-checks of the headline claims.
+//!
+//! These tests encode the paper's *qualitative* results — who wins,
+//! roughly by how much, where behaviour flips — so regressions in any
+//! lock or in the feedback loop show up as failed shapes.
+
+use libasl::sim::{run, SimConfig, SimLockKind};
+
+fn cfg(lock: SimLockKind) -> SimConfig {
+    SimConfig {
+        big_cores: 4,
+        little_cores: 4,
+        threads: 8,
+        perf_ratio: 3.0,
+        cs_ns: 2_000,
+        ncs_ns: 2_000,
+        duration_ns: 300_000_000,
+        lock,
+        slo_ns: None,
+        seed: 11,
+        jitter: 0.05,
+    }
+}
+
+#[test]
+fn fig1_shape_fifo_and_tas_collapse() {
+    // Figure 1: scaling from 4 big cores to 4+4 collapses FIFO
+    // throughput; little-affinity TAS is even worse on throughput and
+    // collapses big-core latency.
+    let mut fifo4 = cfg(SimLockKind::Fifo);
+    fifo4.threads = 4;
+    let f4 = run(&fifo4);
+    let f8 = run(&cfg(SimLockKind::Fifo));
+    let t8 = run(&cfg(SimLockKind::TasAffinity { big_weight: 1.0, little_weight: 50.0 }));
+
+    assert!(f8.throughput < f4.throughput, "FIFO collapse");
+    assert!(
+        t8.throughput < f8.throughput * 1.05,
+        "little-affinity TAS should not beat FIFO (paper: 35% worse)"
+    );
+    assert!(
+        t8.p99_big > f8.p99_overall * 2,
+        "TAS latency collapse: {} vs FIFO {}",
+        t8.p99_big,
+        f8.p99_overall
+    );
+}
+
+#[test]
+fn fig4_shape_big_affinity_tas_beats_mcs_on_throughput_only() {
+    let f8 = run(&cfg(SimLockKind::Fifo));
+    let t8 = run(&cfg(SimLockKind::TasAffinity { big_weight: 50.0, little_weight: 1.0 }));
+    assert!(
+        t8.throughput > f8.throughput * 1.15,
+        "paper: +32% throughput; got {} vs {}",
+        t8.throughput,
+        f8.throughput
+    );
+    assert!(t8.p99_little > f8.p99_little * 2, "but little-core tail collapses");
+}
+
+#[test]
+fn fig5_shape_proportion_sweep_is_a_tradeoff_curve() {
+    // Larger proportion => more throughput and a longer little tail,
+    // monotone-ish along the sweep.
+    let mut last_thpt = 0.0;
+    let mut first_tail = 0;
+    let mut last_tail = 0;
+    for n in [0u32, 2, 8, 29] {
+        let r = run(&cfg(SimLockKind::Proportional { n }));
+        assert!(
+            r.throughput > last_thpt * 0.95,
+            "throughput should not drop along the sweep (n={n})"
+        );
+        last_thpt = r.throughput;
+        if n == 0 {
+            first_tail = r.p99_little;
+        }
+        last_tail = r.p99_little;
+    }
+    assert!(last_tail > first_tail, "tail must grow with the proportion");
+}
+
+#[test]
+fn fig8b_shape_throughput_monotone_in_slo_and_tail_tracks_slo() {
+    let mut prev = 0.0;
+    for slo in [20_000u64, 60_000, 200_000, 1_000_000] {
+        let mut c = cfg(SimLockKind::Reorderable { feedback: true, static_window_ns: None });
+        c.slo_ns = Some(slo);
+        let r = run(&c);
+        assert!(
+            r.throughput >= prev * 0.97,
+            "throughput should grow with SLO (slo={slo}): {} < {}",
+            r.throughput,
+            prev
+        );
+        prev = r.throughput;
+        // Feedback keeps the little tail near (not wildly past) the SLO.
+        assert!(
+            r.p99_little <= slo.saturating_mul(14) / 10 + 10_000,
+            "slo={slo}: little P99 {} too far past SLO",
+            r.p99_little
+        );
+    }
+}
+
+#[test]
+fn fig8e_shape_libasl_max_keeps_big_core_throughput() {
+    let mut fifo4 = cfg(SimLockKind::Fifo);
+    fifo4.threads = 4;
+    let f4 = run(&fifo4);
+    let asl = run(&cfg(SimLockKind::Reorderable {
+        feedback: false,
+        static_window_ns: Some(100_000_000),
+    }));
+    // Paper Fig. 8e: LibASL-MAX throughput "does not drop at all"
+    // when little cores join.
+    assert!(
+        asl.throughput > f4.throughput * 0.85,
+        "LibASL-MAX {} vs 4-big FIFO {}",
+        asl.throughput,
+        f4.throughput
+    );
+}
+
+#[test]
+fn fig8g_shape_little_cores_help_at_low_contention() {
+    // At low contention (long NCS), 8 cores under LibASL beat 4 big
+    // cores — the paper's 68% observation.
+    let mk = |threads: usize, lock: SimLockKind, ncs: u64| {
+        let mut c = cfg(lock);
+        c.threads = threads;
+        c.ncs_ns = ncs;
+        run(&c)
+    };
+    let low_contention_ncs = 200_000; // 100x the CS
+    let big_only = mk(4, SimLockKind::Fifo, low_contention_ncs);
+    let asl_all = mk(
+        8,
+        SimLockKind::Reorderable { feedback: false, static_window_ns: Some(100_000_000) },
+        low_contention_ncs,
+    );
+    assert!(
+        asl_all.throughput > big_only.throughput * 1.3,
+        "little cores should add throughput at low contention: {} vs {}",
+        asl_all.throughput,
+        big_only.throughput
+    );
+
+    // And at very high contention LibASL ~ matches 4-big-core FIFO.
+    let big_only_hot = mk(4, SimLockKind::Fifo, 200);
+    let asl_hot = mk(
+        8,
+        SimLockKind::Reorderable { feedback: false, static_window_ns: Some(100_000_000) },
+        200,
+    );
+    let ratio = asl_hot.throughput / big_only_hot.throughput;
+    assert!(
+        (0.8..1.3).contains(&ratio),
+        "under saturation LibASL should track MCS-4: ratio {ratio:.2}"
+    );
+}
+
+#[test]
+fn theoretical_speedup_bound_respected() {
+    // Footnote 5: LibASL's gain over FIFO is bounded by (r+1)/2.
+    let fifo = run(&cfg(SimLockKind::Fifo));
+    let asl = run(&cfg(SimLockKind::Reorderable {
+        feedback: false,
+        static_window_ns: Some(100_000_000),
+    }));
+    let bound = (3.0 + 1.0) / 2.0; // perf_ratio 3.0
+    let speedup = asl.throughput / fifo.throughput;
+    assert!(speedup > 1.05, "LibASL must beat FIFO under contention");
+    assert!(
+        speedup <= bound * 1.15,
+        "speedup {speedup:.2} exceeds the theoretical bound {bound:.2}"
+    );
+}
+
+#[test]
+fn slo_feedback_outperforms_fifo_and_respects_slo_vs_static() {
+    // The feedback window should land near the best static window for
+    // the same observed tail.
+    let slo = 80_000u64;
+    let mut fb = cfg(SimLockKind::Reorderable { feedback: true, static_window_ns: None });
+    fb.slo_ns = Some(slo);
+    let r_fb = run(&fb);
+
+    // Offline-optimal static window search (the paper's LibASL-OPT).
+    let mut best_static = 0.0f64;
+    for w in [5_000u64, 10_000, 20_000, 40_000, 80_000, 160_000] {
+        let c = cfg(SimLockKind::Reorderable { feedback: false, static_window_ns: Some(w) });
+        let r = run(&c);
+        if r.p99_little <= slo * 12 / 10 {
+            best_static = best_static.max(r.throughput);
+        }
+    }
+    assert!(best_static > 0.0, "some static window must satisfy the SLO");
+    // Paper Fig. 8a: feedback costs only ~6% against OPT.
+    assert!(
+        r_fb.throughput > best_static * 0.75,
+        "feedback {} too far below static-optimal {}",
+        r_fb.throughput,
+        best_static
+    );
+}

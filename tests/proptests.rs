@@ -1,0 +1,279 @@
+//! Workspace-wide property-based tests (proptest).
+
+use std::sync::Arc;
+
+use libasl::dbsim::LockFactory;
+use libasl::harness::Hist;
+use libasl::locks::plain::PlainLock;
+use libasl::sim::{run, SimConfig, SimLockKind};
+use proptest::prelude::*;
+
+fn mcs_factory() -> impl LockFactory {
+    || -> Arc<dyn PlainLock> { Arc::new(libasl::locks::McsLock::new()) }
+}
+
+/// Naive exact percentile for cross-checking the histogram.
+fn exact_percentile(values: &mut Vec<u64>, p: f64) -> u64 {
+    values.sort_unstable();
+    let rank = ((p / 100.0) * values.len() as f64).ceil().max(1.0) as usize;
+    values[rank.min(values.len()) - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hist_percentiles_match_exact_within_bucket_error(
+        mut values in prop::collection::vec(1u64..1_000_000_000, 1..500),
+        p in 1.0f64..100.0,
+    ) {
+        let mut h = Hist::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let approx = h.percentile(p) as f64;
+        let exact = exact_percentile(&mut values, p) as f64;
+        // Log-linear buckets with 32 sub-buckets: <= ~3.5% relative
+        // error (plus nothing for exact small values).
+        let err = (approx - exact).abs() / exact.max(1.0);
+        prop_assert!(err < 0.04, "p{p:.1}: approx {approx} vs exact {exact} (err {err:.4})");
+    }
+
+    #[test]
+    fn hist_merge_is_sum(
+        a in prop::collection::vec(1u64..1_000_000, 0..200),
+        b in prop::collection::vec(1u64..1_000_000, 0..200),
+    ) {
+        let mut ha = Hist::new();
+        let mut hb = Hist::new();
+        let mut hall = Hist::new();
+        for &v in &a { ha.record(v); hall.record(v); }
+        for &v in &b { hb.record(v); hall.record(v); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hall.count());
+        prop_assert_eq!(ha.min(), hall.min());
+        prop_assert_eq!(ha.max(), hall.max());
+        prop_assert_eq!(ha.percentile(99.0), hall.percentile(99.0));
+    }
+
+    #[test]
+    fn hist_cdf_is_monotone(values in prop::collection::vec(1u64..1_000_000_000, 1..300)) {
+        let mut h = Hist::new();
+        for &v in &values { h.record(v); }
+        let cdf = h.cdf();
+        prop_assert!(!cdf.is_empty());
+        let mut prev = (0u64, 0.0f64);
+        for (v, f) in cdf {
+            prop_assert!(v >= prev.0 && f >= prev.1);
+            prev = (v, f);
+        }
+        prop_assert!((prev.1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sim_is_deterministic(
+        seed in 0u64..1_000,
+        cs in 500u64..5_000,
+        ncs in 500u64..5_000,
+    ) {
+        let cfg = SimConfig {
+            big_cores: 4, little_cores: 4, threads: 8,
+            perf_ratio: 3.0, cs_ns: cs, ncs_ns: ncs,
+            duration_ns: 20_000_000,
+            lock: SimLockKind::Fifo, slo_ns: None, seed, jitter: 0.05,
+        };
+        let a = run(&cfg);
+        let b = run(&cfg);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sim_reorderable_never_starves_little(
+        seed in 0u64..200,
+        window in 1_000u64..1_000_000,
+    ) {
+        let cfg = SimConfig {
+            big_cores: 4, little_cores: 4, threads: 8,
+            perf_ratio: 3.0, cs_ns: 2_000, ncs_ns: 1_000,
+            duration_ns: 100_000_000,
+            lock: SimLockKind::Reorderable { feedback: false, static_window_ns: Some(window) },
+            slo_ns: None, seed, jitter: 0.05,
+        };
+        let r = run(&cfg);
+        // Bounded windows guarantee little-core progress.
+        prop_assert!(r.little_ops > 0, "little cores starved at window {window}");
+        prop_assert!(r.big_ops > 0);
+    }
+
+    #[test]
+    fn sim_bigger_window_never_hurts_throughput_much(
+        seed in 0u64..50,
+    ) {
+        let mk = |w: u64| SimConfig {
+            big_cores: 4, little_cores: 4, threads: 8,
+            perf_ratio: 3.0, cs_ns: 2_000, ncs_ns: 1_000,
+            duration_ns: 100_000_000,
+            lock: SimLockKind::Reorderable { feedback: false, static_window_ns: Some(w) },
+            slo_ns: None, seed, jitter: 0.05,
+        };
+        let small = run(&mk(1_000)).throughput;
+        let large = run(&mk(10_000_000)).throughput;
+        // Monotone-ish: a larger reorder window (more reordering) must
+        // not lose more than noise.
+        prop_assert!(large > small * 0.9, "window 10ms {large:.0} << window 1us {small:.0}");
+    }
+
+    #[test]
+    fn kyoto_agrees_with_hashmap_model(
+        ops in prop::collection::vec((0u64..500, any::<bool>()), 1..300),
+    ) {
+        let db = libasl::dbsim::kyoto::Kyoto::new(&mcs_factory(), 4);
+        let mut model = std::collections::HashMap::new();
+        for (key, is_put) in ops {
+            if is_put {
+                let v = libasl::dbsim::value_for(key);
+                db.put(key, v);
+                model.insert(key, v);
+            } else {
+                prop_assert_eq!(db.get(key), model.get(&key).copied());
+            }
+        }
+        prop_assert_eq!(db.len(), model.len());
+    }
+
+    #[test]
+    fn sqlite_point_queries_agree_with_model(
+        rows in prop::collection::vec((0u64..1_000, 0u64..1_000), 1..60),
+    ) {
+        let db = libasl::dbsim::sqlite::Sqlite::new(&mcs_factory(), 0);
+        let mut model = std::collections::HashMap::new();
+        for (indexed, payload) in rows {
+            db.insert(indexed, payload);
+            model.insert(indexed, payload); // last writer wins in the index
+        }
+        for (indexed, payload) in &model {
+            let row = db.select_point(*indexed);
+            prop_assert!(row.is_some());
+            prop_assert_eq!(row.unwrap().payload, *payload);
+        }
+    }
+
+    #[test]
+    fn proportional_policy_share_converges(
+        n in 1u32..20,
+        rounds in 200usize..2_000,
+    ) {
+        // With both classes always waiting, the proportional shuffle
+        // policy must grant bigs n/(n+1) of the time (±10%).
+        use libasl::locks::shuffle::{Candidate, ProportionalPolicy, ShufflePolicy};
+        use libasl::runtime::CoreKind;
+        let p = ProportionalPolicy::new(n);
+        let cands = [
+            Candidate { kind: CoreKind::Big, position: 0, eligible: true },
+            Candidate { kind: CoreKind::Little, position: 1, eligible: true },
+        ];
+        let mut big = 0usize;
+        for _ in 0..rounds {
+            if p.pick(CoreKind::Big, &cands) == 0 {
+                big += 1;
+            }
+        }
+        let share = big as f64 / rounds as f64;
+        let expect = n as f64 / (n as f64 + 1.0);
+        prop_assert!(
+            (share - expect).abs() < 0.1,
+            "n={n}: share {share:.3} vs expected {expect:.3}"
+        );
+    }
+
+    #[test]
+    fn class_local_policy_skips_bounded(
+        max_skips in 1u32..32,
+        rounds in 100usize..1_000,
+    ) {
+        // The class-local policy may pass over the front waiter at
+        // most `max_skips` times in a row before forcing FIFO.
+        use libasl::locks::shuffle::{Candidate, ClassLocalPolicy, ShufflePolicy};
+        use libasl::runtime::CoreKind;
+        let p = ClassLocalPolicy::new(max_skips);
+        // Front is always Little, a Big (releaser-class) waiter sits
+        // behind it: the policy wants to skip every time.
+        let cands = [
+            Candidate { kind: CoreKind::Little, position: 0, eligible: true },
+            Candidate { kind: CoreKind::Big, position: 1, eligible: true },
+        ];
+        let mut consecutive = 0u32;
+        for _ in 0..rounds {
+            if p.pick(CoreKind::Big, &cands) == 0 {
+                consecutive = 0;
+            } else {
+                consecutive += 1;
+                prop_assert!(
+                    consecutive <= max_skips,
+                    "front waiter skipped {consecutive} > bound {max_skips}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_samples_in_range_any_params(
+        n in 1u64..100_000,
+        theta_milli in 1u64..999,
+        seed in 0u64..1_000,
+    ) {
+        use libasl::dbsim::workload::Zipfian;
+        use rand::SeedableRng;
+        let z = Zipfian::new(n, theta_milli as f64 / 1_000.0);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn epoch_feedback_window_bounded(
+        initial in 1u64..100_000_000,
+        outcomes in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        // Model of Algorithm 2: the window must always stay within
+        // [0, max_window] no matter the violation sequence.
+        let max_window = 100_000_000u64;
+        let pct = 99u64;
+        let mut window = initial.min(max_window);
+        let mut unit = (window * (100 - pct) / 100).max(100);
+        for violated in outcomes {
+            if violated {
+                window >>= 1;
+                unit = (window * (100 - pct) / 100).max(100);
+            } else {
+                window = (window + unit).min(max_window);
+            }
+            prop_assert!(window <= max_window);
+        }
+    }
+}
+
+#[test]
+fn lmdb_versions_monotone_under_concurrency() {
+    use rand::SeedableRng;
+    let db = Arc::new(libasl::dbsim::lmdb::Lmdb::new(&mcs_factory()));
+    let mut handles = vec![];
+    for i in 0..4 {
+        let db = db.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(i);
+            let mut last = 0;
+            for _ in 0..500 {
+                use libasl::dbsim::Engine;
+                db.run_request(&mut rng);
+                let v = db.version();
+                assert!(v >= last, "version went backwards");
+                last = v;
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
