@@ -28,15 +28,15 @@ fn uncontended_locks(c: &mut Criterion) {
     let tas = TasLock::new();
     g.bench_function("tas", |b| {
         b.iter(|| {
-            let t = tas.lock();
-            tas.unlock(t);
+            tas.lock();
+            tas.unlock(());
         })
     });
     let ticket = TicketLock::new();
     g.bench_function("ticket", |b| {
         b.iter(|| {
-            let t = ticket.lock();
-            ticket.unlock(t);
+            ticket.lock();
+            ticket.unlock(());
         })
     });
     let mcs = McsLock::new();
@@ -49,8 +49,8 @@ fn uncontended_locks(c: &mut Criterion) {
     let pthread = PthreadMutex::new();
     g.bench_function("pthread", |b| {
         b.iter(|| {
-            let t = pthread.lock();
-            pthread.unlock(t);
+            pthread.lock();
+            pthread.unlock(());
         })
     });
     let asl = asl_core::AslSpinLock::default();

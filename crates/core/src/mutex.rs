@@ -352,9 +352,9 @@ mod tests {
     #[test]
     fn blocking_variant_works() {
         let lock = AslBlockingLock::new_blocking();
-        let t = lock.lock();
+        lock.lock();
         assert!(lock.is_locked());
-        lock.unlock(t);
+        lock.unlock(());
         assert!(!lock.is_locked());
     }
 

@@ -234,18 +234,18 @@ mod tests {
     #[test]
     fn zero_window_degenerates_to_fifo() {
         let l = Arc::new(ReorderableLock::new(TicketLock::new()));
-        let t = l.lock_immediately();
+        l.lock_immediately();
         let l2 = l.clone();
         let h = std::thread::spawn(move || {
-            let tok = l2.lock_reorder(0);
-            l2.unlock(tok);
+            l2.lock_reorder(0);
+            l2.unlock(());
         });
         // Hold the lock until the zero-window competitor has joined
         // the FIFO queue (it must not wait out any window first).
         while l.inner().queue_depth() < 2 {
-            std::hint::spin_loop();
+            std::thread::yield_now();
         }
-        l.unlock(t);
+        l.unlock(());
         h.join().unwrap();
         assert_eq!(l.stats().snapshot().standby_expired, 1);
     }

@@ -41,6 +41,7 @@ impl WaitPolicy for SpinWait {
     fn standby_wait(&self, deadline_ns: u64, is_free: &dyn Fn() -> bool) -> WaitOutcome {
         let mut cnt: u64 = 0;
         let mut next_check: u64 = 1;
+        let mut spin = asl_runtime::relax::Spin::new();
         while now_ns() < deadline_ns {
             cnt += 1;
             if cnt == next_check {
@@ -49,7 +50,7 @@ impl WaitPolicy for SpinWait {
                 }
                 next_check <<= 1;
             }
-            std::hint::spin_loop();
+            spin.relax();
         }
         WaitOutcome::WindowExpired
     }
@@ -105,12 +106,13 @@ pub struct FixedCheckWait {
 impl WaitPolicy for FixedCheckWait {
     fn standby_wait(&self, deadline_ns: u64, is_free: &dyn Fn() -> bool) -> WaitOutcome {
         let mut cnt: u64 = 0;
+        let mut spin = asl_runtime::relax::Spin::new();
         while now_ns() < deadline_ns {
             cnt += 1;
             if cnt % self.interval.max(1) == 0 && is_free() {
                 return WaitOutcome::ObservedFree;
             }
-            std::hint::spin_loop();
+            spin.relax();
         }
         WaitOutcome::WindowExpired
     }
@@ -171,8 +173,12 @@ mod tests {
 
     #[test]
     fn fixed_check_probes_linearly() {
+        // interval 10 over a 20 ms window: >64 probes needs only ~650
+        // loop iterations (~30 µs/iteration budget), which holds even
+        // when every relax() is a contended scheduler yield on a
+        // single-CPU machine rather than a spin hint.
         let probes = AtomicU64::new(0);
-        FixedCheckWait { interval: 100 }.standby_wait(now_ns() + 1_000_000, &|| {
+        FixedCheckWait { interval: 10 }.standby_wait(now_ns() + 20_000_000, &|| {
             probes.fetch_add(1, Ordering::Relaxed);
             false
         });

@@ -151,6 +151,6 @@ mod tests {
             h.join().unwrap();
         }
         assert!(db.version() > 0);
-        assert!(db.len() > 0);
+        assert!(!db.is_empty());
     }
 }

@@ -239,7 +239,7 @@ mod tests {
     fn key_dist_uniform_covers_space() {
         let d = KeyDist::Uniform { n: 64 };
         let mut rng = SmallRng::seed_from_u64(4);
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for _ in 0..10_000 {
             seen[d.sample(&mut rng) as usize] = true;
         }

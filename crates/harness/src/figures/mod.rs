@@ -103,10 +103,13 @@ pub fn run_micro_on(
     )
 }
 
+/// A figure-reproduction entry point: profile in, tables out.
+pub type FigureFn = fn(&Profile) -> Vec<Table>;
+
 /// All registered figures, in paper order.
-pub fn registry() -> Vec<(&'static str, fn(&Profile) -> Vec<Table>)> {
+pub fn registry() -> Vec<(&'static str, FigureFn)> {
     vec![
-        ("fig1", micro::fig1 as fn(&Profile) -> Vec<Table>),
+        ("fig1", micro::fig1 as FigureFn),
         ("fig4", micro::fig4),
         ("fig5", micro::fig5),
         ("fig8a", bench1::fig8a),
@@ -177,12 +180,12 @@ mod tests {
     #[test]
     fn tls_rng_reseeds_per_worker() {
         seed_tls_rng(3);
-        let a = with_tls_rng(|r| rand::Rng::gen::<u64>(r));
+        let a = with_tls_rng(rand::Rng::gen::<u64>);
         seed_tls_rng(3);
-        let b = with_tls_rng(|r| rand::Rng::gen::<u64>(r));
+        let b = with_tls_rng(rand::Rng::gen::<u64>);
         assert_eq!(a, b, "same seed must reproduce");
         seed_tls_rng(4);
-        let c = with_tls_rng(|r| rand::Rng::gen::<u64>(r));
+        let c = with_tls_rng(rand::Rng::gen::<u64>);
         assert_ne!(a, c, "different workers must diverge");
     }
 }

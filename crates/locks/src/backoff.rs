@@ -41,7 +41,7 @@ impl RawLock for BackoffLock {
     type Token = ();
 
     #[inline]
-    fn lock(&self) -> () {
+    fn lock(&self) {
         let mut backoff = self.min_units;
         loop {
             if !self.locked.swap(true, Ordering::Acquire) {
@@ -49,8 +49,9 @@ impl RawLock for BackoffLock {
             }
             execute_raw_units(backoff);
             backoff = (backoff * 2).min(self.max_units);
+            let mut spin = asl_runtime::relax::Spin::new();
             while self.locked.load(Ordering::Relaxed) {
-                std::hint::spin_loop();
+                spin.relax();
             }
         }
     }
@@ -80,10 +81,10 @@ mod tests {
     #[test]
     fn basic() {
         let l = BackoffLock::new();
-        let t = l.lock();
+        l.lock();
         assert!(l.is_locked());
         assert!(l.try_lock().is_none());
-        l.unlock(t);
+        l.unlock(());
         assert!(!l.is_locked());
     }
 

@@ -46,7 +46,7 @@ impl RawLock for PthreadMutex {
     type Token = ();
 
     #[inline]
-    fn lock(&self) -> () {
+    fn lock(&self) {
         if self
             .state
             .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
@@ -270,12 +270,13 @@ impl RawLock for McsStpLock {
                     put_node(node);
                     return;
                 }
+                let mut spin = asl_runtime::relax::Spin::new();
                 loop {
                     next = node.as_ref().next.load(Ordering::Acquire);
                     if !next.is_null() {
                         break;
                     }
-                    std::hint::spin_loop();
+                    spin.relax();
                 }
             }
             // Grant. If the successor already parked, its thread
@@ -323,10 +324,10 @@ mod tests {
     fn pthread_basic() {
         let l = PthreadMutex::new();
         assert!(!l.is_locked());
-        let t = l.lock();
+        l.lock();
         assert!(l.is_locked());
         assert!(l.try_lock().is_none());
-        l.unlock(t);
+        l.unlock(());
         assert!(!l.is_locked());
     }
 
@@ -338,9 +339,9 @@ mod tests {
             let l = l.clone();
             handles.push(std::thread::spawn(move || {
                 for _ in 0..5_000 {
-                    let t = l.lock();
+                    l.lock();
                     std::hint::black_box(());
-                    l.unlock(t);
+                    l.unlock(());
                 }
             }));
         }

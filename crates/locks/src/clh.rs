@@ -98,9 +98,10 @@ impl RawLock for ClhLock {
         let pred = self.tail.swap(node.as_ptr(), Ordering::AcqRel);
         // SAFETY: `pred` stays alive until *we* recycle it at unlock.
         let pred = unsafe { NonNull::new_unchecked(pred) };
+        let mut spin = asl_runtime::relax::Spin::new();
         unsafe {
             while pred.as_ref().state.load(Ordering::Acquire) == HELD {
-                std::hint::spin_loop();
+                spin.relax();
             }
         }
         ClhToken { node, pred }

@@ -152,12 +152,13 @@ impl CnaLock {
     /// Wait for `node`'s successor link to appear (an enqueuer has
     /// swapped the tail but not yet stored the link).
     fn wait_for_link(node: NonNull<CnaNode>) -> *mut CnaNode {
+        let mut spin = asl_runtime::relax::Spin::new();
         loop {
             let next = unsafe { node.as_ref() }.next.load(Ordering::Acquire);
             if !next.is_null() {
                 return next;
             }
-            std::hint::spin_loop();
+            spin.relax();
         }
     }
 
@@ -202,10 +203,11 @@ impl RawLock for CnaLock {
         let pred = self.tail.swap(node.as_ptr(), Ordering::AcqRel);
         if !pred.is_null() {
             // SAFETY: `pred` is not recycled until we store the link.
+            let mut spin = asl_runtime::relax::Spin::new();
             unsafe {
                 (*pred).next.store(node.as_ptr(), Ordering::Release);
                 while node.as_ref().state.load(Ordering::Acquire) == WAITING {
-                    std::hint::spin_loop();
+                    spin.relax();
                 }
             }
         }

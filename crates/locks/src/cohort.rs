@@ -168,11 +168,12 @@ impl RawLock for CohortLock {
             self.batch.set(0);
         } else {
             // SAFETY: `pred` is pinned until we store the link.
+            let mut spin = asl_runtime::relax::Spin::new();
             unsafe {
                 (*pred).next.store(node.as_ptr(), Ordering::Release);
                 loop {
                     match node.as_ref().state.load(Ordering::Acquire) {
-                        WAITING => std::hint::spin_loop(),
+                        WAITING => spin.relax(),
                         GRANTED_GLOBAL => break, // cohort pass: global is ours
                         _ => {
                             // Local lock only: take the global myself.
@@ -237,12 +238,13 @@ impl RawLock for CohortLock {
                     put_node(node);
                     return;
                 }
+                let mut spin = asl_runtime::relax::Spin::new();
                 loop {
                     next = node.as_ref().next.load(Ordering::Acquire);
                     if !next.is_null() {
                         break;
                     }
-                    std::hint::spin_loop();
+                    spin.relax();
                 }
             }
             let batch = self.batch.get() + 1;

@@ -173,6 +173,7 @@ where
         unsafe { (*slot.op.get()).write(op) };
         slot.seq.store(SLOT_PENDING, Ordering::Release);
 
+        let mut spin = asl_runtime::relax::Spin::new();
         loop {
             if slot.seq.load(Ordering::Acquire) == SLOT_DONE {
                 break;
@@ -186,7 +187,7 @@ where
                 debug_assert_eq!(slot.seq.load(Ordering::Relaxed), SLOT_DONE);
                 break;
             }
-            std::hint::spin_loop();
+            spin.relax();
         }
         slot.seq.store(SLOT_EMPTY, Ordering::Relaxed);
         // SAFETY: DONE guarantees an initialized result written by
@@ -232,12 +233,15 @@ where
     /// critical sections (pin it to a big core first). Returns when
     /// [`DedicatedServer::shutdown`] is called.
     pub fn serve(&self) {
+        let mut spin = asl_runtime::relax::Spin::new();
         while !self.stop.load(Ordering::Acquire) {
             // SAFETY: the server is the only executor (no combiner
             // lock is ever taken in this variant).
             let n = unsafe { self.shared.combine_pass() };
             if n == 0 {
-                std::hint::spin_loop();
+                spin.relax();
+            } else {
+                spin.reset();
             }
         }
         // Drain once more so no submitter is left hanging.
@@ -280,8 +284,9 @@ where
         // SAFETY: slot protocol as in FcHandle::apply.
         unsafe { (*slot.op.get()).write(op) };
         slot.seq.store(SLOT_PENDING, Ordering::Release);
+        let mut spin = asl_runtime::relax::Spin::new();
         while slot.seq.load(Ordering::Acquire) != SLOT_DONE {
-            std::hint::spin_loop();
+            spin.relax();
         }
         slot.seq.store(SLOT_EMPTY, Ordering::Relaxed);
         // SAFETY: DONE ⇒ initialized result, single reader.

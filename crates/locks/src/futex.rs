@@ -24,8 +24,15 @@ pub fn futex_wait(atom: &AtomicU32, expected: u32) {
     }
     #[cfg(not(target_os = "linux"))]
     {
-        if atom.load(Ordering::Relaxed) == expected {
-            std::thread::yield_now();
+        // Portable spin-then-yield stand-in: wait (bounded) for the
+        // value to change. Spurious returns are allowed by the futex
+        // contract — every caller re-checks in a loop.
+        let mut spin = asl_runtime::relax::Spin::new();
+        for _ in 0..256 {
+            if atom.load(Ordering::Relaxed) != expected {
+                return;
+            }
+            spin.relax();
         }
     }
 }

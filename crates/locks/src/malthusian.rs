@@ -137,12 +137,13 @@ impl MalthusianLock {
     }
 
     fn wait_for_link(node: NonNull<MalNode>) -> *mut MalNode {
+        let mut spin = asl_runtime::relax::Spin::new();
         loop {
             let next = unsafe { node.as_ref() }.next.load(Ordering::Acquire);
             if !next.is_null() {
                 return next;
             }
-            std::hint::spin_loop();
+            spin.relax();
         }
     }
 
@@ -171,10 +172,11 @@ impl RawLock for MalthusianLock {
         let pred = self.tail.swap(node.as_ptr(), Ordering::AcqRel);
         if !pred.is_null() {
             // SAFETY: `pred` is pinned until we store the link.
+            let mut spin = asl_runtime::relax::Spin::new();
             unsafe {
                 (*pred).next.store(node.as_ptr(), Ordering::Release);
                 while node.as_ref().state.load(Ordering::Acquire) == WAITING {
-                    std::hint::spin_loop();
+                    spin.relax();
                 }
             }
         }

@@ -109,10 +109,11 @@ impl RawLock for McsLock {
         if !pred.is_null() {
             // SAFETY: `pred` cannot be recycled until we link
             // ourselves — its owner's unlock spins on `pred.next`.
+            let mut spin = asl_runtime::relax::Spin::new();
             unsafe {
                 (*pred).next.store(node.as_ptr(), Ordering::Release);
                 while node.as_ref().state.load(Ordering::Acquire) == WAITING {
-                    std::hint::spin_loop();
+                    spin.relax();
                 }
             }
         }
@@ -164,12 +165,13 @@ impl RawLock for McsLock {
                     return;
                 }
                 // A successor is enqueueing; wait for the link.
+                let mut spin = asl_runtime::relax::Spin::new();
                 loop {
                     next = node.as_ref().next.load(Ordering::Acquire);
                     if !next.is_null() {
                         break;
                     }
-                    std::hint::spin_loop();
+                    spin.relax();
                 }
             }
             (*next).state.store(GRANTED, Ordering::Release);
@@ -245,7 +247,7 @@ mod tests {
             let arr = arrivals.clone();
             handles.push(std::thread::spawn(move || {
                 while arr.load(Ordering::Acquire) != i {
-                    std::hint::spin_loop();
+                    std::thread::yield_now();
                 }
                 // Begin enqueue, then signal the next arriver. We
                 // cannot split McsLock::lock, so signal *before*
@@ -261,7 +263,7 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(20));
         }
         while arrivals.load(Ordering::Acquire) != 4 {
-            std::hint::spin_loop();
+            std::thread::yield_now();
         }
         std::thread::sleep(std::time::Duration::from_millis(20));
         l.unlock(t0);

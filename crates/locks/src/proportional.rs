@@ -71,9 +71,10 @@ impl ProportionalLock {
 
     #[inline]
     fn with_state<R>(&self, f: impl FnOnce(&mut State) -> R) -> R {
+        let mut spin = asl_runtime::relax::Spin::new();
         while self.guard.swap(true, Ordering::Acquire) {
             while self.guard.load(Ordering::Relaxed) {
-                std::hint::spin_loop();
+                spin.relax();
             }
         }
         // SAFETY: `guard` provides mutual exclusion over `state`.
@@ -86,7 +87,7 @@ impl ProportionalLock {
 impl RawLock for ProportionalLock {
     type Token = ();
 
-    fn lock(&self) -> () {
+    fn lock(&self) {
         let flag = AtomicU32::new(0);
         let big = is_big_core();
         let acquired = self.with_state(|st| {
@@ -106,8 +107,9 @@ impl RawLock for ProportionalLock {
             self.locked_mirror.store(true, Ordering::Relaxed);
             return;
         }
+        let mut spin = asl_runtime::relax::Spin::new();
         while flag.load(Ordering::Acquire) == 0 {
-            std::hint::spin_loop();
+            spin.relax();
         }
         // Handover kept `locked == true`; mirror already true.
     }
@@ -134,7 +136,8 @@ impl RawLock for ProportionalLock {
             // Pick the next class: little is due after n big grants
             // (or when no big waits); otherwise big first.
             let little_due = st.bigs_since_little >= self.n;
-            let next = if little_due && !st.little.is_empty() {
+
+            if little_due && !st.little.is_empty() {
                 st.bigs_since_little = 0;
                 st.little.pop_front()
             } else if !st.big.is_empty() {
@@ -146,8 +149,7 @@ impl RawLock for ProportionalLock {
             } else {
                 st.locked = false;
                 None
-            };
-            next
+            }
         });
         match grant {
             Some(p) => {
@@ -178,10 +180,10 @@ mod tests {
     fn basic() {
         let l = ProportionalLock::new(10);
         assert!(!l.is_locked());
-        let t = l.lock();
+        l.lock();
         assert!(l.is_locked());
         assert!(l.try_lock().is_none());
-        l.unlock(t);
+        l.unlock(());
         assert!(!l.is_locked());
     }
 
@@ -216,9 +218,9 @@ mod tests {
                     &little_ops
                 };
                 while !ctx.stopped() {
-                    let t = lock.lock();
+                    lock.lock();
                     asl_runtime::work::execute_raw_units(500);
-                    lock.unlock(t);
+                    lock.unlock(());
                     ctr.fetch_add(1, Ordering::Relaxed);
                 }
             });
@@ -244,8 +246,8 @@ mod tests {
             let l = l.clone();
             handles.push(std::thread::spawn(move || {
                 for _ in 0..10_000 {
-                    let t = l.lock();
-                    l.unlock(t);
+                    l.lock();
+                    l.unlock(());
                 }
             }));
         }

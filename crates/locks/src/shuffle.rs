@@ -281,12 +281,13 @@ impl<P: ShufflePolicy> ShuffleLock<P> {
     }
 
     fn wait_for_link(node: NonNull<ShflNode>) -> *mut ShflNode {
+        let mut spin = asl_runtime::relax::Spin::new();
         loop {
             let next = unsafe { node.as_ref() }.next.load(Ordering::Acquire);
             if !next.is_null() {
                 return next;
             }
-            std::hint::spin_loop();
+            spin.relax();
         }
     }
 
@@ -310,10 +311,11 @@ impl<P: ShufflePolicy> RawLock for ShuffleLock<P> {
         let pred = self.tail.swap(node.as_ptr(), Ordering::AcqRel);
         if !pred.is_null() {
             // SAFETY: `pred` is pinned until we store the link.
+            let mut spin = asl_runtime::relax::Spin::new();
             unsafe {
                 (*pred).next.store(node.as_ptr(), Ordering::Release);
                 while node.as_ref().state.load(Ordering::Acquire) == WAITING {
-                    std::hint::spin_loop();
+                    spin.relax();
                 }
             }
         }

@@ -49,17 +49,22 @@ impl RawLock for TasLock {
     type Token = ();
 
     #[inline]
-    fn lock(&self) -> () {
+    fn lock(&self) {
         // Fast path: uncontended swap.
         if !self.locked.swap(true, Ordering::Acquire) {
             return;
         }
         let penalty = self.affinity.post_fail_penalty(current_core().kind);
+        let mut spin = asl_runtime::relax::Spin::new();
         loop {
             // Local spin until the lock looks free (TTAS).
             while self.locked.load(Ordering::Relaxed) {
-                std::hint::spin_loop();
+                spin.relax();
             }
+            // Observed free: back to pure spinning so a lost swap race
+            // below doesn't leave the affinity penalty competing with
+            // yield-per-poll scheduler noise.
+            spin.reset();
             // The affinity model: the disadvantaged class is slower to
             // reach the swap after the release becomes visible.
             if penalty > 0 {
@@ -105,18 +110,18 @@ mod tests {
     fn basic_lock_unlock() {
         let l = TasLock::new();
         assert!(!l.is_locked());
-        let t = l.lock();
+        l.lock();
         assert!(l.is_locked());
-        l.unlock(t);
+        l.unlock(());
         assert!(!l.is_locked());
     }
 
     #[test]
     fn try_lock_fails_when_held() {
         let l = TasLock::new();
-        let t = l.lock();
+        l.lock();
         assert!(l.try_lock().is_none());
-        l.unlock(t);
+        l.unlock(());
         assert!(l.try_lock().is_some());
         l.unlock(());
     }
@@ -148,10 +153,10 @@ mod tests {
                     &little_ops
                 };
                 while !ctx.stopped() {
-                    let t = lock.lock();
+                    lock.lock();
                     // Short critical section.
                     execute_raw_units(200);
-                    lock.unlock(t);
+                    lock.unlock(());
                     ctr.fetch_add(1, Ordering::Relaxed);
                 }
             });
@@ -179,9 +184,9 @@ mod tests {
             asl_runtime::spawn::run_on_topology_with_stop(&topo, 4, false, stop, move |ctx| {
                 let idx = (ctx.assignment.kind == CoreKind::Little) as usize;
                 while !ctx.stopped() {
-                    let t = lock.lock();
+                    lock.lock();
                     execute_raw_units(200);
-                    lock.unlock(t);
+                    lock.unlock(());
                     counts[idx].fetch_add(1, Ordering::Relaxed);
                 }
             });
@@ -189,10 +194,15 @@ mod tests {
         stopper.join().unwrap();
         let b = counts[0].load(Ordering::Relaxed) as f64;
         let l = counts[1].load(Ordering::Relaxed) as f64;
-        // Equal-speed neutral TAS should not be wildly skewed.
+        // Equal-speed neutral TAS should not be wildly skewed — but
+        // only when the 4 threads actually run in parallel; a
+        // preemption-driven schedule makes any unfair lock arbitrarily
+        // skewed, so the ratio check needs real cores.
         assert!(b > 0.0 && l > 0.0);
-        let ratio = b.max(l) / b.min(l);
-        assert!(ratio < 20.0, "unexpectedly extreme skew: big={b} little={l}");
+        if !asl_runtime::affinity::oversubscribed(4) {
+            let ratio = b.max(l) / b.min(l);
+            assert!(ratio < 20.0, "unexpectedly extreme skew: big={b} little={l}");
+        }
     }
 
     #[test]

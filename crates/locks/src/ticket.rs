@@ -38,10 +38,11 @@ impl RawLock for TicketLock {
     type Token = ();
 
     #[inline]
-    fn lock(&self) -> () {
+    fn lock(&self) {
         let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut spin = asl_runtime::relax::Spin::new();
         while self.serving.load(Ordering::Acquire) != ticket {
-            std::hint::spin_loop();
+            spin.relax();
         }
     }
 
@@ -85,19 +86,19 @@ mod tests {
     fn basic() {
         let l = TicketLock::new();
         assert!(!l.is_locked());
-        let t = l.lock();
+        l.lock();
         assert!(l.is_locked());
         assert_eq!(l.queue_depth(), 1);
-        l.unlock(t);
+        l.unlock(());
         assert!(!l.is_locked());
     }
 
     #[test]
     fn try_lock_semantics() {
         let l = TicketLock::new();
-        let t = l.try_lock().expect("free lock");
+        l.try_lock().expect("free lock");
         assert!(l.try_lock().is_none());
-        l.unlock(t);
+        l.unlock(());
         assert!(l.try_lock().is_some());
     }
 
@@ -110,7 +111,7 @@ mod tests {
         let order = Arc::new(std::sync::Mutex::new(Vec::new()));
         let enqueued = Arc::new(AtomicUsize::new(0));
 
-        let t0 = l.lock();
+        l.lock();
         let mut handles = vec![];
         for i in 0..4 {
             let l = l.clone();
@@ -120,12 +121,12 @@ mod tests {
                 // Wait until it is my turn to enqueue (ensures a
                 // deterministic arrival order).
                 while enq.load(Ordering::Acquire) != i {
-                    std::hint::spin_loop();
+                    std::thread::yield_now();
                 }
                 let ticket = l.next.fetch_add(1, Ordering::Relaxed);
                 enq.fetch_add(1, Ordering::Release);
                 while l.serving.load(Ordering::Acquire) != ticket {
-                    std::hint::spin_loop();
+                    std::thread::yield_now();
                 }
                 order.lock().unwrap().push(i);
                 l.unlock(());
@@ -133,9 +134,9 @@ mod tests {
         }
         // Wait for all four to be queued, then release.
         while enqueued.load(Ordering::Acquire) != 4 {
-            std::hint::spin_loop();
+            std::thread::yield_now();
         }
-        l.unlock(t0);
+        l.unlock(());
         for h in handles {
             h.join().unwrap();
         }
@@ -145,18 +146,18 @@ mod tests {
     #[test]
     fn queue_depth_counts_waiters() {
         let l = Arc::new(TicketLock::new());
-        let t = l.lock();
+        l.lock();
         let l2 = l.clone();
         let h = std::thread::spawn(move || {
-            let t = l2.lock();
-            l2.unlock(t);
+            l2.lock();
+            l2.unlock(());
         });
         // Wait for the second thread to take a ticket.
         while l.queue_depth() < 2 {
-            std::hint::spin_loop();
+            std::thread::yield_now();
         }
         assert_eq!(l.queue_depth(), 2);
-        l.unlock(t);
+        l.unlock(());
         h.join().unwrap();
         assert_eq!(l.queue_depth(), 0);
     }

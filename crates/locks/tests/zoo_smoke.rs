@@ -1,0 +1,109 @@
+//! Smoke test: every lock in the zoo, constructed through the
+//! object-safe common trait ([`asl_locks::plain::PlainLock`]), must
+//! provide mutual exclusion — 4 threads × 10 000 increments of a
+//! non-atomic counter, so any exclusion failure shows up as a lost
+//! update.
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+use asl_locks::plain::PlainLock;
+use asl_locks::shuffle::{ClassLocalPolicy, FifoPolicy, ShuffleLock};
+use asl_locks::{
+    BackoffLock, ClhLock, CnaLock, CohortLock, FlatCombiner, MalthusianLock, McsLock, McsStpLock,
+    ProportionalLock, PthreadMutex, TasLock, TicketLock,
+};
+
+const THREADS: usize = 4;
+const ITERS: u64 = 10_000;
+
+/// Non-atomic counter: only mutual exclusion keeps it race-free.
+struct RacyCounter(UnsafeCell<u64>);
+// SAFETY: accessed only under the lock under test.
+unsafe impl Sync for RacyCounter {}
+unsafe impl Send for RacyCounter {}
+
+fn hammer(name: &str, lock: Arc<dyn PlainLock>) {
+    let counter = Arc::new(RacyCounter(UnsafeCell::new(0)));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let lock = lock.clone();
+            let counter = counter.clone();
+            std::thread::spawn(move || {
+                for _ in 0..ITERS {
+                    let t = lock.acquire();
+                    // SAFETY: we hold the lock under test.
+                    unsafe { *counter.0.get() += 1 };
+                    lock.release(t);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total = unsafe { *counter.0.get() };
+    assert_eq!(total, THREADS as u64 * ITERS, "{name}: lost updates");
+    assert!(!lock.held(), "{name}: left held");
+}
+
+#[test]
+fn zoo_mutual_exclusion_through_plain_lock() {
+    let zoo: Vec<(&str, Arc<dyn PlainLock>)> = vec![
+        ("tas", Arc::new(TasLock::new())),
+        ("ticket", Arc::new(TicketLock::new())),
+        ("backoff", Arc::new(BackoffLock::new())),
+        ("mcs", Arc::new(McsLock::new())),
+        ("clh", Arc::new(ClhLock::new())),
+        ("cna", Arc::new(CnaLock::new())),
+        ("cohort", Arc::new(CohortLock::new())),
+        ("shuffle-fifo", Arc::new(ShuffleLock::new(FifoPolicy))),
+        ("shuffle-classlocal", Arc::new(ShuffleLock::new(ClassLocalPolicy::new(16)))),
+        ("proportional", Arc::new(ProportionalLock::new(10))),
+        ("malthusian", Arc::new(MalthusianLock::new())),
+        // Blocking pair: the glibc-style mutex (futex-backed on
+        // Linux, spin-then-yield elsewhere) and spin-then-park MCS.
+        ("pthread", Arc::new(PthreadMutex::new())),
+        ("mcs-stp", Arc::new(McsStpLock::new())),
+    ];
+    for (name, lock) in zoo {
+        hammer(name, lock);
+    }
+}
+
+#[test]
+#[cfg(target_os = "linux")]
+fn zoo_futex_path_mutual_exclusion() {
+    // Zero optimistic spins forces every contended acquisition down
+    // the futex wait/wake path.
+    hammer("pthread-futex-only", Arc::new(PthreadMutex::with_spin(0)));
+}
+
+#[test]
+fn zoo_flat_combining_counts_correctly() {
+    // Flat combining is the zoo's delegation member; its "critical
+    // section" is an applied operation rather than a held lock, so it
+    // is exercised through its own API: same 4×10k increments, same
+    // lost-update check.
+    let fc = Arc::new(FlatCombiner::new(0u64, |acc: &mut u64, _op: ()| {
+        *acc += 1;
+        *acc
+    }));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let handle = fc.register();
+            std::thread::spawn(move || {
+                let mut last = 0;
+                for _ in 0..ITERS {
+                    last = handle.apply(());
+                }
+                last
+            })
+        })
+        .collect();
+    let mut max_seen = 0;
+    for h in handles {
+        max_seen = max_seen.max(h.join().unwrap());
+    }
+    assert_eq!(max_seen, THREADS as u64 * ITERS, "flatcomb: lost updates");
+}

@@ -34,6 +34,15 @@ pub fn online_cpus() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// True when running `threads` busy threads exceeds the CPUs available
+/// to this process. Under oversubscription, wall-clock timing and
+/// short-run fairness of spinning locks are dominated by the OS
+/// scheduler (a preempted holder stalls everyone for a quantum), so
+/// tests gate their timing/fairness assertions on this.
+pub fn oversubscribed(threads: usize) -> bool {
+    threads > online_cpus()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

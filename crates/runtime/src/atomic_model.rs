@@ -18,8 +18,10 @@ use crate::topology::CoreKind;
 
 /// Which core class wins contended atomics, and by how much.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
 pub enum AtomicAffinity {
     /// Both classes retry at the same rate.
+    #[default]
     Neutral,
     /// Big cores win: little cores pay `penalty_units` after each
     /// failed attempt (Figure 4 / upscaledb scenario).
@@ -72,11 +74,6 @@ impl AtomicAffinity {
     }
 }
 
-impl Default for AtomicAffinity {
-    fn default() -> Self {
-        AtomicAffinity::Neutral
-    }
-}
 
 #[cfg(test)]
 mod tests {

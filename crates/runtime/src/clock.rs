@@ -20,26 +20,35 @@ pub fn now_ns() -> u64 {
     anchor().elapsed().as_nanos() as u64
 }
 
-/// Busy-wait (spin) for approximately `ns` nanoseconds.
+/// Busy-wait for approximately `ns` nanoseconds (spinning, with
+/// scheduler yields once oversubscribed — see [`crate::relax`]).
 #[inline]
 pub fn busy_wait_ns(ns: u64) {
     let end = now_ns() + ns;
+    let mut spin = crate::relax::Spin::new();
     while now_ns() < end {
-        std::hint::spin_loop();
+        spin.relax();
     }
 }
 
 /// Sleep for `ns` nanoseconds using `nanosleep(2)`, the same primitive
-/// the paper's blocking standby competitors use.
+/// the paper's blocking standby competitors use. Platforms without
+/// `nanosleep` fall back to `std::thread::sleep`.
 pub fn nanosleep_ns(ns: u64) {
-    let ts = libc::timespec {
-        tv_sec: (ns / 1_000_000_000) as libc::time_t,
-        tv_nsec: (ns % 1_000_000_000) as libc::c_long,
-    };
-    // Ignore EINTR: for back-off sleeps an early wake-up is harmless.
-    unsafe {
-        libc::nanosleep(&ts, std::ptr::null_mut());
+    #[cfg(unix)]
+    {
+        let ts = libc::timespec {
+            tv_sec: (ns / 1_000_000_000) as libc::time_t,
+            tv_nsec: (ns % 1_000_000_000) as libc::c_long,
+        };
+        // Ignore EINTR: for back-off sleeps an early wake-up is
+        // harmless.
+        unsafe {
+            libc::nanosleep(&ts, std::ptr::null_mut());
+        }
     }
+    #[cfg(not(unix))]
+    std::thread::sleep(std::time::Duration::from_nanos(ns));
 }
 
 /// Convenience: microseconds to nanoseconds.

@@ -33,6 +33,7 @@ pub mod atomic_model;
 pub mod cacheline;
 pub mod clock;
 pub mod registry;
+pub mod relax;
 pub mod spawn;
 pub mod topology;
 pub mod work;
@@ -41,6 +42,7 @@ pub use atomic_model::AtomicAffinity;
 pub use cacheline::CacheLineArena;
 pub use clock::now_ns;
 pub use registry::{current_core, is_big_core, register_on_core, CoreAssignment};
+pub use relax::Spin;
 pub use spawn::{run_on_topology, ThreadCtx};
 pub use topology::{CoreId, CoreKind, Topology};
 pub use work::{execute_raw_units, execute_units, units_per_us};

@@ -1,0 +1,128 @@
+//! Bounded spin-then-yield waiting.
+//!
+//! Every busy-wait loop in the workspace (queue-lock hand-off spins,
+//! flat-combining waits, standby polling) goes through [`Spin`]. On
+//! machines with enough cores the waiter spins almost purely —
+//! `SPIN_LIMIT` hints up front, then one `yield_now` every
+//! `YIELD_CADENCE` polls, which costs ~nothing when the run queue is
+//! empty but lets a preempted holder run when it is not — matching
+//! the paper's spinning setup while staying livelock-free. On a
+//! single-CPU machine (notably CI containers) every poll yields:
+//! pure spinning there makes each lock hand-off cost a full scheduler
+//! quantum.
+
+use std::sync::OnceLock;
+
+/// Pure `spin_loop` hints issued before the first yield on a
+/// multi-core machine.
+const SPIN_LIMIT: u32 = 128;
+
+/// After the spin budget, yield on every this-many-th poll
+/// (multi-core machines; single-CPU machines yield on every poll).
+const YIELD_CADENCE: u32 = 64;
+
+fn single_cpu() -> bool {
+    static SINGLE: OnceLock<bool> = OnceLock::new();
+    *SINGLE.get_or_init(|| {
+        std::thread::available_parallelism().map(|n| n.get() <= 1).unwrap_or(true)
+    })
+}
+
+/// Per-wait-site spin state. Create one per waiting episode; call
+/// [`Spin::relax`] once per failed poll.
+#[derive(Debug)]
+pub struct Spin {
+    spins: u32,
+    /// Pure-spin budget: `SPIN_LIMIT`, or 0 on a single-CPU machine
+    /// (resolved once at construction so `relax()` is plain
+    /// compares + a hint on the hot path).
+    limit: u32,
+    /// Post-budget yield period: every `cadence`-th poll yields, the
+    /// rest keep spinning. 1 on a single-CPU machine.
+    cadence: u32,
+}
+
+impl Spin {
+    /// Fresh waiter (starts in the pure-spin phase).
+    #[inline]
+    pub fn new() -> Self {
+        if single_cpu() {
+            Spin { spins: 0, limit: 0, cadence: 1 }
+        } else {
+            Spin { spins: 0, limit: SPIN_LIMIT, cadence: YIELD_CADENCE }
+        }
+    }
+
+    /// One unit of waiting: a `spin_loop` hint while in the spin
+    /// phase, then mostly-spinning with a periodic scheduler yield
+    /// (every poll on a single-CPU machine).
+    #[inline]
+    pub fn relax(&mut self) {
+        self.spins += 1;
+        if self.spins <= self.limit {
+            std::hint::spin_loop();
+        } else if self.spins - self.limit >= self.cadence {
+            self.spins = self.limit;
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Back to the pure-spin phase (e.g. after observing progress).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.spins = 0;
+    }
+}
+
+impl Default for Spin {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relax_terminates_quickly() {
+        let mut s = Spin::new();
+        for _ in 0..10_000 {
+            s.relax();
+        }
+        s.reset();
+        assert_eq!(s.spins, 0);
+    }
+
+    #[test]
+    fn waiting_makes_progress_when_oversubscribed() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        // More threads than any machine has cores: a ping-pong counter
+        // only finishes promptly if relax() actually yields.
+        let n = 4 * crate::affinity::online_cpus().max(1);
+        let ctr = Arc::new(AtomicU64::new(0));
+        let rounds = 200u64;
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let ctr = ctr.clone();
+                std::thread::spawn(move || {
+                    for r in 0..rounds {
+                        let target = r * n as u64 + i as u64;
+                        let mut spin = Spin::new();
+                        while ctr.load(Ordering::Acquire) != target {
+                            spin.relax();
+                        }
+                        ctr.fetch_add(1, Ordering::Release);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ctr.load(Ordering::Relaxed), rounds * n as u64);
+    }
+}

@@ -30,7 +30,7 @@ pub use engine::{run, SimResult};
 pub use model::{SimConfig, SimLockKind};
 
 /// Exact percentile over raw simulated samples.
-pub fn percentile(samples: &mut Vec<u64>, p: f64) -> u64 {
+pub fn percentile(samples: &mut [u64], p: f64) -> u64 {
     if samples.is_empty() {
         return 0;
     }

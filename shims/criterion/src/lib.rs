@@ -1,0 +1,288 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this shim keeps
+//! the workspace's bench targets compiling and runnable with the same
+//! source: `criterion_group!`/`criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`/`iter_custom`, `BenchmarkId`,
+//! `Throughput`. Instead of criterion's statistical engine it runs a
+//! small fixed number of samples and prints mean time per iteration —
+//! enough to smoke the benches and get ballpark numbers. Passing
+//! `--test` (as `cargo test` does for harness-less bench targets)
+//! runs every benchmark once with a single iteration.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier (subset of criterion's `BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { repr: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { repr: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { repr: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { repr: s }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// Throughput annotation (recorded, reported as elements/sec).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    /// Mean nanoseconds per iteration over all samples.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f` over a batch of iterations per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let iters: u64 = if self.test_mode { 1 } else { 1_000 };
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            total += start.elapsed();
+            total_iters += iters;
+        }
+        self.mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    }
+
+    /// `f` receives an iteration count and returns the measured time
+    /// for exactly that many iterations.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let iters: u64 = if self.test_mode { 1 } else { 64 };
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        for _ in 0..self.samples {
+            total += f(iters);
+            total_iters += iters;
+        }
+        self.mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples (clamped low in this shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Warm-up budget (ignored by this shim).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Measurement budget (ignored by this shim).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&full, self.throughput, f);
+        self
+    }
+
+    /// End the group (no-op; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver (subset of criterion's `Criterion`).
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        // cargo passes `--test` when running harness-less bench
+        // targets under `cargo test`; a bare string argument filters.
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                s if !s.starts_with('-') => filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Final-call hook for API parity with the real crate.
+    pub fn final_summary(&mut self) {}
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().to_string();
+        self.run_one(&id, None, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            samples: if self.test_mode { 1 } else { 3 },
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {id} ... ok");
+            return;
+        }
+        let per_iter = b.mean_ns;
+        match throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                let rate = n as f64 * 1e9 / per_iter;
+                println!("{id:<60} {per_iter:>12.1} ns/iter {rate:>14.0} elem/s");
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                let rate = n as f64 * 1e9 / per_iter;
+                println!("{id:<60} {per_iter:>12.1} ns/iter {rate:>14.0} B/s");
+            }
+            _ => println!("{id:<60} {per_iter:>12.1} ns/iter"),
+        }
+    }
+}
+
+/// Opaque-to-the-optimizer value barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_measures() {
+        let mut c = Criterion { test_mode: true, filter: None };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_chain_compiles_and_runs() {
+        let mut c = Criterion { test_mode: true, filter: None };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1))
+            .throughput(Throughput::Elements(1));
+        let mut hits = 0u64;
+        g.bench_function(BenchmarkId::from_parameter("x"), |b| {
+            b.iter_custom(|iters| {
+                hits += iters;
+                Duration::from_nanos(iters)
+            })
+        });
+        g.finish();
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { test_mode: true, filter: Some("zzz".into()) };
+        let mut ran = false;
+        c.bench_function("abc", |b| {
+            ran = true;
+            b.iter(|| ())
+        });
+        assert!(!ran);
+    }
+}

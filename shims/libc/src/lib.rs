@@ -1,0 +1,143 @@
+//! Offline stand-in for the `libc` crate.
+//!
+//! The build environment has no crates.io access, so this shim
+//! declares just the symbols and constants the workspace uses against
+//! the system C library that `std` already links. The API is
+//! signature-compatible with the real `libc` crate; swapping the
+//! `[patch]` back to crates.io requires no source changes.
+
+#![allow(non_camel_case_types, non_snake_case, non_upper_case_globals)]
+
+use core::ffi::c_void;
+
+pub type c_int = i32;
+pub type c_long = i64;
+pub type c_ulong = u64;
+pub type time_t = i64;
+pub type size_t = usize;
+pub type pid_t = i32;
+
+/// `struct timespec` as used by `nanosleep(2)` / `futex(2)`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct timespec {
+    pub tv_sec: time_t,
+    pub tv_nsec: c_long,
+}
+
+// ---------------------------------------------------------------- futex
+#[cfg(target_os = "linux")]
+pub const FUTEX_WAIT: c_int = 0;
+#[cfg(target_os = "linux")]
+pub const FUTEX_WAKE: c_int = 1;
+#[cfg(target_os = "linux")]
+pub const FUTEX_PRIVATE_FLAG: c_int = 128;
+
+/// `__NR_futex` for the compiled architecture.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub const SYS_futex: c_long = 202;
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+pub const SYS_futex: c_long = 98;
+#[cfg(all(
+    target_os = "linux",
+    not(any(target_arch = "x86_64", target_arch = "aarch64"))
+))]
+pub const SYS_futex: c_long = 202;
+
+// ------------------------------------------------------------- affinity
+#[cfg(target_os = "linux")]
+pub const CPU_SETSIZE: c_int = 1024;
+
+/// `cpu_set_t`: a 1024-bit CPU mask (128 bytes, as in glibc).
+#[cfg(target_os = "linux")]
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct cpu_set_t {
+    pub bits: [u64; 16],
+}
+
+/// glibc's `CPU_ZERO` macro.
+#[cfg(target_os = "linux")]
+#[allow(clippy::missing_safety_doc)]
+pub fn CPU_ZERO(set: &mut cpu_set_t) {
+    set.bits = [0; 16];
+}
+
+/// glibc's `CPU_SET` macro.
+#[cfg(target_os = "linux")]
+pub fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < CPU_SETSIZE as usize {
+        set.bits[cpu / 64] |= 1u64 << (cpu % 64);
+    }
+}
+
+/// glibc's `CPU_ISSET` macro.
+#[cfg(target_os = "linux")]
+pub fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
+    cpu < CPU_SETSIZE as usize && set.bits[cpu / 64] & (1u64 << (cpu % 64)) != 0
+}
+
+extern "C" {
+    pub fn syscall(num: c_long, ...) -> c_long;
+    pub fn nanosleep(req: *const timespec, rem: *mut timespec) -> c_int;
+    pub fn sysconf(name: c_int) -> c_long;
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, mask: *const cpu_set_t) -> c_int;
+    pub fn sched_getaffinity(pid: pid_t, cpusetsize: size_t, mask: *mut cpu_set_t) -> c_int;
+    pub fn sched_getcpu() -> c_int;
+}
+
+pub const _SC_NPROCESSORS_ONLN: c_int = 84;
+
+// Re-exported so `atom as *const AtomicU32` pointer casts type-check
+// against the real libc's loose `*const c_void` parameters.
+pub type void_ptr = *const c_void;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanosleep_links_and_returns() {
+        let req = timespec { tv_sec: 0, tv_nsec: 100_000 };
+        let rc = unsafe { nanosleep(&req, core::ptr::null_mut()) };
+        assert_eq!(rc, 0);
+    }
+
+    #[test]
+    fn sysconf_reports_cpus() {
+        let n = unsafe { sysconf(_SC_NPROCESSORS_ONLN) };
+        assert!(n >= 1, "sysconf returned {n}");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn cpu_set_roundtrip() {
+        let mut set = cpu_set_t { bits: [0; 16] };
+        CPU_ZERO(&mut set);
+        CPU_SET(3, &mut set);
+        assert!(CPU_ISSET(3, &set));
+        assert!(!CPU_ISSET(4, &set));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn futex_syscall_mismatch_returns_immediately() {
+        use core::sync::atomic::AtomicU32;
+        let a = AtomicU32::new(7);
+        // EAGAIN path: value != expected, must not block.
+        let rc = unsafe {
+            syscall(
+                SYS_futex,
+                &a as *const AtomicU32,
+                FUTEX_WAIT | FUTEX_PRIVATE_FLAG,
+                0u32,
+                core::ptr::null::<timespec>(),
+            )
+        };
+        assert_eq!(rc, -1);
+    }
+}

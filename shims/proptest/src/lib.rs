@@ -1,0 +1,315 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access. This shim keeps the
+//! workspace's property tests source-compatible: the `proptest!`
+//! macro, range / tuple / `collection::vec` / `any::<T>()` strategies
+//! and `prop_assert*` macros. Inputs are drawn from a deterministic
+//! per-test RNG (seeded from the test's module path), so failures
+//! reproduce across runs. Unlike real proptest there is **no
+//! shrinking**: a failing case panics with the raw inputs via the
+//! normal assert message.
+
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+pub mod strategy {
+    //! The [`Strategy`] trait and primitive strategy impls.
+
+    use super::*;
+
+    /// A recipe for generating values (no shrinking in this shim).
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        Range<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+
+    /// Strategy returned by [`any`](crate::arbitrary::any).
+    pub struct AnyStrategy<T> {
+        pub(crate) _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: crate::arbitrary::ArbitrarySample> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A fixed value as a degenerate strategy.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support for primitives.
+
+    use super::*;
+
+    /// Types with a canonical "any value" distribution.
+    pub trait ArbitrarySample: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    macro_rules! arb_prim {
+        ($($t:ty => $e:expr),* $(,)?) => {$(
+            impl ArbitrarySample for $t {
+                fn arbitrary(rng: &mut SmallRng) -> Self {
+                    let f: fn(&mut SmallRng) -> $t = $e;
+                    f(rng)
+                }
+            }
+        )*};
+    }
+
+    arb_prim!(
+        bool => |r| r.gen::<u32>() & 1 == 1,
+        u8 => |r| r.gen::<u32>() as u8,
+        u16 => |r| r.gen::<u32>() as u16,
+        u32 => |r| r.gen(),
+        u64 => |r| r.gen(),
+        usize => |r| r.gen::<u64>() as usize,
+        i8 => |r| r.gen::<u32>() as i8,
+        i16 => |r| r.gen::<u32>() as i16,
+        i32 => |r| r.gen::<u32>() as i32,
+        i64 => |r| r.gen::<u64>() as i64,
+        isize => |r| r.gen::<u64>() as isize,
+        f64 => |r| r.gen(),
+        f32 => |r| r.gen(),
+    );
+
+    /// Strategy producing any value of `T`.
+    pub fn any<T: ArbitrarySample>() -> crate::strategy::AnyStrategy<T> {
+        crate::strategy::AnyStrategy { _marker: std::marker::PhantomData }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy: lengths in `size`, elements from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test configuration and the deterministic case RNG.
+
+    use super::*;
+
+    /// Subset of proptest's `ProptestConfig`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` generated inputs per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic per-test RNG: seeded from the test's full path so
+    /// every run draws the same case sequence.
+    pub fn rng_for_test(test_path: &str) -> SmallRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        SmallRng::seed_from_u64(h)
+    }
+}
+
+/// Alias module so `prop::collection::vec(..)` works as under the
+/// real prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    //! Mirror of `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property (panics with the case's inputs visible in
+/// the assert message; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// The `proptest!` test-definition macro (subset: optional
+/// `#![proptest_config(..)]` header plus `#[test] fn name(pat in
+/// strategy, ..) { body }` items).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $($(#[$meta:meta])* fn $name:ident(
+        $($pat:pat_param in $strat:expr),* $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::rng_for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _case in 0..cfg.cases {
+                    $(
+                        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @impl ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1u64..100, f in 0.5f64..2.0) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_vecs(
+            pairs in prop::collection::vec((0u64..10, any::<bool>()), 1..20),
+        ) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 20);
+            for (k, _flag) in pairs {
+                prop_assert!(k < 10);
+            }
+        }
+
+        #[test]
+        fn mut_patterns_work(mut v in prop::collection::vec(0u32..5, 1..10)) {
+            v.sort_unstable();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u8..255) {
+            prop_assert!(x < 255);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng() {
+        let mut a = crate::test_runner::rng_for_test("x::y");
+        let mut b = crate::test_runner::rng_for_test("x::y");
+        use rand::RngCore;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

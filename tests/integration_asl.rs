@@ -216,8 +216,13 @@ fn reorderable_lock_starvation_bound_holds_under_load() {
     let worst = little_max_wait.load(Ordering::Relaxed);
     config::set_max_window_ns(100_000_000); // restore default
     assert!(worst > 0, "little cores acquired at least once");
-    assert!(
-        worst < 60_000_000,
-        "worst little-core wait {worst}ns vastly exceeds the starvation bound"
-    );
+    // The wall-clock bound (max window + queue drain) only holds when
+    // the 8 threads truly run in parallel; oversubscribed, a waiter
+    // can sit preempted for arbitrarily many scheduler quanta.
+    if !libasl::runtime::affinity::oversubscribed(8) {
+        assert!(
+            worst < 60_000_000,
+            "worst little-core wait {worst}ns vastly exceeds the starvation bound"
+        );
+    }
 }

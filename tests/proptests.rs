@@ -13,7 +13,7 @@ fn mcs_factory() -> impl LockFactory {
 }
 
 /// Naive exact percentile for cross-checking the histogram.
-fn exact_percentile(values: &mut Vec<u64>, p: f64) -> u64 {
+fn exact_percentile(values: &mut [u64], p: f64) -> u64 {
     values.sort_unstable();
     let rank = ((p / 100.0) * values.len() as f64).ceil().max(1.0) as usize;
     values[rank.min(values.len()) - 1]
