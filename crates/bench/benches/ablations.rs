@@ -53,12 +53,13 @@ impl<L: RawLock<Token = ()>, W: WaitPolicy> PlainLock for MaxWindowLock<L, W> {
         } else {
             self.inner.lock_reorder(self.window_ns);
         }
-        PlainToken::UNIT
+        PlainToken::unit(self)
     }
     fn try_acquire(&self) -> Option<PlainToken> {
-        self.inner.try_lock().map(|_| PlainToken::UNIT)
+        self.inner.try_lock().map(|_| PlainToken::unit(self))
     }
-    fn release(&self, _t: PlainToken) {
+    fn release(&self, t: PlainToken) {
+        t.redeem(self);
         self.inner.unlock(());
     }
     fn held(&self) -> bool {
@@ -88,15 +89,16 @@ macro_rules! impl_queue_max {
                     self.inner.lock_reorder(self.window_ns)
                 };
                 #[allow(clippy::redundant_closure_call)]
-                PlainToken(($to)(tok), 0)
+                PlainToken::issue(self, ($to)(tok), 0)
             }
             fn try_acquire(&self) -> Option<PlainToken> {
                 #[allow(clippy::redundant_closure_call)]
-                self.inner.try_lock().map(|t| PlainToken(($to)(t), 0))
+                self.inner.try_lock().map(|t| PlainToken::issue(self, ($to)(t), 0))
             }
             fn release(&self, t: PlainToken) {
+                let (raw, _) = t.redeem(self);
                 #[allow(clippy::redundant_closure_call)]
-                self.inner.unlock(($from)(t));
+                self.inner.unlock(($from)(raw));
             }
             fn held(&self) -> bool {
                 self.inner.is_locked()
@@ -111,12 +113,12 @@ macro_rules! impl_queue_max {
 impl_queue_max!(
     McsLock,
     |t: asl_locks::mcs::McsToken| t.into_raw(),
-    |t: PlainToken| unsafe { asl_locks::mcs::McsToken::from_raw(t.0) }
+    |raw: usize| unsafe { asl_locks::mcs::McsToken::from_raw(raw) }
 );
 
 fn scenario_with(lock: Arc<dyn PlainLock>) -> MicroScenario {
     MicroScenario {
-        locks: vec![lock],
+        locks: vec![asl_locks::api::DynLock::new(lock)],
         arena: Arc::new(CacheLineArena::new(16)),
         sections: vec![asl_harness::scenario::CsSpec { lock_idx: 0, lines: 16 }],
         cs_units_per_line: asl_harness::scenario::CS_UNITS_PER_LINE,
@@ -189,16 +191,17 @@ fn ablate_fifo(c: &mut Criterion) {
                     self.0.lock_reorder(WINDOW)
                 };
                 let (a, b) = tok.into_raw();
-                PlainToken(a, b)
+                PlainToken::issue(self, a, b)
             }
             fn try_acquire(&self) -> Option<PlainToken> {
                 self.0.try_lock().map(|t| {
                     let (a, b) = t.into_raw();
-                    PlainToken(a, b)
+                    PlainToken::issue(self, a, b)
                 })
             }
             fn release(&self, t: PlainToken) {
-                self.0.unlock(unsafe { asl_locks::clh::ClhToken::from_raw(t.0, t.1) });
+                let (a, b) = t.redeem(self);
+                self.0.unlock(unsafe { asl_locks::clh::ClhToken::from_raw(a, b) });
             }
             fn held(&self) -> bool {
                 self.0.is_locked()
@@ -269,7 +272,7 @@ fn ablate_unit(c: &mut Criterion) {
             b.iter_custom(|iters| {
                 asl_core::config::set_growth_unit(rule);
                 let scenario = {
-                    let mut s = scenario_with(LockSpec::Asl { slo_ns: Some(200_000) }.make_lock());
+                    let mut s = scenario_with(LockSpec::asl(Some(200_000)).make_lock());
                     s.epoch_slo = Some(200_000);
                     s
                 };

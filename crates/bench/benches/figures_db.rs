@@ -27,8 +27,8 @@ fn lock_lineup(affinity: AtomicAffinity) -> Vec<(&'static str, LockSpec)> {
         ("mcs", LockSpec::Mcs),
         ("tas", LockSpec::Tas(affinity)),
         ("shfl-pb10", LockSpec::ShflPb(10)),
-        ("libasl-300us", LockSpec::Asl { slo_ns: Some(300_000) }),
-        ("libasl-max", LockSpec::Asl { slo_ns: None }),
+        ("libasl-300us", LockSpec::asl(Some(300_000))),
+        ("libasl-max", LockSpec::asl(None)),
     ]
 }
 

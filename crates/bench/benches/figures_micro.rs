@@ -101,9 +101,9 @@ fn fig8a(c: &mut Criterion) {
         ("ticket".into(), LockSpec::Ticket),
         ("shfl-pb10".into(), LockSpec::ShflPb(10)),
         ("mcs".into(), LockSpec::Mcs),
-        ("libasl-0".into(), LockSpec::Asl { slo_ns: Some(0) }),
-        ("libasl-100us".into(), LockSpec::Asl { slo_ns: Some(100_000) }),
-        ("libasl-max".into(), LockSpec::Asl { slo_ns: None }),
+        ("libasl-0".into(), LockSpec::asl(Some(0))),
+        ("libasl-100us".into(), LockSpec::asl(Some(100_000))),
+        ("libasl-max".into(), LockSpec::asl(None)),
     ];
     for (label, spec) in specs {
         bench_scenario(c, "fig8a_bench1", &label, &spec, MicroScenario::bench1, 8);
@@ -116,7 +116,7 @@ fn fig8b(c: &mut Criterion) {
             c,
             "fig8b_slo_sweep",
             &format!("slo-{slo_us}us"),
-            &LockSpec::Asl { slo_ns: Some(slo_us * 1_000) },
+            &LockSpec::asl(Some(slo_us * 1_000)),
             MicroScenario::bench1,
             8,
         );
@@ -127,7 +127,7 @@ fn fig8ef(c: &mut Criterion) {
     for threads in [4usize, 8] {
         for (name, spec) in [
             ("mcs", LockSpec::Mcs),
-            ("libasl-max", LockSpec::Asl { slo_ns: None }),
+            ("libasl-max", LockSpec::asl(None)),
         ] {
             bench_scenario(
                 c,
@@ -146,7 +146,7 @@ fn fig8g(c: &mut Criterion) {
         let ncs = 10u64.pow(exp);
         for (name, spec) in [
             ("mcs", LockSpec::Mcs),
-            ("libasl-max", LockSpec::Asl { slo_ns: None }),
+            ("libasl-max", LockSpec::asl(None)),
         ] {
             bench_scenario(
                 c,

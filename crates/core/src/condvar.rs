@@ -1,4 +1,4 @@
-//! Condition variable over [`AslMutex`].
+//! Condition variable over [`AslMutex`](crate::AslMutex).
 //!
 //! The paper supports pthread condition variables "by using the same
 //! technique in litl" (§3.3): the condvar keeps its own waiter queue
@@ -22,7 +22,7 @@ use std::thread::Thread;
 
 use asl_locks::RawLock;
 
-use crate::mutex::{AslMutex, AslMutexGuard};
+use crate::mutex::AslMutexGuard;
 use crate::wait::WaitPolicy;
 
 struct Waiter {
@@ -30,7 +30,7 @@ struct Waiter {
     thread: Thread,
 }
 
-/// A condition variable usable with any [`AslMutex`].
+/// A condition variable usable with any [`AslMutex`](crate::AslMutex).
 #[derive(Default)]
 pub struct AslCondvar {
     // The internal queue is touched only for enqueue/notify — never
@@ -52,7 +52,9 @@ impl AslCondvar {
         &self,
         guard: AslMutexGuard<'a, T, L, W>,
     ) -> AslMutexGuard<'a, T, L, W> {
-        let mutex: &'a AslMutex<T, L, W> = guard.mutex();
+        // The guard knows its (generic guard-plumbing) mutex; waking
+        // re-locks through it, i.e. through the LibASL dispatch path.
+        let mutex = guard.mutex();
         let notified = Arc::new(AtomicBool::new(false));
         self.waiters.lock().expect("condvar queue poisoned").push_back(Waiter {
             notified: notified.clone(),
@@ -110,6 +112,7 @@ impl AslCondvar {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mutex::AslMutex;
     use std::sync::Arc;
     use std::time::Duration;
 

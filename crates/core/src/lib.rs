@@ -14,6 +14,13 @@
 //! * [`AslLock`] / [`AslMutex`] (Algorithm 3) — the dispatch layer:
 //!   big cores lock immediately, little cores stand by for the current
 //!   epoch's window (or the default max window outside epochs).
+//!   Generic over its FIFO substrate (`AslLock<L: RawLock + FifoLock>`
+//!   with MCS as the default; [`AslClhLock`], [`AslTicketLock`] and
+//!   [`AslShflLock`] pick the alternatives), and itself a
+//!   `RawLock`, so the RAII guard API of `asl_locks::api` applies.
+//!   Acquisitions are held as guards and released on drop — the
+//!   manual `acquire`/`release` pairing of earlier revisions survives
+//!   only as the documented low-level escape hatch.
 //! * [`wait`] — standby waiting policies: spinning (default) and
 //!   `nanosleep`-based back-off for over-subscribed systems (Bench-6),
 //!   plus a fixed-interval policy used by the ablation benches.
@@ -51,7 +58,10 @@ pub mod wait;
 
 pub use condvar::AslCondvar;
 pub use config::AslConfig;
-pub use mutex::{AslBlockingLock, AslLock, AslMutex, AslMutexGuard, AslSpinLock};
+pub use mutex::{
+    AslBlockingLock, AslClhLock, AslLock, AslMutex, AslMutexGuard, AslShflLock, AslSpinLock,
+    AslTicketLock,
+};
 pub use reorderable::ReorderableLock;
 pub use stats::{LockStats, LockStatsSnapshot};
 pub use wait::{FixedCheckWait, SleepWait, SpinWait, WaitPolicy};

@@ -9,16 +9,33 @@
 //!   thread still eventually locks ("the default maximum window is
 //!   used to ensure that the thread will eventually lock").
 //!
+//! The dispatch layer is generic over its FIFO substrate: any
+//! [`FifoLock`] can sit under the reorderable layer ([`McsLock`] by
+//! default — see [`AslClhLock`], [`AslTicketLock`], [`AslShflLock`]
+//! for the alternatives used in the ablations). [`AslLock`] itself
+//! implements [`RawLock`], so the whole guard API of
+//! [`asl_locks::api`] applies to it.
+//!
 //! [`AslMutex`] wraps it in the idiomatic Rust shape — data owned by
-//! the mutex, RAII guard — which plays the role of the paper's
-//! transparent `pthread_mutex_lock` redirection: application code
-//! locks exactly as it would any mutex and gets LibASL behaviour.
+//! the mutex, RAII guard, re-expressed over the generic
+//! [`asl_locks::api::Mutex`] plumbing — which plays the role of the
+//! paper's transparent `pthread_mutex_lock` redirection: application
+//! code locks exactly as it would any mutex and gets LibASL behaviour.
+//!
+//! ```
+//! use asl_core::AslMutex;
+//!
+//! let counter = AslMutex::new(0u64);
+//! {
+//!     let mut held = counter.lock(); // RAII guard
+//!     *held += 1;
+//! } // released on drop — even on panic
+//! assert_eq!(*counter.lock(), 1);
+//! ```
 
-use std::cell::UnsafeCell;
-use std::ops::{Deref, DerefMut};
-
-use asl_locks::plain::{PlainLock, PlainToken};
-use asl_locks::{McsLock, PthreadMutex, RawLock};
+use asl_locks::api;
+use asl_locks::shuffle::{FifoPolicy, ShuffleLock};
+use asl_locks::{ClhLock, FifoLock, McsLock, PthreadMutex, RawLock, TicketLock};
 use asl_runtime::registry::is_big_core;
 
 use crate::epoch;
@@ -36,6 +53,15 @@ pub struct AslLock<L: RawLock = McsLock, W: WaitPolicy = SpinWait> {
 /// evaluation.
 pub type AslSpinLock = AslLock<McsLock, SpinWait>;
 
+/// LibASL over the CLH FIFO substrate (ablation alternative).
+pub type AslClhLock = AslLock<ClhLock, SpinWait>;
+
+/// LibASL over the ticket-lock FIFO substrate (ablation alternative).
+pub type AslTicketLock = AslLock<TicketLock, SpinWait>;
+
+/// LibASL over the shuffle framework in pass-through (FIFO) mode.
+pub type AslShflLock = AslLock<ShuffleLock<FifoPolicy>, SpinWait>;
+
 /// The blocking LibASL lock for over-subscribed systems (Bench-6):
 /// a futex-based mutex underneath, `nanosleep` back-off standby.
 pub type AslBlockingLock = AslLock<PthreadMutex, SleepWait>;
@@ -48,20 +74,29 @@ impl Default for AslSpinLock {
 
 impl AslBlockingLock {
     /// Blocking LibASL lock with default sleep back-off.
+    ///
+    /// This is the one configuration whose substrate is *not* FIFO
+    /// (glibc-style futex mutex), matching the paper's Bench-6 setup;
+    /// it trades the bounded-reordering guarantee for blocking waits.
     pub fn new_blocking() -> Self {
         AslLock::with_waiter(PthreadMutex::new(), SleepWait::new())
     }
 }
 
-impl<L: RawLock> AslLock<L, SpinWait> {
-    /// Build over `inner` with the default spinning standby policy.
+impl<L: RawLock + FifoLock> AslLock<L, SpinWait> {
+    /// Build over the FIFO substrate `inner` with the default spinning
+    /// standby policy. The FIFO marker is what carries the paper's
+    /// bounded-reordering guarantee; non-FIFO substrates must go
+    /// through [`AslLock::with_waiter`] explicitly.
     pub fn new(inner: L) -> Self {
         AslLock { reorderable: ReorderableLock::new(inner) }
     }
 }
 
 impl<L: RawLock, W: WaitPolicy> AslLock<L, W> {
-    /// Build over `inner` with an explicit standby policy.
+    /// Build over `inner` with an explicit standby policy (escape
+    /// hatch: also accepts non-FIFO substrates, e.g. the blocking
+    /// configuration's futex mutex).
     pub fn with_waiter(inner: L, waiter: W) -> Self {
         AslLock { reorderable: ReorderableLock::with_waiter(inner, waiter) }
     }
@@ -108,151 +143,98 @@ impl<L: RawLock, W: WaitPolicy> AslLock<L, W> {
     }
 }
 
-// Object-safe facades for the two dynamically selected configurations.
-impl PlainLock for AslSpinLock {
-    #[inline]
-    fn acquire(&self) -> PlainToken {
-        PlainToken(self.lock().into_raw(), 0)
-    }
-    #[inline]
-    fn try_acquire(&self) -> Option<PlainToken> {
-        self.try_lock().map(|t| PlainToken(t.into_raw(), 0))
-    }
-    #[inline]
-    fn release(&self, token: PlainToken) {
-        // SAFETY: token produced by acquire/try_acquire on this lock.
-        self.unlock(unsafe { asl_locks::mcs::McsToken::from_raw(token.0) });
-    }
-    #[inline]
-    fn held(&self) -> bool {
-        self.is_locked()
-    }
-    fn lock_name(&self) -> &'static str {
-        "libasl"
-    }
-}
+/// [`AslLock`] is itself a [`RawLock`], so every guard-API shape
+/// ([`asl_locks::api::Guard`], [`asl_locks::api::Mutex`], the
+/// object-safe facade) composes over it; the epoch-aware dispatch
+/// happens inside `lock`.
+impl<L: RawLock, W: WaitPolicy> RawLock for AslLock<L, W> {
+    type Token = L::Token;
 
-impl PlainLock for AslBlockingLock {
     #[inline]
-    fn acquire(&self) -> PlainToken {
-        self.lock();
-        PlainToken::UNIT
+    fn lock(&self) -> L::Token {
+        AslLock::lock(self)
     }
+
     #[inline]
-    fn try_acquire(&self) -> Option<PlainToken> {
-        self.try_lock().map(|_| PlainToken::UNIT)
+    fn try_lock(&self) -> Option<L::Token> {
+        AslLock::try_lock(self)
     }
+
     #[inline]
-    fn release(&self, _token: PlainToken) {
-        self.unlock(());
+    fn unlock(&self, token: L::Token) {
+        AslLock::unlock(self, token)
     }
+
     #[inline]
-    fn held(&self) -> bool {
-        self.is_locked()
+    fn is_locked(&self) -> bool {
+        AslLock::is_locked(self)
     }
-    fn lock_name(&self) -> &'static str {
-        "libasl-blocking"
-    }
+
+    const NAME: &'static str = "libasl";
 }
 
 /// A mutual-exclusion container with LibASL ordering.
 ///
 /// Drop-in replacement shape for `std::sync::Mutex` (no poisoning —
-/// lock protocols here are panic-agnostic like `parking_lot`).
+/// lock protocols here are panic-agnostic like `parking_lot`),
+/// expressed over the generic guard plumbing of
+/// [`asl_locks::api::Mutex`] with [`AslLock`] as the lock type.
 pub struct AslMutex<T, L: RawLock = McsLock, W: WaitPolicy = SpinWait> {
-    lock: AslLock<L, W>,
-    data: UnsafeCell<T>,
+    inner: api::Mutex<T, AslLock<L, W>>,
 }
 
-// SAFETY: standard mutex reasoning — the lock serializes access.
-unsafe impl<T: Send, L: RawLock, W: WaitPolicy> Send for AslMutex<T, L, W> {}
-unsafe impl<T: Send, L: RawLock, W: WaitPolicy> Sync for AslMutex<T, L, W> {}
+/// RAII guard for [`AslMutex`] — the generic [`api::MutexGuard`] over
+/// an [`AslLock`].
+pub type AslMutexGuard<'a, T, L = McsLock, W = SpinWait> =
+    api::MutexGuard<'a, T, AslLock<L, W>>;
 
 impl<T> AslMutex<T> {
     /// New mutex over the default reorderable-MCS LibASL lock.
     pub fn new(value: T) -> Self {
-        AslMutex { lock: AslSpinLock::default(), data: UnsafeCell::new(value) }
+        Self::with_lock(value, AslSpinLock::default())
     }
 }
 
 impl<T, L: RawLock, W: WaitPolicy> AslMutex<T, L, W> {
     /// New mutex over a caller-supplied LibASL lock.
     pub fn with_lock(value: T, lock: AslLock<L, W>) -> Self {
-        AslMutex { lock, data: UnsafeCell::new(value) }
+        AslMutex { inner: api::Mutex::with_lock(value, lock) }
     }
 
     /// Acquire, returning an RAII guard.
     pub fn lock(&self) -> AslMutexGuard<'_, T, L, W> {
-        let token = self.lock.lock();
-        AslMutexGuard { mutex: self, token: Some(token) }
+        self.inner.lock()
     }
 
     /// Try to acquire without waiting.
     pub fn try_lock(&self) -> Option<AslMutexGuard<'_, T, L, W>> {
-        self.lock.try_lock().map(|token| AslMutexGuard { mutex: self, token: Some(token) })
+        self.inner.try_lock()
     }
 
     /// Whether the lock is currently held or queued.
     pub fn is_locked(&self) -> bool {
-        self.lock.is_locked()
+        self.inner.is_locked()
     }
 
     /// Acquisition statistics of the underlying LibASL lock.
     pub fn stats(&self) -> &LockStats {
-        self.lock.stats()
+        self.inner.raw().stats()
     }
 
     /// Consume the mutex, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.data.into_inner()
+        self.inner.into_inner()
     }
 
     /// Mutable access without locking (requires `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
-        self.data.get_mut()
+        self.inner.get_mut()
     }
 }
 
 impl<T: Default> Default for AslMutex<T> {
     fn default() -> Self {
         Self::new(T::default())
-    }
-}
-
-/// RAII guard for [`AslMutex`].
-pub struct AslMutexGuard<'a, T, L: RawLock, W: WaitPolicy> {
-    mutex: &'a AslMutex<T, L, W>,
-    token: Option<L::Token>,
-}
-
-impl<'a, T, L: RawLock, W: WaitPolicy> AslMutexGuard<'a, T, L, W> {
-    /// The mutex this guard locks (used by [`crate::AslCondvar`] to
-    /// re-acquire after waiting).
-    pub fn mutex(&self) -> &'a AslMutex<T, L, W> {
-        self.mutex
-    }
-}
-
-impl<T, L: RawLock, W: WaitPolicy> Deref for AslMutexGuard<'_, T, L, W> {
-    type Target = T;
-    fn deref(&self) -> &T {
-        // SAFETY: guard existence proves exclusive acquisition.
-        unsafe { &*self.mutex.data.get() }
-    }
-}
-
-impl<T, L: RawLock, W: WaitPolicy> DerefMut for AslMutexGuard<'_, T, L, W> {
-    fn deref_mut(&mut self) -> &mut T {
-        // SAFETY: guard existence proves exclusive acquisition.
-        unsafe { &mut *self.mutex.data.get() }
-    }
-}
-
-impl<T, L: RawLock, W: WaitPolicy> Drop for AslMutexGuard<'_, T, L, W> {
-    fn drop(&mut self) {
-        if let Some(token) = self.token.take() {
-            self.mutex.lock.unlock(token);
-        }
     }
 }
 
@@ -291,6 +273,22 @@ mod tests {
     }
 
     #[test]
+    fn panic_in_critical_section_releases_lock() {
+        let m = Arc::new(AslMutex::new(0u64));
+        let m2 = m.clone();
+        let joined = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            *g += 1;
+            panic!("poison-free unwind");
+        })
+        .join();
+        assert!(joined.is_err());
+        // No poisoning: the unwound guard released the lock.
+        assert!(!m.is_locked());
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
     fn concurrent_counter() {
         let m = Arc::new(AslMutex::new(0u64));
         let mut handles = vec![];
@@ -306,6 +304,25 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 80_000);
+    }
+
+    #[test]
+    fn substrate_is_one_type_parameter() {
+        // CLH / ticket / shuffle substrates are a type choice, not a
+        // code fork: the same mutex shape works over each.
+        let clh: AslMutex<u64, ClhLock> = AslMutex::with_lock(1, AslLock::new(ClhLock::new()));
+        *clh.lock() += 1;
+        assert_eq!(*clh.lock(), 2);
+
+        let ticket: AslMutex<u64, TicketLock> =
+            AslMutex::with_lock(5, AslLock::new(TicketLock::new()));
+        *ticket.lock() += 1;
+        assert_eq!(*ticket.lock(), 6);
+
+        let shfl: AslMutex<u64, ShuffleLock<FifoPolicy>> =
+            AslMutex::with_lock(7, AslLock::new(ShuffleLock::new(FifoPolicy)));
+        *shfl.lock() += 1;
+        assert_eq!(*shfl.lock(), 8);
     }
 
     #[test]
@@ -359,16 +376,32 @@ mod tests {
     }
 
     #[test]
-    fn plain_lock_facades() {
-        let spin: Arc<dyn PlainLock> = Arc::new(AslSpinLock::default());
-        let t = spin.acquire();
-        assert!(spin.held());
-        spin.release(t);
-        assert_eq!(spin.lock_name(), "libasl");
+    fn asl_lock_supports_guards() {
+        use asl_locks::api::GuardedLock;
+        let lock = AslSpinLock::default();
+        {
+            let _g = lock.guard();
+            assert!(lock.is_locked());
+        }
+        assert!(!lock.is_locked());
+    }
 
-        let blocking: Arc<dyn PlainLock> = Arc::new(AslBlockingLock::new_blocking());
-        let t = blocking.acquire();
-        blocking.release(t);
-        assert_eq!(blocking.lock_name(), "libasl-blocking");
+    #[test]
+    fn plain_lock_facades() {
+        // The blanket PlainLock impl covers AslLock because it is a
+        // RawLock with a word-encodable token; DynLock adds the RAII
+        // layer over the resulting trait object.
+        use asl_locks::api::DynLock;
+        let spin = DynLock::of(AslSpinLock::default());
+        {
+            let _held = spin.lock();
+            assert!(spin.is_locked());
+        }
+        assert!(!spin.is_locked());
+        assert_eq!(spin.name(), "libasl");
+
+        let blocking = DynLock::of(AslBlockingLock::new_blocking());
+        drop(blocking.lock());
+        assert_eq!(blocking.name(), "libasl");
     }
 }

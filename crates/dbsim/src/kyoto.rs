@@ -5,17 +5,15 @@
 //! number of slots, locks that slot for the record operation, and
 //! takes a short global *method* lock on every API call. We reproduce
 //! exactly that: a chained hash table split into independently locked
-//! slots plus a brief method-lock critical section per request.
+//! slots (each a [`guarded_slot`]) plus a brief method-lock critical
+//! section per request.
 
-use std::cell::UnsafeCell;
-use std::sync::Arc;
-
-use asl_locks::plain::PlainLock;
+use asl_locks::api::{DynLock, DynMutex};
 use asl_runtime::work::execute_units;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use crate::{random_key, value_for, Engine, LockFactory, Value};
+use crate::{guarded_lock, guarded_slot, random_key, value_for, Engine, LockFactory, Value};
 
 const BUCKETS_PER_SLOT: usize = 512;
 
@@ -26,17 +24,12 @@ const GET_UNITS: u64 = 120;
 /// Emulated method-dispatch cost under the method lock.
 const METHOD_UNITS: u64 = 25;
 
-struct Slot {
-    lock: Arc<dyn PlainLock>,
-    buckets: UnsafeCell<Vec<Vec<(u64, Value)>>>,
-}
-
-// SAFETY: `buckets` is only touched while `lock` is held.
-unsafe impl Sync for Slot {}
+/// Chained buckets of one independently locked hash slot.
+type Slot = DynMutex<Vec<Vec<(u64, Value)>>>;
 
 /// The Kyoto-Cabinet-like engine.
 pub struct Kyoto {
-    method_lock: Arc<dyn PlainLock>,
+    method_lock: DynLock,
     slots: Vec<Slot>,
 }
 
@@ -45,12 +38,9 @@ impl Kyoto {
     pub fn new(factory: &dyn LockFactory, slots: usize) -> Self {
         assert!(slots > 0);
         Kyoto {
-            method_lock: factory.make(),
+            method_lock: guarded_lock(factory),
             slots: (0..slots)
-                .map(|_| Slot {
-                    lock: factory.make(),
-                    buckets: UnsafeCell::new(vec![Vec::new(); BUCKETS_PER_SLOT]),
-                })
+                .map(|_| guarded_slot(factory, vec![Vec::new(); BUCKETS_PER_SLOT]))
                 .collect(),
         }
     }
@@ -67,57 +57,42 @@ impl Kyoto {
         &self.slots[(h >> 32) as usize % self.slots.len()]
     }
 
+    /// Method lock: short API-dispatch critical section.
+    #[inline]
+    fn method_dispatch(&self) {
+        let _held = self.method_lock.lock();
+        execute_units(METHOD_UNITS);
+    }
+
     /// Insert or update a record.
     pub fn put(&self, key: u64, value: Value) {
-        // Method lock: short API-dispatch critical section.
-        let t = self.method_lock.acquire();
-        execute_units(METHOD_UNITS);
-        self.method_lock.release(t);
+        self.method_dispatch();
 
-        let slot = self.slot_of(key);
-        let t = slot.lock.acquire();
-        // SAFETY: slot lock held.
-        let buckets = unsafe { &mut *slot.buckets.get() };
+        let mut buckets = self.slot_of(key).lock();
         let b = &mut buckets[(key as usize) % BUCKETS_PER_SLOT];
         match b.iter_mut().find(|(k, _)| *k == key) {
             Some((_, v)) => *v = value,
             None => b.push((key, value)),
         }
         execute_units(PUT_UNITS);
-        slot.lock.release(t);
     }
 
     /// Look up a record.
     pub fn get(&self, key: u64) -> Option<Value> {
-        let t = self.method_lock.acquire();
-        execute_units(METHOD_UNITS);
-        self.method_lock.release(t);
+        self.method_dispatch();
 
-        let slot = self.slot_of(key);
-        let t = slot.lock.acquire();
-        // SAFETY: slot lock held.
-        let buckets = unsafe { &*slot.buckets.get() };
+        let buckets = self.slot_of(key).lock();
         let found = buckets[(key as usize) % BUCKETS_PER_SLOT]
             .iter()
             .find(|(k, _)| *k == key)
             .map(|(_, v)| *v);
         execute_units(GET_UNITS);
-        slot.lock.release(t);
         found
     }
 
     /// Total records (test helper; takes every slot lock).
     pub fn len(&self) -> usize {
-        self.slots
-            .iter()
-            .map(|s| {
-                let t = s.lock.acquire();
-                // SAFETY: slot lock held.
-                let n = unsafe { &*s.buckets.get() }.iter().map(Vec::len).sum::<usize>();
-                s.lock.release(t);
-                n
-            })
-            .sum()
+        self.slots.iter().map(|s| s.lock().iter().map(Vec::len).sum::<usize>()).sum()
     }
 
     /// True when no records are stored.
@@ -144,7 +119,9 @@ impl Engine for Kyoto {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use asl_locks::plain::PlainLock;
     use rand::SeedableRng;
+    use std::sync::Arc;
 
     fn mcs_factory() -> impl LockFactory {
         || -> Arc<dyn PlainLock> { Arc::new(asl_locks::McsLock::new()) }

@@ -9,15 +9,14 @@
 //! lock; readers pin it briefly, then probe the (immutable) snapshot
 //! outside the lock.
 
-use std::cell::UnsafeCell;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use asl_locks::plain::PlainLock;
+use asl_locks::api::DynMutex;
 use asl_runtime::work::execute_units;
 use rand::rngs::SmallRng;
 
-use crate::{random_key, value_for, Engine, LockFactory, Value};
+use crate::{guarded_slot, random_key, value_for, Engine, LockFactory, Value};
 
 /// Emulated snapshot-pin cost under the metadata lock (ref-count the
 /// version, record the sequence number).
@@ -35,12 +34,9 @@ pub struct DbVersion {
 
 /// The LevelDB-like engine.
 pub struct LevelDb {
-    meta_lock: Arc<dyn PlainLock>,
-    current: UnsafeCell<Arc<DbVersion>>,
+    /// The current version pointer, guarded by the metadata lock.
+    current: DynMutex<Arc<DbVersion>>,
 }
-
-// SAFETY: `current` is only cloned/replaced under `meta_lock`.
-unsafe impl Sync for LevelDb {}
 
 impl LevelDb {
     /// Create with `preload` sequential keys materialized (the
@@ -48,8 +44,7 @@ impl LevelDb {
     pub fn new(factory: &dyn LockFactory, preload: u64) -> Self {
         let table: BTreeMap<u64, Value> = (0..preload).map(|k| (k, value_for(k))).collect();
         LevelDb {
-            meta_lock: factory.make(),
-            current: UnsafeCell::new(Arc::new(DbVersion { table, sequence: 1 })),
+            current: guarded_slot(factory, Arc::new(DbVersion { table, sequence: 1 })),
         }
     }
 
@@ -60,11 +55,9 @@ impl LevelDb {
 
     /// Pin the current version (the contended metadata-lock section).
     pub fn snapshot(&self) -> Arc<DbVersion> {
-        let t = self.meta_lock.acquire();
-        // SAFETY: meta lock held.
-        let snap = unsafe { (*self.current.get()).clone() };
+        let current = self.current.lock();
+        let snap = current.clone();
         execute_units(SNAPSHOT_UNITS);
-        self.meta_lock.release(t);
         snap
     }
 
@@ -78,23 +71,14 @@ impl LevelDb {
 
     /// Install a new version (compaction stand-in; used by tests).
     pub fn install_version(&self, table: BTreeMap<u64, Value>) {
-        let t = self.meta_lock.acquire();
-        // SAFETY: meta lock held.
-        unsafe {
-            let cur = &mut *self.current.get();
-            let seq = cur.sequence + 1;
-            *cur = Arc::new(DbVersion { table, sequence: seq });
-        }
-        self.meta_lock.release(t);
+        let mut current = self.current.lock();
+        let sequence = current.sequence + 1;
+        *current = Arc::new(DbVersion { table, sequence });
     }
 
     /// Sequence number of the current version.
     pub fn sequence(&self) -> u64 {
-        let t = self.meta_lock.acquire();
-        // SAFETY: meta lock held.
-        let s = unsafe { (&*self.current.get()).sequence };
-        self.meta_lock.release(t);
-        s
+        self.current.lock().sequence
     }
 }
 
@@ -111,6 +95,7 @@ impl Engine for LevelDb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use asl_locks::plain::PlainLock;
     use rand::SeedableRng;
 
     fn factory() -> impl LockFactory {

@@ -31,6 +31,7 @@ pub mod workload;
 
 use std::sync::Arc;
 
+use asl_locks::api::{DynLock, DynMutex};
 use asl_locks::plain::PlainLock;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -48,6 +49,23 @@ where
     fn make(&self) -> Arc<dyn PlainLock> {
         self()
     }
+}
+
+/// The engines' shared guarded-slot helper: a fresh lock from
+/// `factory` fused with the state it protects.
+///
+/// Every internal engine lock that guards data (hash slots, B-trees,
+/// version pointers, protocol state) is one of these; locking returns
+/// an RAII guard that derefs to the state, so the copy-pasted
+/// `acquire`/`release` blocks of earlier revisions cannot come back.
+pub fn guarded_slot<T>(factory: &dyn LockFactory, value: T) -> DynMutex<T> {
+    DynMutex::new(factory.make(), value)
+}
+
+/// A data-free lock from `factory` (pure ordering points like method
+/// or writer locks), held as an RAII guard.
+pub fn guarded_lock(factory: &dyn LockFactory) -> DynLock {
+    DynLock::new(factory.make())
 }
 
 /// Fixed-size record value (16 bytes, like the paper's small KV
@@ -103,8 +121,23 @@ mod tests {
     #[test]
     fn closure_is_a_factory() {
         let f = || -> Arc<dyn PlainLock> { Arc::new(asl_locks::McsLock::new()) };
-        let lock = LockFactory::make(&f);
-        let t = lock.acquire();
-        lock.release(t);
+        let lock = DynLock::new(LockFactory::make(&f));
+        let held = lock.lock();
+        assert!(lock.is_locked());
+        held.unlock();
+    }
+
+    #[test]
+    fn guarded_slot_fuses_lock_and_state() {
+        let f = || -> Arc<dyn PlainLock> { Arc::new(asl_locks::McsLock::new()) };
+        let slot = guarded_slot(&f, 41u64);
+        *slot.lock() += 1;
+        assert_eq!(*slot.lock(), 42);
+        assert!(!slot.is_locked());
+        let l = guarded_lock(&f);
+        let held = l.lock();
+        assert!(l.is_locked());
+        drop(held);
+        assert!(!l.is_locked());
     }
 }

@@ -4,21 +4,20 @@
 //! Locks". LMDB serializes writers on one global write lock (a write
 //! transaction owns the tree for its duration) while readers only
 //! take short metadata locks to pin a snapshot. We reproduce that
-//! split: puts hold the global lock for the full (long) write
-//! transaction and briefly nest the metadata lock to publish the new
-//! root; gets take only the metadata lock around the tree probe.
+//! split: puts hold the global lock (a pure [`DynLock`] ordering
+//! point) for the full write transaction and briefly nest the
+//! metadata [`guarded_slot`] to publish the new root; gets take only
+//! the metadata lock around the tree probe.
 
-use std::cell::UnsafeCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
-use asl_locks::plain::PlainLock;
+use asl_locks::api::{DynLock, DynMutex};
 use asl_runtime::work::execute_units;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use crate::{random_key, value_for, Engine, LockFactory, Value};
+use crate::{guarded_lock, guarded_slot, random_key, value_for, Engine, LockFactory, Value};
 
 /// Emulated write-transaction cost (page COW + fsync stand-in).
 const WRITE_TXN_UNITS: u64 = 520;
@@ -30,51 +29,41 @@ const READ_UNITS: u64 = 90;
 /// The LMDB-like engine.
 pub struct Lmdb {
     /// Writers serialize here for the whole write transaction.
-    write_lock: Arc<dyn PlainLock>,
-    /// Readers (and the writer's root publication) serialize here.
-    meta_lock: Arc<dyn PlainLock>,
-    tree: UnsafeCell<BTreeMap<u64, Value>>,
+    write_lock: DynLock,
+    /// Readers (and the writer's root publication) serialize on the
+    /// metadata lock guarding the tree.
+    tree: DynMutex<BTreeMap<u64, Value>>,
     version: AtomicU64,
 }
-
-// SAFETY: `tree` is only accessed under `meta_lock` (readers and the
-// writer's nested publish section).
-unsafe impl Sync for Lmdb {}
 
 impl Lmdb {
     /// Create with locks from `factory`.
     pub fn new(factory: &dyn LockFactory) -> Self {
         Lmdb {
-            write_lock: factory.make(),
-            meta_lock: factory.make(),
-            tree: UnsafeCell::new(BTreeMap::new()),
+            write_lock: guarded_lock(factory),
+            tree: guarded_slot(factory, BTreeMap::new()),
             version: AtomicU64::new(0),
         }
     }
 
     /// Write transaction: COW pages, then publish the new root.
     pub fn put(&self, key: u64, value: Value) {
-        let wt = self.write_lock.acquire();
+        let _txn = self.write_lock.lock();
         // Copy-on-write page work happens outside the metadata lock —
         // readers keep reading the old root meanwhile.
         execute_units(WRITE_TXN_UNITS);
         // Publish: nested metadata lock, swap the root.
-        let mt = self.meta_lock.acquire();
-        // SAFETY: meta lock held.
-        unsafe { (*self.tree.get()).insert(key, value) };
+        let mut tree = self.tree.lock();
+        tree.insert(key, value);
         self.version.fetch_add(1, Ordering::Release);
         execute_units(PUBLISH_UNITS);
-        self.meta_lock.release(mt);
-        self.write_lock.release(wt);
     }
 
     /// Read transaction: pin a snapshot and probe the tree.
     pub fn get(&self, key: u64) -> Option<Value> {
-        let mt = self.meta_lock.acquire();
-        // SAFETY: meta lock held.
-        let v = unsafe { (*self.tree.get()).get(&key).copied() };
+        let tree = self.tree.lock();
+        let v = tree.get(&key).copied();
         execute_units(READ_UNITS);
-        self.meta_lock.release(mt);
         v
     }
 
@@ -85,11 +74,7 @@ impl Lmdb {
 
     /// Record count (test helper).
     pub fn len(&self) -> usize {
-        let mt = self.meta_lock.acquire();
-        // SAFETY: meta lock held.
-        let n = unsafe { (*self.tree.get()).len() };
-        self.meta_lock.release(mt);
-        n
+        self.tree.lock().len()
     }
 
     /// True when empty.
@@ -116,7 +101,9 @@ impl Engine for Lmdb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use asl_locks::plain::PlainLock;
     use rand::SeedableRng;
+    use std::sync::Arc;
 
     fn factory() -> impl LockFactory {
         || -> Arc<dyn PlainLock> { Arc::new(asl_locks::McsLock::new()) }

@@ -6,25 +6,24 @@
 //! (UNLOCKED → SHARED → RESERVED → PENDING → EXCLUSIVE); transactions
 //! retry until the protocol admits them, which is why the paper sees
 //! strongly fluctuating, non-linear latencies here. We implement that
-//! state machine under a *state-machine lock* plus a short *table
-//! lock* (the metadata lock) around row/index access.
+//! state machine under a *state-machine lock* (a [`guarded_slot`]
+//! around [`FileLockState`]) plus a short *table lock* (the metadata
+//! lock, a guarded slot around rows + index).
 //!
 //! Workload (paper §4.2): DEFERRED transactions with ⅓ inserts,
 //! ⅓ simple point queries on an indexed column, ⅓ complex range
 //! queries filtered on a non-indexed column — and an "extremely long
 //! full-table scan every 1000 executions" to stress SLO keeping.
 
-use std::cell::UnsafeCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
-use asl_locks::plain::PlainLock;
+use asl_locks::api::DynMutex;
 use asl_runtime::work::{execute_raw_units, execute_units};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use crate::{Engine, LockFactory};
+use crate::{guarded_slot, Engine, LockFactory};
 
 /// Emulated cost of one row insert (cache modification).
 const INSERT_UNITS: u64 = 260;
@@ -76,23 +75,23 @@ impl FileLockState {
     }
 }
 
+/// Row store + index, guarded together by the table (metadata) lock.
+struct TableData {
+    rows: Vec<Row>,
+    index: BTreeMap<u64, usize>,
+}
+
 /// The SQLite-like engine.
 pub struct Sqlite {
-    state_lock: Arc<dyn PlainLock>,
-    table_lock: Arc<dyn PlainLock>,
-    state: UnsafeCell<FileLockState>,
-    rows: UnsafeCell<Vec<Row>>,
-    index: UnsafeCell<BTreeMap<u64, usize>>,
+    /// The file-lock protocol state under the state-machine lock.
+    state: DynMutex<FileLockState>,
+    /// Rows and index under the short table (metadata) lock.
+    table: DynMutex<TableData>,
     requests: AtomicU64,
     next_id: AtomicU64,
     #[cfg(test)]
     invariant_violations: AtomicU64,
 }
-
-// SAFETY: `state` only under `state_lock`; `rows`/`index` only while
-// the protocol grants access (SHARED for reads, EXCLUSIVE for the
-// committing writer) *and* the short `table_lock` is held.
-unsafe impl Sync for Sqlite {}
 
 impl Sqlite {
     /// Create with `prefill` rows.
@@ -105,11 +104,8 @@ impl Sqlite {
             rows.push(row);
         }
         Sqlite {
-            state_lock: factory.make(),
-            table_lock: factory.make(),
-            state: UnsafeCell::new(FileLockState::default()),
-            rows: UnsafeCell::new(rows),
-            index: UnsafeCell::new(index),
+            state: guarded_slot(factory, FileLockState::default()),
+            table: guarded_slot(factory, TableData { rows, index }),
             requests: AtomicU64::new(0),
             next_id: AtomicU64::new(prefill),
             #[cfg(test)]
@@ -125,16 +121,12 @@ impl Sqlite {
 
     #[inline]
     fn with_state<R>(&self, f: impl FnOnce(&mut FileLockState) -> R) -> R {
-        let t = self.state_lock.acquire();
-        // SAFETY: state lock held.
-        let r = f(unsafe { &mut *self.state.get() });
+        let mut state = self.state.lock();
+        let r = f(&mut state);
         #[cfg(test)]
-        {
-            if !unsafe { &*self.state.get() }.valid() {
-                self.invariant_violations.fetch_add(1, Ordering::Relaxed);
-            }
+        if !state.valid() {
+            self.invariant_violations.fetch_add(1, Ordering::Relaxed);
         }
-        self.state_lock.release(t);
         r
     }
 
@@ -232,16 +224,15 @@ impl Sqlite {
             backoff = (backoff * 2).min(8_000);
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        // Modify the page cache (short metadata lock).
-        let t = self.table_lock.acquire();
-        // SAFETY: table lock held + RESERVED excludes other writers.
-        unsafe {
-            let rows = &mut *self.rows.get();
-            (*self.index.get()).insert(indexed, rows.len());
-            rows.push(Row { id, indexed, payload });
+        // Modify the page cache (short metadata lock; RESERVED
+        // excludes other writers).
+        {
+            let mut table = self.table.lock();
+            let slot = table.rows.len();
+            table.index.insert(indexed, slot);
+            table.rows.push(Row { id, indexed, payload });
+            execute_units(INSERT_UNITS);
         }
-        execute_units(INSERT_UNITS);
-        self.table_lock.release(t);
         // Commit: spill to the database file under EXCLUSIVE.
         self.promote_exclusive();
         execute_units(COMMIT_UNITS);
@@ -252,14 +243,12 @@ impl Sqlite {
     /// Simple SELECT: point query on the indexed column.
     pub fn select_point(&self, indexed: u64) -> Option<Row> {
         self.acquire_shared();
-        let t = self.table_lock.acquire();
-        // SAFETY: table lock held.
-        let row = unsafe {
-            let rows = &*self.rows.get();
-            (*self.index.get()).get(&indexed).map(|&i| rows[i])
+        let row = {
+            let table = self.table.lock();
+            let row = table.index.get(&indexed).map(|&i| table.rows[i]);
+            execute_units(SIMPLE_SELECT_UNITS);
+            row
         };
-        execute_units(SIMPLE_SELECT_UNITS);
-        self.table_lock.release(t);
         self.release_shared();
         row
     }
@@ -268,18 +257,17 @@ impl Sqlite {
     /// non-indexed payload column.
     pub fn select_range(&self, from: u64, filter_mod: u64) -> usize {
         self.acquire_shared();
-        let t = self.table_lock.acquire();
-        // SAFETY: table lock held.
-        let hits = unsafe {
-            let rows = &*self.rows.get();
-            (*self.index.get())
+        let hits = {
+            let table = self.table.lock();
+            let hits = table
+                .index
                 .range(from..)
                 .take(RANGE_ROWS)
-                .filter(|(_, &i)| rows[i].payload % filter_mod.max(1) == 0)
-                .count()
+                .filter(|(_, &i)| table.rows[i].payload % filter_mod.max(1) == 0)
+                .count();
+            execute_units(RANGE_ROWS as u64 * RANGE_ROW_UNITS);
+            hits
         };
-        execute_units(RANGE_ROWS as u64 * RANGE_ROW_UNITS);
-        self.table_lock.release(t);
         self.release_shared();
         hits
     }
@@ -287,27 +275,20 @@ impl Sqlite {
     /// Full-table scan (the occasional extremely long request).
     pub fn full_scan(&self) -> u64 {
         self.acquire_shared();
-        let t = self.table_lock.acquire();
-        // SAFETY: table lock held.
-        let (count, work) = unsafe {
-            let rows = &*self.rows.get();
-            let n = rows.len().min(SCAN_CAP);
-            let sum: u64 = rows[..n].iter().map(|r| r.payload).sum();
-            (sum, n as u64 * RANGE_ROW_UNITS)
+        let count = {
+            let table = self.table.lock();
+            let n = table.rows.len().min(SCAN_CAP);
+            let sum: u64 = table.rows[..n].iter().map(|r| r.payload).sum();
+            execute_units(n as u64 * RANGE_ROW_UNITS);
+            sum
         };
-        execute_units(work);
-        self.table_lock.release(t);
         self.release_shared();
         count
     }
 
     /// Row count (test helper).
     pub fn len(&self) -> usize {
-        let t = self.table_lock.acquire();
-        // SAFETY: table lock held.
-        let n = unsafe { (*self.rows.get()).len() };
-        self.table_lock.release(t);
-        n
+        self.table.lock().rows.len()
     }
 
     /// True when the table is empty.
@@ -356,7 +337,9 @@ impl Engine for Sqlite {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use asl_locks::plain::PlainLock;
     use rand::SeedableRng;
+    use std::sync::Arc;
 
     fn factory() -> impl LockFactory {
         || -> Arc<dyn PlainLock> { Arc::new(asl_locks::McsLock::new()) }

@@ -5,17 +5,17 @@
 //! environment lock (the dominant contention point — which is why TAS
 //! shows its biggest wins/losses here in the paper) and dispatches
 //! requests through a worker pool protected by a short queue lock.
+//! Both are [`guarded_slot`]s: the lock and the state it protects are
+//! one value, accessed through RAII guards.
 
-use std::cell::UnsafeCell;
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
-use asl_locks::plain::PlainLock;
+use asl_locks::api::DynMutex;
 use asl_runtime::work::execute_units;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use crate::{random_key, value_for, Engine, LockFactory, Value};
+use crate::{guarded_slot, random_key, value_for, Engine, LockFactory, Value};
 
 /// Emulated B-tree insert + page-dirty cost under the global lock.
 const PUT_UNITS: u64 = 420;
@@ -26,64 +26,46 @@ const POOL_UNITS: u64 = 30;
 
 /// The upscaledb-like engine.
 pub struct UpscaleDb {
-    pool_lock: Arc<dyn PlainLock>,
-    global_lock: Arc<dyn PlainLock>,
-    tree: UnsafeCell<BTreeMap<u64, Value>>,
-    pool_depth: UnsafeCell<u64>,
+    pool_depth: DynMutex<u64>,
+    tree: DynMutex<BTreeMap<u64, Value>>,
 }
-
-// SAFETY: `tree` only under `global_lock`; `pool_depth` only under
-// `pool_lock`.
-unsafe impl Sync for UpscaleDb {}
 
 impl UpscaleDb {
     /// Create the engine with locks from `factory`.
     pub fn new(factory: &dyn LockFactory) -> Self {
         UpscaleDb {
-            pool_lock: factory.make(),
-            global_lock: factory.make(),
-            tree: UnsafeCell::new(BTreeMap::new()),
-            pool_depth: UnsafeCell::new(0),
+            pool_depth: guarded_slot(factory, 0),
+            tree: guarded_slot(factory, BTreeMap::new()),
         }
     }
 
     fn enqueue_dispatch(&self) {
-        let t = self.pool_lock.acquire();
-        // SAFETY: pool lock held.
-        unsafe { *self.pool_depth.get() += 1 };
+        let mut depth = self.pool_depth.lock();
+        *depth += 1;
         execute_units(POOL_UNITS);
-        unsafe { *self.pool_depth.get() -= 1 };
-        self.pool_lock.release(t);
+        *depth -= 1;
     }
 
     /// Insert or update.
     pub fn put(&self, key: u64, value: Value) {
         self.enqueue_dispatch();
-        let t = self.global_lock.acquire();
-        // SAFETY: global lock held.
-        unsafe { (*self.tree.get()).insert(key, value) };
+        let mut tree = self.tree.lock();
+        tree.insert(key, value);
         execute_units(PUT_UNITS);
-        self.global_lock.release(t);
     }
 
     /// Look up.
     pub fn get(&self, key: u64) -> Option<Value> {
         self.enqueue_dispatch();
-        let t = self.global_lock.acquire();
-        // SAFETY: global lock held.
-        let v = unsafe { (*self.tree.get()).get(&key).copied() };
+        let tree = self.tree.lock();
+        let v = tree.get(&key).copied();
         execute_units(GET_UNITS);
-        self.global_lock.release(t);
         v
     }
 
     /// Record count (test helper).
     pub fn len(&self) -> usize {
-        let t = self.global_lock.acquire();
-        // SAFETY: global lock held.
-        let n = unsafe { (*self.tree.get()).len() };
-        self.global_lock.release(t);
-        n
+        self.tree.lock().len()
     }
 
     /// True when empty.
@@ -110,7 +92,9 @@ impl Engine for UpscaleDb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use asl_locks::plain::PlainLock;
     use rand::SeedableRng;
+    use std::sync::Arc;
 
     fn factory() -> impl LockFactory {
         || -> Arc<dyn PlainLock> { Arc::new(asl_locks::McsLock::new()) }
@@ -143,11 +127,8 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let t = db.global_lock.acquire();
-        // SAFETY: global lock held.
-        for (k, v) in unsafe { &*db.tree.get() } {
+        for (k, v) in db.tree.lock().iter() {
             assert_eq!(*v, value_for(*k));
         }
-        db.global_lock.release(t);
     }
 }

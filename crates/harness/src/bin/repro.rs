@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! repro list                 # available figure ids
+//! repro locks                # the string-addressable lock registry
 //! repro fig8a                # one figure (full profile)
 //! repro fig1 fig4 --quick    # several figures, quick profile
+//! repro --lock libasl-70us   # Bench-1 under one named lock
 //! repro all --quick --out results/
 //! ```
 //!
@@ -13,6 +15,7 @@
 use std::io::Write as _;
 
 use asl_harness::figures::{self, Profile};
+use asl_harness::locks::{registry, LockSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,6 +27,7 @@ fn main() {
     let mut quick = false;
     let mut out_dir: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
+    let mut lock_names: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -36,10 +40,21 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--lock" => {
+                i += 1;
+                lock_names.push(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--lock requires a registry name (try `repro locks`)");
+                    std::process::exit(2);
+                }));
+            }
             "list" => {
                 for (id, _) in figures::registry() {
                     println!("{id}");
                 }
+                return;
+            }
+            "locks" => {
+                list_locks();
                 return;
             }
             "all" => ids.extend(figures::registry().into_iter().map(|(id, _)| id.to_string())),
@@ -53,6 +68,11 @@ fn main() {
         i += 1;
     }
     ids.dedup();
+
+    if ids.is_empty() && lock_names.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
 
     let profile = if quick { Profile::quick() } else { Profile::full() };
     eprintln!(
@@ -68,6 +88,22 @@ fn main() {
     }
 
     let mut failed = false;
+
+    // One-off single-lock sweeps: `--lock <name>` (repeatable).
+    for name in &lock_names {
+        let spec: LockSpec = match name.parse() {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("{e}");
+                failed = true;
+                continue;
+            }
+        };
+        eprintln!("running --lock {spec} ...");
+        let table = figures::single_lock(&profile, &spec);
+        emit(&table, &out_dir);
+    }
+
     for id in &ids {
         let Some(driver) = figures::find(id) else {
             eprintln!("unknown figure id: {id} (try `repro list`)");
@@ -78,13 +114,7 @@ fn main() {
         let t0 = std::time::Instant::now();
         let tables = driver(&profile);
         for table in &tables {
-            println!("{}", table.render_text());
-            if let Some(dir) = &out_dir {
-                let path = format!("{dir}/{}.csv", table.id);
-                let mut f = std::fs::File::create(&path).expect("create csv");
-                f.write_all(table.render_csv().as_bytes()).expect("write csv");
-                eprintln!("wrote {path}");
-            }
+            emit(table, &out_dir);
         }
         eprintln!("{id} done in {:.1}s", t0.elapsed().as_secs_f64());
     }
@@ -93,10 +123,33 @@ fn main() {
     }
 }
 
+fn emit(table: &asl_harness::report::Table, out_dir: &Option<String>) {
+    println!("{}", table.render_text());
+    if let Some(dir) = out_dir {
+        let path = format!("{dir}/{}.csv", table.id);
+        let mut f = std::fs::File::create(&path).expect("create csv");
+        f.write_all(table.render_csv().as_bytes()).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn list_locks() {
+    let reg = registry();
+    let width = reg.iter().map(|e| e.spec.to_string().len()).max().unwrap_or(0);
+    for entry in reg {
+        println!("{:<width$}  {}", entry.spec.to_string(), entry.description);
+    }
+    println!(
+        "\nSLO-parameterized families accept any duration, e.g. libasl-25us,\n\
+         libasl-clh-4ms, libasl-opt-500ns, libasl-blk-1ms."
+    );
+}
+
 fn usage() {
     eprintln!(
-        "usage: repro [--quick|--full] [--out DIR] <figure-id>... | all | list\n\
+        "usage: repro [--quick|--full] [--out DIR] [--lock NAME]... <figure-id>... | all | list | locks\n\
          figure ids: fig1 fig4 fig5 fig8a fig8b fig8c fig8d fig8ef fig8g fig8hi\n\
-         \u{20}          fig9-kyoto fig9-upscale fig9-lmdb fig10-leveldb fig10-sqlite alt-topology"
+         \u{20}          fig9-kyoto fig9-upscale fig9-lmdb fig10-leveldb fig10-sqlite alt-topology\n\
+         lock names: see `repro locks` (e.g. mcs, shfl-pb10, libasl-70us, libasl-max)"
     );
 }

@@ -55,12 +55,12 @@ pub fn fig8a(profile: &Profile) -> Vec<Table> {
         LockSpec::Ticket,
         LockSpec::ShflPb(10),
         LockSpec::Mcs,
-        LockSpec::Asl { slo_ns: Some(0) },
-        LockSpec::Asl { slo_ns: Some(slo_a) },
+        LockSpec::asl(Some(0)),
+        LockSpec::asl(Some(slo_a)),
         LockSpec::AslOpt { window_ns: opt_window },
-        LockSpec::Asl { slo_ns: Some(slo_b) },
-        LockSpec::Asl { slo_ns: Some(slo_c) },
-        LockSpec::Asl { slo_ns: None },
+        LockSpec::asl(Some(slo_b)),
+        LockSpec::asl(Some(slo_c)),
+        LockSpec::asl(None),
     ];
 
     let mut table = Table::new("fig8a", "Bench-1 performance comparison", &COMPARISON_COLS);
@@ -89,7 +89,7 @@ pub fn fig8b(profile: &Profile) -> Vec<Table> {
     let steps = 10usize;
     for i in 0..=steps {
         let slo = hi * i as u64 / steps as u64;
-        let scenario = MicroScenario::bench1(&LockSpec::Asl { slo_ns: Some(slo) });
+        let scenario = MicroScenario::bench1(&LockSpec::asl(Some(slo)));
         let r = run_micro(profile, &scenario, 8);
         table.push_row(vec![
             format!("{:.1}", slo as f64 / 1_000.0),
@@ -135,7 +135,7 @@ pub fn fig8c(profile: &Profile) -> Vec<Table> {
         mcs.length = mix.clone();
         let r_mcs = run_micro(profile, &mcs, 8);
 
-        let mut asl = MicroScenario::bench1(&LockSpec::Asl { slo_ns: Some(slo) });
+        let mut asl = MicroScenario::bench1(&LockSpec::asl(Some(slo)));
         asl.length = mix.clone();
         let r_asl = run_micro(profile, &asl, 8);
 
@@ -197,7 +197,7 @@ pub fn fig8d(profile: &Profile) -> Vec<Table> {
 
     let multiplier = Arc::new(AtomicU64::new(1));
     let scenario = {
-        let mut s = MicroScenario::bench1(&LockSpec::Asl { slo_ns: Some(slo) });
+        let mut s = MicroScenario::bench1(&LockSpec::asl(Some(slo)));
         s.length = LengthModel::Dynamic(multiplier.clone());
         Arc::new(s)
     };

@@ -110,10 +110,10 @@ fn db_trio(
         LockSpec::Ticket,
         LockSpec::ShflPb(10),
         LockSpec::Mcs,
-        LockSpec::Asl { slo_ns: Some(0) },
-        LockSpec::Asl { slo_ns: Some(slo_lo) },
-        LockSpec::Asl { slo_ns: Some(slo_hi) },
-        LockSpec::Asl { slo_ns: None },
+        LockSpec::asl(Some(0)),
+        LockSpec::asl(Some(slo_lo)),
+        LockSpec::asl(Some(slo_hi)),
+        LockSpec::asl(None),
     ];
     let mut bars = Table::new(
         &format!("{id}a"),
@@ -138,7 +138,7 @@ fn db_trio(
     let steps = 8u64;
     for i in 0..=steps {
         let slo = anchor * 4 * i / steps;
-        let r = run_db_point(profile, topo(), make, &LockSpec::Asl { slo_ns: Some(slo) }, 8);
+        let r = run_db_point(profile, topo(), make, &LockSpec::asl(Some(slo)), 8);
         sweep.push_row(vec![
             format!("{:.1}", slo as f64 / 1_000.0),
             fmt_us(r.big.p99()),
@@ -149,7 +149,7 @@ fn db_trio(
     }
 
     // (c) CDF at the representative SLO.
-    let r = run_db_point(profile, topo(), make, &LockSpec::Asl { slo_ns: Some(slo_hi) }, 8);
+    let r = run_db_point(profile, topo(), make, &LockSpec::asl(Some(slo_hi)), 8);
     let mut cdf = Table::new(
         &format!("{id}c"),
         &format!("{name}: latency CDF at SLO {}us", slo_hi / 1_000),
@@ -216,7 +216,7 @@ pub fn alt_topology(profile: &Profile) -> Vec<Table> {
             profile,
             topo,
             make_upscale,
-            &LockSpec::Asl { slo_ns: Some(anchor * 3) },
+            &LockSpec::asl(Some(anchor * 3)),
             8,
         );
         table.push_row(vec![

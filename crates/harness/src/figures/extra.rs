@@ -40,7 +40,7 @@ pub fn sec2_numa(profile: &Profile) -> Vec<Table> {
         LockSpec::Cohort,
         LockSpec::Malthusian,
         LockSpec::ShuffleClassLocal { max_skips: 16 },
-        LockSpec::Asl { slo_ns: None },
+        LockSpec::asl(None),
     ];
     let mut cols: Vec<String> = vec!["threads".into()];
     for s in &specs {
@@ -262,7 +262,7 @@ pub fn sec5_delegation(profile: &Profile) -> Vec<Table> {
             format!("{:.0}", srv.throughput),
             fmt_us(srv.p99_ns),
         ]);
-        for spec in [LockSpec::Mcs, LockSpec::Asl { slo_ns: None }] {
+        for spec in [LockSpec::Mcs, LockSpec::asl(None)] {
             let scenario = MicroScenario::simple(&spec, lines, ncs);
             let r = run_micro(profile, &scenario, 8);
             table.push_row(vec![

@@ -106,10 +106,10 @@ pub fn fig8ef(profile: &Profile) -> Vec<Table> {
     let specs = [
         LockSpec::Mcs,
         LockSpec::Tas(AtomicAffinity::big_wins()),
-        LockSpec::Asl { slo_ns: Some(0) },
-        LockSpec::Asl { slo_ns: Some(slo_tight) },
-        LockSpec::Asl { slo_ns: Some(slo_loose) },
-        LockSpec::Asl { slo_ns: None },
+        LockSpec::asl(Some(0)),
+        LockSpec::asl(Some(slo_tight)),
+        LockSpec::asl(Some(slo_loose)),
+        LockSpec::asl(None),
     ];
     let mut t = scalability_scan(
         profile,
@@ -151,7 +151,7 @@ pub fn fig8g(profile: &Profile) -> Vec<Table> {
     for exp in 0..=5u32 {
         let ncs = 10u64.pow(exp);
         let asl = {
-            let s = MicroScenario::simple(&LockSpec::Asl { slo_ns: None }, FIG8G_LINES, ncs);
+            let s = MicroScenario::simple(&LockSpec::asl(None), FIG8G_LINES, ncs);
             run_micro(profile, &s, 8).throughput
         };
         let mut row = vec![ncs.to_string(), format!("{asl:.0}")];

@@ -103,6 +103,21 @@ pub fn run_micro_on(
     )
 }
 
+/// One-off CLI sweep: run the Bench-1 micro-benchmark under a single
+/// named lock (`repro --lock <name>`); any registry name works, so
+/// every experiment point is addressable from the command line.
+pub fn single_lock(profile: &Profile, spec: &crate::locks::LockSpec) -> Table {
+    let scenario = MicroScenario::bench1(spec);
+    let r = run_micro(profile, &scenario, 8);
+    let mut t = Table::new(
+        &format!("lock-{spec}"),
+        &format!("Bench-1 micro-benchmark under `{spec}` (8 threads, M1-like topology)"),
+        &micro::COMPARISON_COLS,
+    );
+    t.push_row(micro::comparison_row(&spec.label(), &r));
+    t
+}
+
 /// A figure-reproduction entry point: profile in, tables out.
 pub type FigureFn = fn(&Profile) -> Vec<Table>;
 

@@ -1,23 +1,72 @@
-//! Runtime lock selection for experiments.
+//! Runtime lock selection for experiments: the string-addressable
+//! lock registry.
 //!
 //! A [`LockSpec`] names one competitor from the paper's evaluation —
 //! a baseline (`pthread`, TAS, ticket, MCS, SHFL-PB10) or a LibASL
 //! configuration (`LibASL-X` = SLO X, `LibASL-MAX` = maximum window,
-//! `LibASL-OPT` = static window, blocking variants). [`LockSetup`]
-//! materializes the spec into lock instances plus the epoch/SLO
-//! annotation the workload should apply.
+//! `LibASL-OPT` = static window, blocking variants, alternative FIFO
+//! substrates). Every spec round-trips through its printed name:
+//! [`LockSpec`] implements both `Display` and `FromStr`, and
+//! `spec.to_string().parse()` is the identity. [`registry`] enumerates
+//! every catalogued spec with a one-line description (the `repro locks`
+//! CLI listing), and [`LockSpec::make_dyn`] materializes a spec into a
+//! guard-based [`DynLock`].
+//!
+//! ```
+//! use asl_harness::locks::LockSpec;
+//!
+//! let spec: LockSpec = "libasl-70us".parse().unwrap();
+//! assert_eq!(spec.to_string(), "libasl-70us");
+//!
+//! let lock = spec.make_dyn();
+//! {
+//!     let _held = lock.lock();     // RAII guard, released on drop
+//!     assert!(lock.is_locked());
+//! }
+//! assert!(!lock.is_locked());
+//! ```
 
+use std::fmt;
+use std::str::FromStr;
 use std::sync::Arc;
 
-use asl_core::{AslBlockingLock, AslSpinLock, ReorderableLock, SpinWait};
+use asl_core::{AslBlockingLock, AslLock, AslSpinLock, ReorderableLock, SpinWait};
+use asl_locks::api::DynLock;
 use asl_locks::plain::{PlainLock, PlainToken};
-use asl_locks::shuffle::ClassLocalPolicy;
+use asl_locks::shuffle::{ClassLocalPolicy, FifoPolicy, ShuffleLock};
 use asl_locks::{
-    CnaLock, CohortLock, MalthusianLock, McsLock, McsStpLock, ProportionalLock, PthreadMutex,
-    ShuffleLock, TasLock, TicketLock,
+    ClhLock, CnaLock, CohortLock, MalthusianLock, McsLock, McsStpLock, ProportionalLock,
+    PthreadMutex, TasLock, TicketLock,
 };
 use asl_runtime::registry::is_big_core;
 use asl_runtime::AtomicAffinity;
+
+/// FIFO substrate under the LibASL dispatch layer (one type parameter
+/// at the `AslLock` level, one name fragment here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AslSubstrate {
+    /// MCS queue lock — the paper's default.
+    Mcs,
+    /// CLH queue lock.
+    Clh,
+    /// Ticket lock.
+    Ticket,
+    /// Shuffle framework in pass-through (FIFO) mode.
+    ShflFifo,
+}
+
+impl AslSubstrate {
+    /// Name fragment between `libasl-` and the SLO (`""` for the
+    /// default MCS substrate).
+    fn tag(&self) -> &'static str {
+        match self {
+            AslSubstrate::Mcs => "",
+            AslSubstrate::Clh => "clh-",
+            AslSubstrate::Ticket => "ticket-",
+            AslSubstrate::ShflFifo => "shfl-",
+        }
+    }
+}
 
 /// Which lock to run an experiment under.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,8 +95,10 @@ pub enum LockSpec {
         max_skips: u32,
     },
     /// LibASL with an SLO-annotated epoch (`None` = no epoch =
-    /// LibASL-MAX, maximum reordering).
+    /// LibASL-MAX, maximum reordering) over a chosen FIFO substrate.
     Asl {
+        /// FIFO lock under the reorderable layer (MCS by default).
+        substrate: AslSubstrate,
         /// Epoch SLO in ns; `None` disables epochs (max window).
         slo_ns: Option<u64>,
     },
@@ -64,42 +115,44 @@ pub enum LockSpec {
 }
 
 impl LockSpec {
-    /// Paper-style label ("MCS Lock", "LibASL-50", ...).
+    /// LibASL over the default MCS substrate (`None` = max window).
+    pub fn asl(slo_ns: Option<u64>) -> Self {
+        Self::asl_on(AslSubstrate::Mcs, slo_ns)
+    }
+
+    /// LibASL over an explicit FIFO substrate.
+    pub fn asl_on(substrate: AslSubstrate, slo_ns: Option<u64>) -> Self {
+        LockSpec::Asl { substrate, slo_ns }
+    }
+
+    /// Registry-style label ("mcs", "libasl-50us", ...) — same as the
+    /// `Display` form.
     pub fn label(&self) -> String {
-        match self {
-            LockSpec::Pthread => "pthread".into(),
-            LockSpec::Tas(_) => "tas".into(),
-            LockSpec::Ticket => "ticket".into(),
-            LockSpec::Mcs => "mcs".into(),
-            LockSpec::McsStp => "mcs-stp".into(),
-            LockSpec::ShflPb(n) => format!("shfl-pb{n}"),
-            LockSpec::Cna => "cna".into(),
-            LockSpec::Cohort => "cohort".into(),
-            LockSpec::Malthusian => "malthusian".into(),
-            LockSpec::ShuffleClassLocal { max_skips } => format!("shfl-local{max_skips}"),
-            LockSpec::Asl { slo_ns: None } => "libasl-max".into(),
-            LockSpec::Asl { slo_ns: Some(s) } => format!("libasl-{}", fmt_slo(*s)),
-            LockSpec::AslOpt { window_ns } => format!("libasl-opt({})", fmt_slo(*window_ns)),
-            LockSpec::AslBlocking { slo_ns: None } => "libasl-blk-max".into(),
-            LockSpec::AslBlocking { slo_ns: Some(s) } => format!("libasl-blk-{}", fmt_slo(*s)),
-        }
+        self.to_string()
     }
 
     /// Whether the workload should wrap requests in an epoch, and the
     /// SLO to use.
     pub fn epoch_slo(&self) -> Option<u64> {
         match self {
-            LockSpec::Asl { slo_ns } | LockSpec::AslBlocking { slo_ns } => *slo_ns,
+            LockSpec::Asl { slo_ns, .. } | LockSpec::AslBlocking { slo_ns } => *slo_ns,
             _ => None,
         }
     }
 
-    /// Build `n` independent lock instances for this spec.
-    pub fn make_locks(&self, n: usize) -> Vec<Arc<dyn PlainLock>> {
-        (0..n).map(|_| self.make_lock()).collect()
+    /// Build `n` independent guard-based lock handles for this spec.
+    pub fn make_locks(&self, n: usize) -> Vec<DynLock> {
+        (0..n).map(|_| self.make_dyn()).collect()
     }
 
-    /// Build one lock instance.
+    /// Build one guard-based lock handle.
+    pub fn make_dyn(&self) -> DynLock {
+        DynLock::new(self.make_lock())
+    }
+
+    /// Build one shared lock object (the token-level factory used by
+    /// the engines' [`asl_dbsim::LockFactory`] plumbing; prefer
+    /// [`LockSpec::make_dyn`] at call sites that lock directly).
     pub fn make_lock(&self) -> Arc<dyn PlainLock> {
         match self {
             LockSpec::Pthread => Arc::new(PthreadMutex::new()),
@@ -114,21 +167,225 @@ impl LockSpec {
             LockSpec::ShuffleClassLocal { max_skips } => {
                 Arc::new(ShuffleLock::new(ClassLocalPolicy::new(*max_skips)))
             }
-            LockSpec::Asl { .. } => Arc::new(AslSpinLock::default()),
+            LockSpec::Asl { substrate, .. } => match substrate {
+                AslSubstrate::Mcs => Arc::new(AslSpinLock::default()),
+                AslSubstrate::Clh => Arc::new(AslLock::new(ClhLock::new())),
+                AslSubstrate::Ticket => Arc::new(AslLock::new(TicketLock::new())),
+                AslSubstrate::ShflFifo => Arc::new(AslLock::new(ShuffleLock::new(FifoPolicy))),
+            },
             LockSpec::AslOpt { window_ns } => Arc::new(StaticWindowLock::new(*window_ns)),
             LockSpec::AslBlocking { .. } => Arc::new(AslBlockingLock::new_blocking()),
         }
     }
 }
 
+impl fmt::Display for LockSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockSpec::Pthread => f.write_str("pthread"),
+            LockSpec::Tas(aff) => f.write_str(&fmt_tas(aff)),
+            LockSpec::Ticket => f.write_str("ticket"),
+            LockSpec::Mcs => f.write_str("mcs"),
+            LockSpec::McsStp => f.write_str("mcs-stp"),
+            LockSpec::ShflPb(n) => write!(f, "shfl-pb{n}"),
+            LockSpec::Cna => f.write_str("cna"),
+            LockSpec::Cohort => f.write_str("cohort"),
+            LockSpec::Malthusian => f.write_str("malthusian"),
+            LockSpec::ShuffleClassLocal { max_skips } => write!(f, "shfl-local{max_skips}"),
+            LockSpec::Asl { substrate, slo_ns: None } => {
+                write!(f, "libasl-{}max", substrate.tag())
+            }
+            LockSpec::Asl { substrate, slo_ns: Some(s) } => {
+                write!(f, "libasl-{}{}", substrate.tag(), fmt_slo(*s))
+            }
+            LockSpec::AslOpt { window_ns } => write!(f, "libasl-opt-{}", fmt_slo(*window_ns)),
+            LockSpec::AslBlocking { slo_ns: None } => f.write_str("libasl-blk-max"),
+            LockSpec::AslBlocking { slo_ns: Some(s) } => write!(f, "libasl-blk-{}", fmt_slo(*s)),
+        }
+    }
+}
+
+fn fmt_tas(aff: &AtomicAffinity) -> String {
+    const DP: u64 = AtomicAffinity::DEFAULT_PENALTY;
+    match aff {
+        AtomicAffinity::Neutral => "tas".into(),
+        AtomicAffinity::BigWins { penalty_units: DP } => "tas-big".into(),
+        AtomicAffinity::BigWins { penalty_units } => format!("tas-big-p{penalty_units}"),
+        AtomicAffinity::LittleWins { penalty_units: DP } => "tas-little".into(),
+        AtomicAffinity::LittleWins { penalty_units } => format!("tas-little-p{penalty_units}"),
+    }
+}
+
+/// Failure to parse a [`LockSpec`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLockSpecError {
+    name: String,
+}
+
+impl fmt::Display for ParseLockSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown lock spec {:?} (try `repro locks` for the registry)",
+            self.name
+        )
+    }
+}
+
+impl std::error::Error for ParseLockSpecError {}
+
+impl FromStr for LockSpec {
+    type Err = ParseLockSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseLockSpecError { name: s.to_string() };
+        let spec = match s {
+            "pthread" => LockSpec::Pthread,
+            "tas" => LockSpec::Tas(AtomicAffinity::Neutral),
+            "tas-big" => LockSpec::Tas(AtomicAffinity::big_wins()),
+            "tas-little" => LockSpec::Tas(AtomicAffinity::little_wins()),
+            "ticket" => LockSpec::Ticket,
+            "mcs" => LockSpec::Mcs,
+            "mcs-stp" => LockSpec::McsStp,
+            "cna" => LockSpec::Cna,
+            "cohort" => LockSpec::Cohort,
+            "malthusian" => LockSpec::Malthusian,
+            _ => {
+                if let Some(p) = s.strip_prefix("tas-big-p") {
+                    LockSpec::Tas(AtomicAffinity::BigWins {
+                        penalty_units: p.parse().map_err(|_| err())?,
+                    })
+                } else if let Some(p) = s.strip_prefix("tas-little-p") {
+                    LockSpec::Tas(AtomicAffinity::LittleWins {
+                        penalty_units: p.parse().map_err(|_| err())?,
+                    })
+                } else if let Some(n) = s.strip_prefix("shfl-pb") {
+                    LockSpec::ShflPb(n.parse().map_err(|_| err())?)
+                } else if let Some(n) = s.strip_prefix("shfl-local") {
+                    LockSpec::ShuffleClassLocal { max_skips: n.parse().map_err(|_| err())? }
+                } else if let Some(w) = s.strip_prefix("libasl-opt-") {
+                    LockSpec::AslOpt { window_ns: parse_slo(w).ok_or_else(err)? }
+                } else if let Some(rest) = s.strip_prefix("libasl-blk-") {
+                    LockSpec::AslBlocking { slo_ns: parse_max_or_slo(rest).ok_or_else(err)? }
+                } else if let Some(rest) = s.strip_prefix("libasl-") {
+                    let (substrate, rest) = if let Some(r) = rest.strip_prefix("clh-") {
+                        (AslSubstrate::Clh, r)
+                    } else if let Some(r) = rest.strip_prefix("ticket-") {
+                        (AslSubstrate::Ticket, r)
+                    } else if let Some(r) = rest.strip_prefix("shfl-") {
+                        (AslSubstrate::ShflFifo, r)
+                    } else {
+                        (AslSubstrate::Mcs, rest)
+                    };
+                    LockSpec::Asl { substrate, slo_ns: parse_max_or_slo(rest).ok_or_else(err)? }
+                } else {
+                    return Err(err());
+                }
+            }
+        };
+        Ok(spec)
+    }
+}
+
+/// `"max"` → no epoch; otherwise an SLO duration.
+fn parse_max_or_slo(s: &str) -> Option<Option<u64>> {
+    if s == "max" {
+        Some(None)
+    } else {
+        parse_slo(s).map(Some)
+    }
+}
+
+/// Parse a duration in the registry's `Display` form: `"70us"`,
+/// `"4ms"`, `"250ns"`, or a bare nanosecond count.
+fn parse_slo(s: &str) -> Option<u64> {
+    let (digits, mult) = if let Some(d) = s.strip_suffix("ms") {
+        (d, 1_000_000)
+    } else if let Some(d) = s.strip_suffix("us") {
+        (d, 1_000)
+    } else if let Some(d) = s.strip_suffix("ns") {
+        (d, 1)
+    } else {
+        (s, 1)
+    };
+    digits.parse::<u64>().ok().and_then(|n| n.checked_mul(mult))
+}
+
 fn fmt_slo(ns: u64) -> String {
+    // Only collapse to a coarser unit when exact, so the printed name
+    // parses back to the same spec (`from_str ∘ to_string` identity).
     if ns >= 1_000_000 && ns % 1_000_000 == 0 {
         format!("{}ms", ns / 1_000_000)
-    } else if ns >= 1_000 {
+    } else if ns >= 1_000 && ns % 1_000 == 0 {
         format!("{}us", ns / 1_000)
     } else {
         format!("{ns}ns")
     }
+}
+
+/// One registry entry: a nameable lock spec plus a one-line
+/// description for the `repro locks` listing.
+#[derive(Debug, Clone)]
+pub struct RegistryEntry {
+    /// The spec; its name is `spec.to_string()`.
+    pub spec: LockSpec,
+    /// One-line human description.
+    pub description: &'static str,
+}
+
+/// Every catalogued lock spec. Each entry's printed name parses back
+/// to the same spec; SLO-parameterized families are represented by
+/// canonical members (any other SLO is reachable by name, e.g.
+/// `"libasl-25us"`).
+pub fn registry() -> Vec<RegistryEntry> {
+    let e = |spec, description| RegistryEntry { spec, description };
+    vec![
+        e(LockSpec::Pthread, "glibc-style spin-then-futex blocking mutex"),
+        e(LockSpec::Tas(AtomicAffinity::Neutral), "test-and-set spinlock, neutral atomics"),
+        e(
+            LockSpec::Tas(AtomicAffinity::big_wins()),
+            "test-and-set spinlock, big cores win contended atomics",
+        ),
+        e(
+            LockSpec::Tas(AtomicAffinity::little_wins()),
+            "test-and-set spinlock, little cores win contended atomics",
+        ),
+        e(LockSpec::Ticket, "FIFO ticket lock"),
+        e(LockSpec::Mcs, "FIFO MCS queue lock (paper baseline)"),
+        e(LockSpec::McsStp, "spin-then-park MCS, the blocking FIFO strawman"),
+        e(LockSpec::ShflPb(10), "proportional lock, 10 big grants per little grant"),
+        e(
+            LockSpec::ShuffleClassLocal { max_skips: 16 },
+            "ShflLock framework, class-local policy (16-skip bound)",
+        ),
+        e(LockSpec::Cna, "compact NUMA-aware lock on core classes"),
+        e(LockSpec::Cohort, "lock cohorting (C-BO-MCS) on core classes"),
+        e(LockSpec::Malthusian, "Malthusian MCS: culling + periodic reintroduction"),
+        e(LockSpec::asl(Some(70_000)), "LibASL, 70us SLO epochs (any SLO: libasl-<dur>)"),
+        e(LockSpec::asl(None), "LibASL, maximum reorder window (no epochs)"),
+        e(
+            LockSpec::asl_on(AslSubstrate::Clh, Some(70_000)),
+            "LibASL over the CLH substrate, 70us SLO",
+        ),
+        e(LockSpec::asl_on(AslSubstrate::Clh, None), "LibASL over the CLH substrate, max window"),
+        e(
+            LockSpec::asl_on(AslSubstrate::Ticket, None),
+            "LibASL over the ticket substrate, max window",
+        ),
+        e(
+            LockSpec::asl_on(AslSubstrate::ShflFifo, None),
+            "LibASL over the shuffle(FIFO) substrate, max window",
+        ),
+        e(
+            LockSpec::AslOpt { window_ns: 50_000 },
+            "LibASL-OPT: static 50us reorder window, no feedback",
+        ),
+        e(
+            LockSpec::AslBlocking { slo_ns: Some(70_000) },
+            "blocking LibASL (futex + nanosleep standby), 70us SLO",
+        ),
+        e(LockSpec::AslBlocking { slo_ns: None }, "blocking LibASL, maximum window"),
+    ]
 }
 
 /// LibASL-OPT: the paper's "optimal policy" comparator that "directly
@@ -158,14 +415,16 @@ impl PlainLock for StaticWindowLock {
         } else {
             self.inner.lock_reorder(self.window_ns)
         };
-        PlainToken(tok.into_raw(), 0)
+        PlainToken::issue(self, tok.into_raw(), 0)
     }
     fn try_acquire(&self) -> Option<PlainToken> {
-        self.inner.try_lock().map(|t| PlainToken(t.into_raw(), 0))
+        self.inner.try_lock().map(|t| PlainToken::issue(self, t.into_raw(), 0))
     }
     fn release(&self, token: PlainToken) {
-        // SAFETY: token came from acquire/try_acquire on this lock.
-        self.inner.unlock(unsafe { asl_locks::mcs::McsToken::from_raw(token.0) });
+        let (raw, _) = token.redeem(self);
+        // SAFETY: `redeem` checked (in debug builds) that this lock
+        // issued the token; the word is an unreleased MCS token.
+        self.inner.unlock(unsafe { asl_locks::mcs::McsToken::from_raw(raw) });
     }
     fn held(&self) -> bool {
         self.inner.is_locked()
@@ -186,12 +445,12 @@ pub fn standard_lineup(affinity: AtomicAffinity, slos_ns: &[u64]) -> Vec<LockSpe
         LockSpec::Ticket,
         LockSpec::ShflPb(10),
         LockSpec::Mcs,
-        LockSpec::Asl { slo_ns: Some(0) },
+        LockSpec::asl(Some(0)),
     ];
     for &slo in slos_ns {
-        v.push(LockSpec::Asl { slo_ns: Some(slo) });
+        v.push(LockSpec::asl(Some(slo)));
     }
-    v.push(LockSpec::Asl { slo_ns: None });
+    v.push(LockSpec::asl(None));
     v
 }
 
@@ -203,51 +462,101 @@ mod tests {
     fn labels() {
         assert_eq!(LockSpec::Mcs.label(), "mcs");
         assert_eq!(LockSpec::ShflPb(10).label(), "shfl-pb10");
-        assert_eq!(LockSpec::Asl { slo_ns: Some(50_000) }.label(), "libasl-50us");
-        assert_eq!(LockSpec::Asl { slo_ns: Some(4_000_000) }.label(), "libasl-4ms");
-        assert_eq!(LockSpec::Asl { slo_ns: None }.label(), "libasl-max");
-        assert_eq!(LockSpec::AslOpt { window_ns: 1_000 }.label(), "libasl-opt(1us)");
+        assert_eq!(LockSpec::asl(Some(50_000)).label(), "libasl-50us");
+        assert_eq!(LockSpec::asl(Some(4_000_000)).label(), "libasl-4ms");
+        assert_eq!(LockSpec::asl(None).label(), "libasl-max");
+        assert_eq!(LockSpec::AslOpt { window_ns: 1_000 }.label(), "libasl-opt-1us");
+        assert_eq!(
+            LockSpec::asl_on(AslSubstrate::Clh, Some(25_000)).label(),
+            "libasl-clh-25us"
+        );
+        // Non-round SLOs keep an exact printed form.
+        assert_eq!(LockSpec::asl(Some(1_500)).label(), "libasl-1500ns");
+    }
+
+    #[test]
+    fn parse_known_names() {
+        for (name, spec) in [
+            ("pthread", LockSpec::Pthread),
+            ("tas", LockSpec::Tas(AtomicAffinity::Neutral)),
+            ("tas-big", LockSpec::Tas(AtomicAffinity::big_wins())),
+            ("tas-little-p42", LockSpec::Tas(AtomicAffinity::LittleWins { penalty_units: 42 })),
+            ("mcs", LockSpec::Mcs),
+            ("mcs-stp", LockSpec::McsStp),
+            ("shfl-pb10", LockSpec::ShflPb(10)),
+            ("shfl-local8", LockSpec::ShuffleClassLocal { max_skips: 8 }),
+            ("libasl-70us", LockSpec::asl(Some(70_000))),
+            ("libasl-max", LockSpec::asl(None)),
+            ("libasl-0ns", LockSpec::asl(Some(0))),
+            ("libasl-clh-max", LockSpec::asl_on(AslSubstrate::Clh, None)),
+            ("libasl-ticket-4ms", LockSpec::asl_on(AslSubstrate::Ticket, Some(4_000_000))),
+            ("libasl-shfl-max", LockSpec::asl_on(AslSubstrate::ShflFifo, None)),
+            ("libasl-opt-50us", LockSpec::AslOpt { window_ns: 50_000 }),
+            ("libasl-blk-70us", LockSpec::AslBlocking { slo_ns: Some(70_000) }),
+            ("libasl-blk-max", LockSpec::AslBlocking { slo_ns: None }),
+        ] {
+            assert_eq!(name.parse::<LockSpec>().unwrap(), spec, "{name}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "mc", "libasl-", "libasl-opt-", "shfl-pb", "tas-big-p", "libasl-xyz"] {
+            assert!(bad.parse::<LockSpec>().is_err(), "{bad:?} should not parse");
+        }
+        // Durations that would overflow u64 nanoseconds are rejected,
+        // not wrapped.
+        for overflow in ["libasl-20000000000000000000ms", "libasl-opt-99999999999999999999us"] {
+            assert!(overflow.parse::<LockSpec>().is_err(), "{overflow:?} must not wrap");
+        }
+        let err = "nope".parse::<LockSpec>().unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn registry_round_trips_and_is_unique() {
+        let reg = registry();
+        let mut names = Vec::new();
+        for entry in &reg {
+            let name = entry.spec.to_string();
+            let parsed: LockSpec = name.parse().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(parsed, entry.spec, "{name} must round-trip");
+            assert!(!entry.description.is_empty());
+            names.push(name);
+        }
+        names.sort();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n, "registry names must be unique");
+    }
+
+    #[test]
+    fn registry_locks_all_acquire_via_guards() {
+        for entry in registry() {
+            let lock = entry.spec.make_dyn();
+            {
+                let _held = lock.lock();
+                assert!(lock.is_locked(), "{}", entry.spec);
+            }
+            assert!(!lock.is_locked(), "{}", entry.spec);
+            let held = lock.try_lock().expect("free lock must try_lock");
+            held.unlock();
+        }
     }
 
     #[test]
     fn epoch_slo_only_for_asl() {
         assert_eq!(LockSpec::Mcs.epoch_slo(), None);
-        assert_eq!(LockSpec::Asl { slo_ns: Some(5) }.epoch_slo(), Some(5));
+        assert_eq!(LockSpec::asl(Some(5)).epoch_slo(), Some(5));
         assert_eq!(LockSpec::AslBlocking { slo_ns: Some(7) }.epoch_slo(), Some(7));
-    }
-
-    #[test]
-    fn all_specs_make_working_locks() {
-        let specs = [
-            LockSpec::Pthread,
-            LockSpec::Tas(AtomicAffinity::Neutral),
-            LockSpec::Ticket,
-            LockSpec::Mcs,
-            LockSpec::McsStp,
-            LockSpec::ShflPb(10),
-            LockSpec::Cna,
-            LockSpec::Cohort,
-            LockSpec::Malthusian,
-            LockSpec::ShuffleClassLocal { max_skips: 16 },
-            LockSpec::Asl { slo_ns: Some(1_000) },
-            LockSpec::AslOpt { window_ns: 500 },
-            LockSpec::AslBlocking { slo_ns: None },
-        ];
-        for spec in &specs {
-            let lock = spec.make_lock();
-            let t = lock.acquire();
-            assert!(lock.held(), "{}", spec.label());
-            lock.release(t);
-            assert!(!lock.held(), "{}", spec.label());
-        }
     }
 
     #[test]
     fn make_locks_distinct_instances() {
         let locks = LockSpec::Mcs.make_locks(2);
-        let t = locks[0].acquire();
-        assert!(!locks[1].held(), "instances must be independent");
-        locks[0].release(t);
+        let held = locks[0].lock();
+        assert!(!locks[1].is_locked(), "instances must be independent");
+        held.unlock();
     }
 
     #[test]
@@ -265,9 +574,10 @@ mod tests {
     fn static_window_lock_behaves() {
         let l = StaticWindowLock::new(1_000);
         assert_eq!(l.window_ns(), 1_000);
-        let t = l.acquire();
-        assert!(l.held());
-        l.release(t);
-        assert!(!l.held());
+        let l = DynLock::of(l);
+        let held = l.lock();
+        assert!(l.is_locked());
+        held.unlock();
+        assert!(!l.is_locked());
     }
 }

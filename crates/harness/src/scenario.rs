@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use asl_core::epoch;
-use asl_locks::plain::PlainLock;
+use asl_locks::api::DynLock;
 use asl_runtime::clock::now_ns;
 use asl_runtime::work::execute_units;
 use asl_runtime::CacheLineArena;
@@ -70,7 +70,7 @@ pub enum LengthModel {
 /// A configured micro-benchmark.
 pub struct MicroScenario {
     /// The lock instances used by `sections`.
-    pub locks: Vec<Arc<dyn PlainLock>>,
+    pub locks: Vec<DynLock>,
     /// Shared cache-line arena.
     pub arena: Arc<CacheLineArena>,
     /// Critical sections per epoch.
@@ -101,7 +101,7 @@ impl MicroScenario {
     }
 
     /// Bench-1 (Figures 8a-8d): "4 critical sections of different
-    /// lengths protected by 2 different locks ... 64 [lines] in
+    /// lengths protected by 2 different locks ... 64 \[lines\] in
     /// total", 600·27 emulated units between epochs.
     pub fn bench1(spec: &LockSpec) -> Self {
         MicroScenario {
@@ -162,12 +162,10 @@ impl MicroScenario {
     #[inline]
     fn critical_work(&self, factor: u64) {
         for (i, cs) in self.sections.iter().enumerate() {
-            let lock = &self.locks[cs.lock_idx];
-            let tok = lock.acquire();
+            let _held = self.locks[cs.lock_idx].lock();
             self.arena.rmw(i * 8, cs.lines);
             execute_units(cs.lines as u64 * self.cs_units_per_line * factor);
-            lock.release(tok);
-        }
+        } // critical section ends when `_held` drops
     }
 
     /// Total emulated critical-section units per epoch (big-core).
@@ -220,7 +218,7 @@ mod tests {
     #[test]
     fn epoch_slo_drives_epoch_path() {
         asl_runtime::registry::unregister(); // big core: no window changes
-        let s = MicroScenario::simple(&LockSpec::Asl { slo_ns: Some(1_000_000) }, 2, 10);
+        let s = MicroScenario::simple(&LockSpec::asl(Some(1_000_000)), 2, 10);
         assert_eq!(s.epoch_slo, Some(1_000_000));
         let mut rng = worker_rng(2);
         let lat = s.run_op(&mut rng);

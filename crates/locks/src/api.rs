@@ -1,0 +1,542 @@
+//! Guard-based unified lock API.
+//!
+//! The token interfaces ([`RawLock`], [`PlainLock`]) stay available as
+//! the low-level escape hatch, but application code should hold
+//! acquisitions as RAII values from this module instead of threading
+//! tokens by hand — forgetting a `release` (silent deadlock) or
+//! releasing against the wrong lock (queue-node corruption) becomes
+//! impossible by construction:
+//!
+//! * [`Guard`] — an acquisition of any borrowed [`RawLock`], released
+//!   on drop. [`GuardedLock::guard`] is blanket-implemented for every
+//!   raw lock.
+//! * [`Mutex`] — a data-carrying mutex generic over its lock
+//!   implementation (`Mutex<T, L: RawLock>`, MCS by default); `lock`
+//!   and `try_lock` return a [`MutexGuard`] that derefs to the data.
+//! * [`DynLock`] / [`DynGuard`] — the same drop-safety for
+//!   runtime-chosen locks (`Arc<dyn PlainLock>`), used wherever the
+//!   paper's evaluation swaps lock implementations by name.
+//! * [`DynMutex`] — a data-carrying mutex over a runtime-chosen lock;
+//!   the building block of the database engines' guarded slots.
+//!
+//! ```
+//! use asl_locks::api::{DynLock, Mutex};
+//! use asl_locks::{McsLock, TasLock};
+//!
+//! // Statically dispatched: pick the lock type as a type parameter.
+//! let counter: Mutex<u64, McsLock> = Mutex::new(0);
+//! *counter.lock() += 1;
+//! assert_eq!(*counter.lock(), 1);
+//!
+//! // Dynamically dispatched: pick the lock at runtime.
+//! let lock = DynLock::of(TasLock::new());
+//! {
+//!     let _held = lock.lock();
+//!     assert!(lock.is_locked());
+//! } // released on drop — even on panic
+//! assert!(!lock.is_locked());
+//! ```
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Marker making guards `!Send`: a lock must be released by the
+/// thread that acquired it (queue-node tokens are thread-local), so
+/// no guard may migrate to another thread. Guards stay `Sync` —
+/// sharing `&Guard` is harmless.
+type NotSend = PhantomData<*const ()>;
+
+use crate::mcs::McsLock;
+use crate::plain::{PlainLock, PlainToken};
+use crate::RawLock;
+
+/// RAII acquisition of a borrowed [`RawLock`]: the token is captured
+/// at acquisition and passed back to `unlock` on drop.
+///
+/// Guards are `!Send` — locks must be released by the acquiring
+/// thread (queue-node tokens are thread-local):
+///
+/// ```compile_fail
+/// fn assert_send<T: Send>(_: T) {}
+/// let lock = asl_locks::McsLock::new();
+/// let guard = asl_locks::api::Guard::new(&lock);
+/// assert_send(guard); // must not compile: guards can't cross threads
+/// ```
+pub struct Guard<'a, L: RawLock> {
+    lock: &'a L,
+    token: Option<L::Token>,
+    _not_send: NotSend,
+}
+
+// SAFETY: a shared &Guard only exposes &L (Sync) and the token is not
+// reachable by reference; the !Send marker is what must not be lost.
+unsafe impl<L: RawLock> Sync for Guard<'_, L> where L::Token: Sync {}
+
+impl<'a, L: RawLock> Guard<'a, L> {
+    /// Acquire `lock`, blocking until granted.
+    #[inline]
+    pub fn new(lock: &'a L) -> Self {
+        let token = lock.lock();
+        Guard { lock, token: Some(token), _not_send: PhantomData }
+    }
+
+    /// Try to acquire `lock` without waiting.
+    #[inline]
+    pub fn try_new(lock: &'a L) -> Option<Self> {
+        lock.try_lock()
+            .map(|token| Guard { lock, token: Some(token), _not_send: PhantomData })
+    }
+
+    /// Adopt a token obtained through the low-level API.
+    ///
+    /// # Safety
+    /// `token` must come from `lock`/`try_lock` on this lock by the
+    /// calling thread and must not have been released.
+    #[inline]
+    pub unsafe fn from_token(lock: &'a L, token: L::Token) -> Self {
+        Guard { lock, token: Some(token), _not_send: PhantomData }
+    }
+
+    /// Release now (equivalent to `drop`; reads better at call sites).
+    #[inline]
+    pub fn unlock(self) {}
+
+    /// Escape hatch: surrender the token without releasing. The caller
+    /// becomes responsible for passing it to [`RawLock::unlock`].
+    #[inline]
+    pub fn into_token(mut self) -> L::Token {
+        self.token.take().expect("guard token already taken")
+    }
+
+    /// The lock this guard holds.
+    #[inline]
+    pub fn lock_ref(&self) -> &'a L {
+        self.lock
+    }
+}
+
+impl<L: RawLock> Drop for Guard<'_, L> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            self.lock.unlock(token);
+        }
+    }
+}
+
+/// Guard-returning acquisition methods, blanket-implemented for every
+/// [`RawLock`].
+pub trait GuardedLock: RawLock + Sized {
+    /// Acquire, returning an RAII guard.
+    #[inline]
+    fn guard(&self) -> Guard<'_, Self> {
+        Guard::new(self)
+    }
+
+    /// Try to acquire without waiting.
+    #[inline]
+    fn try_guard(&self) -> Option<Guard<'_, Self>> {
+        Guard::try_new(self)
+    }
+}
+
+impl<L: RawLock> GuardedLock for L {}
+
+/// A mutual-exclusion container generic over its lock implementation.
+///
+/// Shaped like `std::sync::Mutex` but without poisoning (lock
+/// protocols here are panic-agnostic, like `parking_lot`): a panic
+/// inside the critical section releases the lock on unwind and the
+/// next `lock` succeeds normally.
+pub struct Mutex<T, L: RawLock = McsLock> {
+    lock: L,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: standard mutex reasoning — the lock serializes access.
+unsafe impl<T: Send, L: RawLock> Send for Mutex<T, L> {}
+unsafe impl<T: Send, L: RawLock> Sync for Mutex<T, L> {}
+
+impl<T, L: RawLock + Default> Mutex<T, L> {
+    /// New mutex over a default-constructed lock.
+    pub fn new(value: T) -> Self {
+        Mutex { lock: L::default(), data: UnsafeCell::new(value) }
+    }
+}
+
+impl<T, L: RawLock> Mutex<T, L> {
+    /// New mutex over a caller-supplied lock instance.
+    pub fn with_lock(value: T, lock: L) -> Self {
+        Mutex { lock, data: UnsafeCell::new(value) }
+    }
+
+    /// Acquire, returning an RAII guard that derefs to the data.
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T, L> {
+        let token = self.lock.lock();
+        MutexGuard { mutex: self, token: Some(token), _not_send: PhantomData }
+    }
+
+    /// Try to acquire without waiting.
+    #[inline]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T, L>> {
+        self.lock
+            .try_lock()
+            .map(|token| MutexGuard { mutex: self, token: Some(token), _not_send: PhantomData })
+    }
+
+    /// Whether the lock is currently held or queued.
+    #[inline]
+    pub fn is_locked(&self) -> bool {
+        self.lock.is_locked()
+    }
+
+    /// The underlying lock (statistics, configuration).
+    pub fn raw(&self) -> &L {
+        &self.lock
+    }
+
+    /// Consume the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default, L: RawLock + Default> Default for Mutex<T, L> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug, L: RawLock> fmt::Debug for Mutex<T, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("Mutex");
+        s.field("lock", &L::NAME);
+        match self.try_lock() {
+            Some(g) => s.field("data", &&*g),
+            None => s.field("data", &format_args!("<locked>")),
+        };
+        s.finish()
+    }
+}
+
+/// RAII guard for [`Mutex`]: derefs to the protected data, releases
+/// the lock on drop.
+pub struct MutexGuard<'a, T, L: RawLock> {
+    mutex: &'a Mutex<T, L>,
+    token: Option<L::Token>,
+    _not_send: NotSend,
+}
+
+// SAFETY: a shared &MutexGuard exposes &T and &Mutex, both fine to
+// share across threads; only Send must stay suppressed.
+unsafe impl<T: Sync, L: RawLock> Sync for MutexGuard<'_, T, L> where L::Token: Sync {}
+
+impl<'a, T, L: RawLock> MutexGuard<'a, T, L> {
+    /// The mutex this guard locks (condvars use this to re-acquire
+    /// after waiting).
+    pub fn mutex(&self) -> &'a Mutex<T, L> {
+        self.mutex
+    }
+
+    /// Release now (equivalent to `drop`).
+    #[inline]
+    pub fn unlock(self) {}
+}
+
+impl<T, L: RawLock> Deref for MutexGuard<'_, T, L> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: guard existence proves exclusive acquisition.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T, L: RawLock> DerefMut for MutexGuard<'_, T, L> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: guard existence proves exclusive acquisition.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T, L: RawLock> Drop for MutexGuard<'_, T, L> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            self.mutex.lock.unlock(token);
+        }
+    }
+}
+
+/// An owned, runtime-chosen lock with RAII acquisition.
+///
+/// Wraps an `Arc<dyn PlainLock>` so call sites that pick their lock
+/// implementation at runtime (the database engines, the harness) get
+/// the same drop-safety as the static [`Guard`]. Cloning shares the
+/// same underlying lock.
+#[derive(Clone)]
+pub struct DynLock {
+    inner: Arc<dyn PlainLock>,
+}
+
+impl DynLock {
+    /// Wrap an existing shared lock object.
+    pub fn new(inner: Arc<dyn PlainLock>) -> Self {
+        DynLock { inner }
+    }
+
+    /// Wrap a concrete lock value.
+    pub fn of<L: PlainLock + 'static>(lock: L) -> Self {
+        DynLock { inner: Arc::new(lock) }
+    }
+
+    /// Acquire, blocking until granted; released when the guard drops.
+    #[inline]
+    pub fn lock(&self) -> DynGuard<'_> {
+        let token = self.inner.acquire();
+        DynGuard { lock: &*self.inner, token: Some(token), _not_send: PhantomData }
+    }
+
+    /// Try to acquire without waiting.
+    #[inline]
+    pub fn try_lock(&self) -> Option<DynGuard<'_>> {
+        self.inner
+            .try_acquire()
+            .map(|token| DynGuard { lock: &*self.inner, token: Some(token), _not_send: PhantomData })
+    }
+
+    /// Heuristic held/queued check.
+    #[inline]
+    pub fn is_locked(&self) -> bool {
+        self.inner.held()
+    }
+
+    /// Implementation name for reports.
+    pub fn name(&self) -> &'static str {
+        self.inner.lock_name()
+    }
+
+    /// The underlying shared lock object (token-API escape hatch).
+    pub fn plain(&self) -> &Arc<dyn PlainLock> {
+        &self.inner
+    }
+}
+
+impl From<Arc<dyn PlainLock>> for DynLock {
+    fn from(inner: Arc<dyn PlainLock>) -> Self {
+        DynLock::new(inner)
+    }
+}
+
+impl fmt::Debug for DynLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DynLock")
+            .field("name", &self.name())
+            .field("held", &self.is_locked())
+            .finish()
+    }
+}
+
+/// RAII acquisition of a [`DynLock`], released on drop.
+///
+/// `!Send` like every guard — release must happen on the acquiring
+/// thread:
+///
+/// ```compile_fail
+/// fn assert_send<T: Send>(_: T) {}
+/// let lock = asl_locks::api::DynLock::of(asl_locks::McsLock::new());
+/// assert_send(lock.lock()); // must not compile
+/// ```
+pub struct DynGuard<'a> {
+    lock: &'a dyn PlainLock,
+    token: Option<PlainToken>,
+    _not_send: NotSend,
+}
+
+// SAFETY: a shared &DynGuard exposes nothing thread-unsafe; only Send
+// must stay suppressed (release must happen on the acquiring thread).
+unsafe impl Sync for DynGuard<'_> {}
+
+impl DynGuard<'_> {
+    /// Release now (equivalent to `drop`; reads better at call sites).
+    #[inline]
+    pub fn unlock(self) {}
+}
+
+impl Drop for DynGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            self.lock.release(token);
+        }
+    }
+}
+
+/// A mutual-exclusion container over a runtime-chosen lock.
+///
+/// The dynamic counterpart of [`Mutex`]: the lock implementation is an
+/// `Arc<dyn PlainLock>` picked at construction (typically from a
+/// `LockSpec` registry name), the data lives inside, and `lock`
+/// returns a guard that derefs to it.
+pub struct DynMutex<T> {
+    lock: DynLock,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: standard mutex reasoning — the lock serializes access.
+unsafe impl<T: Send> Send for DynMutex<T> {}
+unsafe impl<T: Send> Sync for DynMutex<T> {}
+
+impl<T> DynMutex<T> {
+    /// New mutex protecting `value` with `lock`.
+    pub fn new(lock: impl Into<DynLock>, value: T) -> Self {
+        DynMutex { lock: lock.into(), data: UnsafeCell::new(value) }
+    }
+
+    /// Acquire, returning an RAII guard that derefs to the data.
+    #[inline]
+    pub fn lock(&self) -> DynMutexGuard<'_, T> {
+        let token = self.lock.plain().acquire();
+        DynMutexGuard { mutex: self, token: Some(token), _not_send: PhantomData }
+    }
+
+    /// Try to acquire without waiting.
+    #[inline]
+    pub fn try_lock(&self) -> Option<DynMutexGuard<'_, T>> {
+        self.lock.plain().try_acquire().map(|token| DynMutexGuard {
+            mutex: self,
+            token: Some(token),
+            _not_send: PhantomData,
+        })
+    }
+
+    /// Whether the lock is currently held or queued.
+    #[inline]
+    pub fn is_locked(&self) -> bool {
+        self.lock.is_locked()
+    }
+
+    /// The lock handle (name, escape hatch).
+    pub fn lock_handle(&self) -> &DynLock {
+        &self.lock
+    }
+
+    /// Consume the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+/// RAII guard for [`DynMutex`]: derefs to the protected data.
+pub struct DynMutexGuard<'a, T> {
+    mutex: &'a DynMutex<T>,
+    token: Option<PlainToken>,
+    _not_send: NotSend,
+}
+
+// SAFETY: a shared &DynMutexGuard exposes &T / &DynMutex only; only
+// Send must stay suppressed.
+unsafe impl<T: Sync> Sync for DynMutexGuard<'_, T> {}
+
+impl<T> DynMutexGuard<'_, T> {
+    /// Release now (equivalent to `drop`).
+    #[inline]
+    pub fn unlock(self) {}
+}
+
+impl<T> Deref for DynMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: guard existence proves exclusive acquisition.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> DerefMut for DynMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: guard existence proves exclusive acquisition.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for DynMutexGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            self.mutex.lock.plain().release(token);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClhLock, TasLock, TicketLock};
+
+    #[test]
+    fn raw_guard_releases_on_drop() {
+        let lock = McsLock::new();
+        {
+            let _g = lock.guard();
+            assert!(lock.is_locked());
+            assert!(lock.try_guard().is_none());
+        }
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn guard_token_escape_hatch_roundtrip() {
+        let lock = McsLock::new();
+        let token = lock.guard().into_token();
+        assert!(lock.is_locked());
+        // SAFETY: token from the guard above, unreleased, same thread.
+        unsafe { Guard::from_token(&lock, token) };
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn static_mutex_over_several_substrates() {
+        fn bump<L: RawLock + Default>() {
+            let m: Mutex<u64, L> = Mutex::new(0);
+            *m.lock() += 1;
+            assert_eq!(*m.lock(), 1);
+            assert_eq!(m.into_inner(), 1);
+        }
+        bump::<McsLock>();
+        bump::<ClhLock>();
+        bump::<TicketLock>();
+        bump::<TasLock>();
+    }
+
+    #[test]
+    fn dyn_mutex_guards_data() {
+        let m = DynMutex::new(DynLock::of(TicketLock::new()), vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(&*m.lock(), &[1, 2, 3]);
+        assert!(!m.is_locked());
+        assert_eq!(m.lock_handle().name(), "ticket");
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn dyn_lock_try_lock_contention() {
+        let lock = DynLock::of(TasLock::new());
+        let g = lock.lock();
+        assert!(lock.try_lock().is_none());
+        g.unlock();
+        assert!(lock.try_lock().is_some());
+    }
+}

@@ -155,6 +155,17 @@ impl StpToken {
     }
 }
 
+impl crate::plain::TokenWords for StpToken {
+    #[inline]
+    fn into_words(self) -> (usize, usize) {
+        (self.into_raw(), 0)
+    }
+    #[inline]
+    unsafe fn from_words(a: usize, _b: usize) -> Self {
+        Self::from_raw(a)
+    }
+}
+
 /// Spin-then-park MCS lock ("MCS-STP" in the paper's Fig. 8h).
 pub struct McsStpLock {
     tail: AtomicPtr<StpNode>,

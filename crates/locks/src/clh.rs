@@ -66,6 +66,17 @@ impl ClhToken {
     }
 }
 
+impl crate::plain::TokenWords for ClhToken {
+    #[inline]
+    fn into_words(self) -> (usize, usize) {
+        self.into_raw()
+    }
+    #[inline]
+    unsafe fn from_words(a: usize, b: usize) -> Self {
+        Self::from_raw(a, b)
+    }
+}
+
 /// The CLH queue lock.
 pub struct ClhLock {
     tail: AtomicPtr<ClhNode>,

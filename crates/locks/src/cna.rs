@@ -1,4 +1,4 @@
-//! CNA — Compact NUMA-Aware lock (Dice & Kogan, EuroSys 2019 [36]),
+//! CNA — Compact NUMA-Aware lock (Dice & Kogan, EuroSys 2019 \[36\]),
 //! adapted to AMP core classes.
 //!
 //! The paper's §2.2 argues that NUMA-aware locks collapse on AMP:
@@ -97,6 +97,17 @@ impl CnaToken {
     /// same lock.
     pub unsafe fn from_raw(raw: usize) -> Self {
         CnaToken(NonNull::new_unchecked(raw as *mut CnaNode))
+    }
+}
+
+impl crate::plain::TokenWords for CnaToken {
+    #[inline]
+    fn into_words(self) -> (usize, usize) {
+        (self.into_raw(), 0)
+    }
+    #[inline]
+    unsafe fn from_words(a: usize, _b: usize) -> Self {
+        Self::from_raw(a)
     }
 }
 

@@ -1,4 +1,4 @@
-//! Lock cohorting (Dice, Marathe & Shavit, PPoPP 2012 [38]), adapted
+//! Lock cohorting (Dice, Marathe & Shavit, PPoPP 2012 \[38\]), adapted
 //! to AMP core classes — the second NUMA comparator of §2.2.
 //!
 //! A cohort lock is a two-level construction: one *global* lock plus
@@ -86,6 +86,17 @@ impl CohortToken {
             node: NonNull::new_unchecked(node as *mut CohortNode),
             class,
         }
+    }
+}
+
+impl crate::plain::TokenWords for CohortToken {
+    #[inline]
+    fn into_words(self) -> (usize, usize) {
+        self.into_raw()
+    }
+    #[inline]
+    unsafe fn from_words(a: usize, b: usize) -> Self {
+        Self::from_raw(a, b)
     }
 }
 

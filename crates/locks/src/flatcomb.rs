@@ -1,4 +1,4 @@
-//! Flat combining (Hendler et al., SPAA 2010 [47]) — the delegation
+//! Flat combining (Hendler et al., SPAA 2010 \[47\]) — the delegation
 //! comparator from the paper's related work (§5).
 //!
 //! Delegation locks execute *all* critical sections on one core

@@ -19,16 +19,44 @@
 //! | [`ShuffleLock`] | ShflLock-style framework with pluggable policies (§5, ablations) | [`shuffle`] |
 //! | [`FlatCombiner`] | flat-combining delegation (§5 related-work comparator) | [`flatcomb`] |
 //!
-//! Two lock interfaces are provided:
+//! Three lock interfaces are provided, layered:
 //!
+//! * [`api`] — **the recommended surface**: RAII guards over any lock.
+//!   [`api::Guard`] for a borrowed [`RawLock`], [`api::Mutex`] for a
+//!   data-carrying mutex generic over its lock type, and
+//!   [`api::DynLock`]/[`api::DynMutex`] for locks chosen at runtime.
+//!   Releasing happens on drop (including panic unwind), so the
+//!   forget-to-release and release-wrong-lock bug classes of the token
+//!   APIs cannot occur.
 //! * [`RawLock`] — statically dispatched, token-based. Tokens carry
 //!   queue-node ownership (MCS/CLH) so locks stay allocation-free on
 //!   the hot path. The reorderable lock in `asl-core` composes over
-//!   any `RawLock + FifoLock`.
+//!   any `RawLock + FifoLock`. Documented low-level escape hatch.
 //! * [`PlainLock`] — object-safe facade (`Arc<dyn PlainLock>`) with a
-//!   two-word opaque token, used by the database engines and the
-//!   harness to swap lock implementations at runtime.
+//!   two-word opaque token, blanket-implemented for every raw lock
+//!   whose token is word-encodable ([`plain::TokenWords`]). In debug
+//!   builds tokens are tagged with the issuing lock and cross-lock
+//!   releases panic.
+//!
+//! ```
+//! use asl_locks::api::{DynLock, Mutex};
+//! use asl_locks::{McsLock, TicketLock};
+//!
+//! // Static dispatch: the lock implementation is a type parameter.
+//! let hits: Mutex<u64, McsLock> = Mutex::new(0);
+//! *hits.lock() += 1;
+//! assert_eq!(*hits.lock(), 1);
+//!
+//! // Dynamic dispatch: pick the implementation at runtime.
+//! let lock = DynLock::of(TicketLock::new());
+//! {
+//!     let _held = lock.lock();   // released when `_held` drops
+//!     assert!(lock.is_locked());
+//! }
+//! assert!(!lock.is_locked());
+//! ```
 
+pub mod api;
 pub mod backoff;
 pub mod blocking;
 pub mod clh;
@@ -44,6 +72,7 @@ pub mod shuffle;
 pub mod tas;
 pub mod ticket;
 
+pub use api::{DynGuard, DynLock, DynMutex, DynMutexGuard, Guard, GuardedLock, Mutex, MutexGuard};
 pub use backoff::BackoffLock;
 pub use blocking::{McsStpLock, PthreadMutex};
 pub use clh::ClhLock;

@@ -1,4 +1,4 @@
-//! Malthusian MCS lock (Dice, EuroSys 2017 [35]) — the long-term-fair
+//! Malthusian MCS lock (Dice, EuroSys 2017 \[35\]) — the long-term-fair
 //! concurrency-restricting comparator of §2.2.
 //!
 //! Malthusian locking reduces contention by *culling* the waiting
@@ -78,6 +78,17 @@ impl MalthusianToken {
     /// same lock.
     pub unsafe fn from_raw(raw: usize) -> Self {
         MalthusianToken(NonNull::new_unchecked(raw as *mut MalNode))
+    }
+}
+
+impl crate::plain::TokenWords for MalthusianToken {
+    #[inline]
+    fn into_words(self) -> (usize, usize) {
+        (self.into_raw(), 0)
+    }
+    #[inline]
+    unsafe fn from_words(a: usize, _b: usize) -> Self {
+        Self::from_raw(a)
     }
 }
 

@@ -72,6 +72,17 @@ impl McsToken {
     }
 }
 
+impl crate::plain::TokenWords for McsToken {
+    #[inline]
+    fn into_words(self) -> (usize, usize) {
+        (self.into_raw(), 0)
+    }
+    #[inline]
+    unsafe fn from_words(a: usize, _b: usize) -> Self {
+        Self::from_raw(a)
+    }
+}
+
 /// The MCS queue lock.
 pub struct McsLock {
     tail: AtomicPtr<QNode>,

@@ -6,26 +6,90 @@
 //! interface they use: acquisition returns an opaque two-word
 //! [`PlainToken`] that encodes whatever the concrete lock's token was
 //! (queue-node pointers for MCS/CLH, nothing for simple locks).
+//!
+//! Any [`RawLock`] whose token is two-word encodable (see
+//! [`TokenWords`]) is a `PlainLock` automatically through a blanket
+//! impl — individual locks only implement [`RawLock`].
+//!
+//! `acquire`/`release` is the **low-level escape hatch**: the caller
+//! must pair them manually. Prefer the RAII layer in [`crate::api`]
+//! ([`crate::api::DynLock`], [`crate::api::DynMutex`]) which releases
+//! on drop. In debug builds every token is tagged with the address of
+//! the issuing lock, and releasing it against a different lock panics
+//! — catching the cross-lock bugs the manual API allows.
 
-use crate::blocking::{McsStpLock, PthreadMutex, StpToken};
-use crate::clh::{ClhLock, ClhToken};
-use crate::cna::{CnaLock, CnaToken};
-use crate::cohort::{CohortLock, CohortToken};
-use crate::malthusian::{MalthusianLock, MalthusianToken};
-use crate::mcs::{McsLock, McsToken};
-use crate::proportional::ProportionalLock;
-use crate::shuffle::{ShuffleLock, ShufflePolicy, ShuffleToken};
-use crate::tas::TasLock;
-use crate::ticket::TicketLock;
-use crate::{BackoffLock, RawLock};
+use crate::RawLock;
 
 /// Opaque token for [`PlainLock`]: two words of implementation state.
+///
+/// In debug builds the token additionally records which lock issued
+/// it, and [`PlainLock::release`] implementations that decode through
+/// [`PlainToken::redeem`] assert the token is returned to that lock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PlainToken(pub usize, pub usize);
+pub struct PlainToken {
+    a: usize,
+    b: usize,
+    /// Address of the issuing lock — debug-build ownership check.
+    #[cfg(debug_assertions)]
+    issuer: usize,
+}
 
 impl PlainToken {
-    /// The empty token used by locks whose `RawLock::Token` is `()`.
-    pub const UNIT: PlainToken = PlainToken(0, 0);
+    /// Token issued by `lock` carrying two words of payload.
+    #[inline]
+    pub fn issue<L>(lock: &L, a: usize, b: usize) -> Self {
+        #[cfg(not(debug_assertions))]
+        let _ = lock;
+        PlainToken {
+            a,
+            b,
+            #[cfg(debug_assertions)]
+            issuer: lock as *const L as usize,
+        }
+    }
+
+    /// Payload-free token issued by `lock` (unit-token locks).
+    #[inline]
+    pub fn unit<L>(lock: &L) -> Self {
+        Self::issue(lock, 0, 0)
+    }
+
+    /// Decode the payload, asserting (in debug builds) that `lock` is
+    /// the lock that issued this token.
+    #[inline]
+    pub fn redeem<L>(self, lock: &L) -> (usize, usize) {
+        #[cfg(debug_assertions)]
+        assert_eq!(
+            self.issuer, lock as *const L as usize,
+            "PlainToken released against a lock that did not issue it"
+        );
+        #[cfg(not(debug_assertions))]
+        let _ = lock;
+        (self.a, self.b)
+    }
+}
+
+/// Tokens encodable in two machine words, so queue locks can ride
+/// behind the object-safe [`PlainLock`] facade without allocating.
+pub trait TokenWords: Sized {
+    /// Encode into two words.
+    fn into_words(self) -> (usize, usize);
+
+    /// Rebuild from words produced by [`TokenWords::into_words`].
+    ///
+    /// # Safety
+    /// The words must come from `into_words` on an unreleased token of
+    /// the same lock, on the same thread.
+    unsafe fn from_words(a: usize, b: usize) -> Self;
+}
+
+impl TokenWords for () {
+    #[inline]
+    fn into_words(self) -> (usize, usize) {
+        (0, 0)
+    }
+    #[inline]
+    unsafe fn from_words(_a: usize, _b: usize) -> Self {}
 }
 
 /// An object-safe lock: dynamic counterpart of [`RawLock`].
@@ -42,197 +106,49 @@ pub trait PlainLock: Send + Sync {
     fn lock_name(&self) -> &'static str;
 }
 
-/// Locks with unit tokens share one trivial encoding.
-macro_rules! impl_plain_unit {
-    ($ty:ty) => {
-        impl PlainLock for $ty {
-            #[inline]
-            fn acquire(&self) -> PlainToken {
-                RawLock::lock(self);
-                PlainToken::UNIT
-            }
-            #[inline]
-            fn try_acquire(&self) -> Option<PlainToken> {
-                RawLock::try_lock(self).map(|_| PlainToken::UNIT)
-            }
-            #[inline]
-            fn release(&self, _token: PlainToken) {
-                RawLock::unlock(self, ());
-            }
-            #[inline]
-            fn held(&self) -> bool {
-                RawLock::is_locked(self)
-            }
-            fn lock_name(&self) -> &'static str {
-                <$ty as RawLock>::NAME
-            }
-        }
-    };
-}
-
-impl_plain_unit!(TasLock);
-impl_plain_unit!(TicketLock);
-impl_plain_unit!(BackoffLock);
-impl_plain_unit!(ProportionalLock);
-impl_plain_unit!(PthreadMutex);
-
-impl PlainLock for McsLock {
+/// Every statically dispatched lock with a word-encodable token is
+/// usable through the dynamic facade.
+impl<L: RawLock> PlainLock for L
+where
+    L::Token: TokenWords,
+{
     #[inline]
     fn acquire(&self) -> PlainToken {
-        PlainToken(RawLock::lock(self).into_raw(), 0)
-    }
-    #[inline]
-    fn try_acquire(&self) -> Option<PlainToken> {
-        RawLock::try_lock(self).map(|t| PlainToken(t.into_raw(), 0))
-    }
-    #[inline]
-    fn release(&self, token: PlainToken) {
-        // SAFETY: `token` came from acquire/try_acquire on this lock.
-        RawLock::unlock(self, unsafe { McsToken::from_raw(token.0) });
-    }
-    #[inline]
-    fn held(&self) -> bool {
-        RawLock::is_locked(self)
-    }
-    fn lock_name(&self) -> &'static str {
-        <McsLock as RawLock>::NAME
-    }
-}
-
-impl PlainLock for McsStpLock {
-    #[inline]
-    fn acquire(&self) -> PlainToken {
-        PlainToken(RawLock::lock(self).into_raw(), 0)
-    }
-    #[inline]
-    fn try_acquire(&self) -> Option<PlainToken> {
-        RawLock::try_lock(self).map(|t| PlainToken(t.into_raw(), 0))
-    }
-    #[inline]
-    fn release(&self, token: PlainToken) {
-        // SAFETY: `token` came from acquire/try_acquire on this lock.
-        RawLock::unlock(self, unsafe { StpToken::from_raw(token.0) });
-    }
-    #[inline]
-    fn held(&self) -> bool {
-        RawLock::is_locked(self)
-    }
-    fn lock_name(&self) -> &'static str {
-        <McsStpLock as RawLock>::NAME
-    }
-}
-
-impl PlainLock for ClhLock {
-    #[inline]
-    fn acquire(&self) -> PlainToken {
-        let (a, b) = RawLock::lock(self).into_raw();
-        PlainToken(a, b)
+        let (a, b) = RawLock::lock(self).into_words();
+        PlainToken::issue(self, a, b)
     }
     #[inline]
     fn try_acquire(&self) -> Option<PlainToken> {
         RawLock::try_lock(self).map(|t| {
-            let (a, b) = t.into_raw();
-            PlainToken(a, b)
+            let (a, b) = t.into_words();
+            PlainToken::issue(self, a, b)
         })
     }
     #[inline]
     fn release(&self, token: PlainToken) {
-        // SAFETY: `token` came from acquire/try_acquire on this lock.
-        RawLock::unlock(self, unsafe { ClhToken::from_raw(token.0, token.1) });
+        let (a, b) = token.redeem(self);
+        // SAFETY: the PlainLock contract (checked in debug builds by
+        // `redeem`) guarantees the words come from an unreleased
+        // `acquire`/`try_acquire` on this lock by this thread.
+        RawLock::unlock(self, unsafe { L::Token::from_words(a, b) });
     }
     #[inline]
     fn held(&self) -> bool {
         RawLock::is_locked(self)
     }
     fn lock_name(&self) -> &'static str {
-        <ClhLock as RawLock>::NAME
-    }
-}
-
-/// Pointer-token queue locks share one encoding.
-macro_rules! impl_plain_ptr_token {
-    ($lock:ty, $token:ty) => {
-        impl PlainLock for $lock {
-            #[inline]
-            fn acquire(&self) -> PlainToken {
-                PlainToken(RawLock::lock(self).into_raw(), 0)
-            }
-            #[inline]
-            fn try_acquire(&self) -> Option<PlainToken> {
-                RawLock::try_lock(self).map(|t| PlainToken(t.into_raw(), 0))
-            }
-            #[inline]
-            fn release(&self, token: PlainToken) {
-                // SAFETY: `token` came from acquire/try_acquire here.
-                RawLock::unlock(self, unsafe { <$token>::from_raw(token.0) });
-            }
-            #[inline]
-            fn held(&self) -> bool {
-                RawLock::is_locked(self)
-            }
-            fn lock_name(&self) -> &'static str {
-                <$lock as RawLock>::NAME
-            }
-        }
-    };
-}
-
-impl_plain_ptr_token!(CnaLock, CnaToken);
-impl_plain_ptr_token!(MalthusianLock, MalthusianToken);
-
-impl<P: ShufflePolicy> PlainLock for ShuffleLock<P> {
-    #[inline]
-    fn acquire(&self) -> PlainToken {
-        PlainToken(RawLock::lock(self).into_raw(), 0)
-    }
-    #[inline]
-    fn try_acquire(&self) -> Option<PlainToken> {
-        RawLock::try_lock(self).map(|t| PlainToken(t.into_raw(), 0))
-    }
-    #[inline]
-    fn release(&self, token: PlainToken) {
-        // SAFETY: `token` came from acquire/try_acquire on this lock.
-        RawLock::unlock(self, unsafe { ShuffleToken::from_raw(token.0) });
-    }
-    #[inline]
-    fn held(&self) -> bool {
-        RawLock::is_locked(self)
-    }
-    fn lock_name(&self) -> &'static str {
-        "shuffle"
-    }
-}
-
-impl PlainLock for CohortLock {
-    #[inline]
-    fn acquire(&self) -> PlainToken {
-        let (a, b) = RawLock::lock(self).into_raw();
-        PlainToken(a, b)
-    }
-    #[inline]
-    fn try_acquire(&self) -> Option<PlainToken> {
-        RawLock::try_lock(self).map(|t| {
-            let (a, b) = t.into_raw();
-            PlainToken(a, b)
-        })
-    }
-    #[inline]
-    fn release(&self, token: PlainToken) {
-        // SAFETY: `token` came from acquire/try_acquire on this lock.
-        RawLock::unlock(self, unsafe { CohortToken::from_raw(token.0, token.1) });
-    }
-    #[inline]
-    fn held(&self) -> bool {
-        RawLock::is_locked(self)
-    }
-    fn lock_name(&self) -> &'static str {
-        <CohortLock as RawLock>::NAME
+        L::NAME
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shuffle::{ClassLocalPolicy, FifoPolicy, ShuffleLock};
+    use crate::{
+        BackoffLock, ClhLock, CnaLock, CohortLock, MalthusianLock, McsLock, McsStpLock,
+        ProportionalLock, PthreadMutex, TasLock, TicketLock,
+    };
     use std::sync::Arc;
 
     fn exercise(lock: Arc<dyn PlainLock>) {
@@ -275,8 +191,8 @@ mod tests {
         exercise(Arc::new(CnaLock::new()));
         exercise(Arc::new(CohortLock::new()));
         exercise(Arc::new(MalthusianLock::new()));
-        exercise(Arc::new(ShuffleLock::new(crate::shuffle::FifoPolicy)));
-        exercise(Arc::new(ShuffleLock::new(crate::shuffle::ClassLocalPolicy::new(16))));
+        exercise(Arc::new(ShuffleLock::new(FifoPolicy)));
+        exercise(Arc::new(ShuffleLock::new(ClassLocalPolicy::new(16))));
     }
 
     #[test]
@@ -295,5 +211,15 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), locks.len());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "did not issue")]
+    fn cross_lock_release_is_caught_in_debug_builds() {
+        let a = McsLock::new();
+        let b = McsLock::new();
+        let t = a.acquire();
+        b.release(t); // ownership check fires before any queue damage
     }
 }

@@ -1,5 +1,5 @@
 //! A ShflLock-style shuffling queue-lock framework (Kashyap et al.,
-//! SOSP 2019 [50]), adapted to AMP core classes.
+//! SOSP 2019 \[50\]), adapted to AMP core classes.
 //!
 //! ShflLock keeps waiters in one queue and lets a *policy* reorder
 //! that queue while threads wait. The paper compares LibASL against
@@ -252,6 +252,17 @@ impl ShuffleToken {
     }
 }
 
+impl crate::plain::TokenWords for ShuffleToken {
+    #[inline]
+    fn into_words(self) -> (usize, usize) {
+        (self.into_raw(), 0)
+    }
+    #[inline]
+    unsafe fn from_words(a: usize, _b: usize) -> Self {
+        Self::from_raw(a)
+    }
+}
+
 /// The shuffling queue lock.
 pub struct ShuffleLock<P: ShufflePolicy> {
     tail: AtomicPtr<ShflNode>,
@@ -432,6 +443,11 @@ impl<P: ShufflePolicy> RawLock for ShuffleLock<P> {
 
     const NAME: &'static str = "shuffle";
 }
+
+/// With the pass-through policy the shuffle queue grants strictly in
+/// arrival order, so it qualifies as a FIFO substrate for the
+/// reorderable lock.
+impl crate::FifoLock for ShuffleLock<FifoPolicy> {}
 
 #[cfg(test)]
 mod tests {

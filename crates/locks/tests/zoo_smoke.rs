@@ -1,13 +1,12 @@
-//! Smoke test: every lock in the zoo, constructed through the
-//! object-safe common trait ([`asl_locks::plain::PlainLock`]), must
-//! provide mutual exclusion — 4 threads × 10 000 increments of a
-//! non-atomic counter, so any exclusion failure shows up as a lost
-//! update.
+//! Smoke test: every lock in the zoo, driven through the guard-based
+//! dynamic wrapper ([`asl_locks::api::DynLock`]), must provide mutual
+//! exclusion — 4 threads × 10 000 increments of a non-atomic counter,
+//! so any exclusion failure shows up as a lost update.
 
 use std::cell::UnsafeCell;
 use std::sync::Arc;
 
-use asl_locks::plain::PlainLock;
+use asl_locks::api::DynLock;
 use asl_locks::shuffle::{ClassLocalPolicy, FifoPolicy, ShuffleLock};
 use asl_locks::{
     BackoffLock, ClhLock, CnaLock, CohortLock, FlatCombiner, MalthusianLock, McsLock, McsStpLock,
@@ -23,7 +22,7 @@ struct RacyCounter(UnsafeCell<u64>);
 unsafe impl Sync for RacyCounter {}
 unsafe impl Send for RacyCounter {}
 
-fn hammer(name: &str, lock: Arc<dyn PlainLock>) {
+fn hammer(name: &str, lock: DynLock) {
     let counter = Arc::new(RacyCounter(UnsafeCell::new(0)));
     let handles: Vec<_> = (0..THREADS)
         .map(|_| {
@@ -31,10 +30,9 @@ fn hammer(name: &str, lock: Arc<dyn PlainLock>) {
             let counter = counter.clone();
             std::thread::spawn(move || {
                 for _ in 0..ITERS {
-                    let t = lock.acquire();
+                    let _held = lock.lock();
                     // SAFETY: we hold the lock under test.
                     unsafe { *counter.0.get() += 1 };
-                    lock.release(t);
                 }
             })
         })
@@ -44,27 +42,27 @@ fn hammer(name: &str, lock: Arc<dyn PlainLock>) {
     }
     let total = unsafe { *counter.0.get() };
     assert_eq!(total, THREADS as u64 * ITERS, "{name}: lost updates");
-    assert!(!lock.held(), "{name}: left held");
+    assert!(!lock.is_locked(), "{name}: left held");
 }
 
 #[test]
-fn zoo_mutual_exclusion_through_plain_lock() {
-    let zoo: Vec<(&str, Arc<dyn PlainLock>)> = vec![
-        ("tas", Arc::new(TasLock::new())),
-        ("ticket", Arc::new(TicketLock::new())),
-        ("backoff", Arc::new(BackoffLock::new())),
-        ("mcs", Arc::new(McsLock::new())),
-        ("clh", Arc::new(ClhLock::new())),
-        ("cna", Arc::new(CnaLock::new())),
-        ("cohort", Arc::new(CohortLock::new())),
-        ("shuffle-fifo", Arc::new(ShuffleLock::new(FifoPolicy))),
-        ("shuffle-classlocal", Arc::new(ShuffleLock::new(ClassLocalPolicy::new(16)))),
-        ("proportional", Arc::new(ProportionalLock::new(10))),
-        ("malthusian", Arc::new(MalthusianLock::new())),
+fn zoo_mutual_exclusion_through_dyn_guards() {
+    let zoo: Vec<(&str, DynLock)> = vec![
+        ("tas", DynLock::of(TasLock::new())),
+        ("ticket", DynLock::of(TicketLock::new())),
+        ("backoff", DynLock::of(BackoffLock::new())),
+        ("mcs", DynLock::of(McsLock::new())),
+        ("clh", DynLock::of(ClhLock::new())),
+        ("cna", DynLock::of(CnaLock::new())),
+        ("cohort", DynLock::of(CohortLock::new())),
+        ("shuffle-fifo", DynLock::of(ShuffleLock::new(FifoPolicy))),
+        ("shuffle-classlocal", DynLock::of(ShuffleLock::new(ClassLocalPolicy::new(16)))),
+        ("proportional", DynLock::of(ProportionalLock::new(10))),
+        ("malthusian", DynLock::of(MalthusianLock::new())),
         // Blocking pair: the glibc-style mutex (futex-backed on
         // Linux, spin-then-yield elsewhere) and spin-then-park MCS.
-        ("pthread", Arc::new(PthreadMutex::new())),
-        ("mcs-stp", Arc::new(McsStpLock::new())),
+        ("pthread", DynLock::of(PthreadMutex::new())),
+        ("mcs-stp", DynLock::of(McsStpLock::new())),
     ];
     for (name, lock) in zoo {
         hammer(name, lock);
@@ -76,7 +74,7 @@ fn zoo_mutual_exclusion_through_plain_lock() {
 fn zoo_futex_path_mutual_exclusion() {
     // Zero optimistic spins forces every contended acquisition down
     // the futex wait/wake path.
-    hammer("pthread-futex-only", Arc::new(PthreadMutex::with_spin(0)));
+    hammer("pthread-futex-only", DynLock::of(PthreadMutex::with_spin(0)));
 }
 
 #[test]

@@ -4,7 +4,7 @@
 //! and 4 "little" cores. This crate reproduces the *behavioural*
 //! asymmetry of such a machine on ordinary symmetric hardware:
 //!
-//! * [`Topology`] describes a virtual AMP: a set of [`VirtualCore`]s,
+//! * [`Topology`] describes a virtual AMP: a set of [`VirtualCore`](topology::VirtualCore)s,
 //!   each either [`CoreKind::Big`] or [`CoreKind::Little`], and a
 //!   `perf_ratio` — how many times slower a little core executes the
 //!   same work.

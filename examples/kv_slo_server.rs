@@ -79,7 +79,7 @@ fn main() {
 
     // LibASL at a tight and a loose SLO (anchored on the MCS tail).
     for (label, slo) in [("libasl (tight)", anchor * 3 / 2), ("libasl (loose)", anchor * 4)] {
-        let (thpt, p99, lp99) = serve(&LockSpec::Asl { slo_ns: Some(slo) });
+        let (thpt, p99, lp99) = serve(&LockSpec::asl(Some(slo)));
         println!(
             "{:<16} {:>14.0} {:>16.1} {:>16.1}   (SLO {} us)",
             label,
@@ -91,7 +91,7 @@ fn main() {
     }
 
     // LibASL-MAX: throughput first, latency unconstrained.
-    let (thpt, p99, lp99) = serve(&LockSpec::Asl { slo_ns: None });
+    let (thpt, p99, lp99) = serve(&LockSpec::asl(None));
     println!("{:<16} {:>14.0} {:>16.1} {:>16.1}", "libasl-max", thpt, p99, lp99);
 
     println!("\nexpected shape: LibASL trades little-core tail latency (up to its SLO)");

@@ -46,7 +46,7 @@ fn main() {
         LockSpec::Cohort,
         LockSpec::Malthusian,
         LockSpec::ShuffleClassLocal { max_skips: 16 },
-        LockSpec::Asl { slo_ns: None },
+        LockSpec::asl(None),
     ];
 
     for spec in &specs {
@@ -70,7 +70,7 @@ fn main() {
 /// Run one lock spec for 300 ms of contended counting; returns
 /// (ops/s, big ops, little ops).
 fn measure(topo: &Topology, spec: &LockSpec) -> (f64, u64, u64) {
-    let lock = spec.make_lock();
+    let lock = spec.make_dyn();
     let arena = Arc::new(CacheLineArena::new(4));
     let big_ops = Arc::new(AtomicU64::new(0));
     let little_ops = Arc::new(AtomicU64::new(0));
@@ -88,10 +88,11 @@ fn measure(topo: &Topology, spec: &LockSpec) -> (f64, u64, u64) {
     run_on_topology_with_stop(topo, topo.len(), false, stop.clone(), |ctx| {
         let ctr = if ctx.assignment.kind == CoreKind::Big { &big_ops } else { &little_ops };
         while !ctx.stopped() {
-            let tok = lock.acquire();
-            arena.rmw(0, 4);
-            execute_units(120);
-            lock.release(tok);
+            {
+                let _held = lock.lock(); // RAII guard: released at scope end
+                arena.rmw(0, 4);
+                execute_units(120);
+            }
             ctr.fetch_add(1, Ordering::Relaxed);
             execute_units(400);
         }

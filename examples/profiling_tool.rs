@@ -29,7 +29,7 @@ fn main() {
     println!("\nprofiling {} SLO settings...\n", range.len());
 
     let points = profile_slo_range(range, |slo_ns| {
-        let scenario = MicroScenario::bench1(&LockSpec::Asl { slo_ns: Some(slo_ns) });
+        let scenario = MicroScenario::bench1(&LockSpec::asl(Some(slo_ns)));
         let r = run_micro(&profile, &scenario, 8);
         (r.throughput, r.overall.p99())
     });

@@ -36,7 +36,7 @@ fn main() {
             ("zipfian", KeyDist::Zipfian(Zipfian::ycsb(KEYSPACE))),
         ] {
             let mcs = run_once(&topo, &LockSpec::Mcs, mix, &dist);
-            let asl = run_once(&topo, &LockSpec::Asl { slo_ns: None }, mix, &dist);
+            let asl = run_once(&topo, &LockSpec::asl(None), mix, &dist);
             println!(
                 "{:<10} {:<9} {:<12} {:>12.0} {:>12.0}",
                 mix_name, dist_name, "", mcs, asl

@@ -12,7 +12,9 @@
 //! * [`runtime`] — virtual AMP topologies, core registry, emulated
 //!   work, cache-line arenas ([`asl_runtime`]).
 //! * [`locks`] — the lock zoo: TAS, ticket, back-off, MCS, CLH,
-//!   proportional (SHFL-PB), futex mutex, spin-then-park MCS
+//!   proportional (SHFL-PB), futex mutex, spin-then-park MCS — plus
+//!   the guard-based unified API (`asl_locks::api`: [`Guard`],
+//!   [`DynLock`], [`DynMutex`]) every layer locks through
 //!   ([`asl_locks`]).
 //! * [`core`] — LibASL itself: reorderable lock, epoch/SLO feedback,
 //!   the [`Mutex`] dispatch ([`asl_core`]).
@@ -24,6 +26,9 @@
 //!   the `repro` CLI ([`asl_harness`]).
 //!
 //! ## Quick start
+//!
+//! Everything locks through RAII guards — acquisitions are values,
+//! released on drop (even across panics):
 //!
 //! ```
 //! use libasl::{epoch, Mutex};
@@ -38,9 +43,24 @@
 //!
 //! // A latency-critical request handler with a 2 ms SLO (epoch 0).
 //! epoch::with_epoch(0, 2_000_000, || {
-//!     *inventory.lock() += 1;
+//!     *inventory.lock() += 1; // guard acquired and dropped in place
 //! });
 //! assert_eq!(*inventory.lock(), 1);
+//! ```
+//!
+//! Runtime-chosen locks come from the string-addressable registry
+//! (`repro locks` lists every name) and hand out the same guards:
+//!
+//! ```
+//! use libasl::harness::locks::LockSpec;
+//!
+//! let spec: LockSpec = "libasl-max".parse().unwrap();
+//! let lock = spec.make_dyn();
+//! {
+//!     let _held = lock.lock();
+//!     assert!(lock.is_locked());
+//! } // released on drop
+//! assert!(!lock.is_locked());
 //! ```
 
 pub use asl_core as core;
@@ -54,6 +74,7 @@ pub use asl_core::epoch;
 pub use asl_core::{
     AslBlockingLock, AslCondvar, AslLock, AslMutex, AslSpinLock, ReorderableLock,
 };
+pub use asl_locks::api::{DynGuard, DynLock, DynMutex, Guard, GuardedLock};
 pub use asl_runtime::{CoreKind, Topology};
 
 /// The recommended application-facing mutex: LibASL dispatch over a

@@ -7,9 +7,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use libasl::harness::locks::LockSpec;
+use libasl::locks::api::DynLock;
 use libasl::locks::flatcomb::DedicatedServer;
 use libasl::locks::shuffle::{PreferBigPolicy, ShuffleLock};
-use libasl::locks::plain::PlainLock;
 use libasl::runtime::clock::now_ns;
 use libasl::runtime::registry::register_on_core;
 use libasl::runtime::spawn::run_on_topology_with_stop;
@@ -37,7 +37,7 @@ impl RacyCounter {
 /// Hammer one lock spec from all 8 cores of an emulated M1.
 fn hammer_spec(spec: &LockSpec, iters: u64) {
     let topo = Topology::apple_m1();
-    let lock = spec.make_lock();
+    let lock = spec.make_dyn();
     let counter = Arc::new(RacyCounter::default());
     let mut handles = vec![];
     for i in 0..8usize {
@@ -47,9 +47,8 @@ fn hammer_spec(spec: &LockSpec, iters: u64) {
         handles.push(std::thread::spawn(move || {
             register_on_core(&topo, CoreId(i));
             for _ in 0..iters {
-                let t = lock.acquire();
+                let _held = lock.lock();
                 counter.bump();
-                lock.release(t);
             }
         }));
     }
@@ -57,7 +56,7 @@ fn hammer_spec(spec: &LockSpec, iters: u64) {
         h.join().unwrap();
     }
     assert_eq!(counter.get(), 8 * iters, "{} lost updates", spec.label());
-    assert!(!lock.held(), "{} left held", spec.label());
+    assert!(!lock.is_locked(), "{} left held", spec.label());
 }
 
 #[test]
@@ -87,7 +86,7 @@ fn prefer_big_policy_skews_acquisition_share() {
     // cores clearly more than half the acquisitions, without
     // starving little cores.
     let topo = Topology::custom(2, 2, 1.0);
-    let lock: Arc<dyn PlainLock> = Arc::new(ShuffleLock::new(PreferBigPolicy::new(64)));
+    let lock = DynLock::of(ShuffleLock::new(PreferBigPolicy::new(64)));
     let big_ops = Arc::new(AtomicU64::new(0));
     let little_ops = Arc::new(AtomicU64::new(0));
     let stop = Arc::new(AtomicBool::new(false));
@@ -105,9 +104,10 @@ fn prefer_big_policy_skews_acquisition_share() {
         run_on_topology_with_stop(&topo, 4, false, stop, move |ctx| {
             let ctr = if ctx.assignment.kind == CoreKind::Big { &big_ops } else { &little_ops };
             while !ctx.stopped() {
-                let t = lock.acquire();
-                execute_units(400);
-                lock.release(t);
+                {
+                    let _held = lock.lock();
+                    execute_units(400);
+                }
                 ctr.fetch_add(1, Ordering::Relaxed);
             }
         });

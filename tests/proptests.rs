@@ -254,6 +254,42 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `from_str ∘ to_string` is the identity over the whole lock
+    /// registry: every catalogued spec parses back from its printed
+    /// name.
+    #[test]
+    fn lockspec_registry_roundtrip(idx in 0usize..10_000) {
+        use libasl::harness::locks::{registry, LockSpec};
+        let reg = registry();
+        let spec = &reg[idx % reg.len()].spec;
+        let name = spec.to_string();
+        let reparsed: LockSpec = name.parse().unwrap_or_else(|e| panic!("{name}: {e}"));
+        prop_assert_eq!(&reparsed, spec, "{} must round-trip", name);
+    }
+
+    /// The SLO-parameterized families round-trip for arbitrary
+    /// durations, including ones that don't collapse to a round
+    /// us/ms form.
+    #[test]
+    fn lockspec_slo_names_roundtrip(slo in 1u64..120_000_000, family in 0u8..6) {
+        use libasl::harness::locks::{AslSubstrate, LockSpec};
+        let spec = match family {
+            0 => LockSpec::asl(Some(slo)),
+            1 => LockSpec::asl_on(AslSubstrate::Clh, Some(slo)),
+            2 => LockSpec::asl_on(AslSubstrate::Ticket, Some(slo)),
+            3 => LockSpec::asl_on(AslSubstrate::ShflFifo, Some(slo)),
+            4 => LockSpec::AslOpt { window_ns: slo },
+            _ => LockSpec::AslBlocking { slo_ns: Some(slo) },
+        };
+        let name = spec.to_string();
+        let reparsed: LockSpec = name.parse().unwrap_or_else(|e| panic!("{name}: {e}"));
+        prop_assert_eq!(reparsed, spec, "{} must round-trip", name);
+    }
+}
+
 #[test]
 fn lmdb_versions_monotone_under_concurrency() {
     use rand::SeedableRng;
