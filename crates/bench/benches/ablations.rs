@@ -18,9 +18,9 @@ use std::time::Duration;
 
 use asl_core::{FixedCheckWait, ReorderableLock, SpinWait, WaitPolicy};
 use asl_harness::figures::{seed_tls_rng, with_tls_rng};
-use asl_harness::scenario::MicroScenario;
 use asl_harness::locks::LockSpec;
 use asl_harness::runner::run_until_ops;
+use asl_harness::scenario::MicroScenario;
 use asl_locks::plain::{PlainLock, PlainToken};
 use asl_locks::{ClhLock, McsLock, RawLock, TicketLock};
 use asl_runtime::registry::is_big_core;
@@ -93,7 +93,9 @@ macro_rules! impl_queue_max {
             }
             fn try_acquire(&self) -> Option<PlainToken> {
                 #[allow(clippy::redundant_closure_call)]
-                self.inner.try_lock().map(|t| PlainToken::issue(self, ($to)(t), 0))
+                self.inner
+                    .try_lock()
+                    .map(|t| PlainToken::issue(self, ($to)(t), 0))
             }
             fn release(&self, t: PlainToken) {
                 let (raw, _) = t.redeem(self);
@@ -120,7 +122,10 @@ fn scenario_with(lock: Arc<dyn PlainLock>) -> MicroScenario {
     MicroScenario {
         locks: vec![asl_locks::api::DynLock::new(lock)],
         arena: Arc::new(CacheLineArena::new(16)),
-        sections: vec![asl_harness::scenario::CsSpec { lock_idx: 0, lines: 16 }],
+        sections: vec![asl_harness::scenario::CsSpec {
+            lock_idx: 0,
+            lines: 16,
+        }],
         cs_units_per_line: asl_harness::scenario::CS_UNITS_PER_LINE,
         ncs_units: 800,
         length: asl_harness::scenario::LengthModel::Fixed,
@@ -158,13 +163,21 @@ fn ablate_backoff(c: &mut Criterion) {
         })
     });
     for interval in [1u64, 64, 4096] {
-        run_point(c, "ablate_backoff", &format!("fixed-{interval}"), move || {
-            Arc::new(MaxWindowQueueLock {
-                inner: ReorderableLock::with_waiter(McsLock::new(), FixedCheckWait { interval }),
-                window_ns: WINDOW,
-                all_standby: false,
-            })
-        });
+        run_point(
+            c,
+            "ablate_backoff",
+            &format!("fixed-{interval}"),
+            move || {
+                Arc::new(MaxWindowQueueLock {
+                    inner: ReorderableLock::with_waiter(
+                        McsLock::new(),
+                        FixedCheckWait { interval },
+                    ),
+                    window_ns: WINDOW,
+                    all_standby: false,
+                })
+            },
+        );
     }
 }
 
@@ -177,7 +190,12 @@ fn ablate_fifo(c: &mut Criterion) {
         })
     });
     run_point(c, "ablate_fifo", "ticket", || {
-        Arc::new(MaxWindowLock::new(TicketLock::new(), SpinWait, WINDOW, false))
+        Arc::new(MaxWindowLock::new(
+            TicketLock::new(),
+            SpinWait,
+            WINDOW,
+            false,
+        ))
     });
     run_point(c, "ablate_fifo", "clh", || {
         // CLH tokens are two words; reuse the generic StaticWindowLock
@@ -201,7 +219,8 @@ fn ablate_fifo(c: &mut Criterion) {
             }
             fn release(&self, t: PlainToken) {
                 let (a, b) = t.redeem(self);
-                self.0.unlock(unsafe { asl_locks::clh::ClhToken::from_raw(a, b) });
+                self.0
+                    .unlock(unsafe { asl_locks::clh::ClhToken::from_raw(a, b) });
             }
             fn held(&self) -> bool {
                 self.0.is_locked()
@@ -210,7 +229,10 @@ fn ablate_fifo(c: &mut Criterion) {
                 "clh-max"
             }
         }
-        Arc::new(ClhMax(ReorderableLock::with_waiter(ClhLock::new(), SpinWait)))
+        Arc::new(ClhMax(ReorderableLock::with_waiter(
+            ClhLock::new(),
+            SpinWait,
+        )))
     });
 }
 
@@ -258,9 +280,15 @@ fn ablate_unit(c: &mut Criterion) {
     // ablation uses the real LibASL lock with an SLO and varies the
     // growth-unit rule through the global config.
     for (label, rule) in [
-        ("adaptive (paper)", asl_core::config::GrowthUnit::AdaptivePct),
+        (
+            "adaptive (paper)",
+            asl_core::config::GrowthUnit::AdaptivePct,
+        ),
         ("fixed-1us", asl_core::config::GrowthUnit::FixedNs(1_000)),
-        ("fixed-100us", asl_core::config::GrowthUnit::FixedNs(100_000)),
+        (
+            "fixed-100us",
+            asl_core::config::GrowthUnit::FixedNs(100_000),
+        ),
     ] {
         let mut g = c.benchmark_group("ablate_unit");
         g.sample_size(10)

@@ -84,7 +84,9 @@ fn fig9_upscale(c: &mut Criterion) {
 }
 
 fn fig9_lmdb(c: &mut Criterion) {
-    bench_engine(c, "fig9_lmdb", AtomicAffinity::big_wins(), |f| Arc::new(Lmdb::new(f)));
+    bench_engine(c, "fig9_lmdb", AtomicAffinity::big_wins(), |f| {
+        Arc::new(Lmdb::new(f))
+    });
 }
 
 fn fig10_leveldb(c: &mut Criterion) {

@@ -43,7 +43,10 @@ fn bench_scenario(
 fn fig1(c: &mut Criterion) {
     for (label, spec) in [
         ("mcs-8t", LockSpec::Mcs),
-        ("tas-little-affinity-8t", LockSpec::Tas(AtomicAffinity::little_wins())),
+        (
+            "tas-little-affinity-8t",
+            LockSpec::Tas(AtomicAffinity::little_wins()),
+        ),
     ] {
         bench_scenario(
             c,
@@ -68,7 +71,10 @@ fn fig1(c: &mut Criterion) {
 fn fig4(c: &mut Criterion) {
     for (label, spec) in [
         ("mcs", LockSpec::Mcs),
-        ("tas-big-affinity", LockSpec::Tas(AtomicAffinity::big_wins())),
+        (
+            "tas-big-affinity",
+            LockSpec::Tas(AtomicAffinity::big_wins()),
+        ),
     ] {
         bench_scenario(
             c,
@@ -125,10 +131,7 @@ fn fig8b(c: &mut Criterion) {
 
 fn fig8ef(c: &mut Criterion) {
     for threads in [4usize, 8] {
-        for (name, spec) in [
-            ("mcs", LockSpec::Mcs),
-            ("libasl-max", LockSpec::asl(None)),
-        ] {
+        for (name, spec) in [("mcs", LockSpec::Mcs), ("libasl-max", LockSpec::asl(None))] {
             bench_scenario(
                 c,
                 "fig8ef_scalability",
@@ -144,10 +147,7 @@ fn fig8ef(c: &mut Criterion) {
 fn fig8g(c: &mut Criterion) {
     for exp in [0u32, 2, 4] {
         let ncs = 10u64.pow(exp);
-        for (name, spec) in [
-            ("mcs", LockSpec::Mcs),
-            ("libasl-max", LockSpec::asl(None)),
-        ] {
+        for (name, spec) in [("mcs", LockSpec::Mcs), ("libasl-max", LockSpec::asl(None))] {
             bench_scenario(
                 c,
                 "fig8g_contention",

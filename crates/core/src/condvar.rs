@@ -42,7 +42,9 @@ pub struct AslCondvar {
 impl AslCondvar {
     /// New condition variable with no waiters.
     pub fn new() -> Self {
-        AslCondvar { waiters: StdMutex::new(VecDeque::new()) }
+        AslCondvar {
+            waiters: StdMutex::new(VecDeque::new()),
+        }
     }
 
     /// Atomically release `guard`'s mutex and wait for a
@@ -56,10 +58,13 @@ impl AslCondvar {
         // re-locks through it, i.e. through the LibASL dispatch path.
         let mutex = guard.mutex();
         let notified = Arc::new(AtomicBool::new(false));
-        self.waiters.lock().expect("condvar queue poisoned").push_back(Waiter {
-            notified: notified.clone(),
-            thread: std::thread::current(),
-        });
+        self.waiters
+            .lock()
+            .expect("condvar queue poisoned")
+            .push_back(Waiter {
+                notified: notified.clone(),
+                thread: std::thread::current(),
+            });
         // Registering *before* the release closes the notify race:
         // any notification after this point sees us in the queue.
         drop(guard);
@@ -84,7 +89,11 @@ impl AslCondvar {
 
     /// Wake one waiter (FIFO order among waiters).
     pub fn notify_one(&self) {
-        let w = self.waiters.lock().expect("condvar queue poisoned").pop_front();
+        let w = self
+            .waiters
+            .lock()
+            .expect("condvar queue poisoned")
+            .pop_front();
         if let Some(w) = w {
             w.notified.store(true, Ordering::Release);
             w.thread.unpark();

@@ -117,9 +117,7 @@ pub fn unit_floor_ns() -> u64 {
 /// The growth unit derived from a window under an explicit rule.
 pub fn unit_for_window_with(rule: GrowthUnit, window_ns: u64, pct: u8) -> u64 {
     match rule {
-        GrowthUnit::AdaptivePct => {
-            (window_ns * (100 - pct as u64) / 100).max(unit_floor_ns())
-        }
+        GrowthUnit::AdaptivePct => (window_ns * (100 - pct as u64) / 100).max(unit_floor_ns()),
         GrowthUnit::FixedNs(n) => n.max(1),
     }
 }
@@ -160,7 +158,10 @@ mod tests {
             unit_for_window_with(GrowthUnit::AdaptivePct, 1_000_000, 99),
             10_000
         );
-        assert_eq!(unit_for_window_with(GrowthUnit::FixedNs(555), 1_000_000, 99), 555);
+        assert_eq!(
+            unit_for_window_with(GrowthUnit::FixedNs(555), 1_000_000, 99),
+            555
+        );
         assert_eq!(unit_for_window_with(GrowthUnit::FixedNs(0), 1, 99), 1);
     }
 

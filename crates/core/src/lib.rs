@@ -21,6 +21,10 @@
 //!   Acquisitions are held as guards and released on drop — the
 //!   manual `acquire`/`release` pairing of earlier revisions survives
 //!   only as the documented low-level escape hatch.
+//! * [`AslRwLock`] — reader-writer locking with LibASL ordering:
+//!   reacquisition-based reader batching over an [`AslLock`] writer
+//!   substrate, so SLO-aware reordering composes with shared access
+//!   (read-mostly workloads like YCSB-B/C).
 //! * [`wait`] — standby waiting policies: spinning (default) and
 //!   `nanosleep`-based back-off for over-subscribed systems (Bench-6),
 //!   plus a fixed-interval policy used by the ablation benches.
@@ -53,6 +57,7 @@ pub mod epoch;
 pub mod mutex;
 pub mod profile;
 pub mod reorderable;
+pub mod rwlock;
 pub mod stats;
 pub mod wait;
 
@@ -63,5 +68,6 @@ pub use mutex::{
     AslTicketLock,
 };
 pub use reorderable::ReorderableLock;
+pub use rwlock::AslRwLock;
 pub use stats::{LockStats, LockStatsSnapshot};
 pub use wait::{FixedCheckWait, SleepWait, SpinWait, WaitPolicy};

@@ -89,7 +89,9 @@ impl<L: RawLock + FifoLock> AslLock<L, SpinWait> {
     /// bounded-reordering guarantee; non-FIFO substrates must go
     /// through [`AslLock::with_waiter`] explicitly.
     pub fn new(inner: L) -> Self {
-        AslLock { reorderable: ReorderableLock::new(inner) }
+        AslLock {
+            reorderable: ReorderableLock::new(inner),
+        }
     }
 }
 
@@ -98,7 +100,9 @@ impl<L: RawLock, W: WaitPolicy> AslLock<L, W> {
     /// hatch: also accepts non-FIFO substrates, e.g. the blocking
     /// configuration's futex mutex).
     pub fn with_waiter(inner: L, waiter: W) -> Self {
-        AslLock { reorderable: ReorderableLock::with_waiter(inner, waiter) }
+        AslLock {
+            reorderable: ReorderableLock::with_waiter(inner, waiter),
+        }
     }
 
     /// Acquire with SLO-guided ordering (paper `asl_mutex_lock`).
@@ -109,7 +113,9 @@ impl<L: RawLock, W: WaitPolicy> AslLock<L, W> {
         } else {
             match epoch::current_window() {
                 Some(w) => self.reorderable.lock_reorder(w),
-                None => self.reorderable.lock_reorder(self.reorderable.max_window_ns()),
+                None => self
+                    .reorderable
+                    .lock_reorder(self.reorderable.max_window_ns()),
             }
         }
     }
@@ -185,8 +191,7 @@ pub struct AslMutex<T, L: RawLock = McsLock, W: WaitPolicy = SpinWait> {
 
 /// RAII guard for [`AslMutex`] — the generic [`api::MutexGuard`] over
 /// an [`AslLock`].
-pub type AslMutexGuard<'a, T, L = McsLock, W = SpinWait> =
-    api::MutexGuard<'a, T, AslLock<L, W>>;
+pub type AslMutexGuard<'a, T, L = McsLock, W = SpinWait> = api::MutexGuard<'a, T, AslLock<L, W>>;
 
 impl<T> AslMutex<T> {
     /// New mutex over the default reorderable-MCS LibASL lock.
@@ -198,7 +203,9 @@ impl<T> AslMutex<T> {
 impl<T, L: RawLock, W: WaitPolicy> AslMutex<T, L, W> {
     /// New mutex over a caller-supplied LibASL lock.
     pub fn with_lock(value: T, lock: AslLock<L, W>) -> Self {
-        AslMutex { inner: api::Mutex::with_lock(value, lock) }
+        AslMutex {
+            inner: api::Mutex::with_lock(value, lock),
+        }
     }
 
     /// Acquire, returning an RAII guard.

@@ -75,7 +75,9 @@ impl<L: RawLock, W: WaitPolicy> ReorderableLock<L, W> {
     /// Acquire without standing by (paper `lock_immediately`).
     #[inline]
     pub fn lock_immediately(&self) -> L::Token {
-        self.stats.immediate.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats
+            .immediate
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.inner.lock()
     }
 
@@ -92,7 +94,10 @@ impl<L: RawLock, W: WaitPolicy> ReorderableLock<L, W> {
         }
         if window > 0 {
             let deadline = now_ns().saturating_add(window);
-            match self.waiter.standby_wait(deadline, &|| !self.inner.is_locked()) {
+            match self
+                .waiter
+                .standby_wait(deadline, &|| !self.inner.is_locked())
+            {
                 WaitOutcome::ObservedFree => {
                     self.stats.standby_observed_free.fetch_add(1, Relaxed);
                 }
@@ -205,7 +210,10 @@ mod tests {
         l.unlock(t);
         let waited = h.join().unwrap();
         // Should acquire shortly after release, far within 2s.
-        assert!(waited < 1_000_000_000, "standby waited the whole window: {waited}ns");
+        assert!(
+            waited < 1_000_000_000,
+            "standby waited the whole window: {waited}ns"
+        );
     }
 
     #[test]

@@ -68,7 +68,10 @@ pub struct SleepWait {
 impl SleepWait {
     /// Paper-style defaults: 1 µs first sleep, 1 ms cap.
     pub fn new() -> Self {
-        SleepWait { min_sleep_ns: 1_000, max_sleep_ns: 1_000_000 }
+        SleepWait {
+            min_sleep_ns: 1_000,
+            max_sleep_ns: 1_000_000,
+        }
     }
 }
 
@@ -159,9 +162,8 @@ mod tests {
         assert!(now_ns() - t0 >= 3_000_000);
 
         let flag = AtomicBool::new(true);
-        let out = SleepWait::new().standby_wait(now_ns() + 50_000_000, &|| {
-            flag.load(Ordering::Relaxed)
-        });
+        let out =
+            SleepWait::new().standby_wait(now_ns() + 50_000_000, &|| flag.load(Ordering::Relaxed));
         assert_eq!(out, WaitOutcome::ObservedFree);
     }
 
@@ -182,6 +184,9 @@ mod tests {
             probes.fetch_add(1, Ordering::Relaxed);
             false
         });
-        assert!(probes.load(Ordering::Relaxed) > 64, "fixed policy should probe often");
+        assert!(
+            probes.load(Ordering::Relaxed) > 64,
+            "fixed policy should probe often"
+        );
     }
 }

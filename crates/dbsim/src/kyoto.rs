@@ -4,16 +4,23 @@
 //! Lock". Kyoto Cabinet's `HashDB` hashes each key to one of a fixed
 //! number of slots, locks that slot for the record operation, and
 //! takes a short global *method* lock on every API call. We reproduce
-//! exactly that: a chained hash table split into independently locked
-//! slots (each a [`guarded_slot`]) plus a brief method-lock critical
-//! section per request.
+//! exactly that, reader-writer aware: each slot is a
+//! [`guarded_rw_slot`] (gets take shared guards, puts exclusive ones)
+//! and the method lock is a [`guarded_rw_lock`] — which mirrors Kyoto
+//! Cabinet's actual method lock, a shared/exclusive rwlock. Under an
+//! exclusive `LockSpec` both degenerate to the old exclusive
+//! behaviour; under an rwlock spec gets overlap.
+//!
+//! The default workload is the paper's YCSB-A fifty-fifty mix; the
+//! read fraction is configurable ([`Kyoto::with_mix`]) so YCSB-B/C
+//! read-mostly experiments stop being degenerate.
 
-use asl_locks::api::{DynLock, DynMutex};
+use asl_locks::api::{DynRwLock, DynRwMutex};
 use asl_runtime::work::execute_units;
 use rand::rngs::SmallRng;
-use rand::Rng;
 
-use crate::{guarded_lock, guarded_slot, random_key, value_for, Engine, LockFactory, Value};
+use crate::workload::{Mix, Op};
+use crate::{guarded_rw_lock, guarded_rw_slot, random_key, value_for, Engine, LockFactory, Value};
 
 const BUCKETS_PER_SLOT: usize = 512;
 
@@ -25,23 +32,32 @@ const GET_UNITS: u64 = 120;
 const METHOD_UNITS: u64 = 25;
 
 /// Chained buckets of one independently locked hash slot.
-type Slot = DynMutex<Vec<Vec<(u64, Value)>>>;
+type Slot = DynRwMutex<Vec<Vec<(u64, Value)>>>;
 
 /// The Kyoto-Cabinet-like engine.
 pub struct Kyoto {
-    method_lock: DynLock,
+    method_lock: DynRwLock,
     slots: Vec<Slot>,
+    mix: Mix,
 }
 
 impl Kyoto {
-    /// Create with `slots` independently locked hash slots.
+    /// Create with `slots` independently locked hash slots and the
+    /// paper's fifty-fifty put/get mix.
     pub fn new(factory: &dyn LockFactory, slots: usize) -> Self {
+        Self::with_mix(factory, slots, Mix::ycsb_a())
+    }
+
+    /// Create with an explicit operation mix (YCSB-B/C read-mostly
+    /// experiments).
+    pub fn with_mix(factory: &dyn LockFactory, slots: usize, mix: Mix) -> Self {
         assert!(slots > 0);
         Kyoto {
-            method_lock: guarded_lock(factory),
+            method_lock: guarded_rw_lock(factory),
             slots: (0..slots)
-                .map(|_| guarded_slot(factory, vec![Vec::new(); BUCKETS_PER_SLOT]))
+                .map(|_| guarded_rw_slot(factory, vec![Vec::new(); BUCKETS_PER_SLOT]))
                 .collect(),
+            mix,
         }
     }
 
@@ -51,24 +67,27 @@ impl Kyoto {
         Self::new(factory, 16)
     }
 
+    /// The operation mix this engine runs.
+    pub fn mix(&self) -> Mix {
+        self.mix
+    }
+
     #[inline]
     fn slot_of(&self, key: u64) -> &Slot {
         let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         &self.slots[(h >> 32) as usize % self.slots.len()]
     }
 
-    /// Method lock: short API-dispatch critical section.
-    #[inline]
-    fn method_dispatch(&self) {
-        let _held = self.method_lock.lock();
-        execute_units(METHOD_UNITS);
-    }
-
     /// Insert or update a record.
     pub fn put(&self, key: u64, value: Value) {
-        self.method_dispatch();
+        // Method lock: normal API calls mutate shared method state, so
+        // writes dispatch exclusively.
+        {
+            let _held = self.method_lock.write();
+            execute_units(METHOD_UNITS);
+        }
 
-        let mut buckets = self.slot_of(key).lock();
+        let mut buckets = self.slot_of(key).write();
         let b = &mut buckets[(key as usize) % BUCKETS_PER_SLOT];
         match b.iter_mut().find(|(k, _)| *k == key) {
             Some((_, v)) => *v = value,
@@ -77,11 +96,15 @@ impl Kyoto {
         execute_units(PUT_UNITS);
     }
 
-    /// Look up a record.
+    /// Look up a record. The whole path is shared: method dispatch and
+    /// the slot probe take read guards.
     pub fn get(&self, key: u64) -> Option<Value> {
-        self.method_dispatch();
+        {
+            let _held = self.method_lock.read();
+            execute_units(METHOD_UNITS);
+        }
 
-        let buckets = self.slot_of(key).lock();
+        let buckets = self.slot_of(key).read();
         let found = buckets[(key as usize) % BUCKETS_PER_SLOT]
             .iter()
             .find(|(k, _)| *k == key)
@@ -90,9 +113,12 @@ impl Kyoto {
         found
     }
 
-    /// Total records (test helper; takes every slot lock).
+    /// Total records (test helper; takes every slot lock shared).
     pub fn len(&self) -> usize {
-        self.slots.iter().map(|s| s.lock().iter().map(Vec::len).sum::<usize>()).sum()
+        self.slots
+            .iter()
+            .map(|s| s.read().iter().map(Vec::len).sum::<usize>())
+            .sum()
     }
 
     /// True when no records are stored.
@@ -104,10 +130,11 @@ impl Kyoto {
 impl Engine for Kyoto {
     fn run_request(&self, rng: &mut SmallRng) {
         let key = random_key(rng);
-        if rng.gen_bool(0.5) {
-            self.put(key, value_for(key));
-        } else {
-            let _ = self.get(key);
+        match self.mix.sample(rng) {
+            Op::Update => self.put(key, value_for(key)),
+            Op::Read => {
+                let _ = self.get(key);
+            }
         }
     }
 
@@ -172,6 +199,28 @@ mod tests {
                 assert_eq!(v, value_for(k));
             }
         }
+    }
+
+    #[test]
+    fn rw_spec_overlaps_readers() {
+        // Under a genuine rwlock factory, two gets may hold the same
+        // slot concurrently.
+        struct RwFactory;
+        impl LockFactory for RwFactory {
+            fn make(&self) -> Arc<dyn PlainLock> {
+                Arc::new(asl_locks::McsLock::new())
+            }
+            fn make_rw(&self) -> Arc<dyn asl_locks::PlainRwLock> {
+                Arc::new(asl_locks::RwTicketLock::new())
+            }
+        }
+        let db = Kyoto::with_mix(&RwFactory, 1, Mix::ycsb_c());
+        db.put(1, value_for(1));
+        let slot = db.slot_of(1).read();
+        // A second shared probe succeeds while the first is held.
+        assert_eq!(db.get(1), Some(value_for(1)));
+        drop(slot);
+        assert_eq!(db.mix().read_fraction(), 1.0);
     }
 
     #[test]

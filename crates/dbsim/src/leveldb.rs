@@ -6,28 +6,39 @@
 //! read "acquires a global lock to take a snapshot of internal
 //! database structures" and then searches without the lock. We model
 //! the version set as an `Arc` snapshot swapped under a metadata
-//! lock; readers pin it briefly, then probe the (immutable) snapshot
-//! outside the lock.
+//! lock; readers pin it under a *shared* guard ([`guarded_rw_slot`])
+//! — overlapping under rwlock specs, exactly like LevelDB readers
+//! ref-counting the current version — then probe the (immutable)
+//! snapshot outside the lock. Version installs (the compaction path)
+//! take the metadata lock exclusively.
+//!
+//! The default mix is the paper's pure random read (YCSB-C shape); a
+//! configurable mix turns updates into version installs so the
+//! exclusive-vs-shared contrast is measurable.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use asl_locks::api::DynMutex;
+use asl_locks::api::DynRwMutex;
 use asl_runtime::work::execute_units;
 use rand::rngs::SmallRng;
 
-use crate::{guarded_slot, random_key, value_for, Engine, LockFactory, Value};
+use crate::workload::{Mix, Op};
+use crate::{guarded_rw_slot, random_key, value_for, Engine, LockFactory, Value};
 
 /// Emulated snapshot-pin cost under the metadata lock (ref-count the
 /// version, record the sequence number).
 const SNAPSHOT_UNITS: u64 = 70;
 /// Emulated memtable+SSTable probe cost outside the lock.
 const SEARCH_UNITS: u64 = 200;
+/// Emulated version-install bookkeeping under the metadata lock.
+const INSTALL_UNITS: u64 = 120;
 
-/// An immutable version of the database.
+/// An immutable version of the database. The table is itself behind
+/// an `Arc` so version installs (sequence bumps) need not copy it.
 pub struct DbVersion {
     /// Sorted table contents.
-    pub table: BTreeMap<u64, Value>,
+    pub table: Arc<BTreeMap<u64, Value>>,
     /// Version sequence number.
     pub sequence: u64,
 }
@@ -35,16 +46,30 @@ pub struct DbVersion {
 /// The LevelDB-like engine.
 pub struct LevelDb {
     /// The current version pointer, guarded by the metadata lock.
-    current: DynMutex<Arc<DbVersion>>,
+    current: DynRwMutex<Arc<DbVersion>>,
+    mix: Mix,
 }
 
 impl LevelDb {
     /// Create with `preload` sequential keys materialized (the
-    /// `db_bench` fill phase).
+    /// `db_bench` fill phase) and the paper's pure-read workload.
     pub fn new(factory: &dyn LockFactory, preload: u64) -> Self {
+        Self::with_mix(factory, preload, Mix::ycsb_c())
+    }
+
+    /// Create with an explicit operation mix: updates install a new
+    /// version (compaction tick) under the exclusive metadata lock.
+    pub fn with_mix(factory: &dyn LockFactory, preload: u64, mix: Mix) -> Self {
         let table: BTreeMap<u64, Value> = (0..preload).map(|k| (k, value_for(k))).collect();
         LevelDb {
-            current: guarded_slot(factory, Arc::new(DbVersion { table, sequence: 1 })),
+            current: guarded_rw_slot(
+                factory,
+                Arc::new(DbVersion {
+                    table: Arc::new(table),
+                    sequence: 1,
+                }),
+            ),
+            mix,
         }
     }
 
@@ -53,9 +78,15 @@ impl LevelDb {
         Self::new(factory, crate::KEYSPACE)
     }
 
-    /// Pin the current version (the contended metadata-lock section).
+    /// The operation mix this engine runs.
+    pub fn mix(&self) -> Mix {
+        self.mix
+    }
+
+    /// Pin the current version (the contended metadata-lock section,
+    /// shared among readers).
     pub fn snapshot(&self) -> Arc<DbVersion> {
-        let current = self.current.lock();
+        let current = self.current.read();
         let snap = current.clone();
         execute_units(SNAPSHOT_UNITS);
         snap
@@ -69,22 +100,41 @@ impl LevelDb {
         v
     }
 
-    /// Install a new version (compaction stand-in; used by tests).
+    /// Install a new version (compaction stand-in; exclusive).
     pub fn install_version(&self, table: BTreeMap<u64, Value>) {
-        let mut current = self.current.lock();
+        let mut current = self.current.write();
         let sequence = current.sequence + 1;
+        *current = Arc::new(DbVersion {
+            table: Arc::new(table),
+            sequence,
+        });
+    }
+
+    /// Re-install the current table as a new version (the cheap
+    /// compaction tick used as the workload's update operation).
+    pub fn bump_version(&self) {
+        let mut current = self.current.write();
+        let sequence = current.sequence + 1;
+        let table = current.table.clone();
         *current = Arc::new(DbVersion { table, sequence });
+        execute_units(INSTALL_UNITS);
     }
 
     /// Sequence number of the current version.
     pub fn sequence(&self) -> u64 {
-        self.current.lock().sequence
+        self.current.read().sequence
     }
 }
 
 impl Engine for LevelDb {
     fn run_request(&self, rng: &mut SmallRng) {
-        let _ = self.get(random_key(rng));
+        let key = random_key(rng);
+        match self.mix.sample(rng) {
+            Op::Read => {
+                let _ = self.get(key);
+            }
+            Op::Update => self.bump_version(),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -122,6 +172,14 @@ mod tests {
     }
 
     #[test]
+    fn bump_version_shares_the_table() {
+        let db = LevelDb::new(&factory(), 10);
+        db.bump_version();
+        assert_eq!(db.sequence(), 2);
+        assert_eq!(db.get(5), Some(value_for(5)), "data survives the bump");
+    }
+
+    #[test]
     fn concurrent_reads() {
         let db = Arc::new(LevelDb::new(&factory(), 1_000));
         let mut handles = vec![];
@@ -138,5 +196,33 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(db.sequence(), 1);
+    }
+
+    #[test]
+    fn mixed_workload_installs_versions() {
+        struct RwFactory;
+        impl LockFactory for RwFactory {
+            fn make(&self) -> Arc<dyn PlainLock> {
+                Arc::new(asl_locks::McsLock::new())
+            }
+            fn make_rw(&self) -> Arc<dyn asl_locks::PlainRwLock> {
+                Arc::new(asl_locks::RwTicketLock::new())
+            }
+        }
+        let db = Arc::new(LevelDb::with_mix(&RwFactory, 100, Mix::ycsb_b()));
+        // Two snapshots pinned concurrently under the rw metadata
+        // lock; an install would have to wait.
+        let a = db.current.read();
+        assert_eq!(db.get(1), Some(value_for(1)));
+        assert!(
+            db.current.try_write().is_none(),
+            "pinned snapshots block installs"
+        );
+        drop(a);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..2_000 {
+            db.run_request(&mut rng);
+        }
+        assert!(db.sequence() > 1, "updates install new versions");
     }
 }

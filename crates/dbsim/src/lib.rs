@@ -18,6 +18,15 @@
 //! [`LockFactory`], so the harness can swap in TAS, MCS, SHFL-PB or
 //! LibASL exactly the way the paper relinks `pthread_mutex_lock`.
 //!
+//! The engines are reader-writer aware: state that `Op::Read` paths
+//! only inspect lives in a [`guarded_rw_slot`] and is probed under
+//! shared guards, while updates take exclusive guards. Under an
+//! exclusive lock spec the shared guards degenerate to exclusive
+//! acquisitions (bit-for-bit the old behaviour); under an rwlock spec
+//! (`rw-ticket`, `bravo-*`, `libasl-rw-*`) reads genuinely overlap,
+//! which is what makes the YCSB-B/C read-mostly mixes
+//! ([`workload::Mix`]) meaningful.
+//!
 //! Request processing cost is expressed in emulated work units
 //! (`asl_runtime::work`), so critical sections take proportionally
 //! longer on little cores — the asymmetry under study.
@@ -31,8 +40,8 @@ pub mod workload;
 
 use std::sync::Arc;
 
-use asl_locks::api::{DynLock, DynMutex};
-use asl_locks::plain::PlainLock;
+use asl_locks::api::{DynLock, DynMutex, DynRwLock, DynRwMutex};
+use asl_locks::plain::{ExclusiveRw, PlainLock, PlainRwLock};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -40,6 +49,17 @@ use rand::Rng;
 pub trait LockFactory: Send + Sync {
     /// Create one fresh lock.
     fn make(&self) -> Arc<dyn PlainLock>;
+
+    /// Create one fresh reader-writer lock.
+    ///
+    /// The default wraps [`LockFactory::make`] in
+    /// [`ExclusiveRw`], so exclusive-only factories keep working:
+    /// their "shared" mode degenerates to an exclusive acquisition.
+    /// Factories backed by a genuine rwlock spec override this, and
+    /// the engines' `Op::Read` paths then overlap.
+    fn make_rw(&self) -> Arc<dyn PlainRwLock> {
+        Arc::new(ExclusiveRw::new(self.make()))
+    }
 }
 
 impl<F> LockFactory for F
@@ -66,6 +86,24 @@ pub fn guarded_slot<T>(factory: &dyn LockFactory, value: T) -> DynMutex<T> {
 /// or writer locks), held as an RAII guard.
 pub fn guarded_lock(factory: &dyn LockFactory) -> DynLock {
     DynLock::new(factory.make())
+}
+
+/// The reader-writer guarded-slot helper: a fresh rwlock from
+/// `factory` fused with the state it protects.
+///
+/// Engine state that is read on `Op::Read` paths and mutated on
+/// `Op::Update` paths is one of these: reads take shared guards
+/// (overlapping under rwlock specs, degenerating to exclusive under
+/// exclusive specs via [`ExclusiveRw`]) and writes take exclusive
+/// guards.
+pub fn guarded_rw_slot<T>(factory: &dyn LockFactory, value: T) -> DynRwMutex<T> {
+    DynRwMutex::new(factory.make_rw(), value)
+}
+
+/// A data-free reader-writer lock from `factory` (shared/exclusive
+/// ordering points like a method lock), held as an RAII guard.
+pub fn guarded_rw_lock(factory: &dyn LockFactory) -> DynRwLock {
+    DynRwLock::new(factory.make_rw())
 }
 
 /// Fixed-size record value (16 bytes, like the paper's small KV
@@ -125,6 +163,47 @@ mod tests {
         let held = lock.lock();
         assert!(lock.is_locked());
         held.unlock();
+    }
+
+    #[test]
+    fn guarded_rw_slot_defaults_to_exclusive_and_upgrades() {
+        // Exclusive factory: shared guards degenerate (no overlap).
+        let f = || -> Arc<dyn PlainLock> { Arc::new(asl_locks::McsLock::new()) };
+        let slot = guarded_rw_slot(&f, 1u64);
+        {
+            let r = slot.read();
+            assert_eq!(*r, 1);
+            assert!(
+                slot.try_read().is_none(),
+                "exclusive substrate: reads serialize"
+            );
+        }
+        *slot.write() += 1;
+        assert_eq!(*slot.read(), 2);
+
+        // rw-capable factory: shared guards overlap.
+        struct RwFactory;
+        impl LockFactory for RwFactory {
+            fn make(&self) -> Arc<dyn PlainLock> {
+                Arc::new(asl_locks::McsLock::new())
+            }
+            fn make_rw(&self) -> Arc<dyn asl_locks::PlainRwLock> {
+                Arc::new(asl_locks::RwTicketLock::new())
+            }
+        }
+        let slot = guarded_rw_slot(&RwFactory, 1u64);
+        {
+            let a = slot.read();
+            let b = slot.try_read().expect("rw substrate: reads overlap");
+            assert_eq!(*a + *b, 2);
+            assert!(slot.try_write().is_none());
+        }
+        let l = guarded_rw_lock(&RwFactory);
+        {
+            let _r1 = l.read();
+            let _r2 = l.try_read().expect("data-free rw lock shares too");
+        }
+        assert!(!l.is_locked());
     }
 
     #[test]

@@ -3,21 +3,24 @@
 //! Table 1: "On-disk KV, 50% Put 50% Get; Global Lock, Metadata
 //! Locks". LMDB serializes writers on one global write lock (a write
 //! transaction owns the tree for its duration) while readers only
-//! take short metadata locks to pin a snapshot. We reproduce that
-//! split: puts hold the global lock (a pure [`DynLock`] ordering
-//! point) for the full write transaction and briefly nest the
-//! metadata [`guarded_slot`] to publish the new root; gets take only
-//! the metadata lock around the tree probe.
+//! take short metadata locks to pin a snapshot — in real LMDB many
+//! readers pin snapshots concurrently. We reproduce that split
+//! faithfully: puts hold the global lock (a pure [`DynLock`] ordering
+//! point) for the full write transaction and briefly take the
+//! metadata lock *exclusively* to publish the new root; gets pin the
+//! tree under a *shared* metadata guard ([`guarded_rw_slot`]), so
+//! under an rwlock spec readers overlap exactly as LMDB's do, while
+//! an exclusive spec reproduces the old serialized metadata lock.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use asl_locks::api::{DynLock, DynMutex};
+use asl_locks::api::{DynLock, DynRwMutex};
 use asl_runtime::work::execute_units;
 use rand::rngs::SmallRng;
-use rand::Rng;
 
-use crate::{guarded_lock, guarded_slot, random_key, value_for, Engine, LockFactory, Value};
+use crate::workload::{Mix, Op};
+use crate::{guarded_lock, guarded_rw_slot, random_key, value_for, Engine, LockFactory, Value};
 
 /// Emulated write-transaction cost (page COW + fsync stand-in).
 const WRITE_TXN_UNITS: u64 = 520;
@@ -30,20 +33,34 @@ const READ_UNITS: u64 = 90;
 pub struct Lmdb {
     /// Writers serialize here for the whole write transaction.
     write_lock: DynLock,
-    /// Readers (and the writer's root publication) serialize on the
-    /// metadata lock guarding the tree.
-    tree: DynMutex<BTreeMap<u64, Value>>,
+    /// The tree behind the metadata lock: shared for readers, brief
+    /// exclusive sections for the writer's root publication.
+    tree: DynRwMutex<BTreeMap<u64, Value>>,
     version: AtomicU64,
+    mix: Mix,
 }
 
 impl Lmdb {
-    /// Create with locks from `factory`.
+    /// Create with locks from `factory` and the paper's fifty-fifty
+    /// put/get mix.
     pub fn new(factory: &dyn LockFactory) -> Self {
+        Self::with_mix(factory, Mix::ycsb_a())
+    }
+
+    /// Create with an explicit operation mix (YCSB-B/C read-mostly
+    /// experiments).
+    pub fn with_mix(factory: &dyn LockFactory, mix: Mix) -> Self {
         Lmdb {
             write_lock: guarded_lock(factory),
-            tree: guarded_slot(factory, BTreeMap::new()),
+            tree: guarded_rw_slot(factory, BTreeMap::new()),
             version: AtomicU64::new(0),
+            mix,
         }
+    }
+
+    /// The operation mix this engine runs.
+    pub fn mix(&self) -> Mix {
+        self.mix
     }
 
     /// Write transaction: COW pages, then publish the new root.
@@ -52,16 +69,17 @@ impl Lmdb {
         // Copy-on-write page work happens outside the metadata lock —
         // readers keep reading the old root meanwhile.
         execute_units(WRITE_TXN_UNITS);
-        // Publish: nested metadata lock, swap the root.
-        let mut tree = self.tree.lock();
+        // Publish: nested metadata lock (exclusive), swap the root.
+        let mut tree = self.tree.write();
         tree.insert(key, value);
         self.version.fetch_add(1, Ordering::Release);
         execute_units(PUBLISH_UNITS);
     }
 
-    /// Read transaction: pin a snapshot and probe the tree.
+    /// Read transaction: pin a snapshot under a shared metadata guard
+    /// and probe the tree.
     pub fn get(&self, key: u64) -> Option<Value> {
-        let tree = self.tree.lock();
+        let tree = self.tree.read();
         let v = tree.get(&key).copied();
         execute_units(READ_UNITS);
         v
@@ -74,7 +92,7 @@ impl Lmdb {
 
     /// Record count (test helper).
     pub fn len(&self) -> usize {
-        self.tree.lock().len()
+        self.tree.read().len()
     }
 
     /// True when empty.
@@ -86,10 +104,11 @@ impl Lmdb {
 impl Engine for Lmdb {
     fn run_request(&self, rng: &mut SmallRng) {
         let key = random_key(rng);
-        if rng.gen_bool(0.5) {
-            self.put(key, value_for(key));
-        } else {
-            let _ = self.get(key);
+        match self.mix.sample(rng) {
+            Op::Update => self.put(key, value_for(key)),
+            Op::Read => {
+                let _ = self.get(key);
+            }
         }
     }
 
@@ -139,5 +158,26 @@ mod tests {
         }
         assert!(db.version() > 0);
         assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn rw_spec_pins_snapshots_concurrently() {
+        struct RwFactory;
+        impl LockFactory for RwFactory {
+            fn make(&self) -> Arc<dyn PlainLock> {
+                Arc::new(asl_locks::McsLock::new())
+            }
+            fn make_rw(&self) -> Arc<dyn asl_locks::PlainRwLock> {
+                Arc::new(asl_locks::RwTicketLock::new())
+            }
+        }
+        let db = Lmdb::with_mix(&RwFactory, Mix::ycsb_c());
+        db.put(3, value_for(3));
+        let pinned = db.tree.read();
+        // A concurrent reader still gets in while a snapshot is
+        // pinned; a writer's publication would have to wait.
+        assert_eq!(db.get(3), Some(value_for(3)));
+        assert!(db.tree.try_write().is_none(), "readers block publication");
+        drop(pinned);
     }
 }

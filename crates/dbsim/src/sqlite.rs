@@ -99,7 +99,11 @@ impl Sqlite {
         let mut rows = Vec::with_capacity(prefill as usize);
         let mut index = BTreeMap::new();
         for id in 0..prefill {
-            let row = Row { id, indexed: id * 3 % (prefill.max(1) * 2), payload: id * 7 };
+            let row = Row {
+                id,
+                indexed: id * 3 % (prefill.max(1) * 2),
+                payload: id * 7,
+            };
             index.insert(row.indexed, rows.len());
             rows.push(row);
         }
@@ -230,7 +234,11 @@ impl Sqlite {
             let mut table = self.table.lock();
             let slot = table.rows.len();
             table.index.insert(indexed, slot);
-            table.rows.push(Row { id, indexed, payload });
+            table.rows.push(Row {
+                id,
+                indexed,
+                payload,
+            });
             execute_units(INSERT_UNITS);
         }
         // Commit: spill to the database file under EXCLUSIVE.
@@ -431,13 +439,31 @@ mod tests {
     #[test]
     fn state_validity_rules() {
         assert!(FileLockState::default().valid());
-        assert!(FileLockState { shared: 3, ..Default::default() }.valid());
+        assert!(FileLockState {
+            shared: 3,
+            ..Default::default()
+        }
+        .valid());
         // EXCLUSIVE without PENDING: invalid.
-        assert!(!FileLockState { shared: 1, exclusive: true, ..Default::default() }.valid());
+        assert!(!FileLockState {
+            shared: 1,
+            exclusive: true,
+            ..Default::default()
+        }
+        .valid());
         // PENDING without RESERVED: invalid.
-        assert!(!FileLockState { pending: true, ..Default::default() }.valid());
+        assert!(!FileLockState {
+            pending: true,
+            ..Default::default()
+        }
+        .valid());
         // Proper writer commit state: valid.
-        assert!(FileLockState { shared: 1, reserved: true, pending: true, exclusive: true }
-            .valid());
+        assert!(FileLockState {
+            shared: 1,
+            reserved: true,
+            pending: true,
+            exclusive: true
+        }
+        .valid());
     }
 }

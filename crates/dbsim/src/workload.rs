@@ -44,7 +44,14 @@ impl Zipfian {
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Zipfian { n, theta, alpha, zetan, eta, zeta2 }
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
     }
 
     /// YCSB-default sampler (θ = 0.99).
@@ -260,14 +267,18 @@ mod tests {
     fn mixes() {
         let mut rng = SmallRng::seed_from_u64(6);
         let a = Mix::ycsb_a();
-        let reads = (0..10_000).filter(|_| a.sample(&mut rng) == Op::Read).count();
+        let reads = (0..10_000)
+            .filter(|_| a.sample(&mut rng) == Op::Read)
+            .count();
         assert!((4_000..6_000).contains(&reads), "YCSB-A reads {reads}");
 
         let c = Mix::ycsb_c();
         assert!((0..1_000).all(|_| c.sample(&mut rng) == Op::Read));
 
         let b = Mix::ycsb_b();
-        let reads = (0..10_000).filter(|_| b.sample(&mut rng) == Op::Read).count();
+        let reads = (0..10_000)
+            .filter(|_| b.sample(&mut rng) == Op::Read)
+            .count();
         assert!(reads > 9_000, "YCSB-B reads {reads}");
     }
 

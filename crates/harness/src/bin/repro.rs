@@ -57,7 +57,11 @@ fn main() {
                 list_locks();
                 return;
             }
-            "all" => ids.extend(figures::registry().into_iter().map(|(id, _)| id.to_string())),
+            "all" => ids.extend(
+                figures::registry()
+                    .into_iter()
+                    .map(|(id, _)| id.to_string()),
+            ),
             other if other.starts_with('-') => {
                 eprintln!("unknown flag: {other}");
                 usage();
@@ -74,7 +78,11 @@ fn main() {
         std::process::exit(2);
     }
 
-    let profile = if quick { Profile::quick() } else { Profile::full() };
+    let profile = if quick {
+        Profile::quick()
+    } else {
+        Profile::full()
+    };
     eprintln!(
         "profile: {} ({}ms/point, warmup {}ms, pin={})",
         if quick { "quick" } else { "full" },
@@ -128,14 +136,19 @@ fn emit(table: &asl_harness::report::Table, out_dir: &Option<String>) {
     if let Some(dir) = out_dir {
         let path = format!("{dir}/{}.csv", table.id);
         let mut f = std::fs::File::create(&path).expect("create csv");
-        f.write_all(table.render_csv().as_bytes()).expect("write csv");
+        f.write_all(table.render_csv().as_bytes())
+            .expect("write csv");
         eprintln!("wrote {path}");
     }
 }
 
 fn list_locks() {
     let reg = registry();
-    let width = reg.iter().map(|e| e.spec.to_string().len()).max().unwrap_or(0);
+    let width = reg
+        .iter()
+        .map(|e| e.spec.to_string().len())
+        .max()
+        .unwrap_or(0);
     for entry in reg {
         println!("{:<width$}  {}", entry.spec.to_string(), entry.description);
     }
@@ -149,7 +162,7 @@ fn usage() {
     eprintln!(
         "usage: repro [--quick|--full] [--out DIR] [--lock NAME]... <figure-id>... | all | list | locks\n\
          figure ids: fig1 fig4 fig5 fig8a fig8b fig8c fig8d fig8ef fig8g fig8hi\n\
-         \u{20}          fig9-kyoto fig9-upscale fig9-lmdb fig10-leveldb fig10-sqlite alt-topology\n\
-         lock names: see `repro locks` (e.g. mcs, shfl-pb10, libasl-70us, libasl-max)"
+         \u{20}          fig9-kyoto fig9-upscale fig9-lmdb fig10-leveldb fig10-sqlite alt-topology rw\n\
+         lock names: see `repro locks` (e.g. mcs, shfl-pb10, libasl-70us, rw-ticket, bravo-mcs)"
     );
 }

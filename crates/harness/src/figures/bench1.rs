@@ -57,7 +57,9 @@ pub fn fig8a(profile: &Profile) -> Vec<Table> {
         LockSpec::Mcs,
         LockSpec::asl(Some(0)),
         LockSpec::asl(Some(slo_a)),
-        LockSpec::AslOpt { window_ns: opt_window },
+        LockSpec::AslOpt {
+            window_ns: opt_window,
+        },
         LockSpec::asl(Some(slo_b)),
         LockSpec::asl(Some(slo_c)),
         LockSpec::asl(None),
@@ -73,7 +75,10 @@ pub fn fig8a(profile: &Profile) -> Vec<Table> {
         "SLO anchor: measured MCS P99 = {}us; LibASL SLOs at 1.7x/3.3x/4.3x anchor",
         anchor / 1_000
     ));
-    table.note(format!("LibASL-OPT static window = {}us", opt_window / 1_000));
+    table.note(format!(
+        "LibASL-OPT static window = {}us",
+        opt_window / 1_000
+    ));
     vec![table]
 }
 
@@ -83,7 +88,13 @@ pub fn fig8b(profile: &Profile) -> Vec<Table> {
     let mut table = Table::new(
         "fig8b",
         "Bench-1 with variant SLOs",
-        &["slo_us", "big_p99_us", "little_p99_us", "overall_p99_us", "thpt_ops_s"],
+        &[
+            "slo_us",
+            "big_p99_us",
+            "little_p99_us",
+            "overall_p99_us",
+            "thpt_ops_s",
+        ],
     );
     let hi = anchor * 6;
     let steps = 10usize;
@@ -99,7 +110,10 @@ pub fn fig8b(profile: &Profile) -> Vec<Table> {
             format!("{:.0}", r.throughput),
         ]);
     }
-    table.note(format!("MCS P99 anchor = {}us; below it LibASL falls back to FIFO", anchor / 1_000));
+    table.note(format!(
+        "MCS P99 anchor = {}us; below it LibASL falls back to FIFO",
+        anchor / 1_000
+    ));
     vec![table]
 }
 
@@ -110,7 +124,10 @@ pub fn fig8c(profile: &Profile) -> Vec<Table> {
     // ratio=100% LibASL must fall back to FIFO (normalized thpt -> 1).
     let slo = {
         let mut scenario = MicroScenario::bench1(&LockSpec::Mcs);
-        scenario.length = LengthModel::Mixed { long_ratio: 1.0, long_factor: LONG_FACTOR };
+        scenario.length = LengthModel::Mixed {
+            long_ratio: 1.0,
+            long_factor: LONG_FACTOR,
+        };
         run_micro(profile, &scenario, 8).overall.p99().max(1_000)
     };
 
@@ -129,7 +146,10 @@ pub fn fig8c(profile: &Profile) -> Vec<Table> {
     );
     for long_pct in [0u64, 20, 40, 60, 80, 100] {
         let ratio = long_pct as f64 / 100.0;
-        let mix = LengthModel::Mixed { long_ratio: ratio, long_factor: LONG_FACTOR };
+        let mix = LengthModel::Mixed {
+            long_ratio: ratio,
+            long_factor: LONG_FACTOR,
+        };
 
         let mut mcs = MicroScenario::bench1(&LockSpec::Mcs);
         mcs.length = mix.clone();
@@ -240,7 +260,13 @@ pub fn fig8d(profile: &Profile) -> Vec<Table> {
     let mut summary = Table::new(
         "fig8d",
         "Bench-2: self-adaptive reorder window under workload changes",
-        &["phase", "multiplier", "little_p99_us", "little_viol_pct", "slo_us"],
+        &[
+            "phase",
+            "multiplier",
+            "little_p99_us",
+            "little_viol_pct",
+            "slo_us",
+        ],
     );
     let mut t_edge = 0.0f64;
     for (frac, mult, name) in phases {
@@ -261,8 +287,11 @@ pub fn fig8d(profile: &Profile) -> Vec<Table> {
                 }
             }
         }
-        let mult_str =
-            if *mult == u64::MAX { "rand".to_string() } else { format!("{mult}x") };
+        let mult_str = if *mult == u64::MAX {
+            "rand".to_string()
+        } else {
+            format!("{mult}x")
+        };
         summary.push_row(vec![
             name.to_string(),
             mult_str,
@@ -271,7 +300,10 @@ pub fn fig8d(profile: &Profile) -> Vec<Table> {
             format!("{:.1}", slo as f64 / 1_000.0),
         ]);
     }
-    summary.note(format!("SLO = 4x MCS anchor = {}us; trace length {total_ms}ms", slo / 1_000));
+    summary.note(format!(
+        "SLO = 4x MCS anchor = {}us; trace length {total_ms}ms",
+        slo / 1_000
+    ));
 
     // Downsampled trace for plotting.
     let mut all: Vec<(u64, u64, CoreKind)> = traces.into_iter().flatten().collect();
@@ -301,15 +333,22 @@ pub fn fig8hi(profile: &Profile) -> Vec<Table> {
     // Anchor on the blocking pthread mutex tail.
     let anchor = {
         let scenario = MicroScenario::bench1(&LockSpec::Pthread);
-        run_micro(profile, &scenario, threads).overall.p99().max(1_000)
+        run_micro(profile, &scenario, threads)
+            .overall
+            .p99()
+            .max(1_000)
     };
 
     let specs = vec![
         LockSpec::Pthread,
         LockSpec::McsStp,
         LockSpec::AslBlocking { slo_ns: Some(0) },
-        LockSpec::AslBlocking { slo_ns: Some(anchor) },
-        LockSpec::AslBlocking { slo_ns: Some(anchor * 2) },
+        LockSpec::AslBlocking {
+            slo_ns: Some(anchor),
+        },
+        LockSpec::AslBlocking {
+            slo_ns: Some(anchor * 2),
+        },
         LockSpec::AslBlocking { slo_ns: None },
     ];
     let mut t8h = Table::new(
@@ -322,12 +361,21 @@ pub fn fig8hi(profile: &Profile) -> Vec<Table> {
         let r = run_micro(profile, &scenario, threads);
         t8h.push_row(comparison_row(&spec.label(), &r));
     }
-    t8h.note(format!("16 threads on 8 cores; SLO anchor = pthread P99 = {}us", anchor / 1_000));
+    t8h.note(format!(
+        "16 threads on 8 cores; SLO anchor = pthread P99 = {}us",
+        anchor / 1_000
+    ));
 
     let mut t8i = Table::new(
         "fig8i",
         "Bench-6 with variant SLOs",
-        &["slo_us", "big_p99_us", "little_p99_us", "overall_p99_us", "thpt_ops_s"],
+        &[
+            "slo_us",
+            "big_p99_us",
+            "little_p99_us",
+            "overall_p99_us",
+            "thpt_ops_s",
+        ],
     );
     for i in 0..=6u64 {
         let slo = anchor * i / 2; // 0 .. 3x anchor

@@ -23,12 +23,18 @@ use super::{seed_tls_rng, with_tls_rng, Profile};
 
 /// A lock-spec-backed factory: every lock an engine asks for is a
 /// fresh instance of the same spec (the paper relinks the whole
-/// binary against one lock library at a time).
-struct SpecFactory(LockSpec);
+/// binary against one lock library at a time). Reader-writer specs
+/// hand the engines genuine rwlocks through `make_rw`; exclusive
+/// specs degenerate shared guards to exclusive acquisitions.
+pub(crate) struct SpecFactory(pub(crate) LockSpec);
 
 impl LockFactory for SpecFactory {
     fn make(&self) -> Arc<dyn PlainLock> {
         self.0.make_lock()
+    }
+
+    fn make_rw(&self) -> Arc<dyn asl_locks::PlainRwLock> {
+        self.0.make_rw_lock()
     }
 }
 
@@ -51,15 +57,16 @@ fn make_sqlite(f: &dyn LockFactory) -> Arc<dyn Engine> {
     Arc::new(Sqlite::with_default_size(f))
 }
 
-/// Run one engine × lock-spec point: every request is one epoch.
-fn run_db_point(
+/// Run one engine × lock-spec point: every request is one epoch
+/// (wrapped with the spec's SLO when it has one). Shared by the
+/// Fig. 9/10 drivers and the `rw` read-mostly figure.
+pub(crate) fn run_engine_point(
     profile: &Profile,
     topology: Topology,
-    make: MakeEngine,
+    engine: Arc<dyn Engine>,
     spec: &LockSpec,
     threads: usize,
 ) -> crate::runner::RunResult {
-    let engine = make(&SpecFactory(spec.clone()));
     let cfg = profile.config_on(topology, threads);
     let slo = spec.epoch_slo();
     run_timed_with_setup(
@@ -82,6 +89,18 @@ fn run_db_point(
             }
         },
     )
+}
+
+/// [`run_engine_point`] with the engine built fresh from the spec.
+fn run_db_point(
+    profile: &Profile,
+    topology: Topology,
+    make: MakeEngine,
+    spec: &LockSpec,
+    threads: usize,
+) -> crate::runner::RunResult {
+    let engine = make(&SpecFactory(spec.clone()));
+    run_engine_point(profile, topology, engine, spec, threads)
 }
 
 /// The paper's trio for one database: comparison bars, SLO sweep,
@@ -133,7 +152,13 @@ fn db_trio(
     let mut sweep = Table::new(
         &format!("{id}b"),
         &format!("{name}: variant SLOs"),
-        &["slo_us", "big_p99_us", "little_p99_us", "overall_p99_us", "thpt_ops_s"],
+        &[
+            "slo_us",
+            "big_p99_us",
+            "little_p99_us",
+            "overall_p99_us",
+            "thpt_ops_s",
+        ],
     );
     let steps = 8u64;
     for i in 0..=steps {
@@ -176,28 +201,58 @@ fn db_trio(
 
 /// Figure 9a/9b/9c — Kyoto Cabinet.
 pub fn fig9_kyoto(profile: &Profile) -> Vec<Table> {
-    db_trio(profile, "fig9-kyoto-", "kyoto cabinet", make_kyoto, AtomicAffinity::big_wins())
+    db_trio(
+        profile,
+        "fig9-kyoto-",
+        "kyoto cabinet",
+        make_kyoto,
+        AtomicAffinity::big_wins(),
+    )
 }
 
 /// Figure 9d/9e/9f — upscaledb.
 pub fn fig9_upscale(profile: &Profile) -> Vec<Table> {
-    db_trio(profile, "fig9-upscale-", "upscaledb", make_upscale, AtomicAffinity::big_wins())
+    db_trio(
+        profile,
+        "fig9-upscale-",
+        "upscaledb",
+        make_upscale,
+        AtomicAffinity::big_wins(),
+    )
 }
 
 /// Figure 9g/9h/9i — LMDB.
 pub fn fig9_lmdb(profile: &Profile) -> Vec<Table> {
-    db_trio(profile, "fig9-lmdb-", "lmdb", make_lmdb, AtomicAffinity::big_wins())
+    db_trio(
+        profile,
+        "fig9-lmdb-",
+        "lmdb",
+        make_lmdb,
+        AtomicAffinity::big_wins(),
+    )
 }
 
 /// Figure 10a/10b/10c — LevelDB (random read).
 pub fn fig10_leveldb(profile: &Profile) -> Vec<Table> {
-    db_trio(profile, "fig10-leveldb-", "leveldb", make_leveldb, AtomicAffinity::big_wins())
+    db_trio(
+        profile,
+        "fig10-leveldb-",
+        "leveldb",
+        make_leveldb,
+        AtomicAffinity::big_wins(),
+    )
 }
 
 /// Figure 10d/10e/10f — SQLite (the paper reports little-core TAS
 /// affinity here).
 pub fn fig10_sqlite(profile: &Profile) -> Vec<Table> {
-    db_trio(profile, "fig10-sqlite-", "sqlite", make_sqlite, AtomicAffinity::little_wins())
+    db_trio(
+        profile,
+        "fig10-sqlite-",
+        "sqlite",
+        make_sqlite,
+        AtomicAffinity::little_wins(),
+    )
 }
 
 /// §4.2: LibASL's improvement is not M1-specific — rerun one database
@@ -206,9 +261,19 @@ pub fn alt_topology(profile: &Profile) -> Vec<Table> {
     let mut table = Table::new(
         "alt-topology",
         "LibASL vs MCS on other AMP topologies (upscaledb)",
-        &["topology", "mcs_thpt", "libasl_thpt", "speedup", "libasl_little_p99_us"],
+        &[
+            "topology",
+            "mcs_thpt",
+            "libasl_thpt",
+            "speedup",
+            "libasl_little_p99_us",
+        ],
     );
-    for topo in [Topology::apple_m1(), Topology::hikey970(), Topology::intel_dvfs()] {
+    for topo in [
+        Topology::apple_m1(),
+        Topology::hikey970(),
+        Topology::intel_dvfs(),
+    ] {
         let name = topo.name();
         let mcs = run_db_point(profile, topo.clone(), make_upscale, &LockSpec::Mcs, 8);
         let anchor = mcs.overall.p99().max(1_000);

@@ -139,24 +139,23 @@ fn run_delegation(
             let handles: Vec<_> = (0..8).map(|_| fc.register()).collect();
             let handles = std::sync::Mutex::new(handles.into_iter().map(Some).collect::<Vec<_>>());
             let phase_ref = &phase;
-            let outs =
-                run_on_topology_with_stop(&topo, 8, profile.pin, stop.clone(), |ctx| {
-                    let h = handles.lock().unwrap()[ctx.index].take().expect("slot");
-                    let mut hist = Hist::new();
-                    let mut ops = 0u64;
-                    while phase_ref.load(Ordering::Relaxed) != PHASE_DONE {
-                        let recording = phase_ref.load(Ordering::Relaxed) == PHASE_MEASURE;
-                        let t0 = now_ns();
-                        h.apply(0);
-                        let lat = now_ns() - t0;
-                        if recording {
-                            ops += 1;
-                            hist.record(lat);
-                        }
-                        execute_units(ncs_units);
+            let outs = run_on_topology_with_stop(&topo, 8, profile.pin, stop.clone(), |ctx| {
+                let h = handles.lock().unwrap()[ctx.index].take().expect("slot");
+                let mut hist = Hist::new();
+                let mut ops = 0u64;
+                while phase_ref.load(Ordering::Relaxed) != PHASE_DONE {
+                    let recording = phase_ref.load(Ordering::Relaxed) == PHASE_MEASURE;
+                    let t0 = now_ns();
+                    h.apply(0);
+                    let lat = now_ns() - t0;
+                    if recording {
+                        ops += 1;
+                        hist.record(lat);
                     }
-                    WorkerOut { ops, hist }
-                });
+                    execute_units(ncs_units);
+                }
+                WorkerOut { ops, hist }
+            });
             (outs, measured_ns.load(Ordering::SeqCst))
         }
         DelegationMode::Server => {

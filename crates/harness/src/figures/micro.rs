@@ -180,5 +180,11 @@ pub fn comparison_row(label: &str, r: &crate::runner::RunResult) -> Vec<String> 
 }
 
 /// Column set matching [`comparison_row`].
-pub const COMPARISON_COLS: [&str; 6] =
-    ["lock", "thpt", "thpt_ops_s", "big_p99_us", "little_p99_us", "overall_p99_us"];
+pub const COMPARISON_COLS: [&str; 6] = [
+    "lock",
+    "thpt",
+    "thpt_ops_s",
+    "big_p99_us",
+    "little_p99_us",
+    "overall_p99_us",
+];

@@ -14,6 +14,7 @@ pub mod bench1;
 pub mod db;
 pub mod extra;
 pub mod micro;
+pub mod rw;
 
 use std::cell::RefCell;
 use std::time::Duration;
@@ -40,12 +41,20 @@ pub struct Profile {
 impl Profile {
     /// Fast mode for CI / smoke runs.
     pub fn quick() -> Self {
-        Profile { duration_ms: 120, warmup_ms: 40, pin: true }
+        Profile {
+            duration_ms: 120,
+            warmup_ms: 40,
+            pin: true,
+        }
     }
 
     /// Paper-style mode (longer, steadier points).
     pub fn full() -> Self {
-        Profile { duration_ms: 600, warmup_ms: 150, pin: true }
+        Profile {
+            duration_ms: 600,
+            warmup_ms: 150,
+            pin: true,
+        }
     }
 
     /// Runner config on the default M1-like topology.
@@ -142,12 +151,16 @@ pub fn registry() -> Vec<(&'static str, FigureFn)> {
         ("alt-topology", db::alt_topology),
         ("sec2-numa", extra::sec2_numa),
         ("sec5-delegation", extra::sec5_delegation),
+        ("rw", rw::rw),
     ]
 }
 
 /// Look up one figure driver by id.
 pub fn find(id: &str) -> Option<fn(&Profile) -> Vec<Table>> {
-    registry().into_iter().find(|(n, _)| *n == id).map(|(_, f)| f)
+    registry()
+        .into_iter()
+        .find(|(n, _)| *n == id)
+        .map(|(_, f)| f)
 }
 
 #[cfg(test)]
@@ -171,11 +184,28 @@ mod tests {
     fn registry_covers_every_paper_figure() {
         let reg = registry();
         let has = |id: &str| reg.iter().any(|(n, _)| *n == id);
-        // One driver per paper figure group, plus the §2.2/§5 claims.
+        // One driver per paper figure group, plus the §2.2/§5 claims
+        // and the read-mostly extension.
         for id in [
-            "fig1", "fig4", "fig5", "fig8a", "fig8b", "fig8c", "fig8d", "fig8ef", "fig8g",
-            "fig8hi", "fig9-kyoto", "fig9-upscale", "fig9-lmdb", "fig10-leveldb",
-            "fig10-sqlite", "alt-topology", "sec2-numa", "sec5-delegation",
+            "rw",
+            "fig1",
+            "fig4",
+            "fig5",
+            "fig8a",
+            "fig8b",
+            "fig8c",
+            "fig8d",
+            "fig8ef",
+            "fig8g",
+            "fig8hi",
+            "fig9-kyoto",
+            "fig9-upscale",
+            "fig9-lmdb",
+            "fig10-leveldb",
+            "fig10-sqlite",
+            "alt-topology",
+            "sec2-numa",
+            "sec5-delegation",
         ] {
             assert!(has(id), "missing driver for {id}");
         }

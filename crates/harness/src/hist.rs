@@ -287,9 +287,7 @@ mod tests {
     fn bucket_upper_bound_is_tight() {
         // value_for(index_for(v)) must bound v from above within one
         // sub-bucket step (~3.2% relative for v >= 32, exact below).
-        for v in (1u64..=4096)
-            .chain([49_999, 50_000, 99_000, (1 << 20) + 7, (1 << 40) + 12_345])
-        {
+        for v in (1u64..=4096).chain([49_999, 50_000, 99_000, (1 << 20) + 7, (1 << 40) + 12_345]) {
             let ub = Hist::value_for(Hist::index_for(v));
             assert!(ub >= v, "v={v} ub={ub}");
             assert!(ub as f64 <= v as f64 * 1.04 + 1.0, "v={v} ub={ub}");

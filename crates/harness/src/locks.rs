@@ -5,7 +5,13 @@
 //! a baseline (`pthread`, TAS, ticket, MCS, SHFL-PB10) or a LibASL
 //! configuration (`LibASL-X` = SLO X, `LibASL-MAX` = maximum window,
 //! `LibASL-OPT` = static window, blocking variants, alternative FIFO
-//! substrates). Every spec round-trips through its printed name:
+//! substrates) — or one of the reader-writer substrates (`rw-ticket`,
+//! `bravo-<inner>`, `libasl-rw-<slo>`): [`LockSpec::make_rw_lock`]
+//! materializes *any* spec at rw call sites (exclusive specs
+//! degenerate shared mode to an exclusive acquisition) and
+//! [`LockSpec::make_lock`] materializes rw specs at exclusive call
+//! sites (every acquisition takes the write side). Every spec
+//! round-trips through its printed name:
 //! [`LockSpec`] implements both `Display` and `FromStr`, and
 //! `spec.to_string().parse()` is the identity. [`registry`] enumerates
 //! every catalogued spec with a one-line description (the `repro locks`
@@ -30,13 +36,13 @@ use std::fmt;
 use std::str::FromStr;
 use std::sync::Arc;
 
-use asl_core::{AslBlockingLock, AslLock, AslSpinLock, ReorderableLock, SpinWait};
-use asl_locks::api::DynLock;
-use asl_locks::plain::{PlainLock, PlainToken};
+use asl_core::{AslBlockingLock, AslLock, AslRwLock, AslSpinLock, ReorderableLock, SpinWait};
+use asl_locks::api::{DynLock, DynRwLock};
+use asl_locks::plain::{ExclusiveRw, PlainLock, PlainRwLock, PlainToken, WriteHalf};
 use asl_locks::shuffle::{ClassLocalPolicy, FifoPolicy, ShuffleLock};
 use asl_locks::{
-    ClhLock, CnaLock, CohortLock, MalthusianLock, McsLock, McsStpLock, ProportionalLock,
-    PthreadMutex, TasLock, TicketLock,
+    Bravo, ClhLock, CnaLock, CohortLock, MalthusianLock, McsLock, McsStpLock, ProportionalLock,
+    PthreadMutex, RwTicketLock, TasLock, TicketLock,
 };
 use asl_runtime::registry::is_big_core;
 use asl_runtime::AtomicAffinity;
@@ -64,6 +70,37 @@ impl AslSubstrate {
             AslSubstrate::Clh => "clh-",
             AslSubstrate::Ticket => "ticket-",
             AslSubstrate::ShflFifo => "shfl-",
+        }
+    }
+}
+
+/// Exclusive substrate under the BRAVO reader-bias wrapper (the
+/// `Bravo<L>` type upgrades *any* [`asl_locks::RawLock`]; the registry
+/// catalogues these members, mirroring [`AslSubstrate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BravoInner {
+    /// Test-and-set spinlock (the BRAVO paper's own base case).
+    Tas,
+    /// FIFO ticket lock.
+    Ticket,
+    /// FIFO MCS queue lock.
+    Mcs,
+    /// CLH queue lock.
+    Clh,
+    /// LibASL (max window): SLO-aware writer reordering under reader
+    /// bias.
+    Asl,
+}
+
+impl BravoInner {
+    /// Name fragment after `bravo-`.
+    fn tag(&self) -> &'static str {
+        match self {
+            BravoInner::Tas => "tas",
+            BravoInner::Ticket => "ticket",
+            BravoInner::Mcs => "mcs",
+            BravoInner::Clh => "clh",
+            BravoInner::Asl => "libasl",
         }
     }
 }
@@ -112,6 +149,16 @@ pub enum LockSpec {
         /// Epoch SLO in ns; `None` = max window.
         slo_ns: Option<u64>,
     },
+    /// Phase-fair ticket reader-writer lock.
+    RwTicket,
+    /// BRAVO reader-bias wrapper over an exclusive substrate.
+    BravoRw(BravoInner),
+    /// Reader-writer LibASL: reacquisition-based reader batching over
+    /// the reorderable MCS writer substrate.
+    AslRw {
+        /// Epoch SLO in ns; `None` disables epochs (max window).
+        slo_ns: Option<u64>,
+    },
 }
 
 impl LockSpec {
@@ -135,9 +182,21 @@ impl LockSpec {
     /// SLO to use.
     pub fn epoch_slo(&self) -> Option<u64> {
         match self {
-            LockSpec::Asl { slo_ns, .. } | LockSpec::AslBlocking { slo_ns } => *slo_ns,
+            LockSpec::Asl { slo_ns, .. }
+            | LockSpec::AslBlocking { slo_ns }
+            | LockSpec::AslRw { slo_ns } => *slo_ns,
             _ => None,
         }
+    }
+
+    /// Whether this spec names a genuine reader-writer lock (shared
+    /// acquisitions overlap). Exclusive specs still work at rw call
+    /// sites through the [`ExclusiveRw`] degeneration.
+    pub fn is_rw(&self) -> bool {
+        matches!(
+            self,
+            LockSpec::RwTicket | LockSpec::BravoRw(_) | LockSpec::AslRw { .. }
+        )
     }
 
     /// Build `n` independent guard-based lock handles for this spec.
@@ -175,6 +234,35 @@ impl LockSpec {
             },
             LockSpec::AslOpt { window_ns } => Arc::new(StaticWindowLock::new(*window_ns)),
             LockSpec::AslBlocking { .. } => Arc::new(AslBlockingLock::new_blocking()),
+            // rw specs at exclusive call sites: every acquisition
+            // takes the write side.
+            LockSpec::RwTicket | LockSpec::BravoRw(_) | LockSpec::AslRw { .. } => {
+                Arc::new(WriteHalf::new(self.make_rw_lock()))
+            }
+        }
+    }
+
+    /// Build one guard-based reader-writer lock handle.
+    pub fn make_dyn_rw(&self) -> DynRwLock {
+        DynRwLock::new(self.make_rw_lock())
+    }
+
+    /// Build one shared reader-writer lock object. Rw specs
+    /// materialize their native rwlock; exclusive specs degenerate
+    /// through [`ExclusiveRw`] (shared mode = exclusive acquisition),
+    /// so every registry name works at rw call sites.
+    pub fn make_rw_lock(&self) -> Arc<dyn PlainRwLock> {
+        match self {
+            LockSpec::RwTicket => Arc::new(RwTicketLock::new()),
+            LockSpec::BravoRw(inner) => match inner {
+                BravoInner::Tas => Arc::new(Bravo::new(TasLock::new())),
+                BravoInner::Ticket => Arc::new(Bravo::new(TicketLock::new())),
+                BravoInner::Mcs => Arc::new(Bravo::new(McsLock::new())),
+                BravoInner::Clh => Arc::new(Bravo::new(ClhLock::new())),
+                BravoInner::Asl => Arc::new(Bravo::new(AslSpinLock::default())),
+            },
+            LockSpec::AslRw { .. } => Arc::new(AslRwLock::default()),
+            _ => Arc::new(ExclusiveRw::new(self.make_lock())),
         }
     }
 }
@@ -192,15 +280,25 @@ impl fmt::Display for LockSpec {
             LockSpec::Cohort => f.write_str("cohort"),
             LockSpec::Malthusian => f.write_str("malthusian"),
             LockSpec::ShuffleClassLocal { max_skips } => write!(f, "shfl-local{max_skips}"),
-            LockSpec::Asl { substrate, slo_ns: None } => {
+            LockSpec::Asl {
+                substrate,
+                slo_ns: None,
+            } => {
                 write!(f, "libasl-{}max", substrate.tag())
             }
-            LockSpec::Asl { substrate, slo_ns: Some(s) } => {
+            LockSpec::Asl {
+                substrate,
+                slo_ns: Some(s),
+            } => {
                 write!(f, "libasl-{}{}", substrate.tag(), fmt_slo(*s))
             }
             LockSpec::AslOpt { window_ns } => write!(f, "libasl-opt-{}", fmt_slo(*window_ns)),
             LockSpec::AslBlocking { slo_ns: None } => f.write_str("libasl-blk-max"),
             LockSpec::AslBlocking { slo_ns: Some(s) } => write!(f, "libasl-blk-{}", fmt_slo(*s)),
+            LockSpec::RwTicket => f.write_str("rw-ticket"),
+            LockSpec::BravoRw(inner) => write!(f, "bravo-{}", inner.tag()),
+            LockSpec::AslRw { slo_ns: None } => f.write_str("libasl-rw-max"),
+            LockSpec::AslRw { slo_ns: Some(s) } => write!(f, "libasl-rw-{}", fmt_slo(*s)),
         }
     }
 }
@@ -238,7 +336,9 @@ impl FromStr for LockSpec {
     type Err = ParseLockSpecError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = || ParseLockSpecError { name: s.to_string() };
+        let err = || ParseLockSpecError {
+            name: s.to_string(),
+        };
         let spec = match s {
             "pthread" => LockSpec::Pthread,
             "tas" => LockSpec::Tas(AtomicAffinity::Neutral),
@@ -250,6 +350,12 @@ impl FromStr for LockSpec {
             "cna" => LockSpec::Cna,
             "cohort" => LockSpec::Cohort,
             "malthusian" => LockSpec::Malthusian,
+            "rw-ticket" => LockSpec::RwTicket,
+            "bravo-tas" => LockSpec::BravoRw(BravoInner::Tas),
+            "bravo-ticket" => LockSpec::BravoRw(BravoInner::Ticket),
+            "bravo-mcs" => LockSpec::BravoRw(BravoInner::Mcs),
+            "bravo-clh" => LockSpec::BravoRw(BravoInner::Clh),
+            "bravo-libasl" => LockSpec::BravoRw(BravoInner::Asl),
             _ => {
                 if let Some(p) = s.strip_prefix("tas-big-p") {
                     LockSpec::Tas(AtomicAffinity::BigWins {
@@ -262,11 +368,21 @@ impl FromStr for LockSpec {
                 } else if let Some(n) = s.strip_prefix("shfl-pb") {
                     LockSpec::ShflPb(n.parse().map_err(|_| err())?)
                 } else if let Some(n) = s.strip_prefix("shfl-local") {
-                    LockSpec::ShuffleClassLocal { max_skips: n.parse().map_err(|_| err())? }
+                    LockSpec::ShuffleClassLocal {
+                        max_skips: n.parse().map_err(|_| err())?,
+                    }
                 } else if let Some(w) = s.strip_prefix("libasl-opt-") {
-                    LockSpec::AslOpt { window_ns: parse_slo(w).ok_or_else(err)? }
+                    LockSpec::AslOpt {
+                        window_ns: parse_slo(w).ok_or_else(err)?,
+                    }
+                } else if let Some(rest) = s.strip_prefix("libasl-rw-") {
+                    LockSpec::AslRw {
+                        slo_ns: parse_max_or_slo(rest).ok_or_else(err)?,
+                    }
                 } else if let Some(rest) = s.strip_prefix("libasl-blk-") {
-                    LockSpec::AslBlocking { slo_ns: parse_max_or_slo(rest).ok_or_else(err)? }
+                    LockSpec::AslBlocking {
+                        slo_ns: parse_max_or_slo(rest).ok_or_else(err)?,
+                    }
                 } else if let Some(rest) = s.strip_prefix("libasl-") {
                     let (substrate, rest) = if let Some(r) = rest.strip_prefix("clh-") {
                         (AslSubstrate::Clh, r)
@@ -277,7 +393,10 @@ impl FromStr for LockSpec {
                     } else {
                         (AslSubstrate::Mcs, rest)
                     };
-                    LockSpec::Asl { substrate, slo_ns: parse_max_or_slo(rest).ok_or_else(err)? }
+                    LockSpec::Asl {
+                        substrate,
+                        slo_ns: parse_max_or_slo(rest).ok_or_else(err)?,
+                    }
                 } else {
                     return Err(err());
                 }
@@ -340,8 +459,14 @@ pub struct RegistryEntry {
 pub fn registry() -> Vec<RegistryEntry> {
     let e = |spec, description| RegistryEntry { spec, description };
     vec![
-        e(LockSpec::Pthread, "glibc-style spin-then-futex blocking mutex"),
-        e(LockSpec::Tas(AtomicAffinity::Neutral), "test-and-set spinlock, neutral atomics"),
+        e(
+            LockSpec::Pthread,
+            "glibc-style spin-then-futex blocking mutex",
+        ),
+        e(
+            LockSpec::Tas(AtomicAffinity::Neutral),
+            "test-and-set spinlock, neutral atomics",
+        ),
         e(
             LockSpec::Tas(AtomicAffinity::big_wins()),
             "test-and-set spinlock, big cores win contended atomics",
@@ -352,22 +477,43 @@ pub fn registry() -> Vec<RegistryEntry> {
         ),
         e(LockSpec::Ticket, "FIFO ticket lock"),
         e(LockSpec::Mcs, "FIFO MCS queue lock (paper baseline)"),
-        e(LockSpec::McsStp, "spin-then-park MCS, the blocking FIFO strawman"),
-        e(LockSpec::ShflPb(10), "proportional lock, 10 big grants per little grant"),
+        e(
+            LockSpec::McsStp,
+            "spin-then-park MCS, the blocking FIFO strawman",
+        ),
+        e(
+            LockSpec::ShflPb(10),
+            "proportional lock, 10 big grants per little grant",
+        ),
         e(
             LockSpec::ShuffleClassLocal { max_skips: 16 },
             "ShflLock framework, class-local policy (16-skip bound)",
         ),
         e(LockSpec::Cna, "compact NUMA-aware lock on core classes"),
-        e(LockSpec::Cohort, "lock cohorting (C-BO-MCS) on core classes"),
-        e(LockSpec::Malthusian, "Malthusian MCS: culling + periodic reintroduction"),
-        e(LockSpec::asl(Some(70_000)), "LibASL, 70us SLO epochs (any SLO: libasl-<dur>)"),
-        e(LockSpec::asl(None), "LibASL, maximum reorder window (no epochs)"),
+        e(
+            LockSpec::Cohort,
+            "lock cohorting (C-BO-MCS) on core classes",
+        ),
+        e(
+            LockSpec::Malthusian,
+            "Malthusian MCS: culling + periodic reintroduction",
+        ),
+        e(
+            LockSpec::asl(Some(70_000)),
+            "LibASL, 70us SLO epochs (any SLO: libasl-<dur>)",
+        ),
+        e(
+            LockSpec::asl(None),
+            "LibASL, maximum reorder window (no epochs)",
+        ),
         e(
             LockSpec::asl_on(AslSubstrate::Clh, Some(70_000)),
             "LibASL over the CLH substrate, 70us SLO",
         ),
-        e(LockSpec::asl_on(AslSubstrate::Clh, None), "LibASL over the CLH substrate, max window"),
+        e(
+            LockSpec::asl_on(AslSubstrate::Clh, None),
+            "LibASL over the CLH substrate, max window",
+        ),
         e(
             LockSpec::asl_on(AslSubstrate::Ticket, None),
             "LibASL over the ticket substrate, max window",
@@ -381,10 +527,41 @@ pub fn registry() -> Vec<RegistryEntry> {
             "LibASL-OPT: static 50us reorder window, no feedback",
         ),
         e(
-            LockSpec::AslBlocking { slo_ns: Some(70_000) },
+            LockSpec::AslBlocking {
+                slo_ns: Some(70_000),
+            },
             "blocking LibASL (futex + nanosleep standby), 70us SLO",
         ),
-        e(LockSpec::AslBlocking { slo_ns: None }, "blocking LibASL, maximum window"),
+        e(
+            LockSpec::AslBlocking { slo_ns: None },
+            "blocking LibASL, maximum window",
+        ),
+        e(
+            LockSpec::RwTicket,
+            "phase-fair ticket rwlock: readers overlap, phases alternate",
+        ),
+        e(
+            LockSpec::BravoRw(BravoInner::Mcs),
+            "BRAVO reader bias over MCS (bravo-{tas,ticket,mcs,clh,libasl})",
+        ),
+        e(
+            LockSpec::BravoRw(BravoInner::Tas),
+            "BRAVO reader bias over the TAS spinlock",
+        ),
+        e(
+            LockSpec::BravoRw(BravoInner::Asl),
+            "BRAVO reader bias over LibASL-max: SLO reordering + shared reads",
+        ),
+        e(
+            LockSpec::AslRw {
+                slo_ns: Some(70_000),
+            },
+            "reader-writer LibASL, 70us SLO epochs (any SLO: libasl-rw-<dur>)",
+        ),
+        e(
+            LockSpec::AslRw { slo_ns: None },
+            "reader-writer LibASL, maximum reorder window",
+        ),
     ]
 }
 
@@ -399,7 +576,10 @@ pub struct StaticWindowLock {
 impl StaticWindowLock {
     /// Create with the given fixed reorder window.
     pub fn new(window_ns: u64) -> Self {
-        StaticWindowLock { inner: ReorderableLock::new(McsLock::new()), window_ns }
+        StaticWindowLock {
+            inner: ReorderableLock::new(McsLock::new()),
+            window_ns,
+        }
     }
 
     /// The fixed window (ns).
@@ -418,13 +598,16 @@ impl PlainLock for StaticWindowLock {
         PlainToken::issue(self, tok.into_raw(), 0)
     }
     fn try_acquire(&self) -> Option<PlainToken> {
-        self.inner.try_lock().map(|t| PlainToken::issue(self, t.into_raw(), 0))
+        self.inner
+            .try_lock()
+            .map(|t| PlainToken::issue(self, t.into_raw(), 0))
     }
     fn release(&self, token: PlainToken) {
         let (raw, _) = token.redeem(self);
         // SAFETY: `redeem` checked (in debug builds) that this lock
         // issued the token; the word is an unreleased MCS token.
-        self.inner.unlock(unsafe { asl_locks::mcs::McsToken::from_raw(raw) });
+        self.inner
+            .unlock(unsafe { asl_locks::mcs::McsToken::from_raw(raw) });
     }
     fn held(&self) -> bool {
         self.inner.is_locked()
@@ -465,7 +648,10 @@ mod tests {
         assert_eq!(LockSpec::asl(Some(50_000)).label(), "libasl-50us");
         assert_eq!(LockSpec::asl(Some(4_000_000)).label(), "libasl-4ms");
         assert_eq!(LockSpec::asl(None).label(), "libasl-max");
-        assert_eq!(LockSpec::AslOpt { window_ns: 1_000 }.label(), "libasl-opt-1us");
+        assert_eq!(
+            LockSpec::AslOpt { window_ns: 1_000 }.label(),
+            "libasl-opt-1us"
+        );
         assert_eq!(
             LockSpec::asl_on(AslSubstrate::Clh, Some(25_000)).label(),
             "libasl-clh-25us"
@@ -480,7 +666,10 @@ mod tests {
             ("pthread", LockSpec::Pthread),
             ("tas", LockSpec::Tas(AtomicAffinity::Neutral)),
             ("tas-big", LockSpec::Tas(AtomicAffinity::big_wins())),
-            ("tas-little-p42", LockSpec::Tas(AtomicAffinity::LittleWins { penalty_units: 42 })),
+            (
+                "tas-little-p42",
+                LockSpec::Tas(AtomicAffinity::LittleWins { penalty_units: 42 }),
+            ),
             ("mcs", LockSpec::Mcs),
             ("mcs-stp", LockSpec::McsStp),
             ("shfl-pb10", LockSpec::ShflPb(10)),
@@ -489,25 +678,131 @@ mod tests {
             ("libasl-max", LockSpec::asl(None)),
             ("libasl-0ns", LockSpec::asl(Some(0))),
             ("libasl-clh-max", LockSpec::asl_on(AslSubstrate::Clh, None)),
-            ("libasl-ticket-4ms", LockSpec::asl_on(AslSubstrate::Ticket, Some(4_000_000))),
-            ("libasl-shfl-max", LockSpec::asl_on(AslSubstrate::ShflFifo, None)),
+            (
+                "libasl-ticket-4ms",
+                LockSpec::asl_on(AslSubstrate::Ticket, Some(4_000_000)),
+            ),
+            (
+                "libasl-shfl-max",
+                LockSpec::asl_on(AslSubstrate::ShflFifo, None),
+            ),
             ("libasl-opt-50us", LockSpec::AslOpt { window_ns: 50_000 }),
-            ("libasl-blk-70us", LockSpec::AslBlocking { slo_ns: Some(70_000) }),
+            (
+                "libasl-blk-70us",
+                LockSpec::AslBlocking {
+                    slo_ns: Some(70_000),
+                },
+            ),
             ("libasl-blk-max", LockSpec::AslBlocking { slo_ns: None }),
+            ("rw-ticket", LockSpec::RwTicket),
+            ("bravo-tas", LockSpec::BravoRw(BravoInner::Tas)),
+            ("bravo-ticket", LockSpec::BravoRw(BravoInner::Ticket)),
+            ("bravo-mcs", LockSpec::BravoRw(BravoInner::Mcs)),
+            ("bravo-clh", LockSpec::BravoRw(BravoInner::Clh)),
+            ("bravo-libasl", LockSpec::BravoRw(BravoInner::Asl)),
+            (
+                "libasl-rw-70us",
+                LockSpec::AslRw {
+                    slo_ns: Some(70_000),
+                },
+            ),
+            ("libasl-rw-max", LockSpec::AslRw { slo_ns: None }),
+            (
+                "libasl-rw-1500ns",
+                LockSpec::AslRw {
+                    slo_ns: Some(1_500),
+                },
+            ),
         ] {
             assert_eq!(name.parse::<LockSpec>().unwrap(), spec, "{name}");
         }
     }
 
     #[test]
+    fn rw_specs_materialize_shared_locks() {
+        for name in ["rw-ticket", "bravo-mcs", "bravo-libasl", "libasl-rw-max"] {
+            let spec: LockSpec = name.parse().unwrap();
+            assert!(spec.is_rw(), "{name} must be an rw spec");
+            let lock = spec.make_dyn_rw();
+            {
+                let _r1 = lock.read();
+                let _r2 = lock
+                    .try_read()
+                    .unwrap_or_else(|| panic!("{name}: reads must overlap"));
+                assert!(
+                    lock.try_write().is_none(),
+                    "{name}: readers exclude writers"
+                );
+            }
+            {
+                let _w = lock.write();
+                assert!(lock.try_read().is_none(), "{name}: writer excludes readers");
+            }
+            assert!(!lock.is_locked(), "{name}: all guards released");
+        }
+    }
+
+    #[test]
+    fn exclusive_specs_degenerate_at_rw_call_sites() {
+        let spec = LockSpec::Mcs;
+        assert!(!spec.is_rw());
+        let lock = spec.make_dyn_rw();
+        let r = lock.read();
+        assert!(lock.try_read().is_none(), "exclusive substrate: no overlap");
+        drop(r);
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn rw_specs_work_at_exclusive_call_sites() {
+        // make_dyn on an rw spec hands out the write side.
+        for name in ["rw-ticket", "bravo-ticket", "libasl-rw-70us"] {
+            let spec: LockSpec = name.parse().unwrap();
+            let lock = spec.make_dyn();
+            {
+                let _held = lock.lock();
+                assert!(lock.is_locked(), "{name}");
+                assert!(lock.try_lock().is_none(), "{name}: write side is exclusive");
+            }
+            assert!(!lock.is_locked(), "{name}");
+        }
+    }
+
+    #[test]
+    fn rw_epoch_slo_follows_asl_family() {
+        assert_eq!(LockSpec::AslRw { slo_ns: Some(9) }.epoch_slo(), Some(9));
+        assert_eq!(LockSpec::AslRw { slo_ns: None }.epoch_slo(), None);
+        assert_eq!(LockSpec::RwTicket.epoch_slo(), None);
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
-        for bad in ["", "mc", "libasl-", "libasl-opt-", "shfl-pb", "tas-big-p", "libasl-xyz"] {
+        for bad in [
+            "",
+            "mc",
+            "libasl-",
+            "libasl-opt-",
+            "shfl-pb",
+            "tas-big-p",
+            "libasl-xyz",
+            "bravo-",
+            "bravo-xyz",
+            "libasl-rw-",
+            "rw-",
+            "libasl-rw-xyz",
+        ] {
             assert!(bad.parse::<LockSpec>().is_err(), "{bad:?} should not parse");
         }
         // Durations that would overflow u64 nanoseconds are rejected,
         // not wrapped.
-        for overflow in ["libasl-20000000000000000000ms", "libasl-opt-99999999999999999999us"] {
-            assert!(overflow.parse::<LockSpec>().is_err(), "{overflow:?} must not wrap");
+        for overflow in [
+            "libasl-20000000000000000000ms",
+            "libasl-opt-99999999999999999999us",
+        ] {
+            assert!(
+                overflow.parse::<LockSpec>().is_err(),
+                "{overflow:?} must not wrap"
+            );
         }
         let err = "nope".parse::<LockSpec>().unwrap_err();
         assert!(err.to_string().contains("nope"));
@@ -548,7 +843,10 @@ mod tests {
     fn epoch_slo_only_for_asl() {
         assert_eq!(LockSpec::Mcs.epoch_slo(), None);
         assert_eq!(LockSpec::asl(Some(5)).epoch_slo(), Some(5));
-        assert_eq!(LockSpec::AslBlocking { slo_ns: Some(7) }.epoch_slo(), Some(7));
+        assert_eq!(
+            LockSpec::AslBlocking { slo_ns: Some(7) }.epoch_slo(),
+            Some(7)
+        );
     }
 
     #[test]

@@ -156,7 +156,10 @@ where
     let outs: Vec<WorkerOut> =
         run_on_topology_with_stop(&cfg.topology, cfg.threads, cfg.pin, stop.clone(), |ctx| {
             setup(ctx);
-            let octx = OpCtx { thread: ctx, phase: phase_ref };
+            let octx = OpCtx {
+                thread: ctx,
+                phase: phase_ref,
+            };
             let mut hist = Hist::new();
             let mut ops = 0u64;
             while octx.running() {
@@ -170,7 +173,11 @@ where
                     hist.record(latency);
                 }
             }
-            WorkerOut { kind: ctx.assignment.kind, ops, hist }
+            WorkerOut {
+                kind: ctx.assignment.kind,
+                ops,
+                hist,
+            }
         });
 
     controller.join().expect("controller panicked");

@@ -108,10 +108,22 @@ impl MicroScenario {
             locks: spec.make_locks(2),
             arena: Arc::new(CacheLineArena::new(64)),
             sections: vec![
-                CsSpec { lock_idx: 0, lines: 8 },
-                CsSpec { lock_idx: 1, lines: 16 },
-                CsSpec { lock_idx: 0, lines: 24 },
-                CsSpec { lock_idx: 1, lines: 16 },
+                CsSpec {
+                    lock_idx: 0,
+                    lines: 8,
+                },
+                CsSpec {
+                    lock_idx: 1,
+                    lines: 16,
+                },
+                CsSpec {
+                    lock_idx: 0,
+                    lines: 24,
+                },
+                CsSpec {
+                    lock_idx: 1,
+                    lines: 16,
+                },
             ],
             cs_units_per_line: CS_UNITS_PER_LINE,
             ncs_units: 600 * 27 / 10, // scaled: see DESIGN.md §2 (unit != nop)
@@ -128,7 +140,10 @@ impl MicroScenario {
     pub fn run_op(&self, rng: &mut SmallRng) -> u64 {
         let factor = match &self.length {
             LengthModel::Fixed => 1,
-            LengthModel::Mixed { long_ratio, long_factor } => {
+            LengthModel::Mixed {
+                long_ratio,
+                long_factor,
+            } => {
                 if rng.gen_bool(*long_ratio) {
                     *long_factor
                 } else {
@@ -170,7 +185,10 @@ impl MicroScenario {
 
     /// Total emulated critical-section units per epoch (big-core).
     pub fn cs_units_total(&self) -> u64 {
-        self.sections.iter().map(|s| s.lines as u64 * self.cs_units_per_line).sum()
+        self.sections
+            .iter()
+            .map(|s| s.lines as u64 * self.cs_units_per_line)
+            .sum()
     }
 }
 
@@ -228,7 +246,10 @@ mod tests {
     #[test]
     fn mixed_lengths_produce_bimodal_latency() {
         let mut s = MicroScenario::simple(&LockSpec::Mcs, 2, 0);
-        s.length = LengthModel::Mixed { long_ratio: 0.5, long_factor: 50 };
+        s.length = LengthModel::Mixed {
+            long_ratio: 0.5,
+            long_factor: 50,
+        };
         let mut rng = worker_rng(3);
         let lats: Vec<u64> = (0..200).map(|_| s.run_op(&mut rng)).collect();
         let max = *lats.iter().max().unwrap();

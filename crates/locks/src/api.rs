@@ -19,6 +19,13 @@
 //! * [`DynMutex`] — a data-carrying mutex over a runtime-chosen lock;
 //!   the building block of the database engines' guarded slots.
 //!
+//! Every shape has a reader-writer counterpart with the same
+//! discipline: [`ReadGuard`]/[`WriteGuard`] over a borrowed
+//! [`RawRwLock`], the data-carrying [`RwLock`], and
+//! [`DynRwLock`]/[`DynRwMutex`] over `Arc<dyn PlainRwLock>` for
+//! runtime-chosen rwlocks (shared guards overlap; exclusive guards
+//! exclude everyone).
+//!
 //! ```
 //! use asl_locks::api::{DynLock, Mutex};
 //! use asl_locks::{McsLock, TasLock};
@@ -50,8 +57,9 @@ use std::sync::Arc;
 type NotSend = PhantomData<*const ()>;
 
 use crate::mcs::McsLock;
-use crate::plain::{PlainLock, PlainToken};
-use crate::RawLock;
+use crate::plain::{PlainLock, PlainRwLock, PlainRwToken, PlainToken};
+use crate::rw_ticket::RwTicketLock;
+use crate::{RawLock, RawRwLock};
 
 /// RAII acquisition of a borrowed [`RawLock`]: the token is captured
 /// at acquisition and passed back to `unlock` on drop.
@@ -80,14 +88,21 @@ impl<'a, L: RawLock> Guard<'a, L> {
     #[inline]
     pub fn new(lock: &'a L) -> Self {
         let token = lock.lock();
-        Guard { lock, token: Some(token), _not_send: PhantomData }
+        Guard {
+            lock,
+            token: Some(token),
+            _not_send: PhantomData,
+        }
     }
 
     /// Try to acquire `lock` without waiting.
     #[inline]
     pub fn try_new(lock: &'a L) -> Option<Self> {
-        lock.try_lock()
-            .map(|token| Guard { lock, token: Some(token), _not_send: PhantomData })
+        lock.try_lock().map(|token| Guard {
+            lock,
+            token: Some(token),
+            _not_send: PhantomData,
+        })
     }
 
     /// Adopt a token obtained through the low-level API.
@@ -97,7 +112,11 @@ impl<'a, L: RawLock> Guard<'a, L> {
     /// calling thread and must not have been released.
     #[inline]
     pub unsafe fn from_token(lock: &'a L, token: L::Token) -> Self {
-        Guard { lock, token: Some(token), _not_send: PhantomData }
+        Guard {
+            lock,
+            token: Some(token),
+            _not_send: PhantomData,
+        }
     }
 
     /// Release now (equivalent to `drop`; reads better at call sites).
@@ -163,29 +182,41 @@ unsafe impl<T: Send, L: RawLock> Sync for Mutex<T, L> {}
 impl<T, L: RawLock + Default> Mutex<T, L> {
     /// New mutex over a default-constructed lock.
     pub fn new(value: T) -> Self {
-        Mutex { lock: L::default(), data: UnsafeCell::new(value) }
+        Mutex {
+            lock: L::default(),
+            data: UnsafeCell::new(value),
+        }
     }
 }
 
 impl<T, L: RawLock> Mutex<T, L> {
     /// New mutex over a caller-supplied lock instance.
     pub fn with_lock(value: T, lock: L) -> Self {
-        Mutex { lock, data: UnsafeCell::new(value) }
+        Mutex {
+            lock,
+            data: UnsafeCell::new(value),
+        }
     }
 
     /// Acquire, returning an RAII guard that derefs to the data.
     #[inline]
     pub fn lock(&self) -> MutexGuard<'_, T, L> {
         let token = self.lock.lock();
-        MutexGuard { mutex: self, token: Some(token), _not_send: PhantomData }
+        MutexGuard {
+            mutex: self,
+            token: Some(token),
+            _not_send: PhantomData,
+        }
     }
 
     /// Try to acquire without waiting.
     #[inline]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T, L>> {
-        self.lock
-            .try_lock()
-            .map(|token| MutexGuard { mutex: self, token: Some(token), _not_send: PhantomData })
+        self.lock.try_lock().map(|token| MutexGuard {
+            mutex: self,
+            token: Some(token),
+            _not_send: PhantomData,
+        })
     }
 
     /// Whether the lock is currently held or queued.
@@ -295,22 +326,30 @@ impl DynLock {
 
     /// Wrap a concrete lock value.
     pub fn of<L: PlainLock + 'static>(lock: L) -> Self {
-        DynLock { inner: Arc::new(lock) }
+        DynLock {
+            inner: Arc::new(lock),
+        }
     }
 
     /// Acquire, blocking until granted; released when the guard drops.
     #[inline]
     pub fn lock(&self) -> DynGuard<'_> {
         let token = self.inner.acquire();
-        DynGuard { lock: &*self.inner, token: Some(token), _not_send: PhantomData }
+        DynGuard {
+            lock: &*self.inner,
+            token: Some(token),
+            _not_send: PhantomData,
+        }
     }
 
     /// Try to acquire without waiting.
     #[inline]
     pub fn try_lock(&self) -> Option<DynGuard<'_>> {
-        self.inner
-            .try_acquire()
-            .map(|token| DynGuard { lock: &*self.inner, token: Some(token), _not_send: PhantomData })
+        self.inner.try_acquire().map(|token| DynGuard {
+            lock: &*self.inner,
+            token: Some(token),
+            _not_send: PhantomData,
+        })
     }
 
     /// Heuristic held/queued check.
@@ -398,14 +437,21 @@ unsafe impl<T: Send> Sync for DynMutex<T> {}
 impl<T> DynMutex<T> {
     /// New mutex protecting `value` with `lock`.
     pub fn new(lock: impl Into<DynLock>, value: T) -> Self {
-        DynMutex { lock: lock.into(), data: UnsafeCell::new(value) }
+        DynMutex {
+            lock: lock.into(),
+            data: UnsafeCell::new(value),
+        }
     }
 
     /// Acquire, returning an RAII guard that derefs to the data.
     #[inline]
     pub fn lock(&self) -> DynMutexGuard<'_, T> {
         let token = self.lock.plain().acquire();
-        DynMutexGuard { mutex: self, token: Some(token), _not_send: PhantomData }
+        DynMutexGuard {
+            mutex: self,
+            token: Some(token),
+            _not_send: PhantomData,
+        }
     }
 
     /// Try to acquire without waiting.
@@ -481,6 +527,692 @@ impl<T> Drop for DynMutexGuard<'_, T> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Reader-writer layer: the same guard discipline over RawRwLock.
+// ---------------------------------------------------------------------------
+
+/// RAII shared acquisition of a borrowed [`RawRwLock`]; released on
+/// drop. Multiple `ReadGuard`s may be live at once; none while a
+/// [`WriteGuard`] is.
+///
+/// `!Send` like every guard — release must happen on the acquiring
+/// thread:
+///
+/// ```compile_fail
+/// fn assert_send<T: Send>(_: T) {}
+/// let lock = asl_locks::RwTicketLock::new();
+/// let guard = asl_locks::api::ReadGuard::new(&lock);
+/// assert_send(guard); // must not compile: guards can't cross threads
+/// ```
+pub struct ReadGuard<'a, L: RawRwLock> {
+    lock: &'a L,
+    token: Option<L::ReadToken>,
+    _not_send: NotSend,
+}
+
+// SAFETY: a shared &ReadGuard only exposes &L (Sync); only Send must
+// stay suppressed.
+unsafe impl<L: RawRwLock> Sync for ReadGuard<'_, L> where L::ReadToken: Sync {}
+
+impl<'a, L: RawRwLock> ReadGuard<'a, L> {
+    /// Acquire `lock` shared, blocking until granted.
+    #[inline]
+    pub fn new(lock: &'a L) -> Self {
+        let token = lock.read();
+        ReadGuard {
+            lock,
+            token: Some(token),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Try to acquire `lock` shared without waiting.
+    #[inline]
+    pub fn try_new(lock: &'a L) -> Option<Self> {
+        lock.try_read().map(|token| ReadGuard {
+            lock,
+            token: Some(token),
+            _not_send: PhantomData,
+        })
+    }
+
+    /// Release now (equivalent to `drop`; reads better at call sites).
+    #[inline]
+    pub fn unlock(self) {}
+
+    /// The lock this guard holds shared.
+    #[inline]
+    pub fn lock_ref(&self) -> &'a L {
+        self.lock
+    }
+}
+
+impl<L: RawRwLock> Drop for ReadGuard<'_, L> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            self.lock.unlock_read(token);
+        }
+    }
+}
+
+/// RAII exclusive acquisition of a borrowed [`RawRwLock`]; released on
+/// drop.
+pub struct WriteGuard<'a, L: RawRwLock> {
+    lock: &'a L,
+    token: Option<L::WriteToken>,
+    _not_send: NotSend,
+}
+
+// SAFETY: as for ReadGuard.
+unsafe impl<L: RawRwLock> Sync for WriteGuard<'_, L> where L::WriteToken: Sync {}
+
+impl<'a, L: RawRwLock> WriteGuard<'a, L> {
+    /// Acquire `lock` exclusive, blocking until granted.
+    #[inline]
+    pub fn new(lock: &'a L) -> Self {
+        let token = lock.write();
+        WriteGuard {
+            lock,
+            token: Some(token),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Try to acquire `lock` exclusive without waiting.
+    #[inline]
+    pub fn try_new(lock: &'a L) -> Option<Self> {
+        lock.try_write().map(|token| WriteGuard {
+            lock,
+            token: Some(token),
+            _not_send: PhantomData,
+        })
+    }
+
+    /// Release now (equivalent to `drop`).
+    #[inline]
+    pub fn unlock(self) {}
+
+    /// The lock this guard holds exclusively.
+    #[inline]
+    pub fn lock_ref(&self) -> &'a L {
+        self.lock
+    }
+}
+
+impl<L: RawRwLock> Drop for WriteGuard<'_, L> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            self.lock.unlock_write(token);
+        }
+    }
+}
+
+/// Guard-returning acquisition methods, blanket-implemented for every
+/// [`RawRwLock`] — the reader-writer analogue of [`GuardedLock`].
+pub trait GuardedRwLock: RawRwLock + Sized {
+    /// Acquire shared, returning an RAII guard.
+    #[inline]
+    fn read_guard(&self) -> ReadGuard<'_, Self> {
+        ReadGuard::new(self)
+    }
+
+    /// Try to acquire shared without waiting.
+    #[inline]
+    fn try_read_guard(&self) -> Option<ReadGuard<'_, Self>> {
+        ReadGuard::try_new(self)
+    }
+
+    /// Acquire exclusive, returning an RAII guard.
+    #[inline]
+    fn write_guard(&self) -> WriteGuard<'_, Self> {
+        WriteGuard::new(self)
+    }
+
+    /// Try to acquire exclusive without waiting.
+    #[inline]
+    fn try_write_guard(&self) -> Option<WriteGuard<'_, Self>> {
+        WriteGuard::try_new(self)
+    }
+}
+
+impl<L: RawRwLock> GuardedRwLock for L {}
+
+/// A reader-writer container generic over its lock implementation —
+/// the shared/exclusive counterpart of [`Mutex`].
+///
+/// Shaped like `std::sync::RwLock` but without poisoning: a panic
+/// inside a read or write section releases the lock on unwind and the
+/// next acquisition succeeds normally.
+///
+/// ```
+/// use asl_locks::api::RwLock;
+/// use asl_locks::RwTicketLock;
+///
+/// let cache: RwLock<Vec<u32>, RwTicketLock> = RwLock::new(vec![1, 2]);
+/// cache.write().push(3);              // exclusive
+/// let r1 = cache.read();              // shared...
+/// let r2 = cache.read();              // ...with overlap
+/// assert_eq!(r1.len() + r2.len(), 6);
+/// ```
+pub struct RwLock<T, L: RawRwLock = RwTicketLock> {
+    lock: L,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: standard rwlock reasoning — writers get exclusive access
+// from any thread (T: Send) and readers share &T concurrently
+// (T: Sync).
+unsafe impl<T: Send, L: RawRwLock> Send for RwLock<T, L> {}
+unsafe impl<T: Send + Sync, L: RawRwLock> Sync for RwLock<T, L> {}
+
+impl<T, L: RawRwLock + Default> RwLock<T, L> {
+    /// New rwlock over a default-constructed lock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            lock: L::default(),
+            data: UnsafeCell::new(value),
+        }
+    }
+}
+
+impl<T, L: RawRwLock> RwLock<T, L> {
+    /// New rwlock over a caller-supplied lock instance.
+    pub fn with_lock(value: T, lock: L) -> Self {
+        RwLock {
+            lock,
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquire shared, returning a guard that derefs to the data.
+    #[inline]
+    pub fn read(&self) -> RwLockReadGuard<'_, T, L> {
+        let token = self.lock.read();
+        RwLockReadGuard {
+            rwlock: self,
+            token: Some(token),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Try to acquire shared without waiting.
+    #[inline]
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T, L>> {
+        self.lock.try_read().map(|token| RwLockReadGuard {
+            rwlock: self,
+            token: Some(token),
+            _not_send: PhantomData,
+        })
+    }
+
+    /// Acquire exclusive, returning a guard that derefs mutably.
+    #[inline]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T, L> {
+        let token = self.lock.write();
+        RwLockWriteGuard {
+            rwlock: self,
+            token: Some(token),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Try to acquire exclusive without waiting.
+    #[inline]
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T, L>> {
+        self.lock.try_write().map(|token| RwLockWriteGuard {
+            rwlock: self,
+            token: Some(token),
+            _not_send: PhantomData,
+        })
+    }
+
+    /// Whether anyone holds or queues on the lock (either mode).
+    #[inline]
+    pub fn is_locked(&self) -> bool {
+        self.lock.is_locked()
+    }
+
+    /// The underlying lock (statistics, configuration).
+    pub fn raw(&self) -> &L {
+        &self.lock
+    }
+
+    /// Consume the rwlock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default, L: RawRwLock + Default> Default for RwLock<T, L> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug, L: RawRwLock> fmt::Debug for RwLock<T, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("RwLock");
+        s.field("lock", &L::NAME);
+        match self.try_read() {
+            Some(g) => s.field("data", &&*g),
+            None => s.field("data", &format_args!("<locked>")),
+        };
+        s.finish()
+    }
+}
+
+/// Shared RAII guard for [`RwLock`]: derefs to the protected data.
+pub struct RwLockReadGuard<'a, T, L: RawRwLock> {
+    rwlock: &'a RwLock<T, L>,
+    token: Option<L::ReadToken>,
+    _not_send: NotSend,
+}
+
+// SAFETY: exposes &T / &RwLock only; only Send must stay suppressed.
+unsafe impl<T: Sync, L: RawRwLock> Sync for RwLockReadGuard<'_, T, L> where L::ReadToken: Sync {}
+
+impl<T, L: RawRwLock> RwLockReadGuard<'_, T, L> {
+    /// Release now (equivalent to `drop`).
+    #[inline]
+    pub fn unlock(self) {}
+}
+
+impl<T, L: RawRwLock> Deref for RwLockReadGuard<'_, T, L> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: a live read guard proves no writer is active, so
+        // shared access to the data is race-free.
+        unsafe { &*self.rwlock.data.get() }
+    }
+}
+
+impl<T, L: RawRwLock> Drop for RwLockReadGuard<'_, T, L> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            self.rwlock.lock.unlock_read(token);
+        }
+    }
+}
+
+/// Exclusive RAII guard for [`RwLock`]: derefs mutably to the data.
+pub struct RwLockWriteGuard<'a, T, L: RawRwLock> {
+    rwlock: &'a RwLock<T, L>,
+    token: Option<L::WriteToken>,
+    _not_send: NotSend,
+}
+
+// SAFETY: as for RwLockReadGuard.
+unsafe impl<T: Sync, L: RawRwLock> Sync for RwLockWriteGuard<'_, T, L> where L::WriteToken: Sync {}
+
+impl<T, L: RawRwLock> RwLockWriteGuard<'_, T, L> {
+    /// Release now (equivalent to `drop`).
+    #[inline]
+    pub fn unlock(self) {}
+}
+
+impl<T, L: RawRwLock> Deref for RwLockWriteGuard<'_, T, L> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: guard existence proves exclusive acquisition.
+        unsafe { &*self.rwlock.data.get() }
+    }
+}
+
+impl<T, L: RawRwLock> DerefMut for RwLockWriteGuard<'_, T, L> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: guard existence proves exclusive acquisition.
+        unsafe { &mut *self.rwlock.data.get() }
+    }
+}
+
+impl<T, L: RawRwLock> Drop for RwLockWriteGuard<'_, T, L> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            self.rwlock.lock.unlock_write(token);
+        }
+    }
+}
+
+/// An owned, runtime-chosen reader-writer lock with RAII acquisition
+/// — the shared/exclusive counterpart of [`DynLock`].
+///
+/// Wraps an `Arc<dyn PlainRwLock>`; cloning shares the same lock.
+/// Exclusive locks slot in through
+/// [`crate::plain::ExclusiveRw`] (their "read" mode degenerates to an
+/// exclusive acquisition), which is how call sites can take shared
+/// guards unconditionally and still run under any registry lock.
+#[derive(Clone)]
+pub struct DynRwLock {
+    inner: Arc<dyn PlainRwLock>,
+}
+
+impl DynRwLock {
+    /// Wrap an existing shared rwlock object.
+    pub fn new(inner: Arc<dyn PlainRwLock>) -> Self {
+        DynRwLock { inner }
+    }
+
+    /// Wrap a concrete rwlock value.
+    pub fn of<L: PlainRwLock + 'static>(lock: L) -> Self {
+        DynRwLock {
+            inner: Arc::new(lock),
+        }
+    }
+
+    /// Acquire shared; released when the guard drops.
+    #[inline]
+    pub fn read(&self) -> DynReadGuard<'_> {
+        let token = self.inner.acquire_read();
+        DynReadGuard {
+            lock: &*self.inner,
+            token: Some(token),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Try to acquire shared without waiting.
+    #[inline]
+    pub fn try_read(&self) -> Option<DynReadGuard<'_>> {
+        self.inner.try_acquire_read().map(|token| DynReadGuard {
+            lock: &*self.inner,
+            token: Some(token),
+            _not_send: PhantomData,
+        })
+    }
+
+    /// Acquire exclusive; released when the guard drops.
+    #[inline]
+    pub fn write(&self) -> DynWriteGuard<'_> {
+        let token = self.inner.acquire_write();
+        DynWriteGuard {
+            lock: &*self.inner,
+            token: Some(token),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Try to acquire exclusive without waiting.
+    #[inline]
+    pub fn try_write(&self) -> Option<DynWriteGuard<'_>> {
+        self.inner.try_acquire_write().map(|token| DynWriteGuard {
+            lock: &*self.inner,
+            token: Some(token),
+            _not_send: PhantomData,
+        })
+    }
+
+    /// Heuristic held/queued check (either mode).
+    #[inline]
+    pub fn is_locked(&self) -> bool {
+        self.inner.held()
+    }
+
+    /// Implementation name for reports.
+    pub fn name(&self) -> &'static str {
+        self.inner.rw_lock_name()
+    }
+
+    /// The underlying shared lock object (token-API escape hatch).
+    pub fn plain(&self) -> &Arc<dyn PlainRwLock> {
+        &self.inner
+    }
+}
+
+impl From<Arc<dyn PlainRwLock>> for DynRwLock {
+    fn from(inner: Arc<dyn PlainRwLock>) -> Self {
+        DynRwLock::new(inner)
+    }
+}
+
+impl fmt::Debug for DynRwLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DynRwLock")
+            .field("name", &self.name())
+            .field("held", &self.is_locked())
+            .finish()
+    }
+}
+
+/// Shared RAII acquisition of a [`DynRwLock`], released on drop.
+pub struct DynReadGuard<'a> {
+    lock: &'a dyn PlainRwLock,
+    token: Option<PlainRwToken>,
+    _not_send: NotSend,
+}
+
+// SAFETY: exposes nothing thread-unsafe; only Send must stay
+// suppressed.
+unsafe impl Sync for DynReadGuard<'_> {}
+
+impl DynReadGuard<'_> {
+    /// Release now (equivalent to `drop`).
+    #[inline]
+    pub fn unlock(self) {}
+}
+
+impl Drop for DynReadGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            self.lock.release_read(token);
+        }
+    }
+}
+
+/// Exclusive RAII acquisition of a [`DynRwLock`], released on drop.
+pub struct DynWriteGuard<'a> {
+    lock: &'a dyn PlainRwLock,
+    token: Option<PlainRwToken>,
+    _not_send: NotSend,
+}
+
+// SAFETY: as for DynReadGuard.
+unsafe impl Sync for DynWriteGuard<'_> {}
+
+impl DynWriteGuard<'_> {
+    /// Release now (equivalent to `drop`).
+    #[inline]
+    pub fn unlock(self) {}
+}
+
+impl Drop for DynWriteGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            self.lock.release_write(token);
+        }
+    }
+}
+
+/// A reader-writer container over a runtime-chosen lock — the
+/// shared/exclusive counterpart of [`DynMutex`] and the building block
+/// of the database engines' read-mostly guarded slots.
+///
+/// ```
+/// use asl_locks::api::{DynRwLock, DynRwMutex};
+/// use asl_locks::RwTicketLock;
+///
+/// let index = DynRwMutex::new(DynRwLock::of(RwTicketLock::new()), vec![10, 20]);
+/// index.write().push(30);              // exclusive
+/// {
+///     let a = index.read();            // shared...
+///     let b = index.read();            // ...concurrently
+///     assert_eq!(a.len(), 3);
+///     assert_eq!(b[2], 30);
+/// }
+/// assert!(!index.is_locked());
+/// ```
+pub struct DynRwMutex<T> {
+    lock: DynRwLock,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: standard rwlock reasoning (see RwLock above).
+unsafe impl<T: Send> Send for DynRwMutex<T> {}
+unsafe impl<T: Send + Sync> Sync for DynRwMutex<T> {}
+
+impl<T> DynRwMutex<T> {
+    /// New rw-mutex protecting `value` with `lock`.
+    pub fn new(lock: impl Into<DynRwLock>, value: T) -> Self {
+        DynRwMutex {
+            lock: lock.into(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquire shared, returning a guard that derefs to the data.
+    #[inline]
+    pub fn read(&self) -> DynRwReadGuard<'_, T> {
+        let token = self.lock.plain().acquire_read();
+        DynRwReadGuard {
+            mutex: self,
+            token: Some(token),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Try to acquire shared without waiting.
+    #[inline]
+    pub fn try_read(&self) -> Option<DynRwReadGuard<'_, T>> {
+        self.lock
+            .plain()
+            .try_acquire_read()
+            .map(|token| DynRwReadGuard {
+                mutex: self,
+                token: Some(token),
+                _not_send: PhantomData,
+            })
+    }
+
+    /// Acquire exclusive, returning a guard that derefs mutably.
+    #[inline]
+    pub fn write(&self) -> DynRwWriteGuard<'_, T> {
+        let token = self.lock.plain().acquire_write();
+        DynRwWriteGuard {
+            mutex: self,
+            token: Some(token),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Try to acquire exclusive without waiting.
+    #[inline]
+    pub fn try_write(&self) -> Option<DynRwWriteGuard<'_, T>> {
+        self.lock
+            .plain()
+            .try_acquire_write()
+            .map(|token| DynRwWriteGuard {
+                mutex: self,
+                token: Some(token),
+                _not_send: PhantomData,
+            })
+    }
+
+    /// Whether the lock is currently held or queued (either mode).
+    #[inline]
+    pub fn is_locked(&self) -> bool {
+        self.lock.is_locked()
+    }
+
+    /// The lock handle (name, escape hatch).
+    pub fn lock_handle(&self) -> &DynRwLock {
+        &self.lock
+    }
+
+    /// Consume the rw-mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+/// Shared RAII guard for [`DynRwMutex`]: derefs to the data.
+pub struct DynRwReadGuard<'a, T> {
+    mutex: &'a DynRwMutex<T>,
+    token: Option<PlainRwToken>,
+    _not_send: NotSend,
+}
+
+// SAFETY: exposes &T / &DynRwMutex only; only Send must stay
+// suppressed.
+unsafe impl<T: Sync> Sync for DynRwReadGuard<'_, T> {}
+
+impl<T> DynRwReadGuard<'_, T> {
+    /// Release now (equivalent to `drop`).
+    #[inline]
+    pub fn unlock(self) {}
+}
+
+impl<T> Deref for DynRwReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: a live read guard proves no writer is active.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for DynRwReadGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            self.mutex.lock.plain().release_read(token);
+        }
+    }
+}
+
+/// Exclusive RAII guard for [`DynRwMutex`]: derefs mutably.
+pub struct DynRwWriteGuard<'a, T> {
+    mutex: &'a DynRwMutex<T>,
+    token: Option<PlainRwToken>,
+    _not_send: NotSend,
+}
+
+// SAFETY: as for DynRwReadGuard.
+unsafe impl<T: Sync> Sync for DynRwWriteGuard<'_, T> {}
+
+impl<T> DynRwWriteGuard<'_, T> {
+    /// Release now (equivalent to `drop`).
+    #[inline]
+    pub fn unlock(self) {}
+}
+
+impl<T> Deref for DynRwWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: guard existence proves exclusive acquisition.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> DerefMut for DynRwWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: guard existence proves exclusive acquisition.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for DynRwWriteGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            self.mutex.lock.plain().release_write(token);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -538,5 +1270,83 @@ mod tests {
         assert!(lock.try_lock().is_none());
         g.unlock();
         assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn rw_guards_share_reads_exclude_writes() {
+        let lock = RwTicketLock::new();
+        {
+            let r1 = lock.read_guard();
+            let _r2 = lock.try_read_guard().expect("reads overlap");
+            assert!(lock.try_write_guard().is_none(), "reader blocks writer");
+            r1.unlock();
+        }
+        {
+            let _w = lock.write_guard();
+            assert!(lock.try_read_guard().is_none(), "writer blocks reader");
+            assert!(lock.try_write_guard().is_none(), "writer blocks writer");
+        }
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn static_rwlock_guards_data() {
+        let l: RwLock<Vec<u32>, RwTicketLock> = RwLock::new(vec![1]);
+        l.write().push(2);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(&*a, &[1, 2]);
+            assert_eq!(a.len(), b.len());
+        }
+        assert!(!l.is_locked());
+        assert_eq!(l.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn dyn_rw_mutex_over_rw_and_exclusive_substrates() {
+        use crate::plain::ExclusiveRw;
+
+        // Native rwlock: reads genuinely overlap.
+        let m = DynRwMutex::new(DynRwLock::of(RwTicketLock::new()), 7u64);
+        {
+            let a = m.read();
+            let b = m.read();
+            assert_eq!(*a + *b, 14);
+        }
+        *m.write() += 1;
+        assert_eq!(*m.read(), 8);
+        assert_eq!(m.lock_handle().name(), "rw-ticket");
+
+        // Exclusive lock through the same interface: reads serialize
+        // but the call sites do not change.
+        let m = DynRwMutex::new(
+            DynRwLock::new(Arc::new(ExclusiveRw::new(Arc::new(McsLock::new())))),
+            7u64,
+        );
+        {
+            let a = m.read();
+            assert!(m.try_read().is_none(), "exclusive substrate: no overlap");
+            assert_eq!(*a, 7);
+        }
+        *m.write() += 1;
+        assert_eq!(*m.read(), 8);
+        assert_eq!(m.lock_handle().name(), "mcs");
+    }
+
+    #[test]
+    fn dyn_rw_lock_guards_release_on_drop() {
+        let lock = DynRwLock::of(RwTicketLock::new());
+        {
+            let _r = lock.read();
+            assert!(lock.is_locked());
+            assert!(lock.try_write().is_none());
+        }
+        {
+            let _w = lock.write();
+            assert!(lock.try_read().is_none());
+        }
+        assert!(!lock.is_locked());
+        assert!(lock.try_write().is_some());
     }
 }

@@ -27,7 +27,11 @@ impl BackoffLock {
     /// Custom back-off bounds.
     pub fn with_bounds(min_units: u64, max_units: u64) -> Self {
         assert!(min_units > 0 && max_units >= min_units);
-        BackoffLock { locked: AtomicBool::new(false), min_units, max_units }
+        BackoffLock {
+            locked: AtomicBool::new(false),
+            min_units,
+            max_units,
+        }
     }
 }
 

@@ -32,7 +32,10 @@ impl PthreadMutex {
 
     /// Custom pre-sleep spin budget.
     pub fn with_spin(spin_tries: u32) -> Self {
-        PthreadMutex { state: AtomicU32::new(0), spin_tries }
+        PthreadMutex {
+            state: AtomicU32::new(0),
+            spin_tries,
+        }
     }
 }
 
@@ -180,7 +183,10 @@ impl McsStpLock {
 
     /// Custom pre-park spin budget (iterations).
     pub fn with_spin(spin_iters: u32) -> Self {
-        McsStpLock { tail: AtomicPtr::new(ptr::null_mut()), spin_iters }
+        McsStpLock {
+            tail: AtomicPtr::new(ptr::null_mut()),
+            spin_iters,
+        }
     }
 }
 
@@ -220,12 +226,7 @@ impl RawLock for McsStpLock {
                 if node
                     .as_ref()
                     .state
-                    .compare_exchange(
-                        STP_WAITING,
-                        STP_PARKED,
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                    )
+                    .compare_exchange(STP_WAITING, STP_PARKED, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
                     while node.as_ref().state.load(Ordering::Acquire) != STP_GRANTED {

@@ -23,7 +23,9 @@ pub struct ClhNode {
 
 impl ClhNode {
     fn new(state: u32) -> Self {
-        ClhNode { state: AtomicU32::new(state) }
+        ClhNode {
+            state: AtomicU32::new(state),
+        }
     }
 }
 
@@ -32,9 +34,9 @@ thread_local! {
 }
 
 fn take_node() -> NonNull<ClhNode> {
-    FREELIST.with(|f| f.borrow_mut().pop()).unwrap_or_else(|| {
-        NonNull::from(Box::leak(Box::new(ClhNode::new(RELEASED))))
-    })
+    FREELIST
+        .with(|f| f.borrow_mut().pop())
+        .unwrap_or_else(|| NonNull::from(Box::leak(Box::new(ClhNode::new(RELEASED)))))
 }
 
 fn put_node(node: NonNull<ClhNode>) {
@@ -86,7 +88,9 @@ impl ClhLock {
     /// New unlocked CLH lock. Allocates the initial dummy node.
     pub fn new() -> Self {
         let dummy = Box::leak(Box::new(ClhNode::new(RELEASED)));
-        ClhLock { tail: AtomicPtr::new(dummy) }
+        ClhLock {
+            tail: AtomicPtr::new(dummy),
+        }
     }
 }
 
@@ -127,12 +131,10 @@ impl RawLock for ClhLock {
         }
         let node = take_node();
         unsafe { node.as_ref().state.store(HELD, Ordering::Relaxed) };
-        match self.tail.compare_exchange(
-            tail,
-            node.as_ptr(),
-            Ordering::AcqRel,
-            Ordering::Relaxed,
-        ) {
+        match self
+            .tail
+            .compare_exchange(tail, node.as_ptr(), Ordering::AcqRel, Ordering::Relaxed)
+        {
             Ok(pred) => Some(ClhToken {
                 node,
                 pred: unsafe { NonNull::new_unchecked(pred) },

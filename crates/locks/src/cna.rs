@@ -72,9 +72,9 @@ thread_local! {
 }
 
 fn take_node() -> NonNull<CnaNode> {
-    FREELIST.with(|f| f.borrow_mut().pop()).unwrap_or_else(|| {
-        NonNull::from(Box::leak(Box::new(CnaNode::new())))
-    })
+    FREELIST
+        .with(|f| f.borrow_mut().pop())
+        .unwrap_or_else(|| NonNull::from(Box::leak(Box::new(CnaNode::new()))))
 }
 
 fn put_node(node: NonNull<CnaNode>) {
@@ -427,7 +427,11 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let core = if i < 2 { CoreId(i) } else { CoreId(2 + i) };
                 let a = register_on_core(&topo, core);
-                let ctr = if a.kind == CoreKind::Big { big_ops } else { little_ops };
+                let ctr = if a.kind == CoreKind::Big {
+                    big_ops
+                } else {
+                    little_ops
+                };
                 for _ in 0..30_000 {
                     let t = l.lock();
                     l.unlock(t);

@@ -55,9 +55,9 @@ thread_local! {
 }
 
 fn take_node() -> NonNull<CohortNode> {
-    FREELIST.with(|f| f.borrow_mut().pop()).unwrap_or_else(|| {
-        NonNull::from(Box::leak(Box::new(CohortNode::new())))
-    })
+    FREELIST
+        .with(|f| f.borrow_mut().pop())
+        .unwrap_or_else(|| NonNull::from(Box::leak(Box::new(CohortNode::new()))))
 }
 
 fn put_node(node: NonNull<CohortNode>) {
@@ -142,8 +142,12 @@ impl CohortLock {
         CohortLock {
             global: BackoffLock::new(),
             local: [
-                LocalQueue { tail: AtomicPtr::new(ptr::null_mut()) },
-                LocalQueue { tail: AtomicPtr::new(ptr::null_mut()) },
+                LocalQueue {
+                    tail: AtomicPtr::new(ptr::null_mut()),
+                },
+                LocalQueue {
+                    tail: AtomicPtr::new(ptr::null_mut()),
+                },
             ],
             batch: Cell::new(0),
             max_batch,

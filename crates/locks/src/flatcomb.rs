@@ -137,7 +137,10 @@ where
     pub fn register(&self) -> FcHandle<T, Op, Out, F> {
         let idx = self.shared.next_slot.fetch_add(1, Ordering::Relaxed);
         assert!(idx < MAX_SLOTS, "too many flat-combining participants");
-        FcHandle { shared: self.shared.clone(), idx }
+        FcHandle {
+            shared: self.shared.clone(),
+            idx,
+        }
     }
 
     /// Consume, returning the inner value.
@@ -145,8 +148,8 @@ where
     /// # Panics
     /// Panics if handles still exist.
     pub fn into_inner(self) -> T {
-        let shared = Arc::try_unwrap(self.shared)
-            .unwrap_or_else(|_| panic!("handles still registered"));
+        let shared =
+            Arc::try_unwrap(self.shared).unwrap_or_else(|_| panic!("handles still registered"));
         shared.data.into_inner()
     }
 }
@@ -261,7 +264,10 @@ where
     pub fn register(&self) -> ServerHandle<T, Op, Out, F> {
         let idx = self.shared.next_slot.fetch_add(1, Ordering::Relaxed);
         assert!(idx < MAX_SLOTS, "too many delegation clients");
-        ServerHandle { shared: self.shared.clone(), idx }
+        ServerHandle {
+            shared: self.shared.clone(),
+            idx,
+        }
     }
 }
 

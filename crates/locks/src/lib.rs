@@ -18,6 +18,8 @@
 //! | [`MalthusianLock`] | culling + periodic reintroduction (§2.2 long-term fairness) | [`malthusian`] |
 //! | [`ShuffleLock`] | ShflLock-style framework with pluggable policies (§5, ablations) | [`shuffle`] |
 //! | [`FlatCombiner`] | flat-combining delegation (§5 related-work comparator) | [`flatcomb`] |
+//! | [`RwTicketLock`] | phase-fair ticket reader-writer lock (read-mostly workloads) | [`rw_ticket`] |
+//! | [`Bravo`] | BRAVO-style reader-bias wrapper: any exclusive lock becomes an rwlock | [`bravo`] |
 //!
 //! Three lock interfaces are provided, layered:
 //!
@@ -37,6 +39,14 @@
 //!   whose token is word-encodable ([`plain::TokenWords`]). In debug
 //!   builds tokens are tagged with the issuing lock and cross-lock
 //!   releases panic.
+//!
+//! Each layer has a reader-writer counterpart: [`RawRwLock`] (token
+//! interface with separate shared/exclusive tokens), the guard layer
+//! in [`api`] ([`api::ReadGuard`]/[`api::WriteGuard`], the
+//! data-carrying [`api::RwLock`], and [`api::DynRwLock`]/
+//! [`api::DynRwMutex`] for runtime-chosen rwlocks), and the
+//! object-safe [`PlainRwLock`] facade with the same debug-build
+//! cross-lock release checks.
 //!
 //! ```
 //! use asl_locks::api::{DynLock, Mutex};
@@ -59,6 +69,7 @@
 pub mod api;
 pub mod backoff;
 pub mod blocking;
+pub mod bravo;
 pub mod clh;
 pub mod cna;
 pub mod cohort;
@@ -68,21 +79,27 @@ pub mod malthusian;
 pub mod mcs;
 pub mod plain;
 pub mod proportional;
+pub mod rw_ticket;
 pub mod shuffle;
 pub mod tas;
 pub mod ticket;
 
-pub use api::{DynGuard, DynLock, DynMutex, DynMutexGuard, Guard, GuardedLock, Mutex, MutexGuard};
+pub use api::{
+    DynGuard, DynLock, DynMutex, DynMutexGuard, DynRwLock, DynRwMutex, Guard, GuardedLock,
+    GuardedRwLock, Mutex, MutexGuard, ReadGuard, RwLock, WriteGuard,
+};
 pub use backoff::BackoffLock;
 pub use blocking::{McsStpLock, PthreadMutex};
+pub use bravo::Bravo;
 pub use clh::ClhLock;
 pub use cna::CnaLock;
 pub use cohort::CohortLock;
 pub use flatcomb::{DedicatedServer, FlatCombiner};
 pub use malthusian::MalthusianLock;
 pub use mcs::McsLock;
-pub use plain::{PlainLock, PlainToken};
+pub use plain::{ExclusiveRw, PlainLock, PlainRwLock, PlainRwToken, PlainToken, WriteHalf};
 pub use proportional::ProportionalLock;
+pub use rw_ticket::RwTicketLock;
 pub use shuffle::{Candidate, ShuffleLock, ShufflePolicy};
 pub use tas::TasLock;
 pub use ticket::TicketLock;
@@ -120,6 +137,58 @@ pub trait RawLock: Send + Sync {
 /// the paper's bounded-reordering guarantee to hold.
 pub trait FifoLock: RawLock {}
 
+/// A statically dispatched reader-writer lock: the shared/exclusive
+/// counterpart of [`RawLock`].
+///
+/// `read` admits any number of concurrent holders; `write` is
+/// exclusive against both readers and other writers. Like [`RawLock`],
+/// acquisitions return tokens that must be passed back to the matching
+/// unlock by the same thread — application code should hold them as
+/// RAII guards from [`api`] ([`api::ReadGuard`], [`api::WriteGuard`],
+/// [`api::RwLock`]) instead of threading tokens by hand.
+pub trait RawRwLock: Send + Sync {
+    /// Proof of a shared acquisition, consumed by
+    /// [`RawRwLock::unlock_read`].
+    type ReadToken;
+
+    /// Proof of an exclusive acquisition, consumed by
+    /// [`RawRwLock::unlock_write`].
+    type WriteToken;
+
+    /// Acquire shared, blocking until granted. Multiple readers may
+    /// hold the lock simultaneously; no writer can.
+    fn read(&self) -> Self::ReadToken;
+
+    /// Try to acquire shared without waiting.
+    fn try_read(&self) -> Option<Self::ReadToken>;
+
+    /// Release a shared acquisition. `token` must come from a matching
+    /// `read`/`try_read` on this lock by the calling thread.
+    fn unlock_read(&self, token: Self::ReadToken);
+
+    /// Acquire exclusive, blocking until no reader or other writer
+    /// holds the lock.
+    fn write(&self) -> Self::WriteToken;
+
+    /// Try to acquire exclusive without waiting.
+    fn try_write(&self) -> Option<Self::WriteToken>;
+
+    /// Release an exclusive acquisition. `token` must come from a
+    /// matching `write`/`try_write` on this lock by the calling
+    /// thread.
+    fn unlock_write(&self, token: Self::WriteToken);
+
+    /// Heuristic "is anyone holding or queued (in either mode)" check.
+    /// May be momentarily stale; never used for mutual exclusion.
+    fn is_locked(&self) -> bool;
+
+    /// Heuristic "is a writer holding or draining readers" check.
+    fn is_write_locked(&self) -> bool;
+
+    /// Short lock name for reports.
+    const NAME: &'static str;
+}
+
 #[cfg(test)]
 mod tests {
     //! Cross-implementation mutual-exclusion tests: every lock type
@@ -135,7 +204,10 @@ mod tests {
             value: std::cell::UnsafeCell<u64>,
         }
         unsafe impl<L: Send + Sync> Sync for Shared<L> {}
-        let shared = Arc::new(Shared { lock, value: std::cell::UnsafeCell::new(0) });
+        let shared = Arc::new(Shared {
+            lock,
+            value: std::cell::UnsafeCell::new(0),
+        });
         let mut handles = vec![];
         for _ in 0..threads {
             let s = shared.clone();
@@ -180,7 +252,10 @@ mod tests {
 
     #[test]
     fn proportional_mutual_exclusion() {
-        assert_eq!(hammer(Arc::new(ProportionalLock::new(10)), 8, 10_000), 80_000);
+        assert_eq!(
+            hammer(Arc::new(ProportionalLock::new(10)), 8, 10_000),
+            80_000
+        );
     }
 
     #[test]

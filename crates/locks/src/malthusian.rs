@@ -53,9 +53,9 @@ thread_local! {
 }
 
 fn take_node() -> NonNull<MalNode> {
-    FREELIST.with(|f| f.borrow_mut().pop()).unwrap_or_else(|| {
-        NonNull::from(Box::leak(Box::new(MalNode::new())))
-    })
+    FREELIST
+        .with(|f| f.borrow_mut().pop())
+        .unwrap_or_else(|| NonNull::from(Box::leak(Box::new(MalNode::new()))))
 }
 
 fn put_node(node: NonNull<MalNode>) {

@@ -44,9 +44,9 @@ thread_local! {
 }
 
 fn take_node() -> NonNull<QNode> {
-    FREELIST.with(|f| f.borrow_mut().pop()).unwrap_or_else(|| {
-        NonNull::from(Box::leak(Box::new(QNode::new())))
-    })
+    FREELIST
+        .with(|f| f.borrow_mut().pop())
+        .unwrap_or_else(|| NonNull::from(Box::leak(Box::new(QNode::new()))))
 }
 
 fn put_node(node: NonNull<QNode>) {
@@ -91,7 +91,9 @@ pub struct McsLock {
 impl McsLock {
     /// New unlocked MCS lock.
     pub fn new() -> Self {
-        McsLock { tail: AtomicPtr::new(ptr::null_mut()) }
+        McsLock {
+            tail: AtomicPtr::new(ptr::null_mut()),
+        }
     }
 }
 

@@ -18,7 +18,9 @@
 //! the issuing lock, and releasing it against a different lock panics
 //! — catching the cross-lock bugs the manual API allows.
 
-use crate::RawLock;
+use std::sync::Arc;
+
+use crate::{RawLock, RawRwLock};
 
 /// Opaque token for [`PlainLock`]: two words of implementation state.
 ///
@@ -138,6 +140,355 @@ where
     }
     fn lock_name(&self) -> &'static str {
         L::NAME
+    }
+}
+
+/// Opaque token for [`PlainRwLock`]: three words of implementation
+/// state (reader-writer tokens need one more word than exclusive ones
+/// — e.g. [`crate::bravo::BravoReadToken`] carries a fast/slow
+/// discriminant next to the underlying lock's two words).
+///
+/// In debug builds the token additionally records the issuing lock
+/// *and the acquisition mode*, so releasing against the wrong lock —
+/// or releasing a read token through the write path — panics instead
+/// of corrupting lock state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlainRwToken {
+    a: usize,
+    b: usize,
+    c: usize,
+    /// Address of the issuing lock — debug-build ownership check.
+    #[cfg(debug_assertions)]
+    issuer: usize,
+    /// Whether this token proves an exclusive acquisition.
+    #[cfg(debug_assertions)]
+    write: bool,
+}
+
+impl PlainRwToken {
+    /// Shared-mode token issued by `lock` carrying three words.
+    #[inline]
+    pub fn issue_read<L>(lock: &L, a: usize, b: usize, c: usize) -> Self {
+        #[cfg(not(debug_assertions))]
+        let _ = lock;
+        PlainRwToken {
+            a,
+            b,
+            c,
+            #[cfg(debug_assertions)]
+            issuer: lock as *const L as usize,
+            #[cfg(debug_assertions)]
+            write: false,
+        }
+    }
+
+    /// Exclusive-mode token issued by `lock` carrying two words.
+    #[inline]
+    pub fn issue_write<L>(lock: &L, a: usize, b: usize) -> Self {
+        #[cfg(not(debug_assertions))]
+        let _ = lock;
+        PlainRwToken {
+            a,
+            b,
+            c: 0,
+            #[cfg(debug_assertions)]
+            issuer: lock as *const L as usize,
+            #[cfg(debug_assertions)]
+            write: true,
+        }
+    }
+
+    /// Decode a shared-mode token, asserting (in debug builds) that
+    /// `lock` issued it in read mode.
+    #[inline]
+    pub fn redeem_read<L>(self, lock: &L) -> (usize, usize, usize) {
+        #[cfg(debug_assertions)]
+        {
+            assert_eq!(
+                self.issuer, lock as *const L as usize,
+                "PlainRwToken released against a lock that did not issue it"
+            );
+            assert!(!self.write, "write token released through the read path");
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = lock;
+        (self.a, self.b, self.c)
+    }
+
+    /// Decode an exclusive-mode token, asserting (in debug builds)
+    /// that `lock` issued it in write mode.
+    #[inline]
+    pub fn redeem_write<L>(self, lock: &L) -> (usize, usize) {
+        #[cfg(debug_assertions)]
+        {
+            assert_eq!(
+                self.issuer, lock as *const L as usize,
+                "PlainRwToken released against a lock that did not issue it"
+            );
+            assert!(self.write, "read token released through the write path");
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = lock;
+        (self.a, self.b)
+    }
+}
+
+/// Read tokens encodable in three machine words — the reader-writer
+/// analogue of [`TokenWords`] (write tokens reuse [`TokenWords`]
+/// itself: they are just the underlying exclusive token).
+pub trait RwTokenWords: Sized {
+    /// Encode into three words.
+    fn into_words(self) -> (usize, usize, usize);
+
+    /// Rebuild from words produced by [`RwTokenWords::into_words`].
+    ///
+    /// # Safety
+    /// The words must come from `into_words` on an unreleased token of
+    /// the same lock, on the same thread.
+    unsafe fn from_words(a: usize, b: usize, c: usize) -> Self;
+}
+
+impl RwTokenWords for () {
+    #[inline]
+    fn into_words(self) -> (usize, usize, usize) {
+        (0, 0, 0)
+    }
+    #[inline]
+    unsafe fn from_words(_a: usize, _b: usize, _c: usize) -> Self {}
+}
+
+/// An object-safe reader-writer lock: dynamic counterpart of
+/// [`RawRwLock`], the same way [`PlainLock`] erases [`RawLock`].
+pub trait PlainRwLock: Send + Sync {
+    /// Acquire shared, blocking until granted.
+    fn acquire_read(&self) -> PlainRwToken;
+    /// Try to acquire shared without waiting.
+    fn try_acquire_read(&self) -> Option<PlainRwToken>;
+    /// Release a token from `acquire_read`/`try_acquire_read`.
+    fn release_read(&self, token: PlainRwToken);
+    /// Acquire exclusive, blocking until granted.
+    fn acquire_write(&self) -> PlainRwToken;
+    /// Try to acquire exclusive without waiting.
+    fn try_acquire_write(&self) -> Option<PlainRwToken>;
+    /// Release a token from `acquire_write`/`try_acquire_write`.
+    fn release_write(&self, token: PlainRwToken);
+    /// Heuristic held/queued check (either mode).
+    fn held(&self) -> bool;
+    /// Heuristic writer-present check.
+    fn write_held(&self) -> bool;
+    /// Implementation name for reports.
+    fn rw_lock_name(&self) -> &'static str;
+}
+
+/// Every statically dispatched rwlock with word-encodable tokens is
+/// usable through the dynamic facade.
+impl<L: RawRwLock> PlainRwLock for L
+where
+    L::ReadToken: RwTokenWords,
+    L::WriteToken: TokenWords,
+{
+    #[inline]
+    fn acquire_read(&self) -> PlainRwToken {
+        let (a, b, c) = RawRwLock::read(self).into_words();
+        PlainRwToken::issue_read(self, a, b, c)
+    }
+    #[inline]
+    fn try_acquire_read(&self) -> Option<PlainRwToken> {
+        RawRwLock::try_read(self).map(|t| {
+            let (a, b, c) = t.into_words();
+            PlainRwToken::issue_read(self, a, b, c)
+        })
+    }
+    #[inline]
+    fn release_read(&self, token: PlainRwToken) {
+        let (a, b, c) = token.redeem_read(self);
+        // SAFETY: the PlainRwLock contract (checked in debug builds by
+        // `redeem_read`) guarantees the words come from an unreleased
+        // shared acquisition of this lock by this thread.
+        RawRwLock::unlock_read(self, unsafe { L::ReadToken::from_words(a, b, c) });
+    }
+    #[inline]
+    fn acquire_write(&self) -> PlainRwToken {
+        let (a, b) = RawRwLock::write(self).into_words();
+        PlainRwToken::issue_write(self, a, b)
+    }
+    #[inline]
+    fn try_acquire_write(&self) -> Option<PlainRwToken> {
+        RawRwLock::try_write(self).map(|t| {
+            let (a, b) = t.into_words();
+            PlainRwToken::issue_write(self, a, b)
+        })
+    }
+    #[inline]
+    fn release_write(&self, token: PlainRwToken) {
+        let (a, b) = token.redeem_write(self);
+        // SAFETY: as above, for the exclusive mode.
+        RawRwLock::unlock_write(self, unsafe { L::WriteToken::from_words(a, b) });
+    }
+    #[inline]
+    fn held(&self) -> bool {
+        RawRwLock::is_locked(self)
+    }
+    #[inline]
+    fn write_held(&self) -> bool {
+        RawRwLock::is_write_locked(self)
+    }
+    fn rw_lock_name(&self) -> &'static str {
+        L::NAME
+    }
+}
+
+/// An exclusive lock viewed through the reader-writer interface:
+/// `acquire_read` degenerates to an exclusive acquisition.
+///
+/// This is the compatibility bridge that lets read-path call sites
+/// (the database engines' `Op::Read` handlers) always take shared
+/// guards: under an exclusive `LockSpec` the shared guard costs
+/// exactly what the old exclusive guard did, and under an rwlock spec
+/// readers genuinely overlap.
+pub struct ExclusiveRw {
+    inner: Arc<dyn PlainLock>,
+}
+
+impl ExclusiveRw {
+    /// View `inner` as a (degenerate) rwlock.
+    pub fn new(inner: Arc<dyn PlainLock>) -> Self {
+        ExclusiveRw { inner }
+    }
+}
+
+impl PlainRwLock for ExclusiveRw {
+    fn acquire_read(&self) -> PlainRwToken {
+        let t = self.inner.acquire();
+        PlainRwToken {
+            a: t.a,
+            b: t.b,
+            c: 0,
+            #[cfg(debug_assertions)]
+            issuer: t.issuer,
+            #[cfg(debug_assertions)]
+            write: false,
+        }
+    }
+    fn try_acquire_read(&self) -> Option<PlainRwToken> {
+        self.inner.try_acquire().map(|t| PlainRwToken {
+            a: t.a,
+            b: t.b,
+            c: 0,
+            #[cfg(debug_assertions)]
+            issuer: t.issuer,
+            #[cfg(debug_assertions)]
+            write: false,
+        })
+    }
+    fn release_read(&self, token: PlainRwToken) {
+        #[cfg(debug_assertions)]
+        assert!(!token.write, "write token released through the read path");
+        // Ownership stays checked: the underlying lock's own `redeem`
+        // validates the preserved issuer tag.
+        self.inner.release(PlainToken {
+            a: token.a,
+            b: token.b,
+            #[cfg(debug_assertions)]
+            issuer: token.issuer,
+        });
+    }
+    fn acquire_write(&self) -> PlainRwToken {
+        let t = self.inner.acquire();
+        PlainRwToken {
+            a: t.a,
+            b: t.b,
+            c: 0,
+            #[cfg(debug_assertions)]
+            issuer: t.issuer,
+            #[cfg(debug_assertions)]
+            write: true,
+        }
+    }
+    fn try_acquire_write(&self) -> Option<PlainRwToken> {
+        self.inner.try_acquire().map(|t| PlainRwToken {
+            a: t.a,
+            b: t.b,
+            c: 0,
+            #[cfg(debug_assertions)]
+            issuer: t.issuer,
+            #[cfg(debug_assertions)]
+            write: true,
+        })
+    }
+    fn release_write(&self, token: PlainRwToken) {
+        #[cfg(debug_assertions)]
+        assert!(token.write, "read token released through the write path");
+        self.inner.release(PlainToken {
+            a: token.a,
+            b: token.b,
+            #[cfg(debug_assertions)]
+            issuer: token.issuer,
+        });
+    }
+    fn held(&self) -> bool {
+        self.inner.held()
+    }
+    fn write_held(&self) -> bool {
+        self.inner.held()
+    }
+    fn rw_lock_name(&self) -> &'static str {
+        self.inner.lock_name()
+    }
+}
+
+/// A reader-writer lock viewed through the exclusive interface: every
+/// acquisition takes the write side.
+///
+/// The mirror image of [`ExclusiveRw`] — it lets rwlock `LockSpec`s
+/// satisfy exclusive call sites (pure ordering points like a method
+/// or writer lock, and `repro --lock` sweeps).
+pub struct WriteHalf {
+    inner: Arc<dyn PlainRwLock>,
+}
+
+impl WriteHalf {
+    /// View the write side of `inner` as an exclusive lock.
+    pub fn new(inner: Arc<dyn PlainRwLock>) -> Self {
+        WriteHalf { inner }
+    }
+}
+
+impl PlainLock for WriteHalf {
+    fn acquire(&self) -> PlainToken {
+        let t = self.inner.acquire_write();
+        debug_assert_eq!(t.c, 0, "write tokens carry two words");
+        PlainToken {
+            a: t.a,
+            b: t.b,
+            #[cfg(debug_assertions)]
+            issuer: t.issuer,
+        }
+    }
+    fn try_acquire(&self) -> Option<PlainToken> {
+        self.inner.try_acquire_write().map(|t| PlainToken {
+            a: t.a,
+            b: t.b,
+            #[cfg(debug_assertions)]
+            issuer: t.issuer,
+        })
+    }
+    fn release(&self, token: PlainToken) {
+        self.inner.release_write(PlainRwToken {
+            a: token.a,
+            b: token.b,
+            c: 0,
+            #[cfg(debug_assertions)]
+            issuer: token.issuer,
+            #[cfg(debug_assertions)]
+            write: true,
+        });
+    }
+    fn held(&self) -> bool {
+        self.inner.held()
+    }
+    fn lock_name(&self) -> &'static str {
+        self.inner.rw_lock_name()
     }
 }
 

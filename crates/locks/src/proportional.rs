@@ -228,7 +228,10 @@ mod tests {
         stopper.join().unwrap();
         let b = big_ops.load(Ordering::Relaxed) as f64;
         let l = little_ops.load(Ordering::Relaxed) as f64;
-        assert!(b > 0.0 && l > 0.0, "both classes must progress (no starvation)");
+        assert!(
+            b > 0.0 && l > 0.0,
+            "both classes must progress (no starvation)"
+        );
         let ratio = b / l;
         assert!(
             ratio > 2.0 && ratio < 8.0,

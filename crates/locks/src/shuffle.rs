@@ -97,7 +97,10 @@ impl ClassLocalPolicy {
     /// Prefer same-class waiters, forcing FIFO after `max_skips`
     /// consecutive out-of-order grants.
     pub fn new(max_skips: u32) -> Self {
-        ClassLocalPolicy { max_skips, skips: AtomicU32::new(0) }
+        ClassLocalPolicy {
+            max_skips,
+            skips: AtomicU32::new(0),
+        }
     }
 }
 
@@ -134,7 +137,10 @@ pub struct PreferBigPolicy {
 impl PreferBigPolicy {
     /// Prefer big waiters, forcing FIFO after `max_skips` skips.
     pub fn new(max_skips: u32) -> Self {
-        PreferBigPolicy { max_skips, skips: AtomicU32::new(0) }
+        PreferBigPolicy {
+            max_skips,
+            skips: AtomicU32::new(0),
+        }
     }
 }
 
@@ -171,14 +177,21 @@ pub struct ProportionalPolicy {
 impl ProportionalPolicy {
     /// `n` big grants per little grant.
     pub fn new(n: u32) -> Self {
-        ProportionalPolicy { n, bigs: AtomicU32::new(0) }
+        ProportionalPolicy {
+            n,
+            bigs: AtomicU32::new(0),
+        }
     }
 }
 
 impl ShufflePolicy for ProportionalPolicy {
     fn pick(&self, _releaser: CoreKind, candidates: &[Candidate]) -> usize {
         let little_due = self.bigs.load(Ordering::Relaxed) >= self.n;
-        let want = if little_due { CoreKind::Little } else { CoreKind::Big };
+        let want = if little_due {
+            CoreKind::Little
+        } else {
+            CoreKind::Big
+        };
         let choice = candidates
             .iter()
             .position(|c| c.kind == want && c.eligible)
@@ -224,9 +237,9 @@ thread_local! {
 }
 
 fn take_node() -> NonNull<ShflNode> {
-    FREELIST.with(|f| f.borrow_mut().pop()).unwrap_or_else(|| {
-        NonNull::from(Box::leak(Box::new(ShflNode::new())))
-    })
+    FREELIST
+        .with(|f| f.borrow_mut().pop())
+        .unwrap_or_else(|| NonNull::from(Box::leak(Box::new(ShflNode::new()))))
 }
 
 fn put_node(node: NonNull<ShflNode>) {
@@ -559,8 +572,16 @@ mod tests {
     #[test]
     fn fifo_policy_always_front() {
         let c = [
-            Candidate { kind: CoreKind::Little, position: 0, eligible: true },
-            Candidate { kind: CoreKind::Big, position: 1, eligible: true },
+            Candidate {
+                kind: CoreKind::Little,
+                position: 0,
+                eligible: true,
+            },
+            Candidate {
+                kind: CoreKind::Big,
+                position: 1,
+                eligible: true,
+            },
         ];
         assert_eq!(FifoPolicy.pick(CoreKind::Big, &c), 0);
     }
@@ -569,9 +590,21 @@ mod tests {
     fn prefer_big_picks_first_big() {
         let p = PreferBigPolicy::new(100);
         let c = [
-            Candidate { kind: CoreKind::Little, position: 0, eligible: true },
-            Candidate { kind: CoreKind::Little, position: 1, eligible: true },
-            Candidate { kind: CoreKind::Big, position: 2, eligible: true },
+            Candidate {
+                kind: CoreKind::Little,
+                position: 0,
+                eligible: true,
+            },
+            Candidate {
+                kind: CoreKind::Little,
+                position: 1,
+                eligible: true,
+            },
+            Candidate {
+                kind: CoreKind::Big,
+                position: 2,
+                eligible: true,
+            },
         ];
         assert_eq!(p.pick(CoreKind::Big, &c), 2);
     }
@@ -580,8 +613,16 @@ mod tests {
     fn prefer_big_respects_skip_bound() {
         let p = PreferBigPolicy::new(2);
         let c = [
-            Candidate { kind: CoreKind::Little, position: 0, eligible: true },
-            Candidate { kind: CoreKind::Big, position: 1, eligible: true },
+            Candidate {
+                kind: CoreKind::Little,
+                position: 0,
+                eligible: true,
+            },
+            Candidate {
+                kind: CoreKind::Big,
+                position: 1,
+                eligible: true,
+            },
         ];
         assert_eq!(p.pick(CoreKind::Big, &c), 1); // skip 1
         assert_eq!(p.pick(CoreKind::Big, &c), 1); // skip 2
@@ -593,8 +634,16 @@ mod tests {
     fn proportional_policy_alternates() {
         let p = ProportionalPolicy::new(2);
         let both = [
-            Candidate { kind: CoreKind::Big, position: 0, eligible: true },
-            Candidate { kind: CoreKind::Little, position: 1, eligible: true },
+            Candidate {
+                kind: CoreKind::Big,
+                position: 0,
+                eligible: true,
+            },
+            Candidate {
+                kind: CoreKind::Little,
+                position: 1,
+                eligible: true,
+            },
         ];
         // 2 big grants, then a little is due.
         assert_eq!(p.pick(CoreKind::Big, &both), 0);

@@ -30,7 +30,10 @@ impl TasLock {
 
     /// TAS lock with an explicit atomic-affinity model.
     pub fn with_affinity(affinity: AtomicAffinity) -> Self {
-        TasLock { locked: AtomicBool::new(false), affinity }
+        TasLock {
+            locked: AtomicBool::new(false),
+            affinity,
+        }
     }
 
     /// The configured affinity model.
@@ -201,7 +204,10 @@ mod tests {
         assert!(b > 0.0 && l > 0.0);
         if !asl_runtime::affinity::oversubscribed(4) {
             let ratio = b.max(l) / b.min(l);
-            assert!(ratio < 20.0, "unexpectedly extreme skew: big={b} little={l}");
+            assert!(
+                ratio < 20.0,
+                "unexpectedly extreme skew: big={b} little={l}"
+            );
         }
     }
 

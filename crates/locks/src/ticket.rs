@@ -17,7 +17,10 @@ pub struct TicketLock {
 impl TicketLock {
     /// New unlocked ticket lock.
     pub fn new() -> Self {
-        TicketLock { next: AtomicU64::new(0), serving: AtomicU64::new(0) }
+        TicketLock {
+            next: AtomicU64::new(0),
+            serving: AtomicU64::new(0),
+        }
     }
 
     /// Number of threads currently holding or waiting.

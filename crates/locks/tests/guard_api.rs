@@ -49,7 +49,10 @@ fn try_lock_guard_drop_releases() {
     let m = Mutex::<(), ClhLock>::new(());
     let g = m.try_lock().expect("uncontended try_lock succeeds");
     assert!(m.is_locked());
-    assert!(m.try_lock().is_none(), "second try_lock must fail while held");
+    assert!(
+        m.try_lock().is_none(),
+        "second try_lock must fail while held"
+    );
     drop(g);
     assert!(!m.is_locked());
     assert!(m.try_lock().is_some(), "released by guard drop");

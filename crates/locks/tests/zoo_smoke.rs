@@ -56,7 +56,10 @@ fn zoo_mutual_exclusion_through_dyn_guards() {
         ("cna", DynLock::of(CnaLock::new())),
         ("cohort", DynLock::of(CohortLock::new())),
         ("shuffle-fifo", DynLock::of(ShuffleLock::new(FifoPolicy))),
-        ("shuffle-classlocal", DynLock::of(ShuffleLock::new(ClassLocalPolicy::new(16)))),
+        (
+            "shuffle-classlocal",
+            DynLock::of(ShuffleLock::new(ClassLocalPolicy::new(16))),
+        ),
         ("proportional", DynLock::of(ProportionalLock::new(10))),
         ("malthusian", DynLock::of(MalthusianLock::new())),
         // Blocking pair: the glibc-style mutex (futex-backed on
@@ -74,7 +77,10 @@ fn zoo_mutual_exclusion_through_dyn_guards() {
 fn zoo_futex_path_mutual_exclusion() {
     // Zero optimistic spins forces every contended acquisition down
     // the futex wait/wake path.
-    hammer("pthread-futex-only", DynLock::of(PthreadMutex::with_spin(0)));
+    hammer(
+        "pthread-futex-only",
+        DynLock::of(PthreadMutex::with_spin(0)),
+    );
 }
 
 #[test]

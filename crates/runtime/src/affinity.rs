@@ -31,7 +31,9 @@ pub fn pin_to_cpu(os_cpu: usize) -> bool {
 
 /// Number of CPUs visible to this process.
 pub fn online_cpus() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// True when running `threads` busy threads exceeds the CPUs available

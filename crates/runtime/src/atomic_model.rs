@@ -17,8 +17,7 @@
 use crate::topology::CoreKind;
 
 /// Which core class wins contended atomics, and by how much.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum AtomicAffinity {
     /// Both classes retry at the same rate.
     #[default]
@@ -45,12 +44,16 @@ impl AtomicAffinity {
 
     /// Big-core affinity with the default penalty.
     pub fn big_wins() -> Self {
-        AtomicAffinity::BigWins { penalty_units: Self::DEFAULT_PENALTY }
+        AtomicAffinity::BigWins {
+            penalty_units: Self::DEFAULT_PENALTY,
+        }
     }
 
     /// Little-core affinity with the default penalty.
     pub fn little_wins() -> Self {
-        AtomicAffinity::LittleWins { penalty_units: Self::DEFAULT_PENALTY }
+        AtomicAffinity::LittleWins {
+            penalty_units: Self::DEFAULT_PENALTY,
+        }
     }
 
     /// Penalty (raw units) a thread of class `kind` pays after a
@@ -73,7 +76,6 @@ impl AtomicAffinity {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -17,7 +17,10 @@ pub struct CacheLine {
 
 impl CacheLine {
     fn new() -> Self {
-        CacheLine { value: AtomicU64::new(0), _pad: [0; 56] }
+        CacheLine {
+            value: AtomicU64::new(0),
+            _pad: [0; 56],
+        }
     }
 }
 
@@ -35,7 +38,9 @@ pub struct CacheLineArena {
 impl CacheLineArena {
     /// Allocate `n` lines (all zero).
     pub fn new(n: usize) -> Self {
-        CacheLineArena { lines: (0..n).map(|_| CacheLine::new()).collect() }
+        CacheLineArena {
+            lines: (0..n).map(|_| CacheLine::new()).collect(),
+        }
     }
 
     /// Number of lines.
@@ -68,13 +73,18 @@ impl CacheLineArena {
     pub fn rmw_atomic(&self, offset: usize, k: usize) {
         let n = self.lines.len();
         for i in 0..k {
-            self.lines[(offset + i) % n].value.fetch_add(1, Ordering::Relaxed);
+            self.lines[(offset + i) % n]
+                .value
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Sum of all line counters (test/verification helper).
     pub fn total(&self) -> u64 {
-        self.lines.iter().map(|l| l.value.load(Ordering::Relaxed)).sum()
+        self.lines
+            .iter()
+            .map(|l| l.value.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Value of one line.

@@ -24,7 +24,9 @@ const YIELD_CADENCE: u32 = 64;
 fn single_cpu() -> bool {
     static SINGLE: OnceLock<bool> = OnceLock::new();
     *SINGLE.get_or_init(|| {
-        std::thread::available_parallelism().map(|n| n.get() <= 1).unwrap_or(true)
+        std::thread::available_parallelism()
+            .map(|n| n.get() <= 1)
+            .unwrap_or(true)
     })
 }
 
@@ -47,9 +49,17 @@ impl Spin {
     #[inline]
     pub fn new() -> Self {
         if single_cpu() {
-            Spin { spins: 0, limit: 0, cadence: 1 }
+            Spin {
+                spins: 0,
+                limit: 0,
+                cadence: 1,
+            }
         } else {
-            Spin { spins: 0, limit: SPIN_LIMIT, cadence: YIELD_CADENCE }
+            Spin {
+                spins: 0,
+                limit: SPIN_LIMIT,
+                cadence: YIELD_CADENCE,
+            }
         }
     }
 

@@ -73,13 +73,20 @@ where
                         let _ = pin_to_cpu(cpu);
                     }
                 }
-                let ctx = ThreadCtx { index, assignment, stop };
+                let ctx = ThreadCtx {
+                    index,
+                    assignment,
+                    stop,
+                };
                 let r = body(&ctx);
                 unregister();
                 r
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
 }
 
@@ -95,7 +102,11 @@ mod tests {
         let t = Topology::apple_m1();
         let kinds = run_on_topology(&t, 8, false, |ctx| (ctx.index, ctx.assignment.kind));
         for (i, kind) in kinds {
-            let expect = if i < 4 { CoreKind::Big } else { CoreKind::Little };
+            let expect = if i < 4 {
+                CoreKind::Big
+            } else {
+                CoreKind::Little
+            };
             assert_eq!(kind, expect, "worker {i}");
         }
     }

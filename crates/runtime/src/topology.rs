@@ -64,11 +64,19 @@ impl Topology {
         let cores = (0..big + little)
             .map(|i| VirtualCore {
                 id: CoreId(i),
-                kind: if i < big { CoreKind::Big } else { CoreKind::Little },
+                kind: if i < big {
+                    CoreKind::Big
+                } else {
+                    CoreKind::Little
+                },
                 os_cpu: Some(i),
             })
             .collect();
-        Topology { cores, perf_ratio, name: "custom" }
+        Topology {
+            cores,
+            perf_ratio,
+            name: "custom",
+        }
     }
 
     /// Apple-M1-like: 4 big + 4 little, little cores 3× slower.
@@ -121,7 +129,10 @@ impl Topology {
 
     /// Number of big cores.
     pub fn big_count(&self) -> usize {
-        self.cores.iter().filter(|c| c.kind == CoreKind::Big).count()
+        self.cores
+            .iter()
+            .filter(|c| c.kind == CoreKind::Big)
+            .count()
     }
 
     /// Number of little cores.
@@ -187,7 +198,11 @@ mod tests {
             assert_eq!(t.assignment_for_thread(i).kind, CoreKind::Big, "thread {i}");
         }
         for i in 4..8 {
-            assert_eq!(t.assignment_for_thread(i).kind, CoreKind::Little, "thread {i}");
+            assert_eq!(
+                t.assignment_for_thread(i).kind,
+                CoreKind::Little,
+                "thread {i}"
+            );
         }
         // Oversubscription wraps around (2 threads per core).
         assert_eq!(t.assignment_for_thread(8).id, CoreId(0));

@@ -43,7 +43,11 @@ pub fn execute_raw_units(units: u64) {
 #[inline]
 pub fn execute_units(units: u64) {
     let m = work_multiplier();
-    let scaled = if m == 1.0 { units } else { (units as f64 * m) as u64 };
+    let scaled = if m == 1.0 {
+        units
+    } else {
+        (units as f64 * m) as u64
+    };
     execute_raw_units(scaled);
 }
 

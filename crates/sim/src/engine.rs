@@ -40,7 +40,11 @@ struct EventQueue {
 
 impl EventQueue {
     fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), payload: Vec::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payload: Vec::new(),
+            seq: 0,
+        }
     }
 
     fn push(&mut self, t: u64, ev: Ev) {
@@ -51,7 +55,9 @@ impl EventQueue {
     }
 
     fn pop(&mut self) -> Option<(u64, Ev)> {
-        self.heap.pop().map(|Reverse((t, s))| (t, self.payload[s as usize]))
+        self.heap
+            .pop()
+            .map(|Reverse((t, s))| (t, self.payload[s as usize]))
     }
 }
 
@@ -130,7 +136,10 @@ impl Sim<'_> {
         }
         let next = match &self.lock.kind {
             SimLockKind::Fifo => self.lock.fifo.pop_front(),
-            SimLockKind::TasAffinity { big_weight, little_weight } => {
+            SimLockKind::TasAffinity {
+                big_weight,
+                little_weight,
+            } => {
                 if self.lock.tas_waiters.is_empty() {
                     None
                 } else {
@@ -138,7 +147,13 @@ impl Sim<'_> {
                         .lock
                         .tas_waiters
                         .iter()
-                        .map(|&w| if self.threads[w].big { *big_weight } else { *little_weight })
+                        .map(|&w| {
+                            if self.threads[w].big {
+                                *big_weight
+                            } else {
+                                *little_weight
+                            }
+                        })
                         .collect();
                     let total: f64 = weights.iter().sum();
                     let mut pick = self.rng.gen_range(0.0..total);
@@ -263,7 +278,10 @@ impl Sim<'_> {
                     self.lock.little_q.push_back(tid);
                 }
             }
-            SimLockKind::Reorderable { feedback, static_window_ns } => {
+            SimLockKind::Reorderable {
+                feedback,
+                static_window_ns,
+            } => {
                 let free = self.lock.holder.is_none() && self.lock.fifo.is_empty();
                 if self.threads[tid].big {
                     if free {
@@ -284,7 +302,8 @@ impl Sim<'_> {
                     self.threads[tid].standby_gen += 1;
                     let gen = self.threads[tid].standby_gen;
                     self.lock.standby.push((tid, t));
-                    self.q.push(t.saturating_add(window), Ev::WindowExpire(tid, gen));
+                    self.q
+                        .push(t.saturating_add(window), Ev::WindowExpire(tid, gen));
                 }
             }
         }
@@ -294,7 +313,10 @@ impl Sim<'_> {
 /// Run one simulation to completion.
 pub fn run(cfg: &SimConfig) -> SimResult {
     assert!(cfg.threads >= 1);
-    assert!(cfg.threads <= cfg.big_cores + cfg.little_cores, "one thread per core");
+    assert!(
+        cfg.threads <= cfg.big_cores + cfg.little_cores,
+        "one thread per core"
+    );
 
     let threads: Vec<ThreadState> = (0..cfg.threads)
         .map(|tid| ThreadState {
@@ -388,8 +410,11 @@ pub fn run(cfg: &SimConfig) -> SimResult {
 
     let measured_s = (cfg.duration_ns - warmup) as f64 / 1e9;
     let total_ops = big_ops + little_ops;
-    let mut overall: Vec<u64> =
-        big_samples.iter().chain(little_samples.iter()).copied().collect();
+    let mut overall: Vec<u64> = big_samples
+        .iter()
+        .chain(little_samples.iter())
+        .copied()
+        .collect();
     SimResult {
         total_ops,
         big_ops,

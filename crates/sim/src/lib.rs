@@ -105,8 +105,18 @@ mod tests {
             static_window_ns: Some(100_000_000),
         }));
         let t8 = run(&base_cfg(SimLockKind::Fifo)).throughput;
-        assert!(asl.throughput > t8 * 1.3, "LibASL {} vs FIFO {}", asl.throughput, t8);
-        assert!(asl.throughput > t4 * 0.8, "LibASL {} vs 4-big FIFO {}", asl.throughput, t4);
+        assert!(
+            asl.throughput > t8 * 1.3,
+            "LibASL {} vs FIFO {}",
+            asl.throughput,
+            t8
+        );
+        assert!(
+            asl.throughput > t4 * 0.8,
+            "LibASL {} vs 4-big FIFO {}",
+            asl.throughput,
+            t4
+        );
     }
 
     #[test]
@@ -202,13 +212,21 @@ mod tests {
         );
         // And reordering must have bought throughput over plain FIFO.
         let fifo = run(&base_cfg(SimLockKind::Fifo));
-        assert!(r.throughput >= fifo.throughput, "{} < {}", r.throughput, fifo.throughput);
+        assert!(
+            r.throughput >= fifo.throughput,
+            "{} < {}",
+            r.throughput,
+            fifo.throughput
+        );
     }
 
     #[test]
     fn larger_slo_larger_throughput() {
         // Paper Figure 8b: throughput grows with the SLO.
-        let mut lo = base_cfg(SimLockKind::Reorderable { feedback: true, static_window_ns: None });
+        let mut lo = base_cfg(SimLockKind::Reorderable {
+            feedback: true,
+            static_window_ns: None,
+        });
         lo.slo_ns = Some(30_000);
         let mut hi = lo.clone();
         hi.slo_ns = Some(300_000);
@@ -226,7 +244,10 @@ mod tests {
     fn impossible_slo_falls_back_to_fifo() {
         // Paper §3.4: "when the SLO is impossible to achieve even
         // without reordering, LibASL falls back to a FIFO lock".
-        let mut cfg = base_cfg(SimLockKind::Reorderable { feedback: true, static_window_ns: None });
+        let mut cfg = base_cfg(SimLockKind::Reorderable {
+            feedback: true,
+            static_window_ns: None,
+        });
         cfg.slo_ns = Some(1); // unachievable
         let asl = run(&cfg);
         let fifo = run(&base_cfg(SimLockKind::Fifo));

@@ -44,9 +44,7 @@ fn serve(spec: &LockSpec) -> (f64, f64, f64) {
             libasl::harness::figures::seed_tls_rng(ctx.index);
         },
         move |_| {
-            let run = || {
-                libasl::harness::figures::with_tls_rng(|rng| engine2.run_request(rng))
-            };
+            let run = || libasl::harness::figures::with_tls_rng(|rng| engine2.run_request(rng));
             match slo {
                 // The paper's integration: 2 lines around the handler.
                 Some(slo) => libasl::epoch::with_epoch_timed(0, slo, run).1,
@@ -78,7 +76,10 @@ fn main() {
     let anchor = (p99 * 1_000.0) as u64;
 
     // LibASL at a tight and a loose SLO (anchored on the MCS tail).
-    for (label, slo) in [("libasl (tight)", anchor * 3 / 2), ("libasl (loose)", anchor * 4)] {
+    for (label, slo) in [
+        ("libasl (tight)", anchor * 3 / 2),
+        ("libasl (loose)", anchor * 4),
+    ] {
         let (thpt, p99, lp99) = serve(&LockSpec::asl(Some(slo)));
         println!(
             "{:<16} {:>14.0} {:>16.1} {:>16.1}   (SLO {} us)",
@@ -92,7 +93,10 @@ fn main() {
 
     // LibASL-MAX: throughput first, latency unconstrained.
     let (thpt, p99, lp99) = serve(&LockSpec::asl(None));
-    println!("{:<16} {:>14.0} {:>16.1} {:>16.1}", "libasl-max", thpt, p99, lp99);
+    println!(
+        "{:<16} {:>14.0} {:>16.1} {:>16.1}",
+        "libasl-max", thpt, p99, lp99
+    );
 
     println!("\nexpected shape: LibASL trades little-core tail latency (up to its SLO)");
     println!("for throughput; the loose SLO should approach libasl-max throughput.");

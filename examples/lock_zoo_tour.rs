@@ -86,7 +86,11 @@ fn measure(topo: &Topology, spec: &LockSpec) -> (f64, u64, u64) {
 
     let t0 = std::time::Instant::now();
     run_on_topology_with_stop(topo, topo.len(), false, stop.clone(), |ctx| {
-        let ctr = if ctx.assignment.kind == CoreKind::Big { &big_ops } else { &little_ops };
+        let ctr = if ctx.assignment.kind == CoreKind::Big {
+            &big_ops
+        } else {
+            &little_ops
+        };
         while !ctx.stopped() {
             {
                 let _held = lock.lock(); // RAII guard: released at scope end

@@ -23,7 +23,11 @@ fn main() {
     );
 
     // Anchor SLOs on the blocking mutex tail.
-    let pthread = run_micro(&profile, &MicroScenario::bench1(&LockSpec::Pthread), threads);
+    let pthread = run_micro(
+        &profile,
+        &MicroScenario::bench1(&LockSpec::Pthread),
+        threads,
+    );
     let anchor = pthread.overall.p99().max(1_000);
     print_row("pthread", &pthread);
 
@@ -44,9 +48,7 @@ fn main() {
         print_row(label, &r);
     }
 
-    println!(
-        "\nexpected shape (paper Fig. 8h): FIFO + parking (mcs-stp) collapses —"
-    );
+    println!("\nexpected shape (paper Fig. 8h): FIFO + parking (mcs-stp) collapses —");
     println!("every handover pays a wake-up; blocking LibASL beats pthread as the SLO loosens.");
 }
 

@@ -62,7 +62,10 @@ fn main() {
     stopper.join().unwrap();
 
     let total: u64 = results.iter().map(|(_, ops, _)| ops).sum();
-    println!("\ntotal increments: {total} (counter = {})", *counter.lock());
+    println!(
+        "\ntotal increments: {total} (counter = {})",
+        *counter.lock()
+    );
     for kind in [CoreKind::Big, CoreKind::Little] {
         let class: Vec<_> = results.iter().filter(|(k, _, _)| *k == kind).collect();
         let ops: u64 = class.iter().map(|(_, o, _)| o).sum();

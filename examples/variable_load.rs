@@ -27,7 +27,10 @@ fn main() {
     let multiplier = Arc::new(AtomicU64::new(1));
     let stop = Arc::new(AtomicBool::new(false));
 
-    println!("SLO = {} us; phases: x1, x8, x1, x32 (infeasible)", SLO_NS / 1_000);
+    println!(
+        "SLO = {} us; phases: x1, x8, x1, x32 (infeasible)",
+        SLO_NS / 1_000
+    );
     println!("t_ms  phase  little_latency_us  window_us");
 
     // Phase controller.
@@ -71,7 +74,11 @@ fn main() {
                         m,
                         latency as f64 / 1_000.0,
                         w as f64 / 1_000.0,
-                        if latency > SLO_NS { "  <-- SLO violated, window halves" } else { "" }
+                        if latency > SLO_NS {
+                            "  <-- SLO violated, window halves"
+                        } else {
+                            ""
+                        }
                     );
                 }
             }

@@ -30,7 +30,11 @@ fn main() {
         "{:<10} {:<9} {:<12} {:>12} {:>12}",
         "workload", "keys", "", "mcs ops/s", "libasl ops/s"
     );
-    for (mix_name, mix) in [("YCSB-A", Mix::ycsb_a()), ("YCSB-B", Mix::ycsb_b()), ("YCSB-C", Mix::ycsb_c())] {
+    for (mix_name, mix) in [
+        ("YCSB-A", Mix::ycsb_a()),
+        ("YCSB-B", Mix::ycsb_b()),
+        ("YCSB-C", Mix::ycsb_c()),
+    ] {
         for (dist_name, dist) in [
             ("uniform", KeyDist::Uniform { n: KEYSPACE }),
             ("zipfian", KeyDist::Zipfian(Zipfian::ycsb(KEYSPACE))),
@@ -51,7 +55,9 @@ fn run_once(topo: &Topology, spec: &LockSpec, mix: Mix, dist: &KeyDist) -> f64 {
         let spec = spec.clone();
         move || -> Arc<dyn PlainLock> { spec.make_lock() }
     };
-    let db = Arc::new(Kyoto::with_default_size(&lock_for_engine as &dyn LockFactory));
+    let db = Arc::new(Kyoto::with_default_size(
+        &lock_for_engine as &dyn LockFactory,
+    ));
 
     // Preload half the key space so reads hit.
     for k in 0..KEYSPACE / 2 {

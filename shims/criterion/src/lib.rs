@@ -22,18 +22,24 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter` form.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { repr: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            repr: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// Parameter-only form.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { repr: parameter.to_string() }
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId { repr: s.to_string() }
+        BenchmarkId {
+            repr: s.to_string(),
+        }
     }
 }
 
@@ -170,7 +176,11 @@ impl Criterion {
 
     /// Open a named group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 
     /// Run one ungrouped benchmark.
@@ -250,7 +260,10 @@ mod tests {
 
     #[test]
     fn bencher_iter_measures() {
-        let mut c = Criterion { test_mode: true, filter: None };
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
         let mut ran = 0u64;
         c.bench_function("noop", |b| b.iter(|| ran += 1));
         assert!(ran > 0);
@@ -258,7 +271,10 @@ mod tests {
 
     #[test]
     fn group_chain_compiles_and_runs() {
-        let mut c = Criterion { test_mode: true, filter: None };
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
         let mut g = c.benchmark_group("g");
         g.sample_size(10)
             .warm_up_time(Duration::from_millis(1))
@@ -277,7 +293,10 @@ mod tests {
 
     #[test]
     fn filter_skips_nonmatching() {
-        let mut c = Criterion { test_mode: true, filter: Some("zzz".into()) };
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("zzz".into()),
+        };
         let mut ran = false;
         c.bench_function("abc", |b| {
             ran = true;

@@ -102,7 +102,10 @@ mod tests {
 
     #[test]
     fn nanosleep_links_and_returns() {
-        let req = timespec { tv_sec: 0, tv_nsec: 100_000 };
+        let req = timespec {
+            tv_sec: 0,
+            tv_nsec: 100_000,
+        };
         let rc = unsafe { nanosleep(&req, core::ptr::null_mut()) };
         assert_eq!(rc, 0);
     }

@@ -126,7 +126,9 @@ pub mod arbitrary {
 
     /// Strategy producing any value of `T`.
     pub fn any<T: ArbitrarySample>() -> crate::strategy::AnyStrategy<T> {
-        crate::strategy::AnyStrategy { _marker: std::marker::PhantomData }
+        crate::strategy::AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 

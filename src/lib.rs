@@ -12,10 +12,12 @@
 //! * [`runtime`] — virtual AMP topologies, core registry, emulated
 //!   work, cache-line arenas ([`asl_runtime`]).
 //! * [`locks`] — the lock zoo: TAS, ticket, back-off, MCS, CLH,
-//!   proportional (SHFL-PB), futex mutex, spin-then-park MCS — plus
+//!   proportional (SHFL-PB), futex mutex, spin-then-park MCS, plus
+//!   the reader-writer substrates (phase-fair ticket, BRAVO) — and
 //!   the guard-based unified API (`asl_locks::api`: [`Guard`],
-//!   [`DynLock`], [`DynMutex`]) every layer locks through
-//!   ([`asl_locks`]).
+//!   [`DynLock`], [`DynMutex`], and their shared/exclusive
+//!   counterparts [`ReadGuard`]/[`WriteGuard`], [`DynRwLock`],
+//!   [`DynRwMutex`]) every layer locks through ([`asl_locks`]).
 //! * [`core`] — LibASL itself: reorderable lock, epoch/SLO feedback,
 //!   the [`Mutex`] dispatch ([`asl_core`]).
 //! * [`sim`] — deterministic discrete-event simulation of the same
@@ -62,6 +64,19 @@
 //! } // released on drop
 //! assert!(!lock.is_locked());
 //! ```
+//!
+//! Read-mostly state goes behind the reader-writer shapes — shared
+//! guards overlap, exclusive guards exclude everyone:
+//!
+//! ```
+//! use libasl::RwLock;
+//!
+//! let catalog: RwLock<Vec<&str>> = RwLock::new(vec!["a"]);
+//! catalog.write().push("b");        // exclusive
+//! let r1 = catalog.read();          // shared...
+//! let r2 = catalog.read();          // ...concurrently
+//! assert_eq!(r1.len() + r2.len(), 4);
+//! ```
 
 pub use asl_core as core;
 pub use asl_dbsim as dbsim;
@@ -72,11 +87,18 @@ pub use asl_sim as sim;
 
 pub use asl_core::epoch;
 pub use asl_core::{
-    AslBlockingLock, AslCondvar, AslLock, AslMutex, AslSpinLock, ReorderableLock,
+    AslBlockingLock, AslCondvar, AslLock, AslMutex, AslRwLock, AslSpinLock, ReorderableLock,
 };
-pub use asl_locks::api::{DynGuard, DynLock, DynMutex, Guard, GuardedLock};
+pub use asl_locks::api::{
+    DynGuard, DynLock, DynMutex, DynRwLock, DynRwMutex, Guard, GuardedLock, GuardedRwLock,
+    ReadGuard, WriteGuard,
+};
 pub use asl_runtime::{CoreKind, Topology};
 
 /// The recommended application-facing mutex: LibASL dispatch over a
 /// reorderable MCS lock.
 pub type Mutex<T> = asl_core::AslMutex<T>;
+
+/// The recommended application-facing reader-writer lock: shared
+/// reads batched over a LibASL writer substrate.
+pub type RwLock<T> = asl_locks::api::RwLock<T, asl_core::AslRwLock>;

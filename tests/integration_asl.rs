@@ -57,8 +57,11 @@ fn big_cores_win_more_acquisitions_under_contention() {
         let little_ops = little_ops.clone();
         run_on_topology_with_stop(&topo, 8, false, stop, move |ctx| {
             epoch::reset_thread_epochs();
-            let ctr =
-                if ctx.assignment.kind == CoreKind::Big { &big_ops } else { &little_ops };
+            let ctr = if ctx.assignment.kind == CoreKind::Big {
+                &big_ops
+            } else {
+                &little_ops
+            };
             while !ctx.stopped() {
                 let t = lock.lock();
                 execute_units(400); // contended critical section
@@ -71,8 +74,14 @@ fn big_cores_win_more_acquisitions_under_contention() {
     stopper.join().unwrap();
     let b = big_ops.load(Ordering::Relaxed);
     let l = little_ops.load(Ordering::Relaxed);
-    assert!(l > 0, "no starvation: little cores must progress (bound = max window)");
-    assert!(b > l * 2, "expected strong big-core priority, got big={b} little={l}");
+    assert!(
+        l > 0,
+        "no starvation: little cores must progress (bound = max window)"
+    );
+    assert!(
+        b > l * 2,
+        "expected strong big-core priority, got big={b} little={l}"
+    );
 
     let s = lock.stats().snapshot();
     assert!(s.immediate > 0, "big cores use the immediate path");
@@ -121,7 +130,10 @@ fn zero_slo_behaves_like_fifo() {
             });
         }
         stopper.join().unwrap();
-        (big_ops.load(Ordering::Relaxed), little_ops.load(Ordering::Relaxed))
+        (
+            big_ops.load(Ordering::Relaxed),
+            little_ops.load(Ordering::Relaxed),
+        )
     };
 
     let (asl_big, asl_little) = run(true);

@@ -102,7 +102,11 @@ fn prefer_big_policy_skews_acquisition_share() {
         let big_ops = big_ops.clone();
         let little_ops = little_ops.clone();
         run_on_topology_with_stop(&topo, 4, false, stop, move |ctx| {
-            let ctr = if ctx.assignment.kind == CoreKind::Big { &big_ops } else { &little_ops };
+            let ctr = if ctx.assignment.kind == CoreKind::Big {
+                &big_ops
+            } else {
+                &little_ops
+            };
             while !ctx.stopped() {
                 {
                     let _held = lock.lock();
@@ -117,7 +121,10 @@ fn prefer_big_policy_skews_acquisition_share() {
     let l = little_ops.load(Ordering::Relaxed) as f64;
     assert!(l > 0.0, "little cores starved outright");
     let share = b / (b + l);
-    assert!(share > 0.55, "prefer-big share only {share:.2} (big={b} little={l})");
+    assert!(
+        share > 0.55,
+        "prefer-big share only {share:.2} (big={b} little={l})"
+    );
 }
 
 #[test]
@@ -194,5 +201,8 @@ fn new_specs_have_distinct_labels() {
     sorted.sort();
     sorted.dedup();
     assert_eq!(sorted.len(), labels.len());
-    assert_eq!(LockSpec::ShuffleClassLocal { max_skips: 16 }.label(), "shfl-local16");
+    assert_eq!(
+        LockSpec::ShuffleClassLocal { max_skips: 16 }.label(),
+        "shfl-local16"
+    );
 }

@@ -32,7 +32,10 @@ fn fig1_shape_fifo_and_tas_collapse() {
     fifo4.threads = 4;
     let f4 = run(&fifo4);
     let f8 = run(&cfg(SimLockKind::Fifo));
-    let t8 = run(&cfg(SimLockKind::TasAffinity { big_weight: 1.0, little_weight: 50.0 }));
+    let t8 = run(&cfg(SimLockKind::TasAffinity {
+        big_weight: 1.0,
+        little_weight: 50.0,
+    }));
 
     assert!(f8.throughput < f4.throughput, "FIFO collapse");
     assert!(
@@ -50,14 +53,20 @@ fn fig1_shape_fifo_and_tas_collapse() {
 #[test]
 fn fig4_shape_big_affinity_tas_beats_mcs_on_throughput_only() {
     let f8 = run(&cfg(SimLockKind::Fifo));
-    let t8 = run(&cfg(SimLockKind::TasAffinity { big_weight: 50.0, little_weight: 1.0 }));
+    let t8 = run(&cfg(SimLockKind::TasAffinity {
+        big_weight: 50.0,
+        little_weight: 1.0,
+    }));
     assert!(
         t8.throughput > f8.throughput * 1.15,
         "paper: +32% throughput; got {} vs {}",
         t8.throughput,
         f8.throughput
     );
-    assert!(t8.p99_little > f8.p99_little * 2, "but little-core tail collapses");
+    assert!(
+        t8.p99_little > f8.p99_little * 2,
+        "but little-core tail collapses"
+    );
 }
 
 #[test]
@@ -86,7 +95,10 @@ fn fig5_shape_proportion_sweep_is_a_tradeoff_curve() {
 fn fig8b_shape_throughput_monotone_in_slo_and_tail_tracks_slo() {
     let mut prev = 0.0;
     for slo in [20_000u64, 60_000, 200_000, 1_000_000] {
-        let mut c = cfg(SimLockKind::Reorderable { feedback: true, static_window_ns: None });
+        let mut c = cfg(SimLockKind::Reorderable {
+            feedback: true,
+            static_window_ns: None,
+        });
         c.slo_ns = Some(slo);
         let r = run(&c);
         assert!(
@@ -138,7 +150,10 @@ fn fig8g_shape_little_cores_help_at_low_contention() {
     let big_only = mk(4, SimLockKind::Fifo, low_contention_ncs);
     let asl_all = mk(
         8,
-        SimLockKind::Reorderable { feedback: false, static_window_ns: Some(100_000_000) },
+        SimLockKind::Reorderable {
+            feedback: false,
+            static_window_ns: Some(100_000_000),
+        },
         low_contention_ncs,
     );
     assert!(
@@ -152,7 +167,10 @@ fn fig8g_shape_little_cores_help_at_low_contention() {
     let big_only_hot = mk(4, SimLockKind::Fifo, 200);
     let asl_hot = mk(
         8,
-        SimLockKind::Reorderable { feedback: false, static_window_ns: Some(100_000_000) },
+        SimLockKind::Reorderable {
+            feedback: false,
+            static_window_ns: Some(100_000_000),
+        },
         200,
     );
     let ratio = asl_hot.throughput / big_only_hot.throughput;
@@ -184,14 +202,20 @@ fn slo_feedback_outperforms_fifo_and_respects_slo_vs_static() {
     // The feedback window should land near the best static window for
     // the same observed tail.
     let slo = 80_000u64;
-    let mut fb = cfg(SimLockKind::Reorderable { feedback: true, static_window_ns: None });
+    let mut fb = cfg(SimLockKind::Reorderable {
+        feedback: true,
+        static_window_ns: None,
+    });
     fb.slo_ns = Some(slo);
     let r_fb = run(&fb);
 
     // Offline-optimal static window search (the paper's LibASL-OPT).
     let mut best_static = 0.0f64;
     for w in [5_000u64, 10_000, 20_000, 40_000, 80_000, 160_000] {
-        let c = cfg(SimLockKind::Reorderable { feedback: false, static_window_ns: Some(w) });
+        let c = cfg(SimLockKind::Reorderable {
+            feedback: false,
+            static_window_ns: Some(w),
+        });
         let r = run(&c);
         if r.p99_little <= slo * 12 / 10 {
             best_static = best_static.max(r.throughput);

@@ -274,7 +274,7 @@ proptest! {
     /// durations, including ones that don't collapse to a round
     /// us/ms form.
     #[test]
-    fn lockspec_slo_names_roundtrip(slo in 1u64..120_000_000, family in 0u8..6) {
+    fn lockspec_slo_names_roundtrip(slo in 1u64..120_000_000, family in 0u8..7) {
         use libasl::harness::locks::{AslSubstrate, LockSpec};
         let spec = match family {
             0 => LockSpec::asl(Some(slo)),
@@ -282,10 +282,32 @@ proptest! {
             2 => LockSpec::asl_on(AslSubstrate::Ticket, Some(slo)),
             3 => LockSpec::asl_on(AslSubstrate::ShflFifo, Some(slo)),
             4 => LockSpec::AslOpt { window_ns: slo },
+            5 => LockSpec::AslRw { slo_ns: Some(slo) },
             _ => LockSpec::AslBlocking { slo_ns: Some(slo) },
         };
         let name = spec.to_string();
         let reparsed: LockSpec = name.parse().unwrap_or_else(|e| panic!("{name}: {e}"));
+        prop_assert_eq!(reparsed, spec, "{} must round-trip", name);
+    }
+
+    /// The reader-writer families round-trip too, and rw-ness
+    /// survives the round-trip.
+    #[test]
+    fn lockspec_rw_names_roundtrip(slo in 1u64..120_000_000, family in 0u8..7) {
+        use libasl::harness::locks::{BravoInner, LockSpec};
+        let spec = match family {
+            0 => LockSpec::RwTicket,
+            1 => LockSpec::BravoRw(BravoInner::Tas),
+            2 => LockSpec::BravoRw(BravoInner::Ticket),
+            3 => LockSpec::BravoRw(BravoInner::Mcs),
+            4 => LockSpec::BravoRw(BravoInner::Clh),
+            5 => LockSpec::BravoRw(BravoInner::Asl),
+            _ => LockSpec::AslRw { slo_ns: Some(slo) },
+        };
+        prop_assert!(spec.is_rw());
+        let name = spec.to_string();
+        let reparsed: LockSpec = name.parse().unwrap_or_else(|e| panic!("{name}: {e}"));
+        prop_assert!(reparsed.is_rw(), "{} must stay an rw spec", name);
         prop_assert_eq!(reparsed, spec, "{} must round-trip", name);
     }
 }

@@ -1,0 +1,79 @@
+//! Busy-wait hygiene audit.
+//!
+//! PR 1 convention: every busy-wait loop in the workspace goes
+//! through `asl_runtime::relax::Spin`, which yields on single-CPU /
+//! oversubscribed hosts so lock hand-offs don't burn scheduler
+//! quanta. A raw `spin_loop()` hint in a wait loop silently
+//! reintroduces the 500x CI slowdown that motivated it — so this test
+//! greps the source tree and fails if one sneaks in outside the
+//! explicit allowlist.
+
+use std::path::{Path, PathBuf};
+
+/// Files allowed to call `spin_loop` directly:
+/// * `relax.rs` *is* the Spin implementation;
+/// * `blocking.rs` uses bounded pre-park spin phases (fixed iteration
+///   counts before a futex wait, not open-ended waits);
+/// * this audit names the pattern it greps for.
+const ALLOWED: &[&str] = &[
+    "crates/runtime/src/relax.rs",
+    "crates/locks/src/blocking.rs",
+    "tests/spin_hygiene.rs",
+];
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable source tree") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn raw_spin_loop_hints_only_in_allowlisted_files() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut sources = Vec::new();
+    for dir in ["crates", "src", "examples", "tests"] {
+        rust_sources(&root.join(dir), &mut sources);
+    }
+    assert!(
+        sources.len() > 50,
+        "source walk looks broken: {} files",
+        sources.len()
+    );
+
+    let mut offenders = Vec::new();
+    for path in &sources {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap()
+            .to_string_lossy()
+            .replace('\\', "/");
+        if ALLOWED.contains(&rel.as_str()) {
+            continue;
+        }
+        let text = std::fs::read_to_string(path).expect("readable source file");
+        for (i, line) in text.lines().enumerate() {
+            if line.contains("spin_loop") {
+                offenders.push(format!("{rel}:{}: {}", i + 1, line.trim()));
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "raw spin_loop hint outside the allowlist — use asl_runtime::relax::Spin \
+         (yields under oversubscription) instead:\n{}",
+        offenders.join("\n")
+    );
+}
+
+#[test]
+fn allowlist_entries_exist() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for rel in ALLOWED {
+        assert!(root.join(rel).is_file(), "stale allowlist entry: {rel}");
+    }
+}
