@@ -30,7 +30,10 @@
 //!   plus a fixed-interval policy used by the ablation benches.
 //! * [`profile`] — the paper's profiling tool: sweep an SLO range and
 //!   emit the latency-throughput curve for applications without a
-//!   predefined SLO.
+//!   predefined SLO. Profile points carry the lock-agnostic
+//!   `asl_locks::telemetry::TelemetrySnapshot`, the same shared
+//!   format [`LockStats`] embeds — ASL path counters are a thin layer
+//!   over the zoo-wide telemetry subsystem, not a private scheme.
 //!
 //! ## Quick start
 //!

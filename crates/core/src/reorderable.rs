@@ -78,7 +78,21 @@ impl<L: RawLock, W: WaitPolicy> ReorderableLock<L, W> {
         self.stats
             .immediate
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        self.inner.lock()
+        let contended = self.inner.is_locked();
+        let t0 = if self.stats.telemetry.sampling() && contended {
+            now_ns()
+        } else {
+            0
+        };
+        let token = self.inner.lock();
+        if t0 != 0 {
+            self.stats
+                .telemetry
+                .add_wait_ns(now_ns().saturating_sub(t0));
+        }
+        self.stats.telemetry.record_acquisition(contended);
+        self.stats.telemetry.note_hold_start();
+        token
     }
 
     /// Acquire as a standby competitor with the given reorder window
@@ -88,10 +102,26 @@ impl<L: RawLock, W: WaitPolicy> ReorderableLock<L, W> {
         use std::sync::atomic::Ordering::Relaxed;
         // Starvation-freedom: never honour more than the bound.
         let window = window_ns.min(self.max_window_ns);
+        let t0 = if self.stats.telemetry.sampling() {
+            now_ns()
+        } else {
+            0
+        };
         if !self.inner.is_locked() {
             self.stats.standby_free_entry.fetch_add(1, Relaxed);
-            return self.inner.lock();
+            let token = self.inner.lock();
+            if t0 != 0 {
+                self.stats
+                    .telemetry
+                    .add_wait_ns(now_ns().saturating_sub(t0));
+            }
+            self.stats.telemetry.record_acquisition(false);
+            self.stats.telemetry.note_hold_start();
+            return token;
         }
+        // Held on entry: a contended acquisition whichever way the
+        // window plays out. Observations are visible before blocking.
+        self.stats.telemetry.record_contended();
         if window > 0 {
             let deadline = now_ns().saturating_add(window);
             match self
@@ -108,13 +138,22 @@ impl<L: RawLock, W: WaitPolicy> ReorderableLock<L, W> {
         } else {
             self.stats.standby_expired.fetch_add(1, Relaxed);
         }
-        self.inner.lock()
+        let token = self.inner.lock();
+        if t0 != 0 {
+            self.stats
+                .telemetry
+                .add_wait_ns(now_ns().saturating_sub(t0));
+        }
+        self.stats.telemetry.record_acquired();
+        self.stats.telemetry.note_hold_start();
+        token
     }
 
     /// Release (paper `unlock`: delegates to the underlying lock,
     /// whose handover logic is untouched).
     #[inline]
     pub fn unlock(&self, token: L::Token) {
+        self.stats.telemetry.note_hold_end();
         self.inner.unlock(token)
     }
 
@@ -296,6 +335,10 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(unsafe { *s.value.get() }, 40_000);
-        assert_eq!(s.lock.stats().snapshot().total(), 40_000);
+        let snap = s.lock.stats().snapshot();
+        assert_eq!(snap.total(), 40_000);
+        // The shared telemetry layer counts every acquisition too.
+        assert_eq!(snap.telemetry.acquisitions, 40_000);
+        assert!(snap.telemetry.contended <= snap.telemetry.acquisitions);
     }
 }

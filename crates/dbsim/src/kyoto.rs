@@ -53,9 +53,9 @@ impl Kyoto {
     pub fn with_mix(factory: &dyn LockFactory, slots: usize, mix: Mix) -> Self {
         assert!(slots > 0);
         Kyoto {
-            method_lock: guarded_rw_lock(factory),
+            method_lock: guarded_rw_lock(factory, "kyoto.method"),
             slots: (0..slots)
-                .map(|_| guarded_rw_slot(factory, vec![Vec::new(); BUCKETS_PER_SLOT]))
+                .map(|_| guarded_rw_slot(factory, "kyoto.slot", vec![Vec::new(); BUCKETS_PER_SLOT]))
                 .collect(),
             mix,
         }
@@ -140,6 +140,10 @@ impl Engine for Kyoto {
 
     fn name(&self) -> &'static str {
         "kyoto"
+    }
+
+    fn lock_labels(&self) -> &'static [&'static str] {
+        &["kyoto.method", "kyoto.slot"]
     }
 }
 

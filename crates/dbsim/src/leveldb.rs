@@ -64,6 +64,7 @@ impl LevelDb {
         LevelDb {
             current: guarded_rw_slot(
                 factory,
+                "leveldb.version",
                 Arc::new(DbVersion {
                     table: Arc::new(table),
                     sequence: 1,
@@ -139,6 +140,10 @@ impl Engine for LevelDb {
 
     fn name(&self) -> &'static str {
         "leveldb"
+    }
+
+    fn lock_labels(&self) -> &'static [&'static str] {
+        &["leveldb.version"]
     }
 }
 

@@ -60,6 +60,24 @@ pub trait LockFactory: Send + Sync {
     fn make_rw(&self) -> Arc<dyn PlainRwLock> {
         Arc::new(ExclusiveRw::new(self.make()))
     }
+
+    /// [`LockFactory::make`] for a *named* engine lock ("kyoto.slot",
+    /// "lmdb.writer", ...). The default wires the name into the
+    /// process-wide telemetry registry while profiling is on
+    /// (`asl_locks::telemetry`), so per-engine lock stats can
+    /// attribute contention to the lock that caused it; otherwise it
+    /// is exactly `make()`. Harness factories override this to fold
+    /// the lock-spec label into the name.
+    fn make_labeled(&self, label: &'static str) -> Arc<dyn PlainLock> {
+        asl_locks::telemetry::maybe_instrument(label, self.make())
+    }
+
+    /// [`LockFactory::make_rw`] for a named engine lock (telemetry
+    /// registers the shared and exclusive sides as `<label>.read` /
+    /// `<label>.write`).
+    fn make_rw_labeled(&self, label: &'static str) -> Arc<dyn PlainRwLock> {
+        asl_locks::telemetry::maybe_instrument_rw(label, self.make_rw())
+    }
 }
 
 impl<F> LockFactory for F
@@ -72,23 +90,26 @@ where
 }
 
 /// The engines' shared guarded-slot helper: a fresh lock from
-/// `factory` fused with the state it protects.
+/// `factory`, *named* for telemetry attribution, fused with the state
+/// it protects.
 ///
 /// Every internal engine lock that guards data (hash slots, B-trees,
 /// version pointers, protocol state) is one of these; locking returns
 /// an RAII guard that derefs to the state, so the copy-pasted
 /// `acquire`/`release` blocks of earlier revisions cannot come back.
-pub fn guarded_slot<T>(factory: &dyn LockFactory, value: T) -> DynMutex<T> {
-    DynMutex::new(factory.make(), value)
+/// The label ("sqlite.table", ...) is what per-engine lock stats
+/// report contention under when profiling is on.
+pub fn guarded_slot<T>(factory: &dyn LockFactory, label: &'static str, value: T) -> DynMutex<T> {
+    DynMutex::new(factory.make_labeled(label), value)
 }
 
-/// A data-free lock from `factory` (pure ordering points like method
-/// or writer locks), held as an RAII guard.
-pub fn guarded_lock(factory: &dyn LockFactory) -> DynLock {
-    DynLock::new(factory.make())
+/// A named, data-free lock from `factory` (pure ordering points like
+/// method or writer locks), held as an RAII guard.
+pub fn guarded_lock(factory: &dyn LockFactory, label: &'static str) -> DynLock {
+    DynLock::new(factory.make_labeled(label))
 }
 
-/// The reader-writer guarded-slot helper: a fresh rwlock from
+/// The reader-writer guarded-slot helper: a fresh named rwlock from
 /// `factory` fused with the state it protects.
 ///
 /// Engine state that is read on `Op::Read` paths and mutated on
@@ -96,14 +117,19 @@ pub fn guarded_lock(factory: &dyn LockFactory) -> DynLock {
 /// (overlapping under rwlock specs, degenerating to exclusive under
 /// exclusive specs via [`ExclusiveRw`]) and writes take exclusive
 /// guards.
-pub fn guarded_rw_slot<T>(factory: &dyn LockFactory, value: T) -> DynRwMutex<T> {
-    DynRwMutex::new(factory.make_rw(), value)
+pub fn guarded_rw_slot<T>(
+    factory: &dyn LockFactory,
+    label: &'static str,
+    value: T,
+) -> DynRwMutex<T> {
+    DynRwMutex::new(factory.make_rw_labeled(label), value)
 }
 
-/// A data-free reader-writer lock from `factory` (shared/exclusive
-/// ordering points like a method lock), held as an RAII guard.
-pub fn guarded_rw_lock(factory: &dyn LockFactory) -> DynRwLock {
-    DynRwLock::new(factory.make_rw())
+/// A named, data-free reader-writer lock from `factory`
+/// (shared/exclusive ordering points like a method lock), held as an
+/// RAII guard.
+pub fn guarded_rw_lock(factory: &dyn LockFactory, label: &'static str) -> DynRwLock {
+    DynRwLock::new(factory.make_rw_labeled(label))
 }
 
 /// Fixed-size record value (16 bytes, like the paper's small KV
@@ -125,6 +151,15 @@ pub trait Engine: Send + Sync {
 
     /// Engine name for reports.
     fn name(&self) -> &'static str;
+
+    /// Labels of the engine's internal locks ("kyoto.slot", ...), the
+    /// names its acquisitions are filed under in the telemetry
+    /// registry when profiling is on. The harness prints them in
+    /// figure notes so readers can match `--profile` stats rows
+    /// (`kyoto.slot[mcs]`) to the engine that owns the lock.
+    fn lock_labels(&self) -> &'static [&'static str] {
+        &[]
+    }
 }
 
 /// Key-space shared by the KV workloads.
@@ -169,7 +204,7 @@ mod tests {
     fn guarded_rw_slot_defaults_to_exclusive_and_upgrades() {
         // Exclusive factory: shared guards degenerate (no overlap).
         let f = || -> Arc<dyn PlainLock> { Arc::new(asl_locks::McsLock::new()) };
-        let slot = guarded_rw_slot(&f, 1u64);
+        let slot = guarded_rw_slot(&f, "test.slot", 1u64);
         {
             let r = slot.read();
             assert_eq!(*r, 1);
@@ -191,14 +226,14 @@ mod tests {
                 Arc::new(asl_locks::RwTicketLock::new())
             }
         }
-        let slot = guarded_rw_slot(&RwFactory, 1u64);
+        let slot = guarded_rw_slot(&RwFactory, "test.slot", 1u64);
         {
             let a = slot.read();
             let b = slot.try_read().expect("rw substrate: reads overlap");
             assert_eq!(*a + *b, 2);
             assert!(slot.try_write().is_none());
         }
-        let l = guarded_rw_lock(&RwFactory);
+        let l = guarded_rw_lock(&RwFactory, "test.lock");
         {
             let _r1 = l.read();
             let _r2 = l.try_read().expect("data-free rw lock shares too");
@@ -209,11 +244,11 @@ mod tests {
     #[test]
     fn guarded_slot_fuses_lock_and_state() {
         let f = || -> Arc<dyn PlainLock> { Arc::new(asl_locks::McsLock::new()) };
-        let slot = guarded_slot(&f, 41u64);
+        let slot = guarded_slot(&f, "test.slot", 41u64);
         *slot.lock() += 1;
         assert_eq!(*slot.lock(), 42);
         assert!(!slot.is_locked());
-        let l = guarded_lock(&f);
+        let l = guarded_lock(&f, "test.lock");
         let held = l.lock();
         assert!(l.is_locked());
         drop(held);

@@ -51,8 +51,8 @@ impl Lmdb {
     /// experiments).
     pub fn with_mix(factory: &dyn LockFactory, mix: Mix) -> Self {
         Lmdb {
-            write_lock: guarded_lock(factory),
-            tree: guarded_rw_slot(factory, BTreeMap::new()),
+            write_lock: guarded_lock(factory, "lmdb.writer"),
+            tree: guarded_rw_slot(factory, "lmdb.meta", BTreeMap::new()),
             version: AtomicU64::new(0),
             mix,
         }
@@ -114,6 +114,10 @@ impl Engine for Lmdb {
 
     fn name(&self) -> &'static str {
         "lmdb"
+    }
+
+    fn lock_labels(&self) -> &'static [&'static str] {
+        &["lmdb.writer", "lmdb.meta"]
     }
 }
 

@@ -108,8 +108,8 @@ impl Sqlite {
             rows.push(row);
         }
         Sqlite {
-            state: guarded_slot(factory, FileLockState::default()),
-            table: guarded_slot(factory, TableData { rows, index }),
+            state: guarded_slot(factory, "sqlite.state", FileLockState::default()),
+            table: guarded_slot(factory, "sqlite.table", TableData { rows, index }),
             requests: AtomicU64::new(0),
             next_id: AtomicU64::new(prefill),
             #[cfg(test)]
@@ -339,6 +339,10 @@ impl Engine for Sqlite {
 
     fn name(&self) -> &'static str {
         "sqlite"
+    }
+
+    fn lock_labels(&self) -> &'static [&'static str] {
+        &["sqlite.state", "sqlite.table"]
     }
 }
 

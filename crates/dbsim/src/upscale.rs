@@ -49,9 +49,9 @@ impl UpscaleDb {
     /// experiments).
     pub fn with_mix(factory: &dyn LockFactory, mix: Mix) -> Self {
         UpscaleDb {
-            pool_lock: guarded_rw_lock(factory),
+            pool_lock: guarded_rw_lock(factory, "upscale.pool"),
             pool_depth: AtomicU64::new(0),
-            tree: guarded_rw_slot(factory, BTreeMap::new()),
+            tree: guarded_rw_slot(factory, "upscale.tree", BTreeMap::new()),
             mix,
         }
     }
@@ -118,6 +118,10 @@ impl Engine for UpscaleDb {
 
     fn name(&self) -> &'static str {
         "upscaledb"
+    }
+
+    fn lock_labels(&self) -> &'static [&'static str] {
+        &["upscale.pool", "upscale.tree"]
     }
 }
 

@@ -6,16 +6,23 @@
 //! repro fig8a                # one figure (full profile)
 //! repro fig1 fig4 --quick    # several figures, quick profile
 //! repro --lock libasl-70us   # Bench-1 under one named lock
+//! repro fig1 --profile       # + per-lock telemetry stats tables
 //! repro all --quick --out results/
 //! ```
 //!
 //! Each figure prints aligned text tables; with `--out DIR` every
-//! table is also written as `DIR/<table-id>.csv`.
+//! table is also written as `DIR/<table-id>.csv` and every figure's
+//! machine-readable throughput points as `DIR/BENCH_<figure>.json`
+//! (schema: figure id, lock name, threads, ops/s). With `--profile`,
+//! every lock the registry materializes is wrapped in a telemetry
+//! recorder and a per-lock stats table is printed after each figure.
 
 use std::io::Write as _;
 
 use asl_harness::figures::{self, Profile};
 use asl_harness::locks::{registry, LockSpec};
+use asl_harness::report::{render_bench_json, telemetry_table, Table};
+use asl_locks::telemetry;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,6 +32,7 @@ fn main() {
     }
 
     let mut quick = false;
+    let mut profile_locks = false;
     let mut out_dir: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut lock_names: Vec<String> = Vec::new();
@@ -33,6 +41,7 @@ fn main() {
         match args[i].as_str() {
             "--quick" => quick = true,
             "--full" => quick = false,
+            "--profile" => profile_locks = true,
             "--out" => {
                 i += 1;
                 out_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
@@ -84,16 +93,23 @@ fn main() {
         Profile::full()
     };
     eprintln!(
-        "profile: {} ({}ms/point, warmup {}ms, pin={})",
+        "profile: {} ({}ms/point, warmup {}ms, pin={}{})",
         if quick { "quick" } else { "full" },
         profile.duration_ms,
         profile.warmup_ms,
-        profile.pin
+        profile.pin,
+        if profile_locks {
+            ", lock telemetry on"
+        } else {
+            ""
+        }
     );
 
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create --out dir");
     }
+
+    telemetry::set_profiling(profile_locks);
 
     let mut failed = false;
 
@@ -108,8 +124,10 @@ fn main() {
             }
         };
         eprintln!("running --lock {spec} ...");
+        telemetry::clear_registered();
         let table = figures::single_lock(&profile, &spec);
         emit(&table, &out_dir);
+        finish_figure(&format!("lock-{spec}"), &[table], &out_dir);
     }
 
     for id in &ids {
@@ -120,10 +138,12 @@ fn main() {
         };
         eprintln!("running {id} ...");
         let t0 = std::time::Instant::now();
+        telemetry::clear_registered();
         let tables = driver(&profile);
         for table in &tables {
             emit(table, &out_dir);
         }
+        finish_figure(id, &tables, &out_dir);
         eprintln!("{id} done in {:.1}s", t0.elapsed().as_secs_f64());
     }
     if failed {
@@ -131,7 +151,28 @@ fn main() {
     }
 }
 
-fn emit(table: &asl_harness::report::Table, out_dir: &Option<String>) {
+/// Per-figure epilogue: the per-lock telemetry table (whenever any
+/// lock recorded — `--profile` wraps everything, `instrumented-*`
+/// specs record on their own) and the machine-readable
+/// `BENCH_<figure>.json` (under `--out`).
+fn finish_figure(id: &str, tables: &[Table], out_dir: &Option<String>) {
+    let stats = telemetry_table(id);
+    if !stats.rows.is_empty() {
+        emit(&stats, out_dir);
+    }
+    if let Some(dir) = out_dir {
+        let samples: Vec<_> = tables.iter().flat_map(|t| t.samples.clone()).collect();
+        if !samples.is_empty() {
+            let path = format!("{dir}/BENCH_{id}.json");
+            let mut f = std::fs::File::create(&path).expect("create bench json");
+            f.write_all(render_bench_json(id, &samples).as_bytes())
+                .expect("write bench json");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+fn emit(table: &Table, out_dir: &Option<String>) {
     println!("{}", table.render_text());
     if let Some(dir) = out_dir {
         let path = format!("{dir}/{}.csv", table.id);
@@ -154,15 +195,16 @@ fn list_locks() {
     }
     println!(
         "\nSLO-parameterized families accept any duration, e.g. libasl-25us,\n\
-         libasl-clh-4ms, libasl-opt-500ns, libasl-blk-1ms."
+         libasl-clh-4ms, libasl-opt-500ns, libasl-blk-1ms. Prefix any name\n\
+         with `instrumented-` to record telemetry for it."
     );
 }
 
 fn usage() {
     eprintln!(
-        "usage: repro [--quick|--full] [--out DIR] [--lock NAME]... <figure-id>... | all | list | locks\n\
+        "usage: repro [--quick|--full] [--profile] [--out DIR] [--lock NAME]... <figure-id>... | all | list | locks\n\
          figure ids: fig1 fig4 fig5 fig8a fig8b fig8c fig8d fig8ef fig8g fig8hi\n\
-         \u{20}          fig9-kyoto fig9-upscale fig9-lmdb fig10-leveldb fig10-sqlite alt-topology rw\n\
-         lock names: see `repro locks` (e.g. mcs, shfl-pb10, libasl-70us, rw-ticket, bravo-mcs)"
+         \u{20}          fig9-kyoto fig9-upscale fig9-lmdb fig10-leveldb fig10-sqlite alt-topology rw adapt\n\
+         lock names: see `repro locks` (e.g. mcs, shfl-pb10, libasl-70us, rw-ticket, adaptive)"
     );
 }

@@ -70,6 +70,7 @@ pub fn fig8a(profile: &Profile) -> Vec<Table> {
         let scenario = MicroScenario::bench1(spec);
         let r = run_micro(profile, &scenario, 8);
         table.push_row(comparison_row(&spec.label(), &r));
+        table.push_sample(&spec.label(), 8, r.throughput);
     }
     table.note(format!(
         "SLO anchor: measured MCS P99 = {}us; LibASL SLOs at 1.7x/3.3x/4.3x anchor",
@@ -100,7 +101,8 @@ pub fn fig8b(profile: &Profile) -> Vec<Table> {
     let steps = 10usize;
     for i in 0..=steps {
         let slo = hi * i as u64 / steps as u64;
-        let scenario = MicroScenario::bench1(&LockSpec::asl(Some(slo)));
+        let spec = LockSpec::asl(Some(slo));
+        let scenario = MicroScenario::bench1(&spec);
         let r = run_micro(profile, &scenario, 8);
         table.push_row(vec![
             format!("{:.1}", slo as f64 / 1_000.0),
@@ -109,6 +111,7 @@ pub fn fig8b(profile: &Profile) -> Vec<Table> {
             fmt_us(r.overall.p99()),
             format!("{:.0}", r.throughput),
         ]);
+        table.push_sample(&spec.label(), 8, r.throughput);
     }
     table.note(format!(
         "MCS P99 anchor = {}us; below it LibASL falls back to FIFO",
@@ -189,6 +192,16 @@ pub fn fig8c(profile: &Profile) -> Vec<Table> {
             fmt_us(r_asl.little.p99()),
             fmt_us(r_asl.overall.p99()),
         ]);
+        table.push_sample(
+            &format!("{}@long={long_pct}", LockSpec::Mcs.label()),
+            8,
+            r_mcs.throughput,
+        );
+        table.push_sample(
+            &format!("{}@long={long_pct}", LockSpec::asl(Some(slo)).label()),
+            8,
+            r_asl.throughput,
+        );
     }
     table.note(format!(
         "long epochs {LONG_FACTOR}x longer; SLO = all-long MCS P99 = {}us",
@@ -360,6 +373,7 @@ pub fn fig8hi(profile: &Profile) -> Vec<Table> {
         let scenario = MicroScenario::bench1(spec);
         let r = run_micro(profile, &scenario, threads);
         t8h.push_row(comparison_row(&spec.label(), &r));
+        t8h.push_sample(&spec.label(), threads, r.throughput);
     }
     t8h.note(format!(
         "16 threads on 8 cores; SLO anchor = pthread P99 = {}us",

@@ -25,7 +25,10 @@ use super::{seed_tls_rng, with_tls_rng, Profile};
 /// fresh instance of the same spec (the paper relinks the whole
 /// binary against one lock library at a time). Reader-writer specs
 /// hand the engines genuine rwlocks through `make_rw`; exclusive
-/// specs degenerate shared guards to exclusive acquisitions.
+/// specs degenerate shared guards to exclusive acquisitions. The
+/// labeled variants fold the spec into the engine's lock name
+/// (`kyoto.slot[mcs]`), so `repro --profile` stats tables attribute
+/// contention to both the engine lock and the substrate under it.
 pub(crate) struct SpecFactory(pub(crate) LockSpec);
 
 impl LockFactory for SpecFactory {
@@ -35,6 +38,20 @@ impl LockFactory for SpecFactory {
 
     fn make_rw(&self) -> Arc<dyn asl_locks::PlainRwLock> {
         self.0.make_rw_lock()
+    }
+
+    fn make_labeled(&self, label: &'static str) -> Arc<dyn PlainLock> {
+        asl_locks::telemetry::maybe_instrument(
+            &format!("{label}[{}]", self.0.label()),
+            self.0.make_lock_raw(),
+        )
+    }
+
+    fn make_rw_labeled(&self, label: &'static str) -> Arc<dyn asl_locks::PlainRwLock> {
+        asl_locks::telemetry::maybe_instrument_rw(
+            &format!("{label}[{}]", self.0.label()),
+            self.0.make_rw_lock_raw(),
+        )
     }
 }
 
@@ -114,6 +131,11 @@ fn db_trio(
 ) -> Vec<Table> {
     let topo = Topology::apple_m1;
 
+    // The engine's internal lock names: `--profile` stats rows are
+    // filed under `<label>[<spec>]`, so the note tells readers which
+    // rows belong to this figure's engine.
+    let lock_labels = make(&SpecFactory(LockSpec::Mcs)).lock_labels().join(", ");
+
     // Anchor on the measured MCS P99 for this engine.
     let anchor = run_db_point(profile, topo(), make, &LockSpec::Mcs, 8)
         .overall
@@ -142,10 +164,14 @@ fn db_trio(
     for spec in &specs {
         let r = run_db_point(profile, topo(), make, spec, 8);
         bars.push_row(comparison_row(&spec.label(), &r));
+        bars.push_sample(&spec.label(), 8, r.throughput);
     }
     bars.note(format!(
         "SLO anchor: measured MCS P99 = {}us; LibASL SLOs at 1.5x/3x anchor",
         anchor / 1_000
+    ));
+    bars.note(format!(
+        "engine locks (telemetry labels under --profile): {lock_labels}"
     ));
 
     // (b) variant SLOs.
@@ -163,7 +189,8 @@ fn db_trio(
     let steps = 8u64;
     for i in 0..=steps {
         let slo = anchor * 4 * i / steps;
-        let r = run_db_point(profile, topo(), make, &LockSpec::asl(Some(slo)), 8);
+        let spec = LockSpec::asl(Some(slo));
+        let r = run_db_point(profile, topo(), make, &spec, 8);
         sweep.push_row(vec![
             format!("{:.1}", slo as f64 / 1_000.0),
             fmt_us(r.big.p99()),
@@ -171,6 +198,7 @@ fn db_trio(
             fmt_us(r.overall.p99()),
             format!("{:.0}", r.throughput),
         ]);
+        sweep.push_sample(&spec.label(), 8, r.throughput);
     }
 
     // (c) CDF at the representative SLO.

@@ -33,6 +33,7 @@ fn scalability_scan(
             let r = run_micro(profile, &scenario, threads);
             row.push(format!("{:.0}", r.throughput));
             row.push(fmt_us(r.overall.p99()));
+            table.push_sample(&spec.label(), threads, r.throughput);
         }
         table.push_row(row);
     }
@@ -79,13 +80,15 @@ pub fn fig5(profile: &Profile) -> Vec<Table> {
         &["proportion", "thpt_ops_s", "p99_us"],
     );
     for n in [0u32, 1, 2, 3, 4, 5, 6, 8, 10, 13, 16, 20, 25, 29] {
-        let scenario = MicroScenario::bench1(&LockSpec::ShflPb(n));
+        let spec = LockSpec::ShflPb(n);
+        let scenario = MicroScenario::bench1(&spec);
         let r = run_micro(profile, &scenario, 8);
         table.push_row(vec![
             n.to_string(),
             format!("{:.0}", r.throughput),
             fmt_us(r.overall.p99()),
         ]);
+        table.push_sample(&spec.label(), 8, r.throughput);
     }
     table.note("Bench-1 workload, 8 threads; N = big-core grants per little-core grant");
     vec![table]
@@ -154,11 +157,17 @@ pub fn fig8g(profile: &Profile) -> Vec<Table> {
             let s = MicroScenario::simple(&LockSpec::asl(None), FIG8G_LINES, ncs);
             run_micro(profile, &s, 8).throughput
         };
+        table.push_sample(
+            &format!("{}@ncs={ncs}", LockSpec::asl(None).label()),
+            8,
+            asl,
+        );
         let mut row = vec![ncs.to_string(), format!("{asl:.0}")];
         for (_, spec, threads) in &baselines {
             let s = MicroScenario::simple(spec, FIG8G_LINES, ncs);
             let base = run_micro(profile, &s, *threads).throughput;
             row.push(format!("{:.2}", asl / base.max(1.0)));
+            table.push_sample(&format!("{}@ncs={ncs}", spec.label()), *threads, base);
         }
         table.push_row(row);
     }

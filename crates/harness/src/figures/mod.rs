@@ -10,6 +10,7 @@
 //! same workload (the paper picks absolute values hand-tuned to its
 //! hardware; anchoring keeps the comparisons meaningful on any host).
 
+pub mod adapt;
 pub mod bench1;
 pub mod db;
 pub mod extra;
@@ -124,6 +125,7 @@ pub fn single_lock(profile: &Profile, spec: &crate::locks::LockSpec) -> Table {
         &micro::COMPARISON_COLS,
     );
     t.push_row(micro::comparison_row(&spec.label(), &r));
+    t.push_sample(&spec.label(), 8, r.throughput);
     t
 }
 
@@ -152,6 +154,7 @@ pub fn registry() -> Vec<(&'static str, FigureFn)> {
         ("sec2-numa", extra::sec2_numa),
         ("sec5-delegation", extra::sec5_delegation),
         ("rw", rw::rw),
+        ("adapt", adapt::adapt),
     ]
 }
 
@@ -188,6 +191,7 @@ mod tests {
         // and the read-mostly extension.
         for id in [
             "rw",
+            "adapt",
             "fig1",
             "fig4",
             "fig5",

@@ -81,6 +81,11 @@ pub fn rw(profile: &Profile) -> Vec<Table> {
                     fmt_us(r.overall.p99()),
                     fmt_us(r.little.p99()),
                 ]);
+                table.push_sample(
+                    &format!("{}@rf={frac:.2}", spec.label()),
+                    threads,
+                    r.throughput,
+                );
             }
         }
     }
@@ -89,5 +94,13 @@ pub fn rw(profile: &Profile) -> Vec<Table> {
          substrates serialize them (YCSB-B/C = 95%/100% reads)"
             .to_string(),
     );
+    let labels = asl_dbsim::Engine::lock_labels(&UpscaleDb::with_mix(
+        &SpecFactory(LockSpec::Mcs),
+        Mix::ycsb_a(),
+    ))
+    .join(", ");
+    table.note(format!(
+        "engine locks (telemetry labels under --profile): {labels}"
+    ));
     vec![table]
 }

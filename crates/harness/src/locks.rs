@@ -40,9 +40,10 @@ use asl_core::{AslBlockingLock, AslLock, AslRwLock, AslSpinLock, ReorderableLock
 use asl_locks::api::{DynLock, DynRwLock};
 use asl_locks::plain::{ExclusiveRw, PlainLock, PlainRwLock, PlainToken, WriteHalf};
 use asl_locks::shuffle::{ClassLocalPolicy, FifoPolicy, ShuffleLock};
+use asl_locks::telemetry;
 use asl_locks::{
-    Bravo, ClhLock, CnaLock, CohortLock, MalthusianLock, McsLock, McsStpLock, ProportionalLock,
-    PthreadMutex, RwTicketLock, TasLock, TicketLock,
+    Adaptive, Bravo, ClhLock, CnaLock, CohortLock, MalthusianLock, McsLock, McsStpLock,
+    ProportionalLock, PthreadMutex, RwTicketLock, TasLock, TicketLock,
 };
 use asl_runtime::registry::is_big_core;
 use asl_runtime::AtomicAffinity;
@@ -159,6 +160,13 @@ pub enum LockSpec {
         /// Epoch SLO in ns; `None` disables epochs (max window).
         slo_ns: Option<u64>,
     },
+    /// Contention-adaptive lock: TAS that morphs to a FIFO queue
+    /// under sustained contention (Fissile-style).
+    Adaptive,
+    /// Telemetry-recording wrapper over any other spec
+    /// (`instrumented-<name>`): acquisitions land in the process-wide
+    /// telemetry registry under the spec's label.
+    Instrumented(Box<LockSpec>),
 }
 
 impl LockSpec {
@@ -185,6 +193,7 @@ impl LockSpec {
             LockSpec::Asl { slo_ns, .. }
             | LockSpec::AslBlocking { slo_ns }
             | LockSpec::AslRw { slo_ns } => *slo_ns,
+            LockSpec::Instrumented(inner) => inner.epoch_slo(),
             _ => None,
         }
     }
@@ -193,10 +202,11 @@ impl LockSpec {
     /// acquisitions overlap). Exclusive specs still work at rw call
     /// sites through the [`ExclusiveRw`] degeneration.
     pub fn is_rw(&self) -> bool {
-        matches!(
-            self,
-            LockSpec::RwTicket | LockSpec::BravoRw(_) | LockSpec::AslRw { .. }
-        )
+        match self {
+            LockSpec::RwTicket | LockSpec::BravoRw(_) | LockSpec::AslRw { .. } => true,
+            LockSpec::Instrumented(inner) => inner.is_rw(),
+            _ => false,
+        }
     }
 
     /// Build `n` independent guard-based lock handles for this spec.
@@ -212,7 +222,23 @@ impl LockSpec {
     /// Build one shared lock object (the token-level factory used by
     /// the engines' [`asl_dbsim::LockFactory`] plumbing; prefer
     /// [`LockSpec::make_dyn`] at call sites that lock directly).
+    ///
+    /// `instrumented-<name>` specs always record telemetry; every
+    /// other spec is transparently instrumented (and filed in the
+    /// process-wide registry under its label) while
+    /// `asl_locks::telemetry::profiling` is on — the `repro
+    /// --profile` mode.
     pub fn make_lock(&self) -> Arc<dyn PlainLock> {
+        let raw = self.make_lock_raw();
+        if matches!(self, LockSpec::Instrumented(_)) {
+            raw // already recording
+        } else {
+            telemetry::maybe_instrument(&self.label(), raw)
+        }
+    }
+
+    /// [`LockSpec::make_lock`] without any telemetry wrapping.
+    pub fn make_lock_raw(&self) -> Arc<dyn PlainLock> {
         match self {
             LockSpec::Pthread => Arc::new(PthreadMutex::new()),
             LockSpec::Tas(aff) => Arc::new(TasLock::with_affinity(*aff)),
@@ -234,10 +260,14 @@ impl LockSpec {
             },
             LockSpec::AslOpt { window_ns } => Arc::new(StaticWindowLock::new(*window_ns)),
             LockSpec::AslBlocking { .. } => Arc::new(AslBlockingLock::new_blocking()),
+            LockSpec::Adaptive => Arc::new(Adaptive::new()),
+            LockSpec::Instrumented(inner) => {
+                telemetry::instrument(&self.label(), inner.make_lock_raw())
+            }
             // rw specs at exclusive call sites: every acquisition
             // takes the write side.
             LockSpec::RwTicket | LockSpec::BravoRw(_) | LockSpec::AslRw { .. } => {
-                Arc::new(WriteHalf::new(self.make_rw_lock()))
+                Arc::new(WriteHalf::new(self.make_rw_lock_raw()))
             }
         }
     }
@@ -250,8 +280,19 @@ impl LockSpec {
     /// Build one shared reader-writer lock object. Rw specs
     /// materialize their native rwlock; exclusive specs degenerate
     /// through [`ExclusiveRw`] (shared mode = exclusive acquisition),
-    /// so every registry name works at rw call sites.
+    /// so every registry name works at rw call sites. Telemetry
+    /// wrapping follows [`LockSpec::make_lock`].
     pub fn make_rw_lock(&self) -> Arc<dyn PlainRwLock> {
+        let raw = self.make_rw_lock_raw();
+        if matches!(self, LockSpec::Instrumented(_)) {
+            raw // already recording
+        } else {
+            telemetry::maybe_instrument_rw(&self.label(), raw)
+        }
+    }
+
+    /// [`LockSpec::make_rw_lock`] without any telemetry wrapping.
+    pub fn make_rw_lock_raw(&self) -> Arc<dyn PlainRwLock> {
         match self {
             LockSpec::RwTicket => Arc::new(RwTicketLock::new()),
             LockSpec::BravoRw(inner) => match inner {
@@ -262,7 +303,10 @@ impl LockSpec {
                 BravoInner::Asl => Arc::new(Bravo::new(AslSpinLock::default())),
             },
             LockSpec::AslRw { .. } => Arc::new(AslRwLock::default()),
-            _ => Arc::new(ExclusiveRw::new(self.make_lock())),
+            LockSpec::Instrumented(inner) if inner.is_rw() => {
+                telemetry::instrument_rw(&self.label(), inner.make_rw_lock_raw())
+            }
+            _ => Arc::new(ExclusiveRw::new(self.make_lock_raw())),
         }
     }
 }
@@ -299,6 +343,8 @@ impl fmt::Display for LockSpec {
             LockSpec::BravoRw(inner) => write!(f, "bravo-{}", inner.tag()),
             LockSpec::AslRw { slo_ns: None } => f.write_str("libasl-rw-max"),
             LockSpec::AslRw { slo_ns: Some(s) } => write!(f, "libasl-rw-{}", fmt_slo(*s)),
+            LockSpec::Adaptive => f.write_str("adaptive"),
+            LockSpec::Instrumented(inner) => write!(f, "instrumented-{inner}"),
         }
     }
 }
@@ -347,6 +393,7 @@ impl FromStr for LockSpec {
             "ticket" => LockSpec::Ticket,
             "mcs" => LockSpec::Mcs,
             "mcs-stp" => LockSpec::McsStp,
+            "adaptive" => LockSpec::Adaptive,
             "cna" => LockSpec::Cna,
             "cohort" => LockSpec::Cohort,
             "malthusian" => LockSpec::Malthusian,
@@ -357,7 +404,9 @@ impl FromStr for LockSpec {
             "bravo-clh" => LockSpec::BravoRw(BravoInner::Clh),
             "bravo-libasl" => LockSpec::BravoRw(BravoInner::Asl),
             _ => {
-                if let Some(p) = s.strip_prefix("tas-big-p") {
+                if let Some(inner) = s.strip_prefix("instrumented-") {
+                    LockSpec::Instrumented(Box::new(inner.parse().map_err(|_| err())?))
+                } else if let Some(p) = s.strip_prefix("tas-big-p") {
                     LockSpec::Tas(AtomicAffinity::BigWins {
                         penalty_units: p.parse().map_err(|_| err())?,
                     })
@@ -562,6 +611,14 @@ pub fn registry() -> Vec<RegistryEntry> {
             LockSpec::AslRw { slo_ns: None },
             "reader-writer LibASL, maximum reorder window",
         ),
+        e(
+            LockSpec::Adaptive,
+            "contention-adaptive: TAS that morphs to a FIFO queue under load",
+        ),
+        e(
+            LockSpec::Instrumented(Box::new(LockSpec::Mcs)),
+            "telemetry-recording MCS (any name: instrumented-<name>)",
+        ),
     ]
 }
 
@@ -713,6 +770,19 @@ mod tests {
                     slo_ns: Some(1_500),
                 },
             ),
+            ("adaptive", LockSpec::Adaptive),
+            (
+                "instrumented-mcs",
+                LockSpec::Instrumented(Box::new(LockSpec::Mcs)),
+            ),
+            (
+                "instrumented-libasl-70us",
+                LockSpec::Instrumented(Box::new(LockSpec::asl(Some(70_000)))),
+            ),
+            (
+                "instrumented-rw-ticket",
+                LockSpec::Instrumented(Box::new(LockSpec::RwTicket)),
+            ),
         ] {
             assert_eq!(name.parse::<LockSpec>().unwrap(), spec, "{name}");
         }
@@ -776,6 +846,78 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_specs_record_for_every_registry_name() {
+        // `instrumented-<name>` works for every catalogued name, and
+        // acquisitions land in the process-wide telemetry registry
+        // under the full label.
+        for entry in registry() {
+            let spec = LockSpec::Instrumented(Box::new(entry.spec.clone()));
+            let label = spec.label();
+            let lock = spec.make_dyn();
+            {
+                let _held = lock.lock();
+                assert!(lock.is_locked(), "{label}");
+            }
+            assert!(!lock.is_locked(), "{label}");
+            let snaps = telemetry::snapshots();
+            let total: u64 = snaps
+                .iter()
+                .filter(|(l, _)| l.starts_with(&label))
+                .map(|(_, s)| s.acquisitions)
+                .sum();
+            assert!(total >= 1, "{label}: no telemetry recorded ({snaps:?})");
+        }
+    }
+
+    #[test]
+    fn instrumented_rw_spec_shares_reads() {
+        let spec: LockSpec = "instrumented-rw-ticket".parse().unwrap();
+        assert!(spec.is_rw());
+        let lock = spec.make_dyn_rw();
+        {
+            let _r1 = lock.read();
+            let _r2 = lock.try_read().expect("instrumented reads overlap");
+            assert!(lock.try_write().is_none());
+        }
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn adaptive_spec_morphs_under_guard_contention() {
+        use asl_runtime::relax::Spin;
+        use std::sync::Arc as StdArc;
+
+        // Registry-addressable adaptive lock, driven through the
+        // typed interface for the mode oracle.
+        let spec: LockSpec = "adaptive".parse().unwrap();
+        assert_eq!(spec.label(), "adaptive");
+
+        let lock = StdArc::new(Adaptive::with_thresholds(2, u32::MAX));
+        assert_eq!(lock.mode(), asl_locks::AdaptiveMode::Tas);
+        let t = asl_locks::RawLock::lock(&*lock);
+        let before = lock.telemetry().snapshot().contended;
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let l = lock.clone();
+                std::thread::spawn(move || {
+                    let t = asl_locks::RawLock::lock(&*l);
+                    asl_locks::RawLock::unlock(&*l, t);
+                })
+            })
+            .collect();
+        let mut spin = Spin::new();
+        while lock.telemetry().snapshot().contended < before + 2 {
+            spin.relax();
+        }
+        asl_locks::RawLock::unlock(&*lock, t);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lock.mode(), asl_locks::AdaptiveMode::Queue);
+        assert!(lock.morphs_to_queue() >= 1);
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         for bad in [
             "",
@@ -790,6 +932,8 @@ mod tests {
             "libasl-rw-",
             "rw-",
             "libasl-rw-xyz",
+            "instrumented-",
+            "instrumented-nope",
         ] {
             assert!(bad.parse::<LockSpec>().is_err(), "{bad:?} should not parse");
         }

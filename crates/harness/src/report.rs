@@ -2,6 +2,27 @@
 //!
 //! Every figure driver produces a [`Table`]; the `repro` binary
 //! renders it as aligned text for the terminal and CSV for plotting.
+//! Alongside the formatted rows, drivers attach machine-readable
+//! [`BenchSample`]s (lock name, thread count, ops/s) that `repro
+//! --out` serializes as `BENCH_<figure>.json`, and [`telemetry_table`]
+//! renders the process-wide per-lock telemetry collected under
+//! `repro --profile`.
+
+use asl_locks::telemetry::{self, TelemetrySnapshot};
+
+/// One machine-readable throughput measurement backing a table row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSample {
+    /// Registry lock name (`LockSpec` label). Figures that sweep a
+    /// second parameter besides the lock and thread count append it
+    /// as an `@key=value` suffix (`mcs@rf=0.95`) so every (figure,
+    /// lock, threads) key maps to exactly one throughput.
+    pub lock: String,
+    /// Worker threads the point ran with.
+    pub threads: usize,
+    /// Measured operations per second.
+    pub ops_per_sec: f64,
+}
 
 /// One reproduced figure (or sub-figure).
 #[derive(Debug, Clone)]
@@ -16,6 +37,8 @@ pub struct Table {
     pub rows: Vec<Vec<String>>,
     /// Free-form notes (workload parameters, caveats).
     pub notes: Vec<String>,
+    /// Machine-readable throughput points behind the rows.
+    pub samples: Vec<BenchSample>,
 }
 
 impl Table {
@@ -27,6 +50,7 @@ impl Table {
             columns: columns.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            samples: Vec::new(),
         }
     }
 
@@ -39,6 +63,15 @@ impl Table {
     /// Append a note line.
     pub fn note(&mut self, s: impl Into<String>) {
         self.notes.push(s.into());
+    }
+
+    /// Attach one machine-readable throughput point.
+    pub fn push_sample(&mut self, lock: &str, threads: usize, ops_per_sec: f64) {
+        self.samples.push(BenchSample {
+            lock: lock.to_string(),
+            threads,
+            ops_per_sec,
+        });
     }
 
     /// Render as an aligned text table.
@@ -88,6 +121,80 @@ impl Table {
     }
 }
 
+/// Serialize samples as the `BENCH_<figure>.json` document: figure
+/// id, then one record per (lock, threads, ops/s) point.
+pub fn render_bench_json(figure: &str, samples: &[BenchSample]) -> String {
+    let mut out = format!(
+        "{{\n  \"figure\": {},\n  \"results\": [\n",
+        json_str(figure)
+    );
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"lock\": {}, \"threads\": {}, \"ops_per_sec\": {:.1}}}{}\n",
+            json_str(&s.lock),
+            s.threads,
+            s.ops_per_sec,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render the process-wide per-lock telemetry (collected while
+/// `asl_locks::telemetry` profiling is on) as a stats table for one
+/// figure. Locks with zero recorded acquisitions are skipped.
+pub fn telemetry_table(figure_id: &str) -> Table {
+    let mut t = Table::new(
+        &format!("{figure_id}-profile"),
+        &format!("per-lock telemetry for {figure_id}"),
+        &[
+            "lock",
+            "acquisitions",
+            "contended",
+            "contended_pct",
+            "spin_iters",
+            "avg_hold_us",
+            "avg_wait_us",
+        ],
+    );
+    for (label, snap) in telemetry::snapshots() {
+        if snap.acquisitions == 0 {
+            continue;
+        }
+        t.push_row(telemetry_row(&label, &snap));
+    }
+    t.note("telemetry sampled via Instrumented wrappers (--profile or instrumented-* specs)");
+    t
+}
+
+fn telemetry_row(label: &str, s: &TelemetrySnapshot) -> Vec<String> {
+    vec![
+        label.to_string(),
+        s.acquisitions.to_string(),
+        s.contended.to_string(),
+        format!("{:.1}", 100.0 * s.contention_ratio()),
+        s.spin_iters.to_string(),
+        format!("{:.2}", s.avg_hold_ns() / 1_000.0),
+        format!("{:.2}", s.avg_wait_ns() / 1_000.0),
+    ]
+}
+
 /// Format ops/sec compactly (e.g. "2.41M", "853k").
 pub fn fmt_ops(v: f64) -> String {
     if v >= 1e6 {
@@ -135,5 +242,50 @@ mod tests {
         assert_eq!(fmt_ops(853_000.0), "853k");
         assert_eq!(fmt_ops(12.0), "12");
         assert_eq!(fmt_us(1_500), "1.5");
+    }
+
+    #[test]
+    fn bench_json_schema() {
+        let mut t = Table::new("fig1", "demo", &["lock"]);
+        t.push_sample("mcs", 8, 1234.56);
+        t.push_sample("libasl-max", 4, 99.0);
+        let json = render_bench_json("fig1", &t.samples);
+        assert!(json.contains("\"figure\": \"fig1\""));
+        assert!(json.contains("\"lock\": \"mcs\""));
+        assert!(json.contains("\"threads\": 8"));
+        assert!(json.contains("\"ops_per_sec\": 1234.6"));
+        // Exactly one trailing comma (two records).
+        assert_eq!(json.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn json_strings_escaped() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("\n"), "\"\\u000a\"");
+    }
+
+    #[test]
+    fn telemetry_table_skips_idle_cells() {
+        use std::sync::Arc;
+        // Unique labels: the registry is process-global and other
+        // tests may be registering concurrently.
+        let busy = Arc::new(telemetry::TelemetryCell::new());
+        busy.record_acquisition(true);
+        telemetry::register_cell("report-test-busy", busy);
+        telemetry::register_cell(
+            "report-test-idle",
+            Arc::new(telemetry::TelemetryCell::new()),
+        );
+        let t = telemetry_table("figX");
+        assert_eq!(t.id, "figX-profile");
+        assert!(
+            t.rows.iter().any(|r| r[0] == "report-test-busy"),
+            "recorded cell must appear: {:?}",
+            t.rows
+        );
+        assert!(
+            !t.rows.iter().any(|r| r[0] == "report-test-idle"),
+            "idle cell must be skipped"
+        );
     }
 }

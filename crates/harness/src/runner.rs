@@ -75,6 +75,9 @@ pub struct RunResult {
     pub big_ops: u64,
     /// Ops completed by little-core workers.
     pub little_ops: u64,
+    /// Per-lock telemetry registered during the run (empty unless
+    /// `asl_locks::telemetry` profiling is on — `repro --profile`).
+    pub telemetry: Vec<(String, asl_locks::telemetry::TelemetrySnapshot)>,
 }
 
 impl RunResult {
@@ -210,6 +213,7 @@ where
         little,
         big_ops,
         little_ops,
+        telemetry: asl_locks::telemetry::snapshots(),
     }
 }
 

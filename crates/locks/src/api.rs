@@ -73,6 +73,7 @@ use crate::{RawLock, RawRwLock};
 /// let guard = asl_locks::api::Guard::new(&lock);
 /// assert_send(guard); // must not compile: guards can't cross threads
 /// ```
+#[must_use = "a dropped guard releases the lock immediately"]
 pub struct Guard<'a, L: RawLock> {
     lock: &'a L,
     token: Option<L::Token>,
@@ -97,6 +98,7 @@ impl<'a, L: RawLock> Guard<'a, L> {
 
     /// Try to acquire `lock` without waiting.
     #[inline]
+    #[must_use = "dropping the returned guard releases the lock again"]
     pub fn try_new(lock: &'a L) -> Option<Self> {
         lock.try_lock().map(|token| Guard {
             lock,
@@ -157,6 +159,7 @@ pub trait GuardedLock: RawLock + Sized {
 
     /// Try to acquire without waiting.
     #[inline]
+    #[must_use = "dropping the returned guard releases the lock again"]
     fn try_guard(&self) -> Option<Guard<'_, Self>> {
         Guard::try_new(self)
     }
@@ -211,6 +214,7 @@ impl<T, L: RawLock> Mutex<T, L> {
 
     /// Try to acquire without waiting.
     #[inline]
+    #[must_use = "dropping the returned guard releases the lock again"]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T, L>> {
         self.lock.try_lock().map(|token| MutexGuard {
             mutex: self,
@@ -261,6 +265,7 @@ impl<T: fmt::Debug, L: RawLock> fmt::Debug for Mutex<T, L> {
 
 /// RAII guard for [`Mutex`]: derefs to the protected data, releases
 /// the lock on drop.
+#[must_use = "a dropped guard releases the lock immediately"]
 pub struct MutexGuard<'a, T, L: RawLock> {
     mutex: &'a Mutex<T, L>,
     token: Option<L::Token>,
@@ -344,6 +349,7 @@ impl DynLock {
 
     /// Try to acquire without waiting.
     #[inline]
+    #[must_use = "dropping the returned guard releases the lock again"]
     pub fn try_lock(&self) -> Option<DynGuard<'_>> {
         self.inner.try_acquire().map(|token| DynGuard {
             lock: &*self.inner,
@@ -394,6 +400,7 @@ impl fmt::Debug for DynLock {
 /// let lock = asl_locks::api::DynLock::of(asl_locks::McsLock::new());
 /// assert_send(lock.lock()); // must not compile
 /// ```
+#[must_use = "a dropped guard releases the lock immediately"]
 pub struct DynGuard<'a> {
     lock: &'a dyn PlainLock,
     token: Option<PlainToken>,
@@ -456,6 +463,7 @@ impl<T> DynMutex<T> {
 
     /// Try to acquire without waiting.
     #[inline]
+    #[must_use = "dropping the returned guard releases the lock again"]
     pub fn try_lock(&self) -> Option<DynMutexGuard<'_, T>> {
         self.lock.plain().try_acquire().map(|token| DynMutexGuard {
             mutex: self,
@@ -487,6 +495,7 @@ impl<T> DynMutex<T> {
 }
 
 /// RAII guard for [`DynMutex`]: derefs to the protected data.
+#[must_use = "a dropped guard releases the lock immediately"]
 pub struct DynMutexGuard<'a, T> {
     mutex: &'a DynMutex<T>,
     token: Option<PlainToken>,
@@ -544,6 +553,7 @@ impl<T> Drop for DynMutexGuard<'_, T> {
 /// let guard = asl_locks::api::ReadGuard::new(&lock);
 /// assert_send(guard); // must not compile: guards can't cross threads
 /// ```
+#[must_use = "a dropped guard releases the shared lock immediately"]
 pub struct ReadGuard<'a, L: RawRwLock> {
     lock: &'a L,
     token: Option<L::ReadToken>,
@@ -568,6 +578,7 @@ impl<'a, L: RawRwLock> ReadGuard<'a, L> {
 
     /// Try to acquire `lock` shared without waiting.
     #[inline]
+    #[must_use = "dropping the returned guard releases the lock again"]
     pub fn try_new(lock: &'a L) -> Option<Self> {
         lock.try_read().map(|token| ReadGuard {
             lock,
@@ -598,6 +609,7 @@ impl<L: RawRwLock> Drop for ReadGuard<'_, L> {
 
 /// RAII exclusive acquisition of a borrowed [`RawRwLock`]; released on
 /// drop.
+#[must_use = "a dropped guard releases the exclusive lock immediately"]
 pub struct WriteGuard<'a, L: RawRwLock> {
     lock: &'a L,
     token: Option<L::WriteToken>,
@@ -621,6 +633,7 @@ impl<'a, L: RawRwLock> WriteGuard<'a, L> {
 
     /// Try to acquire `lock` exclusive without waiting.
     #[inline]
+    #[must_use = "dropping the returned guard releases the lock again"]
     pub fn try_new(lock: &'a L) -> Option<Self> {
         lock.try_write().map(|token| WriteGuard {
             lock,
@@ -660,6 +673,7 @@ pub trait GuardedRwLock: RawRwLock + Sized {
 
     /// Try to acquire shared without waiting.
     #[inline]
+    #[must_use = "dropping the returned guard releases the lock again"]
     fn try_read_guard(&self) -> Option<ReadGuard<'_, Self>> {
         ReadGuard::try_new(self)
     }
@@ -672,6 +686,7 @@ pub trait GuardedRwLock: RawRwLock + Sized {
 
     /// Try to acquire exclusive without waiting.
     #[inline]
+    #[must_use = "dropping the returned guard releases the lock again"]
     fn try_write_guard(&self) -> Option<WriteGuard<'_, Self>> {
         WriteGuard::try_new(self)
     }
@@ -739,6 +754,7 @@ impl<T, L: RawRwLock> RwLock<T, L> {
 
     /// Try to acquire shared without waiting.
     #[inline]
+    #[must_use = "dropping the returned guard releases the lock again"]
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T, L>> {
         self.lock.try_read().map(|token| RwLockReadGuard {
             rwlock: self,
@@ -760,6 +776,7 @@ impl<T, L: RawRwLock> RwLock<T, L> {
 
     /// Try to acquire exclusive without waiting.
     #[inline]
+    #[must_use = "dropping the returned guard releases the lock again"]
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T, L>> {
         self.lock.try_write().map(|token| RwLockWriteGuard {
             rwlock: self,
@@ -809,6 +826,7 @@ impl<T: fmt::Debug, L: RawRwLock> fmt::Debug for RwLock<T, L> {
 }
 
 /// Shared RAII guard for [`RwLock`]: derefs to the protected data.
+#[must_use = "a dropped guard releases the shared lock immediately"]
 pub struct RwLockReadGuard<'a, T, L: RawRwLock> {
     rwlock: &'a RwLock<T, L>,
     token: Option<L::ReadToken>,
@@ -843,6 +861,7 @@ impl<T, L: RawRwLock> Drop for RwLockReadGuard<'_, T, L> {
 }
 
 /// Exclusive RAII guard for [`RwLock`]: derefs mutably to the data.
+#[must_use = "a dropped guard releases the exclusive lock immediately"]
 pub struct RwLockWriteGuard<'a, T, L: RawRwLock> {
     rwlock: &'a RwLock<T, L>,
     token: Option<L::WriteToken>,
@@ -921,6 +940,7 @@ impl DynRwLock {
 
     /// Try to acquire shared without waiting.
     #[inline]
+    #[must_use = "dropping the returned guard releases the lock again"]
     pub fn try_read(&self) -> Option<DynReadGuard<'_>> {
         self.inner.try_acquire_read().map(|token| DynReadGuard {
             lock: &*self.inner,
@@ -942,6 +962,7 @@ impl DynRwLock {
 
     /// Try to acquire exclusive without waiting.
     #[inline]
+    #[must_use = "dropping the returned guard releases the lock again"]
     pub fn try_write(&self) -> Option<DynWriteGuard<'_>> {
         self.inner.try_acquire_write().map(|token| DynWriteGuard {
             lock: &*self.inner,
@@ -983,6 +1004,7 @@ impl fmt::Debug for DynRwLock {
 }
 
 /// Shared RAII acquisition of a [`DynRwLock`], released on drop.
+#[must_use = "a dropped guard releases the shared lock immediately"]
 pub struct DynReadGuard<'a> {
     lock: &'a dyn PlainRwLock,
     token: Option<PlainRwToken>,
@@ -1009,6 +1031,7 @@ impl Drop for DynReadGuard<'_> {
 }
 
 /// Exclusive RAII acquisition of a [`DynRwLock`], released on drop.
+#[must_use = "a dropped guard releases the exclusive lock immediately"]
 pub struct DynWriteGuard<'a> {
     lock: &'a dyn PlainRwLock,
     token: Option<PlainRwToken>,
@@ -1082,6 +1105,7 @@ impl<T> DynRwMutex<T> {
 
     /// Try to acquire shared without waiting.
     #[inline]
+    #[must_use = "dropping the returned guard releases the lock again"]
     pub fn try_read(&self) -> Option<DynRwReadGuard<'_, T>> {
         self.lock
             .plain()
@@ -1106,6 +1130,7 @@ impl<T> DynRwMutex<T> {
 
     /// Try to acquire exclusive without waiting.
     #[inline]
+    #[must_use = "dropping the returned guard releases the lock again"]
     pub fn try_write(&self) -> Option<DynRwWriteGuard<'_, T>> {
         self.lock
             .plain()
@@ -1140,6 +1165,7 @@ impl<T> DynRwMutex<T> {
 }
 
 /// Shared RAII guard for [`DynRwMutex`]: derefs to the data.
+#[must_use = "a dropped guard releases the shared lock immediately"]
 pub struct DynRwReadGuard<'a, T> {
     mutex: &'a DynRwMutex<T>,
     token: Option<PlainRwToken>,
@@ -1174,6 +1200,7 @@ impl<T> Drop for DynRwReadGuard<'_, T> {
 }
 
 /// Exclusive RAII guard for [`DynRwMutex`]: derefs mutably.
+#[must_use = "a dropped guard releases the exclusive lock immediately"]
 pub struct DynRwWriteGuard<'a, T> {
     mutex: &'a DynRwMutex<T>,
     token: Option<PlainRwToken>,
@@ -1235,7 +1262,8 @@ mod tests {
         let token = lock.guard().into_token();
         assert!(lock.is_locked());
         // SAFETY: token from the guard above, unreleased, same thread.
-        unsafe { Guard::from_token(&lock, token) };
+        // Dropped in place: re-adopting the token releases the lock.
+        drop(unsafe { Guard::from_token(&lock, token) });
         assert!(!lock.is_locked());
     }
 

@@ -20,6 +20,15 @@
 //! | [`FlatCombiner`] | flat-combining delegation (§5 related-work comparator) | [`flatcomb`] |
 //! | [`RwTicketLock`] | phase-fair ticket reader-writer lock (read-mostly workloads) | [`rw_ticket`] |
 //! | [`Bravo`] | BRAVO-style reader-bias wrapper: any exclusive lock becomes an rwlock | [`bravo`] |
+//! | [`Adaptive`] | contention-adaptive TAS that morphs to a FIFO queue (Fissile-style) | [`adaptive`] |
+//!
+//! Observability is a first-class layer: [`telemetry`] provides the
+//! lock-agnostic [`telemetry::TelemetryCell`] counters, the
+//! [`telemetry::Instrumented`] wrapper that records them for *any*
+//! lock (plus reader-writer and object-safe counterparts), and the
+//! process-wide profiling registry behind `repro --profile`. The
+//! [`Adaptive`] lock is built on the same signal: it morphs substrate
+//! when its own telemetry shows sustained contention.
 //!
 //! Three lock interfaces are provided, layered:
 //!
@@ -66,6 +75,7 @@
 //! assert!(!lock.is_locked());
 //! ```
 
+pub mod adaptive;
 pub mod api;
 pub mod backoff;
 pub mod blocking;
@@ -82,8 +92,10 @@ pub mod proportional;
 pub mod rw_ticket;
 pub mod shuffle;
 pub mod tas;
+pub mod telemetry;
 pub mod ticket;
 
+pub use adaptive::{Adaptive, AdaptiveMode, AdaptiveToken};
 pub use api::{
     DynGuard, DynLock, DynMutex, DynMutexGuard, DynRwLock, DynRwMutex, Guard, GuardedLock,
     GuardedRwLock, Mutex, MutexGuard, ReadGuard, RwLock, WriteGuard,
@@ -102,6 +114,7 @@ pub use proportional::ProportionalLock;
 pub use rw_ticket::RwTicketLock;
 pub use shuffle::{Candidate, ShuffleLock, ShufflePolicy};
 pub use tas::TasLock;
+pub use telemetry::{Instrumented, InstrumentedRw, TelemetryCell, TelemetrySnapshot};
 pub use ticket::TicketLock;
 
 /// A statically dispatched lock.

@@ -1,0 +1,843 @@
+//! Lock-agnostic acquisition telemetry.
+//!
+//! LibASL's premise is that the right lock behaviour depends on
+//! *observed* conditions, yet historically only the reorderable lock
+//! kept counters — every other lock in the zoo was blind. This module
+//! hoists observability into a first-class, substrate-independent
+//! layer that every lock (and the contention-adaptive
+//! [`crate::Adaptive`] lock built on it) shares:
+//!
+//! * [`TelemetryCell`] — a cache-padded bundle of relaxed counters:
+//!   acquisitions, contended acquisitions, spin iterations, and
+//!   (when sampling is enabled) cumulative hold and wait time in
+//!   nanoseconds via `asl_runtime::clock`. Count recording is a
+//!   single relaxed `fetch_add`; the clock is only read when
+//!   [`TelemetryCell::set_sampling`] has turned timing on, so an
+//!   instrumented lock with sampling off costs near zero.
+//! * [`Instrumented`] — wraps any [`RawLock`] and records into a
+//!   cell on every acquisition/release; [`InstrumentedRw`] is the
+//!   reader-writer counterpart (separate read/write cells).
+//! * [`InstrumentedPlain`] / [`InstrumentedPlainRw`] — the same
+//!   wrapping for runtime-chosen locks (`Arc<dyn PlainLock>`), which
+//!   is what the harness registry's `instrumented-<name>` specs and
+//!   the `repro --profile` mode materialize.
+//! * a process-wide profiling registry — [`set_profiling`] turns
+//!   global collection on, [`maybe_instrument`] wraps a lock and
+//!   files its cell under a label, and [`snapshots`] hands the
+//!   harness every labelled [`TelemetrySnapshot`] for its per-lock
+//!   stats tables.
+//!
+//! ```
+//! use asl_locks::api::GuardedLock;
+//! use asl_locks::telemetry::Instrumented;
+//! use asl_locks::TasLock;
+//!
+//! let lock = Instrumented::new(TasLock::new());
+//! {
+//!     let _held = lock.guard(); // records one uncontended acquisition
+//! }
+//! let snap = lock.telemetry().snapshot();
+//! assert_eq!(snap.acquisitions, 1);
+//! assert_eq!(snap.contended, 0);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use asl_runtime::clock::now_ns;
+
+use crate::plain::{PlainLock, PlainRwLock, PlainRwToken, PlainToken};
+use crate::{RawLock, RawRwLock};
+
+/// Cache-padded acquisition counters shared by every instrumented
+/// lock.
+///
+/// All counters are relaxed atomics: recording is wait-free and
+/// tearing-tolerant (snapshots are "consistent enough" for
+/// reporting). Hold/wait time is only recorded while sampling is
+/// enabled, because it costs two monotonic-clock reads per
+/// acquisition.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+pub struct TelemetryCell {
+    /// Successful acquisitions (lock + try_lock-success + write side
+    /// of rw locks; read acquisitions on a read cell).
+    acquisitions: AtomicU64,
+    /// Acquisitions that observed the lock held (or queued) on entry.
+    contended: AtomicU64,
+    /// Spin-loop iterations reported by locks that self-report their
+    /// waiting (e.g. [`crate::Adaptive`]).
+    spin_iters: AtomicU64,
+    /// Cumulative nanoseconds spent holding the lock (sampling only).
+    hold_ns: AtomicU64,
+    /// Cumulative nanoseconds spent waiting to acquire (sampling
+    /// only).
+    wait_ns: AtomicU64,
+    /// Timestamp of the in-flight exclusive acquisition (valid only
+    /// between a sampled acquire and its release; protected by the
+    /// lock itself being held).
+    hold_start_ns: AtomicU64,
+    /// Whether hold/wait timing is recorded.
+    sampling: AtomicBool,
+}
+
+impl TelemetryCell {
+    /// Fresh zeroed cell with sampling off.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fresh zeroed cell with sampling (hold/wait timing) on.
+    pub fn sampled() -> Self {
+        let c = Self::new();
+        c.set_sampling(true);
+        c
+    }
+
+    /// Turn hold/wait timing on or off (counts are always recorded).
+    pub fn set_sampling(&self, on: bool) {
+        self.sampling.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether hold/wait timing is currently recorded.
+    #[inline]
+    pub fn sampling(&self) -> bool {
+        self.sampling.load(Ordering::Relaxed)
+    }
+
+    /// Record one successful acquisition (`contended` = the lock was
+    /// observed held or queued on entry).
+    #[inline]
+    pub fn record_acquisition(&self, contended: bool) {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if contended {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a contention *observation* before blocking (used by
+    /// self-reporting locks so waiters are visible while they still
+    /// wait; pair with [`TelemetryCell::record_acquired`]).
+    #[inline]
+    pub fn record_contended(&self) {
+        self.contended.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a completed acquisition whose contention was already
+    /// counted by [`TelemetryCell::record_contended`] (or that was
+    /// uncontended).
+    #[inline]
+    pub fn record_acquired(&self) {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add spin-loop iterations observed while waiting.
+    #[inline]
+    pub fn add_spins(&self, n: u64) {
+        if n > 0 {
+            self.spin_iters.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add nanoseconds spent waiting to acquire.
+    #[inline]
+    pub fn add_wait_ns(&self, ns: u64) {
+        self.wait_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Note the start of an exclusive hold (sampling only; call while
+    /// holding the lock).
+    #[inline]
+    pub fn note_hold_start(&self) {
+        if self.sampling() {
+            self.hold_start_ns.store(now_ns().max(1), Ordering::Relaxed);
+        }
+    }
+
+    /// Close the exclusive hold opened by
+    /// [`TelemetryCell::note_hold_start`] (call before releasing).
+    #[inline]
+    pub fn note_hold_end(&self) {
+        let start = self.hold_start_ns.swap(0, Ordering::Relaxed);
+        if start != 0 {
+            self.hold_ns
+                .fetch_add(now_ns().saturating_sub(start), Ordering::Relaxed);
+        }
+    }
+
+    /// Consistent-enough point-in-time view for reporting.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+            spin_iters: self.spin_iters.load(Ordering::Relaxed),
+            hold_ns: self.hold_ns.load(Ordering::Relaxed),
+            wait_ns: self.wait_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero all counters (sampling mode is preserved).
+    pub fn reset(&self) {
+        self.acquisitions.store(0, Ordering::Relaxed);
+        self.contended.store(0, Ordering::Relaxed);
+        self.spin_iters.store(0, Ordering::Relaxed);
+        self.hold_ns.store(0, Ordering::Relaxed);
+        self.wait_ns.store(0, Ordering::Relaxed);
+        self.hold_start_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time view of a [`TelemetryCell`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TelemetrySnapshot {
+    /// Successful acquisitions recorded.
+    pub acquisitions: u64,
+    /// Acquisitions that observed the lock held on entry.
+    pub contended: u64,
+    /// Spin-loop iterations reported by self-reporting locks.
+    pub spin_iters: u64,
+    /// Cumulative hold time (ns; zero unless sampling was on).
+    pub hold_ns: u64,
+    /// Cumulative acquisition-wait time (ns; zero unless sampling was
+    /// on).
+    pub wait_ns: u64,
+}
+
+impl TelemetrySnapshot {
+    /// Fraction of acquisitions that were contended, in `[0, 1]`.
+    pub fn contention_ratio(&self) -> f64 {
+        self.contended as f64 / self.acquisitions.max(1) as f64
+    }
+
+    /// Mean hold time per acquisition (ns; zero without sampling).
+    pub fn avg_hold_ns(&self) -> f64 {
+        self.hold_ns as f64 / self.acquisitions.max(1) as f64
+    }
+
+    /// Mean wait time per acquisition (ns; zero without sampling).
+    pub fn avg_wait_ns(&self) -> f64 {
+        self.wait_ns as f64 / self.acquisitions.max(1) as f64
+    }
+
+    /// Component-wise sum (aggregating several locks under one
+    /// label).
+    pub fn merged(&self, other: &TelemetrySnapshot) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            acquisitions: self.acquisitions + other.acquisitions,
+            contended: self.contended + other.contended,
+            spin_iters: self.spin_iters + other.spin_iters,
+            hold_ns: self.hold_ns + other.hold_ns,
+            wait_ns: self.wait_ns + other.wait_ns,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static wrappers: Instrumented<L> / InstrumentedRw<L>.
+// ---------------------------------------------------------------------------
+
+/// A [`RawLock`] that records acquisition telemetry.
+///
+/// The token passes through unchanged, so the wrapper composes with
+/// every layer built on `RawLock` (guards, the object-safe facade,
+/// the reorderable lock). Hold time uses a slot in the cell written
+/// under the lock, so no extra token state is needed.
+pub struct Instrumented<L: RawLock> {
+    inner: L,
+    cell: TelemetryCell,
+}
+
+impl<L: RawLock> Instrumented<L> {
+    /// Wrap `inner` with a fresh telemetry cell (sampling off).
+    pub fn new(inner: L) -> Self {
+        Instrumented {
+            inner,
+            cell: TelemetryCell::new(),
+        }
+    }
+
+    /// Wrap `inner` with hold/wait-time sampling enabled.
+    pub fn sampled(inner: L) -> Self {
+        Instrumented {
+            inner,
+            cell: TelemetryCell::sampled(),
+        }
+    }
+
+    /// The recorded telemetry.
+    pub fn telemetry(&self) -> &TelemetryCell {
+        &self.cell
+    }
+
+    /// The wrapped lock.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+}
+
+impl<L: RawLock + Default> Default for Instrumented<L> {
+    fn default() -> Self {
+        Self::new(L::default())
+    }
+}
+
+impl<L: RawLock> RawLock for Instrumented<L> {
+    type Token = L::Token;
+
+    #[inline]
+    fn lock(&self) -> L::Token {
+        let contended = self.inner.is_locked();
+        let sampling = self.cell.sampling();
+        let t0 = if sampling && contended { now_ns() } else { 0 };
+        let token = self.inner.lock();
+        if t0 != 0 {
+            self.cell.add_wait_ns(now_ns().saturating_sub(t0));
+        }
+        self.cell.record_acquisition(contended);
+        self.cell.note_hold_start();
+        token
+    }
+
+    #[inline]
+    fn try_lock(&self) -> Option<L::Token> {
+        let token = self.inner.try_lock()?;
+        self.cell.record_acquisition(false);
+        self.cell.note_hold_start();
+        Some(token)
+    }
+
+    #[inline]
+    fn unlock(&self, token: L::Token) {
+        self.cell.note_hold_end();
+        self.inner.unlock(token);
+    }
+
+    #[inline]
+    fn is_locked(&self) -> bool {
+        self.inner.is_locked()
+    }
+
+    const NAME: &'static str = "instrumented";
+}
+
+// Instrumentation does not change the grant order.
+impl<L: crate::FifoLock> crate::FifoLock for Instrumented<L> {}
+
+/// A [`RawRwLock`] that records acquisition telemetry, with separate
+/// cells for the shared and exclusive sides.
+///
+/// Hold time is recorded for the exclusive side only (shared holds
+/// overlap, so a single in-flight slot cannot represent them).
+pub struct InstrumentedRw<L: RawRwLock> {
+    inner: L,
+    read: TelemetryCell,
+    write: TelemetryCell,
+}
+
+impl<L: RawRwLock> InstrumentedRw<L> {
+    /// Wrap `inner` with fresh read/write telemetry cells.
+    pub fn new(inner: L) -> Self {
+        InstrumentedRw {
+            inner,
+            read: TelemetryCell::new(),
+            write: TelemetryCell::new(),
+        }
+    }
+
+    /// Telemetry of the shared (read) side.
+    pub fn read_telemetry(&self) -> &TelemetryCell {
+        &self.read
+    }
+
+    /// Telemetry of the exclusive (write) side.
+    pub fn write_telemetry(&self) -> &TelemetryCell {
+        &self.write
+    }
+
+    /// The wrapped rwlock.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+}
+
+impl<L: RawRwLock + Default> Default for InstrumentedRw<L> {
+    fn default() -> Self {
+        Self::new(L::default())
+    }
+}
+
+impl<L: RawRwLock> RawRwLock for InstrumentedRw<L> {
+    type ReadToken = L::ReadToken;
+    type WriteToken = L::WriteToken;
+
+    #[inline]
+    fn read(&self) -> L::ReadToken {
+        let contended = self.inner.is_write_locked();
+        let sampling = self.read.sampling();
+        let t0 = if sampling && contended { now_ns() } else { 0 };
+        let token = self.inner.read();
+        if t0 != 0 {
+            self.read.add_wait_ns(now_ns().saturating_sub(t0));
+        }
+        self.read.record_acquisition(contended);
+        token
+    }
+
+    #[inline]
+    fn try_read(&self) -> Option<L::ReadToken> {
+        let token = self.inner.try_read()?;
+        self.read.record_acquisition(false);
+        Some(token)
+    }
+
+    #[inline]
+    fn unlock_read(&self, token: L::ReadToken) {
+        self.inner.unlock_read(token);
+    }
+
+    #[inline]
+    fn write(&self) -> L::WriteToken {
+        let contended = self.inner.is_locked();
+        let sampling = self.write.sampling();
+        let t0 = if sampling && contended { now_ns() } else { 0 };
+        let token = self.inner.write();
+        if t0 != 0 {
+            self.write.add_wait_ns(now_ns().saturating_sub(t0));
+        }
+        self.write.record_acquisition(contended);
+        self.write.note_hold_start();
+        token
+    }
+
+    #[inline]
+    fn try_write(&self) -> Option<L::WriteToken> {
+        let token = self.inner.try_write()?;
+        self.write.record_acquisition(false);
+        self.write.note_hold_start();
+        Some(token)
+    }
+
+    #[inline]
+    fn unlock_write(&self, token: L::WriteToken) {
+        self.write.note_hold_end();
+        self.inner.unlock_write(token);
+    }
+
+    #[inline]
+    fn is_locked(&self) -> bool {
+        self.inner.is_locked()
+    }
+
+    #[inline]
+    fn is_write_locked(&self) -> bool {
+        self.inner.is_write_locked()
+    }
+
+    const NAME: &'static str = "instrumented-rw";
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic wrappers: telemetry over Arc<dyn PlainLock> / PlainRwLock.
+// ---------------------------------------------------------------------------
+
+/// Telemetry wrapper for runtime-chosen locks: the registry's
+/// `instrumented-<name>` specs and the `repro --profile` mode
+/// materialize these.
+///
+/// The inner lock's tokens pass through untouched (they stay tagged
+/// with the *inner* lock in debug builds, and releases delegate, so
+/// the ownership checks keep working).
+pub struct InstrumentedPlain {
+    inner: Arc<dyn PlainLock>,
+    cell: Arc<TelemetryCell>,
+}
+
+impl InstrumentedPlain {
+    /// Wrap `inner`, recording into `cell`.
+    pub fn new(inner: Arc<dyn PlainLock>, cell: Arc<TelemetryCell>) -> Self {
+        InstrumentedPlain { inner, cell }
+    }
+
+    /// The shared telemetry cell.
+    pub fn cell(&self) -> &Arc<TelemetryCell> {
+        &self.cell
+    }
+}
+
+impl PlainLock for InstrumentedPlain {
+    #[inline]
+    fn acquire(&self) -> PlainToken {
+        let contended = self.inner.held();
+        let sampling = self.cell.sampling();
+        let t0 = if sampling && contended { now_ns() } else { 0 };
+        let token = self.inner.acquire();
+        if t0 != 0 {
+            self.cell.add_wait_ns(now_ns().saturating_sub(t0));
+        }
+        self.cell.record_acquisition(contended);
+        self.cell.note_hold_start();
+        token
+    }
+
+    #[inline]
+    fn try_acquire(&self) -> Option<PlainToken> {
+        let token = self.inner.try_acquire()?;
+        self.cell.record_acquisition(false);
+        self.cell.note_hold_start();
+        Some(token)
+    }
+
+    #[inline]
+    fn release(&self, token: PlainToken) {
+        self.cell.note_hold_end();
+        self.inner.release(token);
+    }
+
+    #[inline]
+    fn held(&self) -> bool {
+        self.inner.held()
+    }
+
+    fn lock_name(&self) -> &'static str {
+        // Telemetry is transparent: reports label rows by spec name.
+        self.inner.lock_name()
+    }
+}
+
+/// Reader-writer counterpart of [`InstrumentedPlain`]: one cell for
+/// each side.
+pub struct InstrumentedPlainRw {
+    inner: Arc<dyn PlainRwLock>,
+    read: Arc<TelemetryCell>,
+    write: Arc<TelemetryCell>,
+}
+
+impl InstrumentedPlainRw {
+    /// Wrap `inner`, recording into the given cells.
+    pub fn new(
+        inner: Arc<dyn PlainRwLock>,
+        read: Arc<TelemetryCell>,
+        write: Arc<TelemetryCell>,
+    ) -> Self {
+        InstrumentedPlainRw { inner, read, write }
+    }
+}
+
+impl PlainRwLock for InstrumentedPlainRw {
+    #[inline]
+    fn acquire_read(&self) -> PlainRwToken {
+        let contended = self.inner.write_held();
+        let sampling = self.read.sampling();
+        let t0 = if sampling && contended { now_ns() } else { 0 };
+        let token = self.inner.acquire_read();
+        if t0 != 0 {
+            self.read.add_wait_ns(now_ns().saturating_sub(t0));
+        }
+        self.read.record_acquisition(contended);
+        token
+    }
+
+    #[inline]
+    fn try_acquire_read(&self) -> Option<PlainRwToken> {
+        let token = self.inner.try_acquire_read()?;
+        self.read.record_acquisition(false);
+        Some(token)
+    }
+
+    #[inline]
+    fn release_read(&self, token: PlainRwToken) {
+        self.inner.release_read(token);
+    }
+
+    #[inline]
+    fn acquire_write(&self) -> PlainRwToken {
+        let contended = self.inner.held();
+        let sampling = self.write.sampling();
+        let t0 = if sampling && contended { now_ns() } else { 0 };
+        let token = self.inner.acquire_write();
+        if t0 != 0 {
+            self.write.add_wait_ns(now_ns().saturating_sub(t0));
+        }
+        self.write.record_acquisition(contended);
+        self.write.note_hold_start();
+        token
+    }
+
+    #[inline]
+    fn try_acquire_write(&self) -> Option<PlainRwToken> {
+        let token = self.inner.try_acquire_write()?;
+        self.write.record_acquisition(false);
+        self.write.note_hold_start();
+        Some(token)
+    }
+
+    #[inline]
+    fn release_write(&self, token: PlainRwToken) {
+        self.write.note_hold_end();
+        self.inner.release_write(token);
+    }
+
+    #[inline]
+    fn held(&self) -> bool {
+        self.inner.held()
+    }
+
+    #[inline]
+    fn write_held(&self) -> bool {
+        self.inner.write_held()
+    }
+
+    fn rw_lock_name(&self) -> &'static str {
+        self.inner.rw_lock_name()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide profiling registry.
+// ---------------------------------------------------------------------------
+
+static PROFILING: AtomicBool = AtomicBool::new(false);
+
+/// One registry slot: a reporting label and the cell filed under it.
+type LabeledCell = (String, Arc<TelemetryCell>);
+
+fn registry() -> &'static Mutex<Vec<LabeledCell>> {
+    static CELLS: OnceLock<Mutex<Vec<LabeledCell>>> = OnceLock::new();
+    CELLS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Turn process-wide lock profiling on or off. While on,
+/// [`maybe_instrument`] wraps locks and registers their cells; the
+/// harness's `repro --profile` mode flips this.
+pub fn set_profiling(on: bool) {
+    PROFILING.store(on, Ordering::Relaxed);
+}
+
+/// Whether process-wide lock profiling is on.
+#[inline]
+pub fn profiling() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// File `cell` under `label` in the process-wide registry so
+/// [`snapshots`] reports it.
+pub fn register_cell(label: impl Into<String>, cell: Arc<TelemetryCell>) {
+    registry()
+        .lock()
+        .expect("telemetry registry poisoned")
+        .push((label.into(), cell));
+}
+
+/// Snapshot every registered cell, aggregated by label (several lock
+/// instances created under the same label merge into one row),
+/// preserving first-registration order.
+pub fn snapshots() -> Vec<(String, TelemetrySnapshot)> {
+    let cells = registry().lock().expect("telemetry registry poisoned");
+    let mut out: Vec<(String, TelemetrySnapshot)> = Vec::new();
+    for (label, cell) in cells.iter() {
+        let snap = cell.snapshot();
+        match out.iter_mut().find(|(l, _)| l == label) {
+            Some((_, agg)) => *agg = agg.merged(&snap),
+            None => out.push((label.clone(), snap)),
+        }
+    }
+    out
+}
+
+/// Drop every registered cell (the harness clears between figures so
+/// each profile table covers one figure's locks).
+pub fn clear_registered() {
+    registry()
+        .lock()
+        .expect("telemetry registry poisoned")
+        .clear();
+}
+
+/// Wrap `lock` in an [`InstrumentedPlain`] recording into a fresh
+/// sampled cell registered under `label`.
+pub fn instrument(label: &str, lock: Arc<dyn PlainLock>) -> Arc<dyn PlainLock> {
+    let cell = Arc::new(TelemetryCell::sampled());
+    register_cell(label, cell.clone());
+    Arc::new(InstrumentedPlain::new(lock, cell))
+}
+
+/// Wrap `lock` in an [`InstrumentedPlainRw`] with fresh sampled
+/// read/write cells registered as `<label>.read` / `<label>.write`.
+pub fn instrument_rw(label: &str, lock: Arc<dyn PlainRwLock>) -> Arc<dyn PlainRwLock> {
+    let read = Arc::new(TelemetryCell::sampled());
+    let write = Arc::new(TelemetryCell::sampled());
+    register_cell(format!("{label}.read"), read.clone());
+    register_cell(format!("{label}.write"), write.clone());
+    Arc::new(InstrumentedPlainRw::new(lock, read, write))
+}
+
+/// [`instrument`] when profiling is on; otherwise pass `lock` through
+/// untouched (zero overhead outside profile runs).
+pub fn maybe_instrument(label: &str, lock: Arc<dyn PlainLock>) -> Arc<dyn PlainLock> {
+    if profiling() {
+        instrument(label, lock)
+    } else {
+        lock
+    }
+}
+
+/// [`instrument_rw`] when profiling is on; otherwise pass through.
+pub fn maybe_instrument_rw(label: &str, lock: Arc<dyn PlainRwLock>) -> Arc<dyn PlainRwLock> {
+    if profiling() {
+        instrument_rw(label, lock)
+    } else {
+        lock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::GuardedLock;
+    use crate::{McsLock, RwTicketLock, TasLock};
+    use std::sync::Arc;
+
+    #[test]
+    fn cell_counts_and_resets() {
+        let c = TelemetryCell::new();
+        c.record_acquisition(false);
+        c.record_acquisition(true);
+        c.add_spins(7);
+        let s = c.snapshot();
+        assert_eq!(s.acquisitions, 2);
+        assert_eq!(s.contended, 1);
+        assert_eq!(s.spin_iters, 7);
+        assert_eq!(s.contention_ratio(), 0.5);
+        c.reset();
+        assert_eq!(c.snapshot(), TelemetrySnapshot::default());
+    }
+
+    #[test]
+    fn sampling_gates_timing() {
+        let c = TelemetryCell::new();
+        // Off: hold notes are no-ops.
+        c.note_hold_start();
+        c.note_hold_end();
+        assert_eq!(c.snapshot().hold_ns, 0);
+        // On: a start/end pair accumulates.
+        c.set_sampling(true);
+        c.note_hold_start();
+        asl_runtime::clock::busy_wait_ns(50_000);
+        c.note_hold_end();
+        assert!(c.snapshot().hold_ns >= 50_000);
+    }
+
+    #[test]
+    fn instrumented_records_uncontended_and_contended() {
+        let lock = Arc::new(Instrumented::sampled(McsLock::new()));
+        {
+            let _g = lock.guard();
+        }
+        let s = lock.telemetry().snapshot();
+        assert_eq!(s.acquisitions, 1);
+        assert_eq!(s.contended, 0);
+        assert!(s.hold_ns > 0, "sampled hold time must accumulate");
+
+        // Deterministic contention: hold here, acquire over there.
+        let g = lock.guard();
+        let l2 = lock.clone();
+        let waiter = std::thread::spawn(move || {
+            let _g = l2.guard(); // observes the lock held -> contended
+        });
+        // The waiter can only finish after we release.
+        asl_runtime::clock::busy_wait_ns(200_000);
+        drop(g);
+        waiter.join().unwrap();
+        let s = lock.telemetry().snapshot();
+        assert_eq!(s.acquisitions, 3);
+        assert_eq!(s.contended, 1);
+        assert!(s.wait_ns > 0, "sampled wait time must accumulate");
+    }
+
+    #[test]
+    fn instrumented_try_lock_counts_successes_only() {
+        let lock = Instrumented::new(TasLock::new());
+        let g = lock.try_guard().expect("free");
+        assert!(lock.try_guard().is_none(), "held: try fails");
+        drop(g);
+        let s = lock.telemetry().snapshot();
+        assert_eq!(s.acquisitions, 1, "failed try_lock is not an acquisition");
+    }
+
+    #[test]
+    fn instrumented_rw_splits_read_write() {
+        use crate::api::GuardedRwLock;
+        let lock = InstrumentedRw::new(RwTicketLock::new());
+        {
+            let _r1 = lock.read_guard();
+            let _r2 = lock.read_guard();
+        }
+        {
+            let _w = lock.write_guard();
+        }
+        assert_eq!(lock.read_telemetry().snapshot().acquisitions, 2);
+        assert_eq!(lock.write_telemetry().snapshot().acquisitions, 1);
+    }
+
+    #[test]
+    fn plain_wrapper_delegates_and_records() {
+        let cell = Arc::new(TelemetryCell::new());
+        let lock: Arc<dyn PlainLock> = Arc::new(InstrumentedPlain::new(
+            Arc::new(McsLock::new()),
+            cell.clone(),
+        ));
+        let t = lock.acquire();
+        assert!(lock.held());
+        assert!(lock.try_acquire().is_none());
+        lock.release(t);
+        assert!(!lock.held());
+        assert_eq!(lock.lock_name(), "mcs", "telemetry is name-transparent");
+        assert_eq!(cell.snapshot().acquisitions, 1);
+    }
+
+    #[test]
+    fn plain_rw_wrapper_delegates_and_records() {
+        let read = Arc::new(TelemetryCell::new());
+        let write = Arc::new(TelemetryCell::new());
+        let lock: Arc<dyn PlainRwLock> = Arc::new(InstrumentedPlainRw::new(
+            Arc::new(RwTicketLock::new()),
+            read.clone(),
+            write.clone(),
+        ));
+        let r = lock.acquire_read();
+        let r2 = lock.try_acquire_read().expect("reads overlap");
+        lock.release_read(r);
+        lock.release_read(r2);
+        let w = lock.acquire_write();
+        assert!(lock.write_held());
+        lock.release_write(w);
+        assert_eq!(read.snapshot().acquisitions, 2);
+        assert_eq!(write.snapshot().acquisitions, 1);
+    }
+
+    #[test]
+    fn registry_aggregates_by_label() {
+        // Serialize against other tests that toggle the global flag.
+        clear_registered();
+        let a = Arc::new(TelemetryCell::new());
+        let b = Arc::new(TelemetryCell::new());
+        a.record_acquisition(true);
+        b.record_acquisition(false);
+        register_cell("same", a);
+        register_cell("same", b);
+        let snaps = snapshots();
+        let (_, merged) = snaps.iter().find(|(l, _)| l == "same").unwrap();
+        assert_eq!(merged.acquisitions, 2);
+        assert_eq!(merged.contended, 1);
+        clear_registered();
+        assert!(!snapshots().iter().any(|(l, _)| l == "same"));
+    }
+
+    #[test]
+    fn maybe_instrument_is_identity_when_off() {
+        assert!(!profiling(), "tests run with profiling off by default");
+        let inner: Arc<dyn PlainLock> = Arc::new(McsLock::new());
+        let out = maybe_instrument("noop", inner.clone());
+        assert!(Arc::ptr_eq(&inner, &out));
+    }
+}

@@ -7,13 +7,21 @@
 //!
 //! Run with: `cargo run --release --example profiling_tool`
 
-use libasl::core::profile::{profile_slo_range, recommend_slo, render_table, slo_steps};
+use libasl::core::profile::{
+    profile_slo_range, recommend_slo, render_table, slo_steps, ProfileSample,
+};
 use libasl::harness::figures::{run_micro, Profile};
 use libasl::harness::locks::LockSpec;
 use libasl::harness::scenario::MicroScenario;
+use libasl::locks::telemetry;
 
 fn main() {
     let profile = Profile::quick();
+
+    // Record per-lock telemetry for every lock the registry builds:
+    // each profile point carries the shared TelemetrySnapshot, so the
+    // curve shows *why* each SLO lands where it does (contention).
+    telemetry::set_profiling(true);
 
     // Anchor the range on the FIFO tail (below it, SLOs are
     // infeasible and LibASL just behaves like MCS).
@@ -29,9 +37,19 @@ fn main() {
     println!("\nprofiling {} SLO settings...\n", range.len());
 
     let points = profile_slo_range(range, |slo_ns| {
+        telemetry::clear_registered();
         let scenario = MicroScenario::bench1(&LockSpec::asl(Some(slo_ns)));
         let r = run_micro(&profile, &scenario, 8);
-        (r.throughput, r.overall.p99())
+        // Aggregate this point's per-lock telemetry into one sample.
+        let telemetry = r.telemetry.iter().fold(
+            Default::default(),
+            |acc: libasl::locks::TelemetrySnapshot, (_, s)| acc.merged(s),
+        );
+        ProfileSample {
+            throughput: r.throughput,
+            p99_ns: r.overall.p99(),
+            telemetry,
+        }
     });
 
     println!("{}", render_table(&points));

@@ -18,6 +18,10 @@
 //!   [`DynLock`], [`DynMutex`], and their shared/exclusive
 //!   counterparts [`ReadGuard`]/[`WriteGuard`], [`DynRwLock`],
 //!   [`DynRwMutex`]) every layer locks through ([`asl_locks`]).
+//!   Observability is first-class: `asl_locks::telemetry` records
+//!   lock-agnostic acquisition counters ([`TelemetryCell`],
+//!   [`Instrumented`]) and the contention-[`Adaptive`] lock morphs
+//!   its substrate (TAS ↔ FIFO queue) from that signal.
 //! * [`core`] — LibASL itself: reorderable lock, epoch/SLO feedback,
 //!   the [`Mutex`] dispatch ([`asl_core`]).
 //! * [`sim`] — deterministic discrete-event simulation of the same
@@ -93,6 +97,7 @@ pub use asl_locks::api::{
     DynGuard, DynLock, DynMutex, DynRwLock, DynRwMutex, Guard, GuardedLock, GuardedRwLock,
     ReadGuard, WriteGuard,
 };
+pub use asl_locks::{Adaptive, AdaptiveMode, Instrumented, TelemetryCell, TelemetrySnapshot};
 pub use asl_runtime::{CoreKind, Topology};
 
 /// The recommended application-facing mutex: LibASL dispatch over a
