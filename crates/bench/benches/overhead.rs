@@ -1,0 +1,101 @@
+//! Per-access-layer uncontended latency bench — the Criterion mirror
+//! of `repro overhead`, for flamegraph-friendly local runs (the
+//! offline criterion shim prints mean ns/iter; under a real criterion
+//! this produces full distributions).
+//!
+//! Layers per lock (same axis as the figure):
+//! `static` (concrete type behind a guard), `dyn` (registry
+//! `Arc<dyn PlainLock>` facade), `instr-off` (`instrumented-<name>`
+//! with profiling off — must sit within noise of `dyn`), `instr-on`
+//! (profiling on: counts + hold/wait sampling).
+
+use asl_harness::locks::LockSpec;
+use asl_locks::api::Guard;
+use asl_locks::telemetry::{self, Instrumented};
+use asl_locks::{Adaptive, McsLock, TasLock, TicketLock};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn static_layer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overhead_static");
+    let tas = TasLock::new();
+    g.bench_function("tas", |b| {
+        b.iter(|| {
+            let _g = Guard::new(&tas);
+        })
+    });
+    let ticket = TicketLock::new();
+    g.bench_function("ticket", |b| {
+        b.iter(|| {
+            let _g = Guard::new(&ticket);
+        })
+    });
+    let mcs = McsLock::new();
+    g.bench_function("mcs", |b| {
+        b.iter(|| {
+            let _g = Guard::new(&mcs);
+        })
+    });
+    let adaptive = Adaptive::new();
+    g.bench_function("adaptive", |b| {
+        b.iter(|| {
+            let _g = Guard::new(&adaptive);
+        })
+    });
+    // Static telemetry wrap, un-armed: the zero-cost-when-off path.
+    let instr = Instrumented::new(McsLock::new());
+    g.bench_function("instrumented-mcs (off)", |b| {
+        b.iter(|| {
+            let _g = Guard::new(&instr);
+        })
+    });
+    let sampled = Instrumented::sampled(McsLock::new());
+    g.bench_function("instrumented-mcs (sampled)", |b| {
+        b.iter(|| {
+            let _g = Guard::new(&sampled);
+        })
+    });
+    g.finish();
+}
+
+fn dyn_layers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overhead_dyn");
+    for name in [
+        "tas",
+        "ticket",
+        "mcs",
+        "adaptive",
+        "libasl-max",
+        "libasl-70us",
+    ] {
+        let spec: LockSpec = name.parse().expect("registry name");
+        telemetry::set_profiling(false);
+        let lock = spec.make_dyn();
+        g.bench_function(format!("{name}/dyn"), |b| {
+            b.iter(|| {
+                let _g = lock.lock();
+            })
+        });
+        let ispec = LockSpec::Instrumented(Box::new(spec.clone()));
+        let off = ispec.make_dyn();
+        g.bench_function(format!("{name}/instr-off"), |b| {
+            b.iter(|| {
+                let _g = off.lock();
+            })
+        });
+        // Cells created while profiling is on stay sampled (armed)
+        // after the global gate drops, so the bench below measures
+        // the sampling cost without leaving profiling on process-wide.
+        telemetry::set_profiling(true);
+        let on = ispec.make_dyn();
+        telemetry::set_profiling(false);
+        g.bench_function(format!("{name}/instr-on"), |b| {
+            b.iter(|| {
+                let _g = on.lock();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, static_layer, dyn_layers);
+criterion_main!(benches);

@@ -97,18 +97,32 @@ impl<L: RawLock, W: WaitPolicy> ReorderableLock<L, W> {
 
     /// Acquire as a standby competitor with the given reorder window
     /// in nanoseconds (paper `lock_reorder`).
+    ///
+    /// Clock budget (the paper allots ~45 cycles per `clock_gettime`
+    /// and spends them sparingly): with sampling off — the production
+    /// configuration — this path reads the precise clock **at most
+    /// once per acquisition**: the timestamp anchoring the
+    /// reorder-window deadline, taken only when there is a window to
+    /// honour. Deadline checks inside the standby wait ride
+    /// [`asl_runtime::clock::coarse_now_ns`]'s amortized cache. The
+    /// free-entry fast path reads no clock at all. When sampling is
+    /// on — the gear that explicitly buys timing with clock reads —
+    /// both paths bracket the wait with precise reads (the coarse
+    /// cache is not refreshed while blocked inside `inner.lock()`, so
+    /// a coarse end-read could miss the entire queue wait).
     #[inline]
     pub fn lock_reorder(&self, window_ns: u64) -> L::Token {
         use std::sync::atomic::Ordering::Relaxed;
         // Starvation-freedom: never honour more than the bound.
         let window = window_ns.min(self.max_window_ns);
-        let t0 = if self.stats.telemetry.sampling() {
-            now_ns()
-        } else {
-            0
-        };
+        let sampling = self.stats.telemetry.sampling();
         if !self.inner.is_locked() {
             self.stats.standby_free_entry.fetch_add(1, Relaxed);
+            // Sampling-gated wait measurement: another thread can take
+            // the lock between the free check and inner.lock(), so
+            // even this path can queue. With sampling off (the
+            // production gear) it reads no clock.
+            let t0 = if sampling { now_ns() } else { 0 };
             let token = self.inner.lock();
             if t0 != 0 {
                 self.stats
@@ -122,8 +136,10 @@ impl<L: RawLock, W: WaitPolicy> ReorderableLock<L, W> {
         // Held on entry: a contended acquisition whichever way the
         // window plays out. Observations are visible before blocking.
         self.stats.telemetry.record_contended();
+        // The single precise clock read of this acquisition.
+        let t0 = if window > 0 || sampling { now_ns() } else { 0 };
         if window > 0 {
-            let deadline = now_ns().saturating_add(window);
+            let deadline = t0.saturating_add(window);
             match self
                 .waiter
                 .standby_wait(deadline, &|| !self.inner.is_locked())
@@ -139,7 +155,11 @@ impl<L: RawLock, W: WaitPolicy> ReorderableLock<L, W> {
             self.stats.standby_expired.fetch_add(1, Relaxed);
         }
         let token = self.inner.lock();
-        if t0 != 0 {
+        if sampling && t0 != 0 {
+            // Precise end-read, sampling-gated: blocking in
+            // inner.lock() never refreshes this thread's coarse
+            // cache, so a coarse read here could predate t0 and
+            // record a ~0 wait for an arbitrarily long queue wait.
             self.stats
                 .telemetry
                 .add_wait_ns(now_ns().saturating_sub(t0));

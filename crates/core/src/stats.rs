@@ -18,6 +18,14 @@ use asl_locks::telemetry::{TelemetryCell, TelemetrySnapshot};
 
 /// Live counters (one per [`crate::ReorderableLock`]): shared
 /// telemetry plus the ASL acquisition-path split.
+///
+/// Atomic-ordering audit: like [`TelemetryCell`], every counter here
+/// is a pure statistic — incremented on the acquire path, read only
+/// by [`LockStats::snapshot`] for reporting/tests, never consulted by
+/// lock-protocol control flow. `Relaxed` suffices throughout: each
+/// counter's own modification order keeps its count exact, and tests
+/// that compare counters across threads first join those threads
+/// (which supplies the cross-counter happens-before).
 #[derive(Debug, Default)]
 pub struct LockStats {
     /// Generic acquisition telemetry (shared format with every

@@ -14,7 +14,38 @@
 //! * [`FixedCheckWait`] — probe every N iterations; exists to ablate
 //!   the exponential back-off choice (bench `ablate_backoff`).
 
-use asl_runtime::clock::{nanosleep_ns, now_ns};
+use asl_runtime::clock::{coarse_now_ns, coarse_resync, nanosleep_ns, now_ns};
+
+/// Spin iterations between deadline checks in the spinning policies.
+///
+/// The reorder window "is not a strict order constraint" (paper §3.3),
+/// so standby competitors tolerate slack: instead of reading the clock
+/// every iteration they consult the amortized
+/// [`coarse_now_ns`] once per `DEADLINE_CHECK_EVERY` iterations. The
+/// coarse clock never runs ahead of the precise one, so a window can
+/// only be honoured slightly long — never cut short. The overrun is
+/// bounded in *iterations* (`DEADLINE_CHECK_EVERY` plus the coarse
+/// clock's read-count staleness), which only bounds wall time while
+/// iterations are nanosecond-scale spins — so whenever a poll yields
+/// to the scheduler (an unknown amount of wall time), the loops
+/// [`coarse_resync`] the cache, keeping the wall-clock overrun to at
+/// most one yield plus a handful of spins even on oversubscribed
+/// multi-core hosts.
+const DEADLINE_CHECK_EVERY: u64 = 16;
+
+/// Resolved deadline-check cadence: on hosts where every spin poll is
+/// a scheduler yield, an iteration costs a quantum, not nanoseconds —
+/// skipping checks there would stretch windows by whole quanta to
+/// save a TLS read, so the cadence collapses to every iteration (and
+/// the coarse clock likewise refreshes per read on such hosts).
+#[inline]
+fn deadline_check_every() -> u64 {
+    if asl_runtime::relax::yields_every_poll() {
+        1
+    } else {
+        DEADLINE_CHECK_EVERY
+    }
+}
 
 /// Outcome of a standby wait.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,8 +72,14 @@ impl WaitPolicy for SpinWait {
     fn standby_wait(&self, deadline_ns: u64, is_free: &dyn Fn() -> bool) -> WaitOutcome {
         let mut cnt: u64 = 0;
         let mut next_check: u64 = 1;
+        let check_every = deadline_check_every();
         let mut spin = asl_runtime::relax::Spin::new();
-        while now_ns() < deadline_ns {
+        loop {
+            // Amortized deadline check (including on entry, so a
+            // zero/expired window returns without probing).
+            if cnt % check_every == 0 && coarse_now_ns() >= deadline_ns {
+                return WaitOutcome::WindowExpired;
+            }
             cnt += 1;
             if cnt == next_check {
                 if is_free() {
@@ -50,9 +87,12 @@ impl WaitPolicy for SpinWait {
                 }
                 next_check <<= 1;
             }
-            spin.relax();
+            if spin.relax() {
+                // A yield passed an unknown amount of wall time:
+                // stale cached readings would blow the overrun bound.
+                coarse_resync();
+            }
         }
-        WaitOutcome::WindowExpired
     }
 }
 
@@ -85,6 +125,10 @@ impl WaitPolicy for SleepWait {
     fn standby_wait(&self, deadline_ns: u64, is_free: &dyn Fn() -> bool) -> WaitOutcome {
         let mut sleep = self.min_sleep_ns;
         loop {
+            // Precise clock on purpose: each iteration is separated by
+            // a >= 1us nanosleep, which both amortizes the read and
+            // invalidates the coarse cache's staleness bound (the
+            // cache has no timer — it would return pre-sleep values).
             let now = now_ns();
             if now >= deadline_ns {
                 return WaitOutcome::WindowExpired;
@@ -109,15 +153,20 @@ pub struct FixedCheckWait {
 impl WaitPolicy for FixedCheckWait {
     fn standby_wait(&self, deadline_ns: u64, is_free: &dyn Fn() -> bool) -> WaitOutcome {
         let mut cnt: u64 = 0;
+        let check_every = deadline_check_every();
         let mut spin = asl_runtime::relax::Spin::new();
-        while now_ns() < deadline_ns {
+        loop {
+            if cnt % check_every == 0 && coarse_now_ns() >= deadline_ns {
+                return WaitOutcome::WindowExpired;
+            }
             cnt += 1;
             if cnt % self.interval.max(1) == 0 && is_free() {
                 return WaitOutcome::ObservedFree;
             }
-            spin.relax();
+            if spin.relax() {
+                coarse_resync();
+            }
         }
-        WaitOutcome::WindowExpired
     }
 }
 

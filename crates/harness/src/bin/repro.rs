@@ -110,6 +110,13 @@ fn main() {
     }
 
     telemetry::set_profiling(profile_locks);
+    // Explicitly requested `instrumented-*` locks should report even
+    // without --profile: arm count recording (no timing) so their
+    // wrappers don't fast-exit. Library users get the zero-cost
+    // default; asking for an instrumented lock by name is opt-in.
+    if !profile_locks && lock_names.iter().any(|n| n.starts_with("instrumented-")) {
+        telemetry::set_recording(true);
+    }
 
     let mut failed = false;
 
@@ -152,9 +159,10 @@ fn main() {
 }
 
 /// Per-figure epilogue: the per-lock telemetry table (whenever any
-/// lock recorded — `--profile` wraps everything, `instrumented-*`
-/// specs record on their own) and the machine-readable
-/// `BENCH_<figure>.json` (under `--out`).
+/// lock recorded — `--profile` wraps everything and arms sampling;
+/// `instrumented-*` specs record counts while the recording gate is
+/// armed) and the machine-readable `BENCH_<figure>.json` (under
+/// `--out`).
 fn finish_figure(id: &str, tables: &[Table], out_dir: &Option<String>) {
     let stats = telemetry_table(id);
     if !stats.rows.is_empty() {
@@ -196,7 +204,8 @@ fn list_locks() {
     println!(
         "\nSLO-parameterized families accept any duration, e.g. libasl-25us,\n\
          libasl-clh-4ms, libasl-opt-500ns, libasl-blk-1ms. Prefix any name\n\
-         with `instrumented-` to record telemetry for it."
+         with `instrumented-` to record telemetry for it (counts via --lock;\n\
+         full hold/wait sampling under --profile; near-zero otherwise)."
     );
 }
 
@@ -204,7 +213,8 @@ fn usage() {
     eprintln!(
         "usage: repro [--quick|--full] [--profile] [--out DIR] [--lock NAME]... <figure-id>... | all | list | locks\n\
          figure ids: fig1 fig4 fig5 fig8a fig8b fig8c fig8d fig8ef fig8g fig8hi\n\
-         \u{20}          fig9-kyoto fig9-upscale fig9-lmdb fig10-leveldb fig10-sqlite alt-topology rw adapt\n\
+         \u{20}          fig9-kyoto fig9-upscale fig9-lmdb fig10-leveldb fig10-sqlite alt-topology\n\
+         \u{20}          sec2-numa sec5-delegation rw adapt overhead\n\
          lock names: see `repro locks` (e.g. mcs, shfl-pb10, libasl-70us, rw-ticket, adaptive)"
     );
 }

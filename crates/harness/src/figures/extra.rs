@@ -109,11 +109,14 @@ fn run_delegation(
         std::thread::spawn(move || {
             std::thread::sleep(warmup);
             let t0 = now_ns();
-            phase.store(PHASE_MEASURE, Ordering::SeqCst);
+            // Ordering audit: measurement-protocol flags, polled with
+            // relaxed loads by the workers; `measured_ns` is read only
+            // after `controller.join()` below, which orders it.
+            phase.store(PHASE_MEASURE, Ordering::Relaxed);
             std::thread::sleep(duration);
-            phase.store(PHASE_DONE, Ordering::SeqCst);
-            measured_ns.store(now_ns() - t0, Ordering::SeqCst);
-            stop.store(true, Ordering::SeqCst);
+            phase.store(PHASE_DONE, Ordering::Relaxed);
+            measured_ns.store(now_ns() - t0, Ordering::Relaxed);
+            stop.store(true, Ordering::Relaxed);
         })
     };
 
@@ -133,7 +136,7 @@ fn run_delegation(
         hist: Hist,
     }
 
-    let (outs, elapsed): (Vec<WorkerOut>, u64) = match mode {
+    let outs: Vec<WorkerOut> = match mode {
         DelegationMode::FlatCombining => {
             let fc = FlatCombiner::new((), apply);
             let handles: Vec<_> = (0..8).map(|_| fc.register()).collect();
@@ -156,7 +159,7 @@ fn run_delegation(
                 }
                 WorkerOut { ops, hist }
             });
-            (outs, measured_ns.load(Ordering::SeqCst))
+            outs
         }
         DelegationMode::Server => {
             let srv = Arc::new(DedicatedServer::new((), apply));
@@ -218,11 +221,14 @@ fn run_delegation(
             );
             srv.shutdown();
             server_thread.join().expect("server panicked");
-            (outs, measured_ns.load(Ordering::SeqCst))
+            outs
         }
     };
 
     controller.join().expect("controller panicked");
+    // Relaxed: the join above provides the happens-before edge (the
+    // pre-join load this replaces could race the controller's store).
+    let elapsed = measured_ns.load(Ordering::Relaxed);
     let mut hist = Hist::new();
     let mut total = 0u64;
     for o in &outs {

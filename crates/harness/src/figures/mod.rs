@@ -15,6 +15,7 @@ pub mod bench1;
 pub mod db;
 pub mod extra;
 pub mod micro;
+pub mod overhead;
 pub mod rw;
 
 use std::cell::RefCell;
@@ -155,6 +156,7 @@ pub fn registry() -> Vec<(&'static str, FigureFn)> {
         ("sec5-delegation", extra::sec5_delegation),
         ("rw", rw::rw),
         ("adapt", adapt::adapt),
+        ("overhead", overhead::overhead),
     ]
 }
 
@@ -192,6 +194,7 @@ mod tests {
         for id in [
             "rw",
             "adapt",
+            "overhead",
             "fig1",
             "fig4",
             "fig5",

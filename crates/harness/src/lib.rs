@@ -30,3 +30,15 @@ pub mod scenario;
 
 pub use hist::Hist;
 pub use runner::{run_timed, RunConfig, RunResult};
+
+/// Serializes unit tests that touch `asl_locks::telemetry`'s
+/// process-wide state (the recording/profiling gates and the cell
+/// registry). `cargo test` runs this crate's tests on parallel
+/// threads of one process, so any two tests that toggle a gate, or
+/// that register cells while another clears them, race without this.
+#[cfg(test)]
+pub(crate) fn telemetry_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    // A panicking holder doesn't corrupt the (unit) state.
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -223,9 +223,11 @@ impl LockSpec {
     /// the engines' [`asl_dbsim::LockFactory`] plumbing; prefer
     /// [`LockSpec::make_dyn`] at call sites that lock directly).
     ///
-    /// `instrumented-<name>` specs always record telemetry; every
-    /// other spec is transparently instrumented (and filed in the
-    /// process-wide registry under its label) while
+    /// `instrumented-<name>` specs carry a telemetry wrapper that
+    /// records while `asl_locks::telemetry::recording` (or profiling)
+    /// is armed and fast-exits to a near-zero passthrough otherwise;
+    /// every other spec is transparently instrumented (and filed in
+    /// the process-wide registry under its label) while
     /// `asl_locks::telemetry::profiling` is on — the `repro
     /// --profile` mode.
     pub fn make_lock(&self) -> Arc<dyn PlainLock> {
@@ -646,6 +648,7 @@ impl StaticWindowLock {
 }
 
 impl PlainLock for StaticWindowLock {
+    #[inline]
     fn acquire(&self) -> PlainToken {
         let tok = if is_big_core() {
             self.inner.lock_immediately()
@@ -654,11 +657,13 @@ impl PlainLock for StaticWindowLock {
         };
         PlainToken::issue(self, tok.into_raw(), 0)
     }
+    #[inline]
     fn try_acquire(&self) -> Option<PlainToken> {
         self.inner
             .try_lock()
             .map(|t| PlainToken::issue(self, t.into_raw(), 0))
     }
+    #[inline]
     fn release(&self, token: PlainToken) {
         let (raw, _) = token.redeem(self);
         // SAFETY: `redeem` checked (in debug builds) that this lock
@@ -849,7 +854,24 @@ mod tests {
     fn instrumented_specs_record_for_every_registry_name() {
         // `instrumented-<name>` works for every catalogued name, and
         // acquisitions land in the process-wide telemetry registry
-        // under the full label.
+        // under the full label. Counter recording is gated on the
+        // process-wide recording flag (zero-cost-when-off), so arm it
+        // for the duration of this test — under the shared gate lock,
+        // because the overhead-figure tests toggle and assert the
+        // same global state.
+        let _gate = crate::telemetry_test_lock();
+        // Drop guard: the gate must disarm even when an assertion
+        // below panics, or the armed global state cascades into
+        // spurious failures of later gated tests.
+        struct Disarm;
+        impl Drop for Disarm {
+            fn drop(&mut self) {
+                telemetry::clear_registered();
+                telemetry::set_recording(false);
+            }
+        }
+        let _disarm = Disarm;
+        telemetry::set_recording(true);
         for entry in registry() {
             let spec = LockSpec::Instrumented(Box::new(entry.spec.clone()));
             let label = spec.label();

@@ -267,8 +267,9 @@ mod tests {
     #[test]
     fn telemetry_table_skips_idle_cells() {
         use std::sync::Arc;
-        // Unique labels: the registry is process-global and other
-        // tests may be registering concurrently.
+        // The cell registry is process-global and the overhead-figure
+        // tests clear it wholesale — serialize on the shared gate.
+        let _gate = crate::telemetry_test_lock();
         let busy = Arc::new(telemetry::TelemetryCell::new());
         busy.record_acquisition(true);
         telemetry::register_cell("report-test-busy", busy);

@@ -141,11 +141,18 @@ where
         std::thread::spawn(move || {
             std::thread::sleep(warmup);
             let t0 = now_ns();
-            phase.store(PHASE_MEASURE, Ordering::SeqCst);
+            // Ordering audit: these are measurement-protocol flags,
+            // not synchronization of shared data. Workers poll
+            // `phase` with relaxed loads already — the window edges
+            // are inherently fuzzy by one op — and `measured_ns` is
+            // read only after `controller.join()`, whose
+            // happens-before edge orders it. `Relaxed` suffices on
+            // every store.
+            phase.store(PHASE_MEASURE, Ordering::Relaxed);
             std::thread::sleep(duration);
-            phase.store(PHASE_DONE, Ordering::SeqCst);
-            measured_ns.store(now_ns() - t0, Ordering::SeqCst);
-            stop.store(true, Ordering::SeqCst);
+            phase.store(PHASE_DONE, Ordering::Relaxed);
+            measured_ns.store(now_ns() - t0, Ordering::Relaxed);
+            stop.store(true, Ordering::Relaxed);
         })
     };
 
@@ -185,7 +192,8 @@ where
 
     controller.join().expect("controller panicked");
 
-    let elapsed = Duration::from_nanos(measured_ns.load(Ordering::SeqCst).max(1));
+    // Relaxed: `controller.join()` above provides the happens-before.
+    let elapsed = Duration::from_nanos(measured_ns.load(Ordering::Relaxed).max(1));
     let mut overall = Hist::new();
     let mut big = Hist::new();
     let mut little = Hist::new();

@@ -240,9 +240,16 @@ impl RawLock for Adaptive {
             return token;
         }
 
-        // TAS mode fast path.
+        // TAS mode fast path: one swap, one counter RMW. The full
+        // `note_idle` bookkeeping is skipped — `calm_streak` is only
+        // consulted in queue mode (and the promoting acquisition
+        // resets it), and `hot_streak` ("consecutive contended") only
+        // needs a write when a streak is actually live, so the
+        // usually-zero counter costs a relaxed load, not a store.
         if !self.flag.swap(true, Ordering::Acquire) {
-            self.note_idle();
+            if self.hot_streak.load(Ordering::Relaxed) != 0 {
+                self.hot_streak.store(0, Ordering::Relaxed);
+            }
             self.telemetry.record_acquired();
             self.telemetry.note_hold_start();
             return AdaptiveToken { via_queue: false };

@@ -144,6 +144,7 @@ pub struct StpToken(NonNull<StpNode>);
 
 impl StpToken {
     /// Encode as a raw word (for the object-safe lock facade).
+    #[inline]
     pub fn into_raw(self) -> usize {
         self.0.as_ptr() as usize
     }
@@ -153,6 +154,7 @@ impl StpToken {
     /// # Safety
     /// `raw` must come from `into_raw` on an unreleased token of the
     /// same lock.
+    #[inline]
     pub unsafe fn from_raw(raw: usize) -> Self {
         StpToken(NonNull::new_unchecked(raw as *mut StpNode))
     }

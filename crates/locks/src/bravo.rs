@@ -183,8 +183,10 @@ impl<L: RawLock> Bravo<L> {
             spin.reset();
         }
         let took = asl_runtime::clock::now_ns().saturating_sub(started);
+        // Saturating: deadline arithmetic must clamp, never wrap into
+        // the past (same audit as clock::busy_wait_ns).
         self.inhibit_until_ns.store(
-            started + took.saturating_mul(INHIBIT_MULTIPLIER),
+            started.saturating_add(took.saturating_mul(INHIBIT_MULTIPLIER)),
             Ordering::Relaxed,
         );
     }

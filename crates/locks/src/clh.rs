@@ -51,6 +51,7 @@ pub struct ClhToken {
 
 impl ClhToken {
     /// Encode as two raw words (for the object-safe lock facade).
+    #[inline]
     pub fn into_raw(self) -> (usize, usize) {
         (self.node.as_ptr() as usize, self.pred.as_ptr() as usize)
     }
@@ -60,6 +61,7 @@ impl ClhToken {
     /// # Safety
     /// The words must come from `into_raw` on an unreleased token of
     /// the same lock.
+    #[inline]
     pub unsafe fn from_raw(node: usize, pred: usize) -> Self {
         ClhToken {
             node: NonNull::new_unchecked(node as *mut ClhNode),

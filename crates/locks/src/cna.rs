@@ -86,6 +86,7 @@ pub struct CnaToken(NonNull<CnaNode>);
 
 impl CnaToken {
     /// Encode as a raw word (for the object-safe lock facade).
+    #[inline]
     pub fn into_raw(self) -> usize {
         self.0.as_ptr() as usize
     }
@@ -95,6 +96,7 @@ impl CnaToken {
     /// # Safety
     /// `raw` must come from `into_raw` on an unreleased token of the
     /// same lock.
+    #[inline]
     pub unsafe fn from_raw(raw: usize) -> Self {
         CnaToken(NonNull::new_unchecked(raw as *mut CnaNode))
     }

@@ -72,6 +72,7 @@ pub struct CohortToken {
 
 impl CohortToken {
     /// Encode as two raw words (for the object-safe lock facade).
+    #[inline]
     pub fn into_raw(self) -> (usize, usize) {
         (self.node.as_ptr() as usize, self.class)
     }
@@ -81,6 +82,7 @@ impl CohortToken {
     /// # Safety
     /// The words must come from `into_raw` on an unreleased token of
     /// the same lock.
+    #[inline]
     pub unsafe fn from_raw(node: usize, class: usize) -> Self {
         CohortToken {
             node: NonNull::new_unchecked(node as *mut CohortNode),
@@ -188,7 +190,9 @@ impl RawLock for CohortLock {
                 (*pred).next.store(node.as_ptr(), Ordering::Release);
                 loop {
                     match node.as_ref().state.load(Ordering::Acquire) {
-                        WAITING => spin.relax(),
+                        WAITING => {
+                            spin.relax();
+                        }
                         GRANTED_GLOBAL => break, // cohort pass: global is ours
                         _ => {
                             // Local lock only: take the global myself.

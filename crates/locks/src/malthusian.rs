@@ -67,6 +67,7 @@ pub struct MalthusianToken(NonNull<MalNode>);
 
 impl MalthusianToken {
     /// Encode as a raw word (for the object-safe lock facade).
+    #[inline]
     pub fn into_raw(self) -> usize {
         self.0.as_ptr() as usize
     }
@@ -76,6 +77,7 @@ impl MalthusianToken {
     /// # Safety
     /// `raw` must come from `into_raw` on an unreleased token of the
     /// same lock.
+    #[inline]
     pub unsafe fn from_raw(raw: usize) -> Self {
         MalthusianToken(NonNull::new_unchecked(raw as *mut MalNode))
     }

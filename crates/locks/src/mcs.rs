@@ -58,6 +58,7 @@ pub struct McsToken(NonNull<QNode>);
 
 impl McsToken {
     /// Encode as a raw word (for the object-safe lock facade).
+    #[inline]
     pub fn into_raw(self) -> usize {
         self.0.as_ptr() as usize
     }
@@ -67,6 +68,7 @@ impl McsToken {
     /// # Safety
     /// `raw` must come from `into_raw` on a token of the same lock
     /// that has not been released yet.
+    #[inline]
     pub unsafe fn from_raw(raw: usize) -> Self {
         McsToken(NonNull::new_unchecked(raw as *mut QNode))
     }

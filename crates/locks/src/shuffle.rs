@@ -251,6 +251,7 @@ pub struct ShuffleToken(NonNull<ShflNode>);
 
 impl ShuffleToken {
     /// Encode as a raw word (for the object-safe lock facade).
+    #[inline]
     pub fn into_raw(self) -> usize {
         self.0.as_ptr() as usize
     }
@@ -260,6 +261,7 @@ impl ShuffleToken {
     /// # Safety
     /// `raw` must come from `into_raw` on an unreleased token of the
     /// same lock.
+    #[inline]
     pub unsafe fn from_raw(raw: usize) -> Self {
         ShuffleToken(NonNull::new_unchecked(raw as *mut ShflNode))
     }

@@ -53,7 +53,9 @@ impl RawLock for TasLock {
 
     #[inline]
     fn lock(&self) {
-        // Fast path: uncontended swap.
+        // Uncontended fast path: a single atomic (the swap) and
+        // nothing else — no affinity lookup, no spin-state setup.
+        // Those costs are deferred to the contended path below.
         if !self.locked.swap(true, Ordering::Acquire) {
             return;
         }

@@ -27,18 +27,44 @@
 //!   harness every labelled [`TelemetrySnapshot`] for its per-lock
 //!   stats tables.
 //!
+//! ## Cost model: zero when off, counts when recording, clocks when sampling
+//!
+//! Instrumentation has three gears, so wrapped locks can stay wrapped
+//! in production:
+//!
+//! 1. **Off** (default): every `Instrumented*` hot path fast-exits on
+//!    the [`recording`] gate *before any counter RMW* — the wrapper
+//!    costs one relaxed global load, one relaxed per-cell load, and a
+//!    predictable branch over the raw lock (single-digit ns).
+//! 2. **Recording** ([`set_recording`], implied by [`set_profiling`]):
+//!    acquisition/contention counts are recorded as relaxed
+//!    `fetch_add`s — wait-free, no clock reads.
+//! 3. **Sampling** ([`TelemetryCell::set_sampling`], enabled on
+//!    registry cells while profiling is on): hold/wait timing is
+//!    recorded too, which costs up to two monotonic-clock reads per
+//!    acquisition. A cell with sampling on is armed even when the
+//!    global gate is off (local intent wins).
+//!
 //! ```
 //! use asl_locks::api::GuardedLock;
 //! use asl_locks::telemetry::Instrumented;
 //! use asl_locks::TasLock;
 //!
-//! let lock = Instrumented::new(TasLock::new());
+//! // `sampled` arms this cell regardless of the global gate.
+//! let lock = Instrumented::sampled(TasLock::new());
 //! {
 //!     let _held = lock.guard(); // records one uncontended acquisition
 //! }
 //! let snap = lock.telemetry().snapshot();
 //! assert_eq!(snap.acquisitions, 1);
 //! assert_eq!(snap.contended, 0);
+//!
+//! // An un-armed wrapper is a passthrough: no counters move.
+//! let quiet = Instrumented::new(TasLock::new());
+//! {
+//!     let _held = quiet.guard();
+//! }
+//! assert_eq!(quiet.telemetry().snapshot().acquisitions, 0);
 //! ```
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -57,6 +83,17 @@ use crate::{RawLock, RawRwLock};
 /// reporting). Hold/wait time is only recorded while sampling is
 /// enabled, because it costs two monotonic-clock reads per
 /// acquisition.
+///
+/// Atomic-ordering audit: every counter here is a pure statistic —
+/// no control flow, lock-word, or memory-safety decision reads one
+/// (the sole reader is [`TelemetryCell::snapshot`], which tolerates
+/// torn cross-counter views by design). `Relaxed` therefore suffices
+/// on every site: per-location modification order still makes each
+/// individual counter's `fetch_add`s exact, and the lock's own
+/// acquire/release fences already order anything the *holder* writes.
+/// The one stateful slot, `hold_start_ns`, is only written by the
+/// lock holder between acquire and release, so the lock provides the
+/// happens-before edge `Relaxed` does not.
 #[repr(align(128))]
 #[derive(Debug, Default)]
 pub struct TelemetryCell {
@@ -103,6 +140,17 @@ impl TelemetryCell {
     #[inline]
     pub fn sampling(&self) -> bool {
         self.sampling.load(Ordering::Relaxed)
+    }
+
+    /// Whether an instrumented wrapper should record into this cell
+    /// at all: the process-wide [`recording`] gate, or this cell's
+    /// own sampling flag (local intent wins over the global default).
+    ///
+    /// This is the zero-cost-when-off fast-exit — two relaxed loads
+    /// and a branch, checked *before* any counter RMW or clock read.
+    #[inline]
+    pub fn armed(&self) -> bool {
+        recording() || self.sampling()
     }
 
     /// Record one successful acquisition (`contended` = the lock was
@@ -158,6 +206,12 @@ impl TelemetryCell {
     /// [`TelemetryCell::note_hold_start`] (call before releasing).
     #[inline]
     pub fn note_hold_end(&self) {
+        // Load-before-RMW: with sampling off there is no in-flight
+        // hold, and the release path must not pay an unconditional
+        // atomic swap just to find that out.
+        if self.hold_start_ns.load(Ordering::Relaxed) == 0 {
+            return;
+        }
         let start = self.hold_start_ns.swap(0, Ordering::Relaxed);
         if start != 0 {
             self.hold_ns
@@ -248,7 +302,10 @@ pub struct Instrumented<L: RawLock> {
 }
 
 impl<L: RawLock> Instrumented<L> {
-    /// Wrap `inner` with a fresh telemetry cell (sampling off).
+    /// Wrap `inner` with a fresh telemetry cell (sampling off): the
+    /// wrapper records counts only while the process-wide
+    /// [`recording`] gate is on, and is a near-zero passthrough
+    /// otherwise.
     pub fn new(inner: L) -> Self {
         Instrumented {
             inner,
@@ -256,7 +313,8 @@ impl<L: RawLock> Instrumented<L> {
         }
     }
 
-    /// Wrap `inner` with hold/wait-time sampling enabled.
+    /// Wrap `inner` with hold/wait-time sampling enabled (the cell is
+    /// armed regardless of the global [`recording`] gate).
     pub fn sampled(inner: L) -> Self {
         Instrumented {
             inner,
@@ -286,6 +344,11 @@ impl<L: RawLock> RawLock for Instrumented<L> {
 
     #[inline]
     fn lock(&self) -> L::Token {
+        // Zero-cost-when-off: bail before any counter RMW (or even
+        // the is_locked probe, which would touch the lock word).
+        if !self.cell.armed() {
+            return self.inner.lock();
+        }
         let contended = self.inner.is_locked();
         let sampling = self.cell.sampling();
         let t0 = if sampling && contended { now_ns() } else { 0 };
@@ -301,13 +364,19 @@ impl<L: RawLock> RawLock for Instrumented<L> {
     #[inline]
     fn try_lock(&self) -> Option<L::Token> {
         let token = self.inner.try_lock()?;
-        self.cell.record_acquisition(false);
-        self.cell.note_hold_start();
+        if self.cell.armed() {
+            self.cell.record_acquisition(false);
+            self.cell.note_hold_start();
+        }
         Some(token)
     }
 
     #[inline]
     fn unlock(&self, token: L::Token) {
+        // Not gated on `armed`: note_hold_end is a single relaxed
+        // load when no sampled hold is in flight, and checking the
+        // slot unconditionally closes holds cleanly even if sampling
+        // was toggled mid-hold.
         self.cell.note_hold_end();
         self.inner.unlock(token);
     }
@@ -335,12 +404,23 @@ pub struct InstrumentedRw<L: RawRwLock> {
 }
 
 impl<L: RawRwLock> InstrumentedRw<L> {
-    /// Wrap `inner` with fresh read/write telemetry cells.
+    /// Wrap `inner` with fresh read/write telemetry cells (armed only
+    /// while the process-wide [`recording`] gate is on).
     pub fn new(inner: L) -> Self {
         InstrumentedRw {
             inner,
             read: TelemetryCell::new(),
             write: TelemetryCell::new(),
+        }
+    }
+
+    /// Wrap `inner` with sampling enabled on both sides (cells armed
+    /// regardless of the global [`recording`] gate).
+    pub fn sampled(inner: L) -> Self {
+        InstrumentedRw {
+            inner,
+            read: TelemetryCell::sampled(),
+            write: TelemetryCell::sampled(),
         }
     }
 
@@ -372,6 +452,9 @@ impl<L: RawRwLock> RawRwLock for InstrumentedRw<L> {
 
     #[inline]
     fn read(&self) -> L::ReadToken {
+        if !self.read.armed() {
+            return self.inner.read();
+        }
         let contended = self.inner.is_write_locked();
         let sampling = self.read.sampling();
         let t0 = if sampling && contended { now_ns() } else { 0 };
@@ -386,7 +469,9 @@ impl<L: RawRwLock> RawRwLock for InstrumentedRw<L> {
     #[inline]
     fn try_read(&self) -> Option<L::ReadToken> {
         let token = self.inner.try_read()?;
-        self.read.record_acquisition(false);
+        if self.read.armed() {
+            self.read.record_acquisition(false);
+        }
         Some(token)
     }
 
@@ -397,6 +482,9 @@ impl<L: RawRwLock> RawRwLock for InstrumentedRw<L> {
 
     #[inline]
     fn write(&self) -> L::WriteToken {
+        if !self.write.armed() {
+            return self.inner.write();
+        }
         let contended = self.inner.is_locked();
         let sampling = self.write.sampling();
         let t0 = if sampling && contended { now_ns() } else { 0 };
@@ -412,8 +500,10 @@ impl<L: RawRwLock> RawRwLock for InstrumentedRw<L> {
     #[inline]
     fn try_write(&self) -> Option<L::WriteToken> {
         let token = self.inner.try_write()?;
-        self.write.record_acquisition(false);
-        self.write.note_hold_start();
+        if self.write.armed() {
+            self.write.record_acquisition(false);
+            self.write.note_hold_start();
+        }
         Some(token)
     }
 
@@ -467,6 +557,10 @@ impl InstrumentedPlain {
 impl PlainLock for InstrumentedPlain {
     #[inline]
     fn acquire(&self) -> PlainToken {
+        // Zero-cost-when-off: bail before any counter RMW.
+        if !self.cell.armed() {
+            return self.inner.acquire();
+        }
         let contended = self.inner.held();
         let sampling = self.cell.sampling();
         let t0 = if sampling && contended { now_ns() } else { 0 };
@@ -482,8 +576,10 @@ impl PlainLock for InstrumentedPlain {
     #[inline]
     fn try_acquire(&self) -> Option<PlainToken> {
         let token = self.inner.try_acquire()?;
-        self.cell.record_acquisition(false);
-        self.cell.note_hold_start();
+        if self.cell.armed() {
+            self.cell.record_acquisition(false);
+            self.cell.note_hold_start();
+        }
         Some(token)
     }
 
@@ -526,6 +622,9 @@ impl InstrumentedPlainRw {
 impl PlainRwLock for InstrumentedPlainRw {
     #[inline]
     fn acquire_read(&self) -> PlainRwToken {
+        if !self.read.armed() {
+            return self.inner.acquire_read();
+        }
         let contended = self.inner.write_held();
         let sampling = self.read.sampling();
         let t0 = if sampling && contended { now_ns() } else { 0 };
@@ -540,7 +639,9 @@ impl PlainRwLock for InstrumentedPlainRw {
     #[inline]
     fn try_acquire_read(&self) -> Option<PlainRwToken> {
         let token = self.inner.try_acquire_read()?;
-        self.read.record_acquisition(false);
+        if self.read.armed() {
+            self.read.record_acquisition(false);
+        }
         Some(token)
     }
 
@@ -551,6 +652,9 @@ impl PlainRwLock for InstrumentedPlainRw {
 
     #[inline]
     fn acquire_write(&self) -> PlainRwToken {
+        if !self.write.armed() {
+            return self.inner.acquire_write();
+        }
         let contended = self.inner.held();
         let sampling = self.write.sampling();
         let t0 = if sampling && contended { now_ns() } else { 0 };
@@ -566,8 +670,10 @@ impl PlainRwLock for InstrumentedPlainRw {
     #[inline]
     fn try_acquire_write(&self) -> Option<PlainRwToken> {
         let token = self.inner.try_acquire_write()?;
-        self.write.record_acquisition(false);
-        self.write.note_hold_start();
+        if self.write.armed() {
+            self.write.record_acquisition(false);
+            self.write.note_hold_start();
+        }
         Some(token)
     }
 
@@ -598,6 +704,11 @@ impl PlainRwLock for InstrumentedPlainRw {
 
 static PROFILING: AtomicBool = AtomicBool::new(false);
 
+/// The zero-cost-when-off gate: while false, every instrumented
+/// wrapper whose cell is not locally sampled fast-exits before any
+/// counter RMW.
+static RECORDING: AtomicBool = AtomicBool::new(false);
+
 /// One registry slot: a reporting label and the cell filed under it.
 type LabeledCell = (String, Arc<TelemetryCell>);
 
@@ -607,16 +718,33 @@ fn registry() -> &'static Mutex<Vec<LabeledCell>> {
 }
 
 /// Turn process-wide lock profiling on or off. While on,
-/// [`maybe_instrument`] wraps locks and registers their cells; the
-/// harness's `repro --profile` mode flips this.
+/// [`maybe_instrument`] wraps locks and registers their cells (with
+/// sampling enabled); the harness's `repro --profile` mode flips
+/// this. Profiling implies [`recording`] — turning profiling off
+/// turns the recording gate off too.
 pub fn set_profiling(on: bool) {
     PROFILING.store(on, Ordering::Relaxed);
+    RECORDING.store(on, Ordering::Relaxed);
 }
 
 /// Whether process-wide lock profiling is on.
 #[inline]
 pub fn profiling() -> bool {
     PROFILING.load(Ordering::Relaxed)
+}
+
+/// Arm (or disarm) counter recording in every instrumented wrapper
+/// without turning on the full profiling registry — counts only, no
+/// clock reads. [`set_profiling`] toggles this too.
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Ordering::Relaxed);
+}
+
+/// Whether instrumented wrappers currently record counts (see the
+/// module-level cost model).
+#[inline]
+pub fn recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
 }
 
 /// File `cell` under `label` in the process-wide registry so
@@ -653,19 +781,53 @@ pub fn clear_registered() {
         .clear();
 }
 
+/// Number of cells currently registered. Pair with
+/// [`truncate_registered`] for scoped cleanup: take the mark, register
+/// throwaway cells (e.g. a measurement sweep), then truncate back —
+/// without wiping cells other code registered before the mark.
+pub fn registered_len() -> usize {
+    registry()
+        .lock()
+        .expect("telemetry registry poisoned")
+        .len()
+}
+
+/// Drop the cells registered at or after `mark` (a
+/// [`registered_len`] reading). Registration appends, so this removes
+/// exactly what was registered since the mark — provided no other
+/// thread registered concurrently, which is the caller's contract.
+pub fn truncate_registered(mark: usize) {
+    registry()
+        .lock()
+        .expect("telemetry registry poisoned")
+        .truncate(mark);
+}
+
 /// Wrap `lock` in an [`InstrumentedPlain`] recording into a fresh
-/// sampled cell registered under `label`.
+/// cell registered under `label`. While [`profiling`] is on the cell
+/// samples hold/wait timing; otherwise it records only while the
+/// [`recording`] gate is armed, so an `instrumented-<name>` spec left
+/// in a production config costs one branch per acquisition, not a
+/// clock read.
 pub fn instrument(label: &str, lock: Arc<dyn PlainLock>) -> Arc<dyn PlainLock> {
-    let cell = Arc::new(TelemetryCell::sampled());
+    let cell = Arc::new(TelemetryCell::new());
+    if profiling() {
+        cell.set_sampling(true);
+    }
     register_cell(label, cell.clone());
     Arc::new(InstrumentedPlain::new(lock, cell))
 }
 
-/// Wrap `lock` in an [`InstrumentedPlainRw`] with fresh sampled
-/// read/write cells registered as `<label>.read` / `<label>.write`.
+/// Wrap `lock` in an [`InstrumentedPlainRw`] with fresh read/write
+/// cells registered as `<label>.read` / `<label>.write` (sampling
+/// follows [`profiling`], as in [`instrument`]).
 pub fn instrument_rw(label: &str, lock: Arc<dyn PlainRwLock>) -> Arc<dyn PlainRwLock> {
-    let read = Arc::new(TelemetryCell::sampled());
-    let write = Arc::new(TelemetryCell::sampled());
+    let read = Arc::new(TelemetryCell::new());
+    let write = Arc::new(TelemetryCell::new());
+    if profiling() {
+        read.set_sampling(true);
+        write.set_sampling(true);
+    }
     register_cell(format!("{label}.read"), read.clone());
     register_cell(format!("{label}.write"), write.clone());
     Arc::new(InstrumentedPlainRw::new(lock, read, write))
@@ -755,8 +917,24 @@ mod tests {
     }
 
     #[test]
+    fn unarmed_instrumented_is_a_passthrough() {
+        // Neither the global recording gate nor local sampling is on:
+        // the wrapper must not move any counter (the zero-cost-when-
+        // off contract). Lock semantics still delegate fully.
+        assert!(!recording(), "tests run with recording off by default");
+        let lock = Instrumented::new(McsLock::new());
+        {
+            let _g = lock.guard();
+            assert!(RawLock::is_locked(&lock));
+        }
+        let t = RawLock::try_lock(&lock).expect("free");
+        RawLock::unlock(&lock, t);
+        assert_eq!(lock.telemetry().snapshot(), TelemetrySnapshot::default());
+    }
+
+    #[test]
     fn instrumented_try_lock_counts_successes_only() {
-        let lock = Instrumented::new(TasLock::new());
+        let lock = Instrumented::sampled(TasLock::new());
         let g = lock.try_guard().expect("free");
         assert!(lock.try_guard().is_none(), "held: try fails");
         drop(g);
@@ -767,7 +945,7 @@ mod tests {
     #[test]
     fn instrumented_rw_splits_read_write() {
         use crate::api::GuardedRwLock;
-        let lock = InstrumentedRw::new(RwTicketLock::new());
+        let lock = InstrumentedRw::sampled(RwTicketLock::new());
         {
             let _r1 = lock.read_guard();
             let _r2 = lock.read_guard();
@@ -781,7 +959,7 @@ mod tests {
 
     #[test]
     fn plain_wrapper_delegates_and_records() {
-        let cell = Arc::new(TelemetryCell::new());
+        let cell = Arc::new(TelemetryCell::sampled());
         let lock: Arc<dyn PlainLock> = Arc::new(InstrumentedPlain::new(
             Arc::new(McsLock::new()),
             cell.clone(),
@@ -797,8 +975,8 @@ mod tests {
 
     #[test]
     fn plain_rw_wrapper_delegates_and_records() {
-        let read = Arc::new(TelemetryCell::new());
-        let write = Arc::new(TelemetryCell::new());
+        let read = Arc::new(TelemetryCell::sampled());
+        let write = Arc::new(TelemetryCell::sampled());
         let lock: Arc<dyn PlainRwLock> = Arc::new(InstrumentedPlainRw::new(
             Arc::new(RwTicketLock::new()),
             read.clone(),
@@ -831,6 +1009,21 @@ mod tests {
         assert_eq!(merged.contended, 1);
         clear_registered();
         assert!(!snapshots().iter().any(|(l, _)| l == "same"));
+    }
+
+    #[test]
+    fn truncate_registered_is_scoped() {
+        // Cells registered before the mark survive a truncate; cells
+        // registered after it are dropped. Unique labels, since the
+        // registry is process-global.
+        register_cell("trunc-test-before", Arc::new(TelemetryCell::new()));
+        let mark = registered_len();
+        register_cell("trunc-test-after", Arc::new(TelemetryCell::new()));
+        assert!(registered_len() > mark);
+        truncate_registered(mark);
+        let labels: Vec<String> = snapshots().into_iter().map(|(l, _)| l).collect();
+        assert!(labels.iter().any(|l| l == "trunc-test-before"));
+        assert!(!labels.iter().any(|l| l == "trunc-test-after"));
     }
 
     #[test]

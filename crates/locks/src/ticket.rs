@@ -43,6 +43,13 @@ impl RawLock for TicketLock {
     #[inline]
     fn lock(&self) {
         let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        // Uncontended fast path: one RMW + one load, returning before
+        // any spin-state setup (Spin::new reads the machine-shape
+        // cache, which is pure overhead when the ticket is served
+        // immediately).
+        if self.serving.load(Ordering::Acquire) == ticket {
+            return;
+        }
         let mut spin = asl_runtime::relax::Spin::new();
         while self.serving.load(Ordering::Acquire) != ticket {
             spin.relax();

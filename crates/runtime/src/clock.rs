@@ -4,7 +4,21 @@
 //! and reorder-window deadlines. We expose the same thing: a
 //! monotonic nanosecond counter anchored at process start, plus
 //! busy-wait and nanosleep helpers used by the lock implementations.
+//!
+//! ## Precise vs. amortized reads
+//!
+//! [`now_ns`] is the precise clock — one `clock_gettime` per call.
+//! That is cheap enough for once-per-acquisition timestamps but not
+//! for per-spin-iteration deadline checks: a standby competitor
+//! polling a reorder window would spend more cycles reading the clock
+//! than probing the lock. [`coarse_now_ns`] amortizes the cost with a
+//! per-thread cache refreshed every [`COARSE_REFRESH_EVERY`] reads —
+//! no background ticker thread (the reference host has one CPU), just
+//! a counter and a cached value in TLS. Wait loops read the coarse
+//! clock; anything that anchors a measurement or a deadline reads the
+//! precise one, once.
 
+use std::cell::Cell;
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -14,17 +28,102 @@ fn anchor() -> Instant {
 }
 
 /// Monotonic nanoseconds since process start. Cheap enough to call in
-/// lock hot paths (vDSO-backed on Linux).
+/// lock hot paths (vDSO-backed on Linux), but see [`coarse_now_ns`]
+/// for the amortized variant wait loops should use.
 #[inline]
 pub fn now_ns() -> u64 {
     anchor().elapsed().as_nanos() as u64
+}
+
+/// How many [`coarse_now_ns`] reads share one precise clock read on a
+/// machine where spinning is cheap.
+///
+/// Chosen so a spin loop checking its deadline through the coarse
+/// clock pays ~1/32 of the `clock_gettime` cost per check while the
+/// staleness bound below stays tight enough for reorder-window slack
+/// (the paper's windows are tens of microseconds; 31 cached reads of
+/// a sub-microsecond loop are noise against that).
+///
+/// On hosts where every wait-loop poll is a scheduler yield
+/// ([`crate::relax::yields_every_poll`], e.g. 1-CPU CI containers)
+/// the cache refreshes on *every* read instead: there a poll costs a
+/// scheduling quantum, so K stale reads would stretch a window by K
+/// quanta while saving nothing worth having.
+pub const COARSE_REFRESH_EVERY: u32 = 32;
+
+/// Resolved per process: [`COARSE_REFRESH_EVERY`], or 1 when waiting
+/// yields on every poll.
+fn refresh_every() -> u32 {
+    static EVERY: OnceLock<u32> = OnceLock::new();
+    *EVERY.get_or_init(|| {
+        if crate::relax::yields_every_poll() {
+            1
+        } else {
+            COARSE_REFRESH_EVERY
+        }
+    })
+}
+
+thread_local! {
+    /// (reads remaining before refresh, cached precise timestamp).
+    static COARSE: Cell<(u32, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// Amortized monotonic nanoseconds since process start.
+///
+/// Returns a cached [`now_ns`] value, re-reading the precise clock
+/// once every [`COARSE_REFRESH_EVERY`] calls on the calling thread
+/// (every call on hosts where wait loops yield per poll — see
+/// [`COARSE_REFRESH_EVERY`]).
+///
+/// # Staleness contract
+///
+/// * **Never ahead:** the returned value is a past precise reading,
+///   so `coarse_now_ns() <= now_ns()` always holds. Deadline checks
+///   of the form `coarse_now_ns() >= deadline` therefore never fire
+///   *early* — a window can only be honoured slightly long, never
+///   cut short.
+/// * **Bounded behind:** the value was read from the precise clock at
+///   most [`COARSE_REFRESH_EVERY`] − 1 coarse reads ago *on this
+///   thread*; the wall-clock staleness is bounded by however long
+///   those reads took (for a spin loop checking every N iterations,
+///   at most ~K·N loop iterations' worth of drift). A thread that
+///   stops calling stops refreshing — the cache has no timer — so do
+///   not use the coarse clock across blocking sleeps; take a fresh
+///   [`now_ns`] instead.
+/// * **Per-thread monotonic:** refreshes come from the monotonic
+///   precise clock, so consecutive coarse reads on one thread never
+///   go backwards.
+#[inline]
+pub fn coarse_now_ns() -> u64 {
+    COARSE.with(|c| {
+        let (left, cached) = c.get();
+        if left == 0 {
+            let fresh = now_ns();
+            c.set((refresh_every() - 1, fresh));
+            fresh
+        } else {
+            c.set((left - 1, cached));
+            cached
+        }
+    })
+}
+
+/// Drop this thread's coarse-clock cache so the next
+/// [`coarse_now_ns`] re-reads the precise clock (call after blocking
+/// sleeps, where the staleness bound above does not hold).
+#[inline]
+pub fn coarse_resync() {
+    COARSE.with(|c| c.set((0, c.get().1)));
 }
 
 /// Busy-wait for approximately `ns` nanoseconds (spinning, with
 /// scheduler yields once oversubscribed — see [`crate::relax`]).
 #[inline]
 pub fn busy_wait_ns(ns: u64) {
-    let end = now_ns() + ns;
+    // Saturating: a huge `ns` must clamp the deadline at the end of
+    // time, not wrap it into the past and return immediately.
+    let end = now_ns().saturating_add(ns);
     let mut spin = crate::relax::Spin::new();
     while now_ns() < end {
         spin.relax();
@@ -93,5 +192,76 @@ mod tests {
     fn unit_helpers() {
         assert_eq!(us(3), 3_000);
         assert_eq!(ms(2), 2_000_000);
+    }
+
+    #[test]
+    fn coarse_never_ahead_of_precise() {
+        coarse_resync();
+        for _ in 0..10 * COARSE_REFRESH_EVERY {
+            let c = coarse_now_ns();
+            let p = now_ns();
+            assert!(c <= p, "coarse {c} ran ahead of precise {p}");
+        }
+    }
+
+    #[test]
+    fn coarse_monotonic_per_thread() {
+        coarse_resync();
+        let mut last = 0u64;
+        for _ in 0..10 * COARSE_REFRESH_EVERY {
+            let c = coarse_now_ns();
+            assert!(c >= last, "coarse went backwards: {last} -> {c}");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn coarse_refreshes_within_interval() {
+        // After a refresh, the next K-1 reads may repeat the cached
+        // value; the K-th read must be a fresh precise reading, so a
+        // full interval of reads straddling a known delay must observe
+        // the delay.
+        coarse_resync();
+        let before = coarse_now_ns(); // fresh read (cache was dropped)
+        busy_wait_ns(100_000); // 100us: far above clock granularity
+        let mut after = 0u64;
+        for _ in 0..COARSE_REFRESH_EVERY {
+            after = coarse_now_ns();
+        }
+        assert!(
+            after >= before + 100_000,
+            "a full read interval never refreshed: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn coarse_staleness_bounded_by_interval() {
+        // The cached value is at most K-1 coarse reads old: bracket
+        // every coarse read with precise reads K calls apart and check
+        // the returned value never predates the bracket start.
+        coarse_resync();
+        for _ in 0..50 {
+            let bracket_start = now_ns();
+            let mut c = 0u64;
+            for _ in 0..COARSE_REFRESH_EVERY {
+                c = coarse_now_ns();
+            }
+            // K coarse reads contain >= 1 refresh, and refreshes are
+            // precise readings taken after `bracket_start`.
+            assert!(
+                c >= bracket_start,
+                "staleness exceeded one refresh interval: {c} < {bracket_start}"
+            );
+        }
+    }
+
+    #[test]
+    fn coarse_resync_forces_fresh_read() {
+        coarse_resync();
+        let a = coarse_now_ns();
+        busy_wait_ns(50_000);
+        coarse_resync();
+        let b = coarse_now_ns();
+        assert!(b >= a + 50_000, "resync did not re-read: {a} -> {b}");
     }
 }

@@ -40,7 +40,7 @@ pub mod work;
 
 pub use atomic_model::AtomicAffinity;
 pub use cacheline::CacheLineArena;
-pub use clock::now_ns;
+pub use clock::{coarse_now_ns, now_ns};
 pub use registry::{current_core, is_big_core, register_on_core, CoreAssignment};
 pub use relax::Spin;
 pub use spawn::{run_on_topology, ThreadCtx};

@@ -21,13 +21,23 @@ const SPIN_LIMIT: u32 = 128;
 /// (multi-core machines; single-CPU machines yield on every poll).
 const YIELD_CADENCE: u32 = 64;
 
-fn single_cpu() -> bool {
+/// Whether every [`Spin::relax`] poll on this machine is a scheduler
+/// yield (single-CPU hosts, notably CI containers). Wait-loop tuning
+/// keys off this: when a poll already costs a yield, per-poll
+/// bookkeeping like a clock read is noise, so amortizations that
+/// trade *accuracy* for per-poll cycles (e.g. the coarse clock's
+/// cached deadline checks) should collapse to their precise form.
+pub fn yields_every_poll() -> bool {
     static SINGLE: OnceLock<bool> = OnceLock::new();
     *SINGLE.get_or_init(|| {
         std::thread::available_parallelism()
             .map(|n| n.get() <= 1)
             .unwrap_or(true)
     })
+}
+
+fn single_cpu() -> bool {
+    yields_every_poll()
 }
 
 /// Per-wait-site spin state. Create one per waiting episode; call
@@ -66,16 +76,26 @@ impl Spin {
     /// One unit of waiting: a `spin_loop` hint while in the spin
     /// phase, then mostly-spinning with a periodic scheduler yield
     /// (every poll on a single-CPU machine).
+    ///
+    /// Returns whether this poll yielded to the scheduler. A yield
+    /// can cost a whole scheduling quantum, so time-aware wait loops
+    /// should treat a `true` return as "an unknown amount of wall
+    /// time just passed" — e.g. drop any cached clock reading
+    /// ([`crate::clock::coarse_resync`]) before the next deadline
+    /// check. Callers that don't track time can ignore the return.
     #[inline]
-    pub fn relax(&mut self) {
+    pub fn relax(&mut self) -> bool {
         self.spins += 1;
         if self.spins <= self.limit {
             std::hint::spin_loop();
+            false
         } else if self.spins - self.limit >= self.cadence {
             self.spins = self.limit;
             std::thread::yield_now();
+            true
         } else {
             std::hint::spin_loop();
+            false
         }
     }
 

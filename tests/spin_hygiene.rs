@@ -70,6 +70,130 @@ fn raw_spin_loop_hints_only_in_allowlisted_files() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Clock hygiene: the hot-path latency overhaul's invariants.
+//
+// The paper budgets ~45 cycles per `clock_gettime` and spends them
+// sparingly; our convention after the overhaul is that *spin waiter
+// loops never read the precise clock* — deadline checks ride
+// `asl_runtime::clock::coarse_now_ns`'s amortized per-thread cache —
+// and `ReorderableLock::lock_reorder` anchors everything on a single
+// precise read per acquisition. A stray `now_ns()` in those regions
+// silently reintroduces a clock read per spin iteration, so these
+// grep-style audits pin the source down.
+// ---------------------------------------------------------------------------
+
+/// The file's code before its `#[cfg(test)]` module.
+fn non_test_source(rel: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(rel);
+    let text = std::fs::read_to_string(&path).expect("readable source file");
+    text.split("#[cfg(test)]")
+        .next()
+        .expect("non-empty")
+        .to_string()
+}
+
+/// The slice from `needle` to the next top-level `impl` (or EOF).
+fn block_after<'a>(src: &'a str, needle: &str) -> &'a str {
+    let start = src
+        .find(needle)
+        .unwrap_or_else(|| panic!("{needle:?} not found — hygiene audit is stale"));
+    let rest = &src[start..];
+    match rest[needle.len()..].find("\nimpl ") {
+        Some(end) => &rest[..needle.len() + end],
+        None => rest,
+    }
+}
+
+/// Occurrences of precise `now_ns(` calls (excluding `coarse_now_ns(`).
+fn precise_clock_reads(src: &str) -> usize {
+    src.matches("now_ns(").count() - src.matches("coarse_now_ns(").count()
+}
+
+#[test]
+fn spin_wait_policies_read_only_the_coarse_clock() {
+    let src = non_test_source("crates/core/src/wait.rs");
+    for policy in ["SpinWait", "FixedCheckWait"] {
+        let body = block_after(&src, &format!("impl WaitPolicy for {policy}"));
+        assert_eq!(
+            precise_clock_reads(body),
+            0,
+            "{policy}'s waiter loop must check deadlines via coarse_now_ns \
+             (a precise now_ns per iteration is the regression this audit exists for):\n{body}"
+        );
+    }
+}
+
+#[test]
+fn lock_reorder_precise_clock_budget() {
+    // Acceptance invariant: with sampling off (production), at most
+    // one precise `now_ns()` call per standby acquisition — the
+    // deadline anchor. The source budget is exactly four occurrences:
+    // that anchor plus three sampling-gated wait-measurement reads
+    // (free-entry start/end bracket and the contended end-read — all
+    // off in production; precise because blocking in inner.lock()
+    // never refreshes the coarse cache). The waiter loop itself —
+    // audited separately above — performs zero precise reads.
+    let src = non_test_source("crates/core/src/reorderable.rs");
+    let start = src
+        .find("pub fn lock_reorder")
+        .expect("lock_reorder not found — hygiene audit is stale");
+    let rest = &src[start..];
+    let body = match rest["pub fn ".len()..].find("\n    pub fn ") {
+        Some(end) => &rest[.."pub fn ".len() + end],
+        None => rest,
+    };
+    assert_eq!(
+        precise_clock_reads(body),
+        4,
+        "lock_reorder's clock budget is one unconditional deadline anchor \
+         plus three sampling-gated measurement reads:\n{body}"
+    );
+    assert_eq!(
+        body.matches("if sampling").count(),
+        2,
+        "the measurement reads must stay behind sampling gates:\n{body}"
+    );
+}
+
+#[test]
+fn deadline_arithmetic_is_saturating() {
+    // `now + window` style sums wrap for huge windows and turn an
+    // effectively-infinite deadline into an already-expired one
+    // (clock::busy_wait_ns regressed on this once). This grep catches
+    // the *direct-sum* form — a `now_ns()` (or `coarse_now_ns()`)
+    // read and a `+` on the same line — across every non-test source
+    // in the workspace. Sums over a timestamp saved in an earlier
+    // statement (e.g. bravo.rs's inhibit deadline, fixed to
+    // saturating_add in the same overhaul) are beyond a line grep;
+    // those need review, and this audit makes no claim about them.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut sources = Vec::new();
+    for dir in ["crates", "src", "examples"] {
+        rust_sources(&root.join(dir), &mut sources);
+    }
+    let mut offenders = Vec::new();
+    for path in &sources {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap()
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = non_test_source(&rel);
+        for (i, line) in src.lines().enumerate() {
+            let code = line.split("//").next().unwrap_or("");
+            if code.contains("now_ns() +") || (code.contains("now_ns()") && code.contains(") + ")) {
+                offenders.push(format!("{rel}:{}: {}", i + 1, line.trim()));
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "deadline sums over a clock read must use saturating_add:\n{}",
+        offenders.join("\n")
+    );
+}
+
 #[test]
 fn allowlist_entries_exist() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
