@@ -69,7 +69,9 @@ impl AslCondvar {
         // any notification after this point sees us in the queue.
         drop(guard);
         while !notified.load(Ordering::Acquire) {
-            std::thread::park();
+            // Simulated threads charge a virtual wait instead of an OS
+            // park (the notifier's unpark is then a no-op).
+            asl_runtime::substrate::park_or(std::thread::park);
         }
         mutex.lock()
     }

@@ -8,6 +8,7 @@
 //! repro --lock libasl-70us   # Bench-1 under one named lock
 //! repro fig1 --profile       # + per-lock telemetry stats tables
 //! repro all --quick --out results/
+//! repro sim --quick --out simA/    # deterministic-simulator family
 //! ```
 //!
 //! Each figure prints aligned text tables; with `--out DIR` every
@@ -70,6 +71,13 @@ fn main() {
                 figures::registry()
                     .into_iter()
                     .map(|(id, _)| id.to_string()),
+            ),
+            // The deterministic-simulator figure family as one word.
+            "sim" => ids.extend(
+                figures::registry()
+                    .into_iter()
+                    .map(|(id, _)| id.to_string())
+                    .filter(|id| id.starts_with("sim-")),
             ),
             other if other.starts_with('-') => {
                 eprintln!("unknown flag: {other}");
@@ -215,6 +223,7 @@ fn usage() {
          figure ids: fig1 fig4 fig5 fig8a fig8b fig8c fig8d fig8ef fig8g fig8hi\n\
          \u{20}          fig9-kyoto fig9-upscale fig9-lmdb fig10-leveldb fig10-sqlite alt-topology\n\
          \u{20}          sec2-numa sec5-delegation rw adapt overhead\n\
+         \u{20}          sim-numa sim-fair sim-oversub sim-fig1 sim-fig8 (or `sim` for the family)\n\
          lock names: see `repro locks` (e.g. mcs, shfl-pb10, libasl-70us, rw-ticket, adaptive)"
     );
 }

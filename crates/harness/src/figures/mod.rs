@@ -17,6 +17,7 @@ pub mod extra;
 pub mod micro;
 pub mod overhead;
 pub mod rw;
+pub mod sim;
 
 use std::cell::RefCell;
 use std::time::Duration;
@@ -157,6 +158,11 @@ pub fn registry() -> Vec<(&'static str, FigureFn)> {
         ("rw", rw::rw),
         ("adapt", adapt::adapt),
         ("overhead", overhead::overhead),
+        ("sim-numa", sim::sim_numa),
+        ("sim-fair", sim::sim_fair),
+        ("sim-oversub", sim::sim_oversub),
+        ("sim-fig1", sim::sim_fig1),
+        ("sim-fig8", sim::sim_fig8),
     ]
 }
 
@@ -213,6 +219,11 @@ mod tests {
             "alt-topology",
             "sec2-numa",
             "sec5-delegation",
+            "sim-numa",
+            "sim-fair",
+            "sim-oversub",
+            "sim-fig1",
+            "sim-fig8",
         ] {
             assert!(has(id), "missing driver for {id}");
         }

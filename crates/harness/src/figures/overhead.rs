@@ -44,9 +44,24 @@ use crate::report::Table;
 /// suffixes in `BENCH_overhead.json`).
 pub const LAYERS: [&str; 4] = ["static", "dyn", "instr-off", "instr-on"];
 
+/// One prepared measurement leg: warmed up at build time, each call
+/// runs one timed batch and returns its mean ns/op.
+type Leg = Box<dyn FnMut() -> f64>;
+
 /// Single-threaded latency meter: batches of `iters` operations,
 /// best-of-`reps` (minimum filters scheduler preemption noise, which
 /// dominates p50 on an oversubscribed 1-CPU host).
+///
+/// The four layers of one row are measured as *interleaved* batches
+/// (rep 0 of every layer, then rep 1, ...), not as four back-to-back
+/// `reps`-batch blocks. Periodic host activity — daemon wakeups,
+/// timer beats — lasts longer than one layer's block of adjacent
+/// batches, so with block measurement it poisons every rep of
+/// whichever layer it lands on, and because the sweep's timing is
+/// deterministic it lands on the *same* cell run after run,
+/// masquerading as a per-lock regression. Interleaving spreads one
+/// layer's reps across the whole row's wall time; a burst now costs
+/// at most one rep per layer and the minimum stays clean.
 pub(crate) struct Meter {
     iters: u64,
     reps: u32,
@@ -62,33 +77,33 @@ impl Meter {
         }
     }
 
-    /// Best observed mean ns per `op()` call.
-    fn ns_per_op(&self, mut op: impl FnMut()) -> f64 {
+    /// Prepare a leg around `op`: warm up now (fault in nodes,
+    /// trainers, branch caches), time one batch per call.
+    fn leg(&self, mut op: impl FnMut() + 'static) -> Leg {
         for _ in 0..self.iters / 4 {
-            op(); // warmup: fault in nodes, trainers, branch caches
+            op();
         }
-        let mut best = f64::INFINITY;
-        for _ in 0..self.reps {
+        let iters = self.iters;
+        Box::new(move || {
             let t0 = now_ns();
-            for _ in 0..self.iters {
+            for _ in 0..iters {
                 op();
             }
             let dt = now_ns().saturating_sub(t0).max(1);
-            best = best.min(dt as f64 / self.iters as f64);
-        }
-        best
+            dt as f64 / iters as f64
+        })
     }
 
     /// Statically dispatched guard round-trip on a concrete
     /// [`RawLock`], optionally under a static [`Instrumented`] wrap.
-    fn raw<L: RawLock>(&self, lock: L, instr: bool) -> f64 {
+    fn raw<L: RawLock + 'static>(&self, lock: L, instr: bool) -> Leg {
         if instr {
             let lock = Instrumented::new(lock);
-            self.ns_per_op(|| {
+            self.leg(move || {
                 let _g = Guard::new(&lock);
             })
         } else {
-            self.ns_per_op(|| {
+            self.leg(move || {
                 let _g = Guard::new(&lock);
             })
         }
@@ -97,14 +112,14 @@ impl Meter {
     /// Statically dispatched write-guard round-trip on a concrete
     /// [`RawRwLock`] (the write side mirrors what exclusive call
     /// sites pay).
-    fn rw<L: RawRwLock>(&self, lock: L, instr: bool) -> f64 {
+    fn rw<L: RawRwLock + 'static>(&self, lock: L, instr: bool) -> Leg {
         if instr {
             let lock = InstrumentedRw::new(lock);
-            self.ns_per_op(|| {
+            self.leg(move || {
                 let _g = WriteGuard::new(&lock);
             })
         } else {
-            self.ns_per_op(|| {
+            self.leg(move || {
                 let _g = WriteGuard::new(&lock);
             })
         }
@@ -112,31 +127,55 @@ impl Meter {
 
     /// Concrete [`PlainLock`] round-trip (for lock types that only
     /// exist behind the plain facade, like LibASL-OPT).
-    fn plain<P: PlainLock>(&self, lock: &P) -> f64 {
-        self.ns_per_op(|| {
+    fn plain<P: PlainLock + 'static>(&self, lock: P) -> Leg {
+        self.leg(move || {
             let t = lock.acquire();
             lock.release(t);
         })
     }
 
     /// Dynamically dispatched guard round-trip through a built spec.
-    fn dyn_spec(&self, spec: &LockSpec) -> f64 {
-        let lock = spec.make_dyn();
-        self.ns_per_op(|| {
-            let _g = lock.lock();
+    ///
+    /// One lock object is built per rep, all alive together, and each
+    /// batch measures a different one. Where the allocator happens to
+    /// place one lock/cell/wrapper graph deep into a sweep can alias
+    /// its hot lines (a steady several-ns/op penalty), and freed
+    /// blocks are reused most-recent-first, so rebuilding at the same
+    /// point reproduces the same unlucky placement — only objects
+    /// *concurrently* alive are forced onto distinct addresses. The
+    /// best-of-reps minimum then discards pathological placements
+    /// along with timing noise.
+    fn dyn_spec(&self, spec: &LockSpec) -> Leg {
+        let locks: Vec<_> = (0..self.reps).map(|_| spec.make_dyn()).collect();
+        for lock in &locks {
+            for _ in 0..self.iters / 8 {
+                let _g = lock.lock();
+            }
+        }
+        let iters = self.iters;
+        let mut idx = 0usize;
+        Box::new(move || {
+            let lock = &locks[idx % locks.len()];
+            idx += 1;
+            let t0 = now_ns();
+            for _ in 0..iters {
+                let _g = lock.lock();
+            }
+            let dt = now_ns().saturating_sub(t0).max(1);
+            dt as f64 / iters as f64
         })
     }
 }
 
-/// Measure `spec` through the statically dispatched layer: a match
-/// mirroring [`LockSpec::make_lock_raw`], but monomorphized per
-/// concrete lock type. `instr` wraps the concrete type in a static
+/// Prepare `spec`'s statically dispatched leg: a match mirroring
+/// [`LockSpec::make_lock_raw`], but monomorphized per concrete lock
+/// type. `instr` wraps the concrete type in a static
 /// [`Instrumented`]/[`InstrumentedRw`] (how `instrumented-<name>`
 /// registry entries are measured at this layer; nesting beyond one
 /// wrap measures as one).
-fn static_ns(spec: &LockSpec, m: &Meter, instr: bool) -> f64 {
+fn static_leg(spec: &LockSpec, m: &Meter, instr: bool) -> Leg {
     match spec {
-        LockSpec::Instrumented(inner) => static_ns(inner, m, true),
+        LockSpec::Instrumented(inner) => static_leg(inner, m, true),
         LockSpec::Pthread => m.raw(PthreadMutex::new(), instr),
         LockSpec::Tas(aff) => m.raw(TasLock::with_affinity(*aff), instr),
         LockSpec::Ticket => m.raw(TicketLock::new(), instr),
@@ -162,7 +201,7 @@ fn static_ns(spec: &LockSpec, m: &Meter, instr: bool) -> f64 {
         // layer is the concrete (non-virtual) PlainLock impl. The
         // registry carries no instrumented-libasl-opt entry, so the
         // static-instrumented combination cannot be requested.
-        LockSpec::AslOpt { window_ns } => m.plain(&StaticWindowLock::new(*window_ns)),
+        LockSpec::AslOpt { window_ns } => m.plain(StaticWindowLock::new(*window_ns)),
         LockSpec::AslBlocking { .. } => m.raw(AslBlockingLock::new_blocking(), instr),
         LockSpec::Adaptive => m.raw(Adaptive::new(), instr),
         LockSpec::RwTicket => m.rw(RwTicketLock::new(), instr),
@@ -200,8 +239,8 @@ pub(crate) fn overhead_table(m: &Meter, specs: &[LockSpec]) -> Table {
     let registry_mark = telemetry::registered_len();
     for spec in specs {
         telemetry::set_profiling(false);
-        let stat = static_ns(spec, m, false);
-        let dy = m.dyn_spec(spec);
+        let mut stat_leg = static_leg(spec, m, false);
+        let mut dyn_leg = m.dyn_spec(spec);
         // Already-instrumented registry entries are measured as
         // themselves, not re-wrapped — a nested
         // Instrumented(Instrumented(..)) would pay two cells and make
@@ -211,10 +250,24 @@ pub(crate) fn overhead_table(m: &Meter, specs: &[LockSpec]) -> Table {
         } else {
             LockSpec::Instrumented(Box::new(spec.clone()))
         };
-        let off = m.dyn_spec(&ispec);
+        let mut off_leg = m.dyn_spec(&ispec);
+        // The instr-on leg builds (and warms up) under profiling so
+        // its trained state matches its measured state.
         telemetry::set_profiling(true);
-        let on = m.dyn_spec(&ispec);
+        let mut on_leg = m.dyn_spec(&ispec);
         telemetry::set_profiling(false);
+        // Interleave the layers' batches (see [`Meter`]): each rep
+        // cycle measures one batch of every layer.
+        let mut best = [f64::INFINITY; 4];
+        for _ in 0..m.reps {
+            best[0] = best[0].min(stat_leg());
+            best[1] = best[1].min(dyn_leg());
+            best[2] = best[2].min(off_leg());
+            telemetry::set_profiling(true);
+            best[3] = best[3].min(on_leg());
+            telemetry::set_profiling(false);
+        }
+        let [stat, dy, off, on] = best;
 
         let label = spec.label();
         for (layer, ns) in LAYERS.iter().zip([stat, dy, off, on]) {
@@ -309,7 +362,7 @@ mod tests {
         // spec (a gap here silently drops a lock from the baseline).
         let m = tiny();
         for entry in registry() {
-            let ns = static_ns(&entry.spec, &m, false);
+            let ns = static_leg(&entry.spec, &m, false)();
             assert!(
                 ns.is_finite() && ns > 0.0,
                 "{}: bad static ns {ns}",

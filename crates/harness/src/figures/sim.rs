@@ -1,0 +1,345 @@
+//! `sim-*` — the real lock zoo on a *modeled* machine.
+//!
+//! These figures run the unmodified lock implementations through the
+//! deterministic virtual-time engine ([`asl_sim::exec`]) instead of
+//! real threads. That buys three things the wall-clock figures cannot
+//! offer:
+//!
+//! * **Machines we don't have** — a 4-socket × 16-core NUMA box
+//!   ([`Topology::numa`]), arbitrary big/little perf ratios — on any
+//!   host, including single-CPU CI.
+//! * **Exact counts** — short/long-term fairness as precise grant
+//!   traces and per-thread op counts, not sampled approximations.
+//! * **Byte-identical reruns** — the same seed reproduces every
+//!   figure bit for bit (`BENCH_sim-*.json` is diffable in CI).
+//!
+//! Virtual durations scale with the profile: each configured
+//! wall-clock millisecond buys 2 µs of virtual time, keeping quick
+//! mode CI-fast while full mode runs longer traces.
+
+use std::sync::Arc;
+
+use asl_core::AslSpinLock;
+use asl_runtime::atomic_model::AtomicAffinity;
+use asl_runtime::topology::Topology;
+use asl_sim::exec::{run_lock, ZooConfig, ZooResult};
+
+use super::Profile;
+use crate::locks::LockSpec;
+use crate::report::{fmt_ops, fmt_us, Table};
+
+/// Schedule seed shared by every sim figure: fixed, so `--out` files
+/// are byte-identical across runs (change it and every trace legally
+/// changes).
+const SEED: u64 = 42;
+
+/// Virtual nanoseconds simulated per configured wall-clock
+/// millisecond of profile duration.
+const VIRT_NS_PER_MS: u64 = 2_000;
+
+fn cfg(profile: &Profile, topology: Topology, threads: usize) -> ZooConfig {
+    let mut c = ZooConfig::quick(topology, threads, SEED);
+    c.duration_ns = (profile.duration_ms * VIRT_NS_PER_MS).max(100_000);
+    c.cs_units = 600;
+    c.ncs_units = 600;
+    c
+}
+
+fn spec_lock(spec: &LockSpec) -> Arc<dyn asl_locks::plain::PlainLock> {
+    spec.make_lock_raw()
+}
+
+/// Percentage helper for class shares.
+fn pct(part: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / total as f64
+    }
+}
+
+/// `sim-numa` — CNA and cohort on a modeled 4-socket × 16-core NUMA
+/// machine: class batching cuts cross-socket lock handoffs versus
+/// FIFO MCS, with exact handoff and batch counts.
+pub fn sim_numa(profile: &Profile) -> Vec<Table> {
+    let topo = || Topology::numa(4, 16);
+    let mut t = Table::new(
+        "sim-numa",
+        "real zoo on a modeled 4-socket x 16-core NUMA machine (64 threads, virtual time)",
+        &[
+            "lock",
+            "ops",
+            "thpt",
+            "local_handoffs",
+            "remote_handoffs",
+            "remote_pct",
+            "max_class_batch",
+        ],
+    );
+    for spec in [
+        LockSpec::Mcs,
+        LockSpec::Ticket,
+        LockSpec::Cna,
+        LockSpec::Cohort,
+        LockSpec::Malthusian,
+    ] {
+        let r = run_lock(&cfg(profile, topo(), 64), spec_lock(&spec));
+        t.push_sample(&spec.label(), 64, r.throughput);
+        t.push_row(vec![
+            spec.label(),
+            r.total_ops.to_string(),
+            fmt_ops(r.throughput),
+            r.handoffs_local.to_string(),
+            r.handoffs_remote.to_string(),
+            format!("{:.1}", 100.0 * r.remote_fraction()),
+            r.max_class_batch.to_string(),
+        ]);
+    }
+    t.note("modeled machine: Topology::numa(4,16); sockets 0-1 form the big class, 2-3 the little class");
+    t.note("exact counts from the deterministic grant trace — same seed, byte-identical output");
+    vec![t]
+}
+
+/// `sim-fair` — exact short/long-term fairness counts on the M1-like
+/// topology: per-class op shares (long-term) and the longest
+/// same-class grant run (short-term), per policy.
+pub fn sim_fair(profile: &Profile) -> Vec<Table> {
+    let mut t = Table::new(
+        "sim-fair",
+        "exact fairness accounting on the modeled M1 (8 threads, virtual time)",
+        &[
+            "lock",
+            "big_ops",
+            "little_ops",
+            "little_share_pct",
+            "max_class_batch",
+            "p99_big_us",
+            "p99_little_us",
+        ],
+    );
+    let specs = [
+        LockSpec::Ticket,
+        LockSpec::Mcs,
+        LockSpec::Tas(AtomicAffinity::little_wins()),
+        LockSpec::Cna,
+        LockSpec::ShflPb(10),
+    ];
+    for spec in &specs {
+        let r = run_lock(&cfg(profile, Topology::apple_m1(), 8), spec_lock(spec));
+        t.push_sample(&spec.label(), 8, r.throughput);
+        t.push_row(fair_row(&spec.label(), &r));
+    }
+    // LibASL with an SLO: the workload wraps every op in an epoch, so
+    // Algorithm-2 window feedback runs live on the virtual clock.
+    let mut asl = cfg(profile, Topology::apple_m1(), 8);
+    asl.slo_ns = Some(60_000);
+    let r = run_lock(&asl, Arc::new(AslSpinLock::default()));
+    t.push_sample("libasl-60us", 8, r.throughput);
+    t.push_row(fair_row("libasl-60us", &r));
+    t.note("long-term fairness = per-class op shares; short-term = longest same-class grant run");
+    t.note("counts are exact (full grant trace), not sampled");
+    vec![t]
+}
+
+fn fair_row(label: &str, r: &ZooResult) -> Vec<String> {
+    vec![
+        label.to_string(),
+        r.big_ops.to_string(),
+        r.little_ops.to_string(),
+        format!("{:.1}", pct(r.little_ops, r.total_ops)),
+        r.max_class_batch.to_string(),
+        fmt_us(r.p99_big),
+        fmt_us(r.p99_little),
+    ]
+}
+
+/// `sim-oversub` — an oversubscription sweep on a modeled 4-core
+/// machine: spinning collapses once threads outnumber cores (waiting
+/// burns whole scheduling quanta), spin-then-park and the blocking
+/// mutex keep going — the cores a parked thread frees are exact in
+/// virtual time.
+pub fn sim_oversub(profile: &Profile) -> Vec<Table> {
+    let topo = || Topology::custom(2, 2, 1.0);
+    let mut t = Table::new(
+        "sim-oversub",
+        "oversubscription on a modeled 4-core machine (virtual time)",
+        &["lock", "threads", "ops", "thpt", "p99_us"],
+    );
+    for threads in [4usize, 8, 16] {
+        for spec in [LockSpec::Mcs, LockSpec::McsStp, LockSpec::Pthread] {
+            let mut c = cfg(profile, topo(), threads);
+            // Oversubscription physics needs several 50 µs scheduling
+            // quanta per core to show: run an order of magnitude
+            // longer than the other sim figures.
+            c.duration_ns = (c.duration_ns * 10).max(1_000_000);
+            let r = run_lock(&c, spec_lock(&spec));
+            t.push_sample(&spec.label(), threads, r.throughput);
+            t.push_row(vec![
+                spec.label(),
+                threads.to_string(),
+                r.total_ops.to_string(),
+                fmt_ops(r.throughput),
+                fmt_us(r.p99_overall),
+            ]);
+        }
+    }
+    t.note("4 cores; 8 and 16 threads are 2x and 4x oversubscribed");
+    t.note("parked virtual threads free their core; spinners hold it for a full quantum");
+    vec![t]
+}
+
+/// `sim-fig1` — the paper's Figure-1 shapes on asymmetric modeled
+/// machines: FIFO throughput collapses when little cores join, and
+/// little-core atomic affinity starves big cores.
+pub fn sim_fig1(profile: &Profile) -> Vec<Table> {
+    let amp = || Topology::custom(4, 4, 3.0);
+    let mut t = Table::new(
+        "sim-fig1",
+        "paper Fig.1 shapes on a modeled 4-big/4-little ratio-3 machine (virtual time)",
+        &["config", "threads", "thpt", "big_share_pct", "p99_big_us"],
+    );
+    let mut push = |label: &str, threads: usize, r: &ZooResult| {
+        t.push_sample(label, threads, r.throughput);
+        t.push_row(vec![
+            label.to_string(),
+            threads.to_string(),
+            fmt_ops(r.throughput),
+            format!("{:.1}", pct(r.big_ops, r.total_ops)),
+            fmt_us(r.p99_big),
+        ]);
+    };
+    // Fig 1a: a FIFO lock on 4 big cores, then with 4 little cores
+    // added — adding cores *reduces* throughput.
+    let fifo4 = run_lock(&cfg(profile, amp(), 4), spec_lock(&LockSpec::Ticket));
+    push("fifo-4big", 4, &fifo4);
+    let fifo8 = run_lock(&cfg(profile, amp(), 8), spec_lock(&LockSpec::Ticket));
+    push("fifo-8amp", 8, &fifo8);
+    // Fig 1b: little-core atomic affinity hands the TAS race to
+    // little cores; big-core share and tail collapse.
+    let tas_neutral = run_lock(
+        &cfg(profile, amp(), 8),
+        spec_lock(&LockSpec::Tas(AtomicAffinity::Neutral)),
+    );
+    push("tas-neutral-8amp", 8, &tas_neutral);
+    let tas_little = run_lock(
+        &cfg(profile, amp(), 8),
+        spec_lock(&LockSpec::Tas(AtomicAffinity::little_wins())),
+    );
+    push("tas-little-8amp", 8, &tas_little);
+    t.note("fifo-8amp vs fifo-4big reproduces the Fig.1a collapse; tas-little vs tas-neutral the Fig.1b starvation");
+    vec![t]
+}
+
+/// `sim-fig8` — the paper's Figure-8 SLO sweep with the *real* LibASL
+/// lock: reordering windows grow with the SLO, buying throughput;
+/// little-core P99 stays anchored to the SLO line.
+pub fn sim_fig8(profile: &Profile) -> Vec<Table> {
+    let amp = || Topology::custom(4, 4, 3.0);
+    let mut t = Table::new(
+        "sim-fig8",
+        "paper Fig.8 shape: real LibASL under an SLO sweep (8 threads, virtual time)",
+        &[
+            "config",
+            "thpt",
+            "little_ops",
+            "p99_little_us",
+            "max_wait_little_us",
+        ],
+    );
+    // Algorithm-2's window feedback needs many epochs to converge to
+    // its SLO-specific plateau: run long enough for a few hundred
+    // epochs per thread.
+    let slo_cfg = |slo_ns: Option<u64>| {
+        let mut c = cfg(profile, amp(), 8);
+        c.duration_ns = (c.duration_ns * 20).max(4_000_000);
+        // Heavier critical sections than the other sim figures, so the
+        // fully-reordered tail lands *inside* the SLO sweep range and
+        // each SLO point settles on a different window plateau.
+        c.cs_units = 2_000;
+        c.slo_ns = slo_ns;
+        c
+    };
+    let fifo = run_lock(&slo_cfg(None), spec_lock(&LockSpec::Mcs));
+    t.push_sample("mcs", 8, fifo.throughput);
+    t.push_row(vec![
+        "mcs".into(),
+        fmt_ops(fifo.throughput),
+        fifo.little_ops.to_string(),
+        fmt_us(fifo.p99_little),
+        fmt_us(fifo.max_wait_little),
+    ]);
+    for slo_us in [15u64, 35, 60] {
+        let c = slo_cfg(Some(slo_us * 1_000));
+        let r = run_lock(&c, Arc::new(AslSpinLock::default()));
+        let label = format!("libasl-{slo_us}us");
+        t.push_sample(&label, 8, r.throughput);
+        t.push_row(vec![
+            label,
+            fmt_ops(r.throughput),
+            r.little_ops.to_string(),
+            fmt_us(r.p99_little),
+            fmt_us(r.max_wait_little),
+        ]);
+    }
+    t.note("the lock under test is the unmodified AslSpinLock incl. Algorithm-2 feedback, on the virtual clock");
+    t.note("paper Fig.8b shape: throughput grows with the SLO; the little-core tail tracks the SLO line");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Profile {
+        Profile {
+            duration_ms: 60,
+            warmup_ms: 10,
+            pin: false,
+        }
+    }
+
+    #[test]
+    fn sim_figures_are_deterministic() {
+        // The acceptance bar for the whole family: run twice, compare
+        // every sample bit for bit (the JSON is rendered from these).
+        let a = sim_fair(&tiny());
+        let b = sim_fair(&tiny());
+        assert_eq!(a[0].samples, b[0].samples);
+        assert_eq!(a[0].rows, b[0].rows);
+    }
+
+    #[test]
+    fn sim_fig1_reproduces_the_collapse() {
+        let t = &sim_fig1(&tiny())[0];
+        let thpt = |label: &str| {
+            t.samples
+                .iter()
+                .find(|s| s.lock == label)
+                .expect(label)
+                .ops_per_sec
+        };
+        // Fig 1a: adding little cores must not help FIFO.
+        assert!(thpt("fifo-8amp") < thpt("fifo-4big"));
+        // Fig 1b: little affinity shrinks the big-core share.
+        let share = |label: &str| {
+            let row = t.rows.iter().find(|r| r[0] == label).expect(label);
+            row[3].parse::<f64>().unwrap()
+        };
+        assert!(share("tas-little-8amp") < share("tas-neutral-8amp"));
+    }
+
+    #[test]
+    fn sim_oversub_parking_wins() {
+        let t = &sim_oversub(&tiny())[0];
+        let ops = |lock: &str, threads: usize| {
+            t.samples
+                .iter()
+                .find(|s| s.lock == lock && s.threads == threads)
+                .expect(lock)
+                .ops_per_sec
+        };
+        // At 4x oversubscription the parking locks must beat the pure
+        // spinlock.
+        assert!(ops("mcs-stp", 16) > ops("mcs", 16));
+    }
+}

@@ -118,7 +118,9 @@ impl Hist {
             return 0;
         }
         let p = p.clamp(0.0, 100.0);
-        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        // Same rank rule as the exact path, so the two percentile
+        // implementations differ only by bucket rounding.
+        let rank = asl_runtime::stats::percentile_rank(self.total, p);
         let mut seen = 0u64;
         for (idx, &c) in self.counts.iter().enumerate() {
             if c == 0 {
@@ -300,6 +302,35 @@ mod tests {
         h.record(0);
         assert_eq!(h.count(), 1);
         assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn cross_validates_against_exact_percentile() {
+        // The histogram and the exact sorted-samples helper share one
+        // rank rule (asl_runtime::stats::percentile_rank), so on the
+        // same data they must agree to within the histogram's ~4%
+        // bucket rounding — at every percentile and several sizes.
+        for n in [1u64, 2, 10, 997, 10_000] {
+            let mut h = Hist::new();
+            let mut raw: Vec<u64> = Vec::new();
+            for i in 0..n {
+                let v = (i * 7919 + 13) % 200_000 + 1;
+                h.record(v);
+                raw.push(v);
+            }
+            for p in [1.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+                let exact = asl_runtime::stats::percentile(&mut raw, p);
+                let approx = h.percentile(p);
+                assert!(
+                    approx >= exact,
+                    "n={n} p={p}: bucket upper bound {approx} below exact {exact}"
+                );
+                assert!(
+                    approx as f64 <= exact as f64 * 1.04 + 1.0,
+                    "n={n} p={p}: {approx} vs exact {exact}"
+                );
+            }
+        }
     }
 
     #[test]

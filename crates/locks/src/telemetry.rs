@@ -331,6 +331,24 @@ impl<L: RawLock> Instrumented<L> {
     pub fn inner(&self) -> &L {
         &self.inner
     }
+
+    /// The armed acquisition path: counters, and (when sampling)
+    /// wait-time brackets around the inner acquire. Kept out of line
+    /// — see `RawLock::lock` below.
+    #[cold]
+    #[inline(never)]
+    fn lock_recorded(&self) -> L::Token {
+        let contended = self.inner.is_locked();
+        let sampling = self.cell.sampling();
+        let t0 = if sampling && contended { now_ns() } else { 0 };
+        let token = self.inner.lock();
+        if t0 != 0 {
+            self.cell.add_wait_ns(now_ns().saturating_sub(t0));
+        }
+        self.cell.record_acquisition(contended);
+        self.cell.note_hold_start();
+        token
+    }
 }
 
 impl<L: RawLock + Default> Default for Instrumented<L> {
@@ -345,20 +363,14 @@ impl<L: RawLock> RawLock for Instrumented<L> {
     #[inline]
     fn lock(&self) -> L::Token {
         // Zero-cost-when-off: bail before any counter RMW (or even
-        // the is_locked probe, which would touch the lock word).
+        // the is_locked probe, which would touch the lock word). The
+        // recording path lives out of line so its clock plumbing
+        // can't bloat this function past the inliner's budget and
+        // slow the off path down.
         if !self.cell.armed() {
             return self.inner.lock();
         }
-        let contended = self.inner.is_locked();
-        let sampling = self.cell.sampling();
-        let t0 = if sampling && contended { now_ns() } else { 0 };
-        let token = self.inner.lock();
-        if t0 != 0 {
-            self.cell.add_wait_ns(now_ns().saturating_sub(t0));
-        }
-        self.cell.record_acquisition(contended);
-        self.cell.note_hold_start();
-        token
+        self.lock_recorded()
     }
 
     #[inline]

@@ -70,14 +70,12 @@ fn check_invariants(
         h.join().unwrap();
     }
     assert!(!lock.held(), "all tokens released");
-    // Overlap is a scheduling property, not a correctness one: only
-    // assert it when the threads can actually run in parallel.
-    if !asl_runtime::affinity::oversubscribed(threads as usize) && write_pct == 0 {
-        assert!(
-            max_readers.load(Ordering::SeqCst) >= 2,
-            "parallel read-only run should overlap readers"
-        );
-    }
+    // Reader *overlap* is a scheduling property, not a correctness
+    // one, and on a small host the OS may serialize readers. The
+    // exact, ungated version of that assertion lives in the simulator
+    // (`crates/sim/tests/ungated.rs`,
+    // `read_only_run_overlaps_readers_exactly`), where parallelism is
+    // a modeling fact.
 }
 
 fn substrates() -> Vec<(&'static str, Arc<dyn PlainRwLock>)> {

@@ -30,8 +30,17 @@ fn anchor() -> Instant {
 /// Monotonic nanoseconds since process start. Cheap enough to call in
 /// lock hot paths (vDSO-backed on Linux), but see [`coarse_now_ns`]
 /// for the amortized variant wait loops should use.
+///
+/// On a thread with an installed [`crate::substrate`] backend this is
+/// the *virtual* clock instead — see the substrate module's clock
+/// contract.
 #[inline]
 pub fn now_ns() -> u64 {
+    if crate::substrate::any_installed() {
+        if let Some(t) = crate::substrate::with_current(|s| s.now_ns()) {
+            return t;
+        }
+    }
     anchor().elapsed().as_nanos() as u64
 }
 
@@ -96,6 +105,13 @@ thread_local! {
 ///   go backwards.
 #[inline]
 pub fn coarse_now_ns() -> u64 {
+    if crate::substrate::any_installed() {
+        // Virtual time has no cheaper clock to amortize: the coarse
+        // clock collapses onto the precise (virtual) one, staleness 0.
+        if let Some(t) = crate::substrate::with_current(|s| s.now_ns()) {
+            return t;
+        }
+    }
     COARSE.with(|c| {
         let (left, cached) = c.get();
         if left == 0 {
@@ -121,6 +137,9 @@ pub fn coarse_resync() {
 /// scheduler yields once oversubscribed — see [`crate::relax`]).
 #[inline]
 pub fn busy_wait_ns(ns: u64) {
+    if crate::substrate::with_current(|s| s.busy_wait_ns(ns)).is_some() {
+        return;
+    }
     // Saturating: a huge `ns` must clamp the deadline at the end of
     // time, not wrap it into the past and return immediately.
     let end = now_ns().saturating_add(ns);
@@ -134,6 +153,9 @@ pub fn busy_wait_ns(ns: u64) {
 /// the paper's blocking standby competitors use. Platforms without
 /// `nanosleep` fall back to `std::thread::sleep`.
 pub fn nanosleep_ns(ns: u64) {
+    if crate::substrate::with_current(|s| s.sleep_ns(ns)).is_some() {
+        return;
+    }
     #[cfg(unix)]
     {
         let ts = libc::timespec {

@@ -24,6 +24,12 @@
 //!   disadvantaged core class pays between failed lock attempts.
 //! * [`affinity`] optionally pins threads to distinct physical CPUs for
 //!   stable measurements (the paper pins threads too).
+//! * [`substrate`] is the pluggable execution backend behind every
+//!   lock-visible platform interaction (clock reads, spin-loop
+//!   relaxes, emulated work, park/unpark). The default is the OS —
+//!   one relaxed atomic load of overhead on the hot paths; `asl-sim`
+//!   installs a virtual-time backend to run the unmodified locks on a
+//!   modeled machine, deterministically.
 //!
 //! Nothing in this crate depends on the lock algorithms; it is the
 //! hardware stand-in every other crate builds on.
@@ -35,6 +41,8 @@ pub mod clock;
 pub mod registry;
 pub mod relax;
 pub mod spawn;
+pub mod stats;
+pub mod substrate;
 pub mod topology;
 pub mod work;
 
@@ -44,5 +52,6 @@ pub use clock::{coarse_now_ns, now_ns};
 pub use registry::{current_core, is_big_core, register_on_core, CoreAssignment};
 pub use relax::Spin;
 pub use spawn::{run_on_topology, ThreadCtx};
+pub use substrate::Substrate;
 pub use topology::{CoreId, CoreKind, Topology};
 pub use work::{execute_raw_units, execute_units, units_per_us};

@@ -23,6 +23,8 @@ pub struct CoreAssignment {
     pub core: CoreId,
     /// Class of that core.
     pub kind: CoreKind,
+    /// NUMA socket of that core.
+    pub socket: usize,
     /// Emulated-work multiplier for this thread (1.0 on big cores,
     /// the topology's `perf_ratio` on little cores).
     pub multiplier: f64,
@@ -33,6 +35,7 @@ impl CoreAssignment {
     pub const DEFAULT_BIG: CoreAssignment = CoreAssignment {
         core: CoreId(0),
         kind: CoreKind::Big,
+        socket: 0,
         multiplier: 1.0,
     };
 }
@@ -53,6 +56,7 @@ pub fn register_on_core(topology: &Topology, core: CoreId) -> CoreAssignment {
     let a = CoreAssignment {
         core,
         kind: vc.kind,
+        socket: vc.socket,
         multiplier: topology.work_multiplier(vc.kind),
     };
     ASSIGNMENT.with(|c| c.set(a));

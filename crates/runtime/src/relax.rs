@@ -85,6 +85,14 @@ impl Spin {
     /// check. Callers that don't track time can ignore the return.
     #[inline]
     pub fn relax(&mut self) -> bool {
+        if crate::substrate::any_installed()
+            && crate::substrate::with_current(|s| s.relax()).is_some()
+        {
+            // Simulated poll: virtual time advanced and the scheduler
+            // may have run another virtual thread — report it like a
+            // yield so deadline loops drop cached clock readings.
+            return true;
+        }
         self.spins += 1;
         if self.spins <= self.limit {
             std::hint::spin_loop();

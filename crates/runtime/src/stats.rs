@@ -1,0 +1,54 @@
+//! Shared small-statistics helpers.
+//!
+//! One percentile definition for the whole workspace: the simulator's
+//! exact percentile over raw samples and the harness histogram's
+//! bucketed percentile both derive their rank from
+//! [`percentile_rank`], so "P99" means the same thing everywhere.
+
+/// 1-based rank of the `p`-th percentile in a population of `total`
+/// samples: `ceil(p/100 * total)`, clamped to `[1, total]`. Returns 0
+/// for an empty population.
+pub fn percentile_rank(total: u64, p: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+    rank.min(total)
+}
+
+/// Exact `p`-th percentile of `samples` (sorts in place). Returns 0
+/// when `samples` is empty.
+pub fn percentile(samples: &mut [u64], p: f64) -> u64 {
+    let total = samples.len() as u64;
+    if total == 0 {
+        return 0;
+    }
+    samples.sort_unstable();
+    samples[percentile_rank(total, p) as usize - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_formula() {
+        assert_eq!(percentile_rank(0, 99.0), 0);
+        assert_eq!(percentile_rank(100, 99.0), 99);
+        assert_eq!(percentile_rank(100, 50.0), 50);
+        assert_eq!(percentile_rank(100, 0.0), 1);
+        assert_eq!(percentile_rank(100, 100.0), 100);
+        assert_eq!(percentile_rank(3, 99.0), 3);
+        assert_eq!(percentile_rank(1, 99.9), 1);
+    }
+
+    #[test]
+    fn exact_percentile() {
+        let mut v: Vec<u64> = (1..=100).rev().collect();
+        assert_eq!(percentile(&mut v, 99.0), 99);
+        assert_eq!(percentile(&mut v, 50.0), 50);
+        assert_eq!(percentile(&mut v, 100.0), 100);
+        assert_eq!(percentile(&mut [], 99.0), 0);
+        assert_eq!(percentile(&mut [7], 99.0), 7);
+    }
+}

@@ -35,6 +35,11 @@ pub struct VirtualCore {
     pub id: CoreId,
     /// Big or little.
     pub kind: CoreKind,
+    /// NUMA socket (cluster) this core belongs to. Asymmetric
+    /// machines place each core class in its own cluster (the M1's
+    /// Firestorm/Icestorm complexes each share an L2), so cross-class
+    /// traffic is also cross-socket traffic.
+    pub socket: usize,
     /// Physical CPU to pin threads of this core to, if pinning is on.
     pub os_cpu: Option<usize>,
 }
@@ -69,6 +74,9 @@ impl Topology {
                 } else {
                     CoreKind::Little
                 },
+                // Each class is its own cluster: big cores socket 0,
+                // little cores socket 1.
+                socket: usize::from(i >= big),
                 os_cpu: Some(i),
             })
             .collect();
@@ -76,6 +84,43 @@ impl Topology {
             cores,
             perf_ratio,
             name: "custom",
+        }
+    }
+
+    /// A symmetric NUMA machine: `sockets` sockets of
+    /// `cores_per_socket` identical-speed cores each.
+    ///
+    /// Cores in the first half of the sockets are tagged
+    /// [`CoreKind::Big`] and the rest [`CoreKind::Little`] with
+    /// `perf_ratio == 1.0`: on a symmetric machine the class tags
+    /// carry no speed difference and instead serve as the two NUMA
+    /// *domains* that class-aware locks (CNA, cohort) batch on.
+    ///
+    /// # Panics
+    /// Panics if either count is zero.
+    pub fn numa(sockets: usize, cores_per_socket: usize) -> Self {
+        assert!(sockets > 0, "need at least one socket");
+        assert!(cores_per_socket > 0, "need at least one core per socket");
+        let big_sockets = sockets.div_ceil(2);
+        let cores = (0..sockets * cores_per_socket)
+            .map(|i| {
+                let socket = i / cores_per_socket;
+                VirtualCore {
+                    id: CoreId(i),
+                    kind: if socket < big_sockets {
+                        CoreKind::Big
+                    } else {
+                        CoreKind::Little
+                    },
+                    socket,
+                    os_cpu: Some(i),
+                }
+            })
+            .collect();
+        Topology {
+            cores,
+            perf_ratio: 1.0,
+            name: "numa",
         }
     }
 
@@ -148,6 +193,16 @@ impl Topology {
     /// Core by id.
     pub fn core(&self, id: CoreId) -> VirtualCore {
         self.cores[id.0]
+    }
+
+    /// NUMA socket of a core.
+    pub fn socket_of(&self, id: CoreId) -> usize {
+        self.cores[id.0].socket
+    }
+
+    /// Number of distinct NUMA sockets.
+    pub fn socket_count(&self) -> usize {
+        self.cores.iter().map(|c| c.socket).max().unwrap_or(0) + 1
     }
 
     /// The work multiplier for a core class: 1.0 for big cores,
@@ -234,6 +289,35 @@ mod tests {
     #[should_panic]
     fn rejects_sub_unit_ratio() {
         let _ = Topology::custom(2, 2, 0.5);
+    }
+
+    #[test]
+    fn classes_are_clusters() {
+        let t = Topology::apple_m1();
+        assert_eq!(t.socket_count(), 2);
+        assert_eq!(t.socket_of(CoreId(0)), 0);
+        assert_eq!(t.socket_of(CoreId(3)), 0);
+        assert_eq!(t.socket_of(CoreId(4)), 1);
+        assert_eq!(t.socket_of(CoreId(7)), 1);
+        assert_eq!(Topology::symmetric(4).socket_count(), 1);
+    }
+
+    #[test]
+    fn numa_shape() {
+        let t = Topology::numa(4, 16);
+        assert_eq!(t.len(), 64);
+        assert_eq!(t.socket_count(), 4);
+        assert_eq!(t.perf_ratio(), 1.0);
+        // Kinds double as the two batching domains: sockets 0-1 big,
+        // sockets 2-3 little.
+        assert_eq!(t.core(CoreId(0)).socket, 0);
+        assert_eq!(t.core(CoreId(16)).socket, 1);
+        assert_eq!(t.core(CoreId(63)).socket, 3);
+        assert_eq!(t.big_count(), 32);
+        assert_eq!(t.core(CoreId(31)).kind, CoreKind::Big);
+        assert_eq!(t.core(CoreId(32)).kind, CoreKind::Little);
+        // Symmetric: little "class" runs at full speed.
+        assert_eq!(t.work_multiplier(CoreKind::Little), 1.0);
     }
 
     #[test]

@@ -24,8 +24,16 @@ use crate::registry::work_multiplier;
 static SINK: AtomicU64 = AtomicU64::new(0);
 
 /// Execute `units` iterations of the calibration loop, *unscaled*.
+///
+/// On a thread with an installed [`crate::substrate`] backend the loop
+/// is not executed: the units are charged to the virtual clock
+/// instead (the simulation's unit-to-nanosecond exchange rate is the
+/// backend's business).
 #[inline]
 pub fn execute_raw_units(units: u64) {
+    if crate::substrate::with_current(|s| s.charge_work_units(units)).is_some() {
+        return;
+    }
     let mut acc: u64 = units;
     for i in 0..units {
         // A data-dependent multiply-xor chain: roughly constant work

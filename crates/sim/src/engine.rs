@@ -313,10 +313,7 @@ impl Sim<'_> {
 /// Run one simulation to completion.
 pub fn run(cfg: &SimConfig) -> SimResult {
     assert!(cfg.threads >= 1);
-    assert!(
-        cfg.threads <= cfg.big_cores + cfg.little_cores,
-        "one thread per core"
-    );
+    assert!(cfg.threads <= cfg.topology.len(), "one thread per core");
 
     let threads: Vec<ThreadState> = (0..cfg.threads)
         .map(|tid| ThreadState {

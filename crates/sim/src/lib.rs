@@ -22,21 +22,32 @@
 //! yields the same [`SimResult`] — which makes figure *shapes*
 //! assertable in unit tests without wall-clock noise, complementing
 //! the real-thread harness.
+//!
+//! ## Two engines
+//!
+//! * The **analytic** engine above ([`run`]) models each policy with
+//!   hand-written queueing rules — fast, but only as faithful as the
+//!   model.
+//! * The **execution** engine ([`exec::run_lock`]) steps the *real*,
+//!   unmodified lock implementations cooperatively in virtual time on
+//!   a modeled machine (cache-line transfer costs, remote sockets,
+//!   little-core slowdown, core oversubscription), via the
+//!   [`asl_runtime::substrate`] backend. The analytic models are kept
+//!   as cross-validation oracles for its figure shapes.
+
+pub mod exec;
 
 mod engine;
 mod model;
 
 pub use engine::{run, SimResult};
+pub use exec::{run_lock, run_rw, CostModel, ZooConfig, ZooResult, ZooRwResult};
 pub use model::{SimConfig, SimLockKind};
 
-/// Exact percentile over raw simulated samples.
+/// Exact percentile over raw simulated samples (the workspace-shared
+/// definition — see [`asl_runtime::stats`]).
 pub fn percentile(samples: &mut [u64], p: f64) -> u64 {
-    if samples.is_empty() {
-        return 0;
-    }
-    samples.sort_unstable();
-    let rank = ((p / 100.0) * samples.len() as f64).ceil().max(1.0) as usize;
-    samples[rank.min(samples.len()) - 1]
+    asl_runtime::stats::percentile(samples, p)
 }
 
 #[cfg(test)]
@@ -45,10 +56,8 @@ mod tests {
 
     fn base_cfg(lock: SimLockKind) -> SimConfig {
         SimConfig {
-            big_cores: 4,
-            little_cores: 4,
+            topology: asl_runtime::Topology::custom(4, 4, 3.0),
             threads: 8,
-            perf_ratio: 3.0,
             cs_ns: 2_000,
             ncs_ns: 2_000,
             duration_ns: 400_000_000, // 400 simulated ms

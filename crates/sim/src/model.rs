@@ -1,5 +1,7 @@
 //! Simulation configuration and lock policy models.
 
+use asl_runtime::topology::{CoreKind, Topology};
+
 /// Which lock policy the simulated threads compete under.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimLockKind {
@@ -38,16 +40,18 @@ pub enum SimLockKind {
 }
 
 /// One simulated experiment.
+///
+/// The machine is the same [`Topology`] real-thread runs use
+/// ([`Topology::apple_m1`], [`Topology::custom`], [`Topology::numa`],
+/// … are all valid sim presets); threads bind to cores via
+/// [`Topology::assignment_for_thread`], exactly like
+/// `run_on_topology`.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// Big cores in the machine.
-    pub big_cores: usize,
-    /// Little cores in the machine.
-    pub little_cores: usize,
-    /// Threads (bound big-cores-first; ≤ big+little).
+    /// The modeled machine (core classes, per-class slowdown).
+    pub topology: Topology,
+    /// Threads (bound big-cores-first; ≤ topology cores).
     pub threads: usize,
-    /// Little-core slowdown factor.
-    pub perf_ratio: f64,
     /// Big-core critical-section duration (ns).
     pub cs_ns: u64,
     /// Big-core non-critical-section duration (ns).
@@ -66,19 +70,16 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
-    /// Duration multiplier of thread `tid` under big-cores-first
-    /// binding.
+    /// Duration multiplier of thread `tid` under the topology's
+    /// big-cores-first binding.
     pub fn multiplier(&self, tid: usize) -> f64 {
-        if tid % (self.big_cores + self.little_cores) < self.big_cores {
-            1.0
-        } else {
-            self.perf_ratio
-        }
+        let vc = self.topology.assignment_for_thread(tid);
+        self.topology.work_multiplier(vc.kind)
     }
 
     /// Whether thread `tid` runs on a big core.
     pub fn is_big(&self, tid: usize) -> bool {
-        self.multiplier(tid) == 1.0
+        self.topology.assignment_for_thread(tid).kind == CoreKind::Big
     }
 }
 
@@ -89,10 +90,8 @@ mod tests {
     #[test]
     fn binding_big_first() {
         let cfg = SimConfig {
-            big_cores: 4,
-            little_cores: 4,
+            topology: Topology::custom(4, 4, 3.0),
             threads: 8,
-            perf_ratio: 3.0,
             cs_ns: 1,
             ncs_ns: 1,
             duration_ns: 1,

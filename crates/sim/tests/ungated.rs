@@ -1,0 +1,98 @@
+//! Exact, always-on versions of assertions the real-thread suites can
+//! only make conditionally.
+//!
+//! Two tier-1 properties used to hide behind
+//! `affinity::oversubscribed()` gates, because on a small CI host the
+//! OS scheduler can preempt a waiter (blowing the starvation bound) or
+//! serialize readers (hiding their overlap). On the simulated machine
+//! parallelism is a modeling fact, not an OS accident, so both
+//! properties are asserted *exactly* and unconditionally here:
+//!
+//! * `crates/locks/tests/rw_api.rs` — read-side overlap of a
+//!   reader-writer lock.
+//! * `tests/integration_asl.rs` — the reorder-window starvation bound
+//!   of the LibASL lock.
+
+use std::sync::Arc;
+
+use asl_core::{config, AslSpinLock};
+use asl_locks::RwTicketLock;
+use asl_runtime::Topology;
+use asl_sim::exec::{run_lock, run_rw, ZooConfig};
+
+/// A parallel read-only run overlaps its readers — exactly, in
+/// virtual time, regardless of how many CPUs the host has.
+///
+/// Replaces the `!oversubscribed() && write_pct == 0` gate in
+/// `rw_api.rs`, which could only ever claim `max_readers >= 2` on a
+/// big-enough machine.
+#[test]
+fn read_only_run_overlaps_readers_exactly() {
+    let mut cfg = ZooConfig::quick(Topology::symmetric(4), 4, 42);
+    // Long read sections, short think time: readers spend most of
+    // their virtual life inside the lock.
+    cfg.cs_units = 5_000;
+    cfg.ncs_units = 500;
+    let r = run_rw(&cfg, Arc::new(RwTicketLock::new()), 0);
+    assert_eq!(r.total_writes, 0);
+    assert!(r.total_reads > 0);
+    assert!(
+        r.max_concurrent_readers >= 2,
+        "read-only run must overlap readers, saw {}",
+        r.max_concurrent_readers
+    );
+    // The sim makes the stronger exact claim: with 10:1 read sections
+    // all four readers pile up.
+    assert_eq!(
+        r.max_concurrent_readers, 4,
+        "all four readers should overlap in virtual time"
+    );
+    // And the whole thing is reproducible, not a lucky interleaving.
+    let again = run_rw(&cfg, Arc::new(RwTicketLock::new()), 0);
+    assert_eq!(r, again);
+}
+
+/// A write-heavy run never exceeds the reader overlap of the
+/// read-only run, and writers actually execute.
+#[test]
+fn writers_limit_reader_overlap() {
+    let mut cfg = ZooConfig::quick(Topology::symmetric(4), 4, 42);
+    cfg.cs_units = 5_000;
+    cfg.ncs_units = 500;
+    let mixed = run_rw(&cfg, Arc::new(RwTicketLock::new()), 50);
+    assert!(mixed.total_writes > 0 && mixed.total_reads > 0);
+    assert!(mixed.max_concurrent_readers <= 4);
+}
+
+/// The LibASL starvation bound, exactly: a little-core thread's worst
+/// acquire latency stays within its reorder window plus queue-drain
+/// slack, under constant big-core pressure.
+///
+/// Replaces the `!oversubscribed(8)` gate in `integration_asl.rs`:
+/// there, a preempted waiter can sit out arbitrarily many OS quanta,
+/// so the wall-clock bound only holds on a big machine. Virtual time
+/// has no such accidents — the bound is tight and unconditional.
+#[test]
+fn reorderable_starvation_bound_holds_exactly() {
+    let prev = config::current().max_window_ns;
+    // 200 µs window against a 2 ms run: small enough that a starved
+    // standby would blow the bound many times over.
+    config::set_max_window_ns(200_000);
+    let mut cfg = ZooConfig::quick(Topology::custom(4, 4, 3.0), 8, 42);
+    cfg.duration_ns = 2_000_000;
+    cfg.cs_units = 300;
+    cfg.ncs_units = 300;
+    let r = run_lock(&cfg, Arc::new(AslSpinLock::default()));
+    config::set_max_window_ns(prev);
+
+    assert!(r.little_ops > 0, "little cores acquired at least once");
+    // Bound: the 200 µs reorder window, plus draining a full FIFO
+    // queue of 8 threads' critical sections (ratio-3 stretch, handoff
+    // and preemption charges included) — comfortably under 3x the
+    // window on this machine, and *exact*: same seed, same worst wait.
+    assert!(
+        r.max_wait_little < 600_000,
+        "worst little-core wait {}ns exceeds the starvation bound",
+        r.max_wait_little
+    );
+}

@@ -1,0 +1,178 @@
+//! The real lock zoo on the simulated machine.
+//!
+//! Every test here runs *unmodified* `asl-locks`/`asl-core` lock
+//! implementations through the cooperative virtual-time engine
+//! ([`asl_sim::exec`]) and asserts exact, deterministic properties —
+//! no wall-clock noise, no `oversubscribed()` gates.
+
+use std::sync::Arc;
+
+use asl_core::AslSpinLock;
+use asl_locks::plain::PlainLock;
+use asl_locks::{
+    Adaptive, BackoffLock, ClhLock, CnaLock, CohortLock, MalthusianLock, McsLock, McsStpLock,
+    PthreadMutex, TasLock, TicketLock,
+};
+use asl_runtime::Topology;
+use asl_sim::exec::{run_lock, ZooConfig};
+
+fn quick(topology: Topology, threads: usize) -> ZooConfig {
+    ZooConfig::quick(topology, threads, 42)
+}
+
+/// Every lock in the zoo runs unmodified on the modeled machine and
+/// makes progress in virtual time.
+#[test]
+fn whole_zoo_runs_on_the_simulated_machine() {
+    let zoo: Vec<(&str, Arc<dyn PlainLock>)> = vec![
+        ("tas", Arc::new(TasLock::new())),
+        ("ticket", Arc::new(TicketLock::new())),
+        ("mcs", Arc::new(McsLock::new())),
+        ("clh", Arc::new(ClhLock::new())),
+        ("backoff", Arc::new(BackoffLock::new())),
+        ("cna", Arc::new(CnaLock::new())),
+        ("cohort", Arc::new(CohortLock::new())),
+        ("malthusian", Arc::new(MalthusianLock::new())),
+        ("adaptive", Arc::new(Adaptive::new())),
+        ("pthread", Arc::new(PthreadMutex::new())),
+        ("mcs-stp", Arc::new(McsStpLock::new())),
+        ("libasl-spin", Arc::new(AslSpinLock::default())),
+    ];
+    assert!(zoo.len() >= 8, "acceptance floor: eight zoo locks");
+    for (name, lock) in zoo {
+        let r = run_lock(&quick(Topology::apple_m1(), 4), lock);
+        assert!(r.total_ops > 0, "{name}: no progress in virtual time");
+        assert_eq!(
+            r.total_ops,
+            r.grants.len() as u64,
+            "{name}: grant trace out of sync"
+        );
+        assert_eq!(
+            r.total_ops,
+            r.per_thread_ops.iter().sum::<u64>(),
+            "{name}: per-thread counts out of sync"
+        );
+        assert!(
+            r.virtual_ns >= 300_000,
+            "{name}: virtual clock stopped early"
+        );
+    }
+}
+
+/// Same seed ⇒ the entire result — grant-by-grant — is identical.
+#[test]
+fn same_seed_identical_trace_different_seed_differs() {
+    let cfg = quick(Topology::apple_m1(), 6);
+    let a = run_lock(&cfg, Arc::new(CnaLock::new()));
+    let b = run_lock(&cfg, Arc::new(CnaLock::new()));
+    assert_eq!(a, b, "same seed must reproduce the full result");
+
+    let mut other = cfg.clone();
+    other.seed = 43;
+    let c = run_lock(&other, Arc::new(CnaLock::new()));
+    assert_ne!(a.grants, c.grants, "different seed must change the trace");
+}
+
+/// Paper §2.2 NUMA comparators: on a two-socket machine whose classes
+/// coincide with sockets, CNA and the cohort lock batch consecutive
+/// grants within a socket, cutting cross-socket cache-line transfers
+/// that FIFO MCS pays on nearly every handoff. All counts are exact.
+#[test]
+fn cna_and_cohort_batch_within_sockets_on_numa() {
+    // numa(2, 8): socket 0 = the Big class, socket 1 = Little, so
+    // class-aware batching is exactly socket-aware batching.
+    let cfg = || {
+        let mut c = quick(Topology::numa(2, 8), 16);
+        c.duration_ns = 600_000;
+        c
+    };
+    let mcs = run_lock(&cfg(), Arc::new(McsLock::new()));
+    let cna = run_lock(&cfg(), Arc::new(CnaLock::new()));
+    let cohort = run_lock(&cfg(), Arc::new(CohortLock::new()));
+
+    assert!(mcs.total_ops > 0 && cna.total_ops > 0 && cohort.total_ops > 0);
+    for (name, r) in [("cna", &cna), ("cohort", &cohort)] {
+        assert!(
+            r.max_class_batch > mcs.max_class_batch,
+            "{name}: batch {} not larger than MCS {}",
+            r.max_class_batch,
+            mcs.max_class_batch
+        );
+        assert!(
+            r.remote_fraction() < mcs.remote_fraction(),
+            "{name}: remote fraction {:.2} not below MCS {:.2}",
+            r.remote_fraction(),
+            mcs.remote_fraction()
+        );
+    }
+    // Long-term fairness is preserved: both classes keep progressing.
+    assert!(cna.big_ops > 0 && cna.little_ops > 0);
+    assert!(cohort.big_ops > 0 && cohort.little_ops > 0);
+}
+
+/// Satellite: the cost model, observed end to end through the engine.
+/// A machine with a single socket never pays a remote handoff.
+#[test]
+fn single_socket_machine_has_no_remote_handoffs() {
+    let r = run_lock(&quick(Topology::symmetric(4), 4), Arc::new(McsLock::new()));
+    assert_eq!(r.handoffs_remote, 0, "one socket cannot go remote");
+    assert!(r.handoffs_local > 0, "handoffs must still be charged");
+}
+
+/// Satellite: little-core critical sections stretch by `perf_ratio`,
+/// so on a 1-big/1-little machine the big thread completes a
+/// decisive multiple of the little thread's operations.
+#[test]
+fn little_core_slowdown_stretches_critical_sections() {
+    let mut cfg = quick(Topology::custom(1, 1, 3.0), 2);
+    cfg.duration_ns = 600_000;
+    let r = run_lock(&cfg, Arc::new(TicketLock::new()));
+    let (big, little) = (r.per_thread_ops[0], r.per_thread_ops[1]);
+    assert!(r.thread_is_big[0] && !r.thread_is_big[1]);
+    assert!(little > 0, "little thread must not starve under FIFO");
+    // FIFO handover couples the two threads (the big core waits out
+    // the little core's stretched CS), so the ops ratio lands between
+    // 1 and the raw perf ratio.
+    assert!(
+        big * 2 >= little * 3,
+        "ratio-3 slowdown: big {big} ops vs little {little} ops"
+    );
+}
+
+/// Oversubscription: parked virtual threads free their core, so a
+/// spin-then-park lock outruns a pure spinlock once threads outnumber
+/// cores — the classic reason blocking locks exist.
+#[test]
+fn parking_beats_spinning_when_oversubscribed() {
+    // 4 cores, 12 threads: every core is 3x oversubscribed.
+    let cfg = || {
+        let mut c = quick(Topology::custom(2, 2, 1.0), 12);
+        c.duration_ns = 1_000_000;
+        c
+    };
+    let spin = run_lock(&cfg(), Arc::new(McsLock::new()));
+    let park = run_lock(&cfg(), Arc::new(McsStpLock::new()));
+    assert!(
+        park.total_ops > spin.total_ops,
+        "parking {} ops must beat spinning {} ops at 3x oversubscription",
+        park.total_ops,
+        spin.total_ops
+    );
+}
+
+/// The full LibASL stack — epochs, Algorithm-2 window feedback, the
+/// reorderable queue — ticks in virtual time and stays deterministic.
+#[test]
+fn libasl_slo_feedback_runs_in_virtual_time() {
+    let mut cfg = quick(Topology::custom(2, 2, 3.0), 4);
+    cfg.duration_ns = 600_000;
+    cfg.slo_ns = Some(50_000);
+    let a = run_lock(&cfg, Arc::new(AslSpinLock::default()));
+    let b = run_lock(&cfg, Arc::new(AslSpinLock::default()));
+    assert!(a.total_ops > 0);
+    assert!(
+        a.big_ops > 0 && a.little_ops > 0,
+        "both classes must progress under an achievable SLO"
+    );
+    assert_eq!(a, b, "SLO feedback must be deterministic in virtual time");
+}

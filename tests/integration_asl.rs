@@ -230,11 +230,9 @@ fn reorderable_lock_starvation_bound_holds_under_load() {
     assert!(worst > 0, "little cores acquired at least once");
     // The wall-clock bound (max window + queue drain) only holds when
     // the 8 threads truly run in parallel; oversubscribed, a waiter
-    // can sit preempted for arbitrarily many scheduler quanta.
-    if !libasl::runtime::affinity::oversubscribed(8) {
-        assert!(
-            worst < 60_000_000,
-            "worst little-core wait {worst}ns vastly exceeds the starvation bound"
-        );
-    }
+    // can sit preempted for arbitrarily many scheduler quanta. The
+    // exact, ungated bound is asserted in the simulator instead
+    // (`crates/sim/tests/ungated.rs`,
+    // `reorderable_starvation_bound_holds_exactly`), where virtual
+    // time has no preemption accidents.
 }

@@ -5,14 +5,13 @@
 //! roughly by how much, where behaviour flips — so regressions in any
 //! lock or in the feedback loop show up as failed shapes.
 
+use libasl::runtime::Topology;
 use libasl::sim::{run, SimConfig, SimLockKind};
 
 fn cfg(lock: SimLockKind) -> SimConfig {
     SimConfig {
-        big_cores: 4,
-        little_cores: 4,
+        topology: Topology::custom(4, 4, 3.0),
         threads: 8,
-        perf_ratio: 3.0,
         cs_ns: 2_000,
         ncs_ns: 2_000,
         duration_ns: 300_000_000,

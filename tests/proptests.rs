@@ -5,6 +5,7 @@ use std::sync::Arc;
 use libasl::dbsim::LockFactory;
 use libasl::harness::Hist;
 use libasl::locks::plain::PlainLock;
+use libasl::runtime::Topology;
 use libasl::sim::{run, SimConfig, SimLockKind};
 use proptest::prelude::*;
 
@@ -77,8 +78,8 @@ proptest! {
         ncs in 500u64..5_000,
     ) {
         let cfg = SimConfig {
-            big_cores: 4, little_cores: 4, threads: 8,
-            perf_ratio: 3.0, cs_ns: cs, ncs_ns: ncs,
+            topology: Topology::custom(4, 4, 3.0), threads: 8,
+            cs_ns: cs, ncs_ns: ncs,
             duration_ns: 20_000_000,
             lock: SimLockKind::Fifo, slo_ns: None, seed, jitter: 0.05,
         };
@@ -93,8 +94,8 @@ proptest! {
         window in 1_000u64..1_000_000,
     ) {
         let cfg = SimConfig {
-            big_cores: 4, little_cores: 4, threads: 8,
-            perf_ratio: 3.0, cs_ns: 2_000, ncs_ns: 1_000,
+            topology: Topology::custom(4, 4, 3.0), threads: 8,
+            cs_ns: 2_000, ncs_ns: 1_000,
             duration_ns: 100_000_000,
             lock: SimLockKind::Reorderable { feedback: false, static_window_ns: Some(window) },
             slo_ns: None, seed, jitter: 0.05,
@@ -110,8 +111,8 @@ proptest! {
         seed in 0u64..50,
     ) {
         let mk = |w: u64| SimConfig {
-            big_cores: 4, little_cores: 4, threads: 8,
-            perf_ratio: 3.0, cs_ns: 2_000, ncs_ns: 1_000,
+            topology: Topology::custom(4, 4, 3.0), threads: 8,
+            cs_ns: 2_000, ncs_ns: 1_000,
             duration_ns: 100_000_000,
             lock: SimLockKind::Reorderable { feedback: false, static_window_ns: Some(w) },
             slo_ns: None, seed, jitter: 0.05,
