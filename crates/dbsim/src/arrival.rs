@@ -1,0 +1,207 @@
+//! Open-loop arrival processes.
+//!
+//! An open-loop load generator schedules request *arrivals* on its own
+//! clock, independent of how fast the system drains them — the
+//! standard way to avoid coordinated omission when measuring tail
+//! latency. This module provides the interarrival-gap samplers shared
+//! by the KV service driver ([`crate::openloop`]) and `asl-sim`'s
+//! virtual-time workloads:
+//!
+//! * [`ArrivalProcess::Fixed`] — every gap is exactly the mean
+//!   (deterministic pacing).
+//! * [`ArrivalProcess::Poisson`] — exponential gaps (memoryless
+//!   arrivals, the classic open-system model).
+//! * [`ArrivalProcess::Burst`] — `burst` back-to-back arrivals, then
+//!   one long exponential gap sized so the long-run rate still matches
+//!   the configured mean. This is the adversarial shape for
+//!   reorder-window locks: a burst fills the wait queue at one instant,
+//!   so window policy (not arrival order) decides who waits longest.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The shape of the arrival process (rate comes separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Deterministic: every interarrival gap equals the mean.
+    Fixed,
+    /// Poisson: exponentially distributed gaps with the given mean.
+    Poisson,
+    /// `burst` arrivals back to back, then one exponential gap with
+    /// mean `burst × mean_gap` (so the long-run rate is preserved).
+    Burst {
+        /// Arrivals per burst (≥ 1; 1 degenerates to Poisson).
+        burst: u32,
+    },
+}
+
+impl ArrivalProcess {
+    /// Parse a CLI spelling: `fixed`, `poisson`, `burst` (default
+    /// burst of 64) or `burst:N`.
+    pub fn parse(s: &str) -> Option<ArrivalProcess> {
+        match s {
+            "fixed" => Some(ArrivalProcess::Fixed),
+            "poisson" => Some(ArrivalProcess::Poisson),
+            "burst" => Some(ArrivalProcess::Burst { burst: 64 }),
+            _ => {
+                let n = s.strip_prefix("burst:")?.parse().ok()?;
+                (n >= 1).then_some(ArrivalProcess::Burst { burst: n })
+            }
+        }
+    }
+
+    /// The CLI spelling [`ArrivalProcess::parse`] accepts.
+    pub fn label(&self) -> String {
+        match self {
+            ArrivalProcess::Fixed => "fixed".into(),
+            ArrivalProcess::Poisson => "poisson".into(),
+            ArrivalProcess::Burst { burst } => format!("burst:{burst}"),
+        }
+    }
+}
+
+/// Stateful interarrival-gap sampler for one generator.
+///
+/// Separate from [`ArrivalProcess`] because the burst shape needs
+/// per-stream state (the position within the current burst), and a
+/// shared process description must not couple independent streams.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    mean_gap_ns: f64,
+    /// Arrivals already emitted in the current burst.
+    burst_pos: u32,
+}
+
+impl ArrivalGen {
+    /// Sampler for `process` at `rate_per_sec` mean arrivals/second.
+    ///
+    /// # Panics
+    /// Panics if the rate is not finite and positive.
+    pub fn new(process: ArrivalProcess, rate_per_sec: f64) -> Self {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "arrival rate must be positive"
+        );
+        Self::from_mean_gap(process, 1e9 / rate_per_sec)
+    }
+
+    /// Sampler for `process` with a mean gap of `mean_gap_ns`.
+    pub fn from_mean_gap(process: ArrivalProcess, mean_gap_ns: f64) -> Self {
+        assert!(
+            mean_gap_ns.is_finite() && mean_gap_ns >= 0.0,
+            "mean gap must be non-negative"
+        );
+        ArrivalGen {
+            process,
+            mean_gap_ns,
+            burst_pos: 0,
+        }
+    }
+
+    /// The configured mean gap in nanoseconds.
+    pub fn mean_gap_ns(&self) -> f64 {
+        self.mean_gap_ns
+    }
+
+    /// Draw the gap between the previous arrival and the next one.
+    pub fn next_gap_ns(&mut self, rng: &mut SmallRng) -> u64 {
+        match self.process {
+            ArrivalProcess::Fixed => self.mean_gap_ns as u64,
+            ArrivalProcess::Poisson => exponential_ns(self.mean_gap_ns, rng),
+            ArrivalProcess::Burst { burst } => {
+                let burst = burst.max(1);
+                self.burst_pos += 1;
+                if self.burst_pos < burst {
+                    0
+                } else {
+                    self.burst_pos = 0;
+                    exponential_ns(self.mean_gap_ns * f64::from(burst), rng)
+                }
+            }
+        }
+    }
+}
+
+/// One exponential draw with the given mean, in whole nanoseconds.
+fn exponential_ns(mean_ns: f64, rng: &mut SmallRng) -> u64 {
+    // Inverse-CDF sampling; `gen::<f64>()` is in [0, 1), so the
+    // argument of `ln` is in (0, 1] and the result is finite.
+    let u: f64 = rng.gen();
+    let gap = -(1.0 - u).ln() * mean_ns;
+    if gap >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        gap as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn mean_of(gen: &mut ArrivalGen, rng: &mut SmallRng, n: u64) -> f64 {
+        let total: u64 = (0..n).map(|_| gen.next_gap_ns(rng)).sum();
+        total as f64 / n as f64
+    }
+
+    #[test]
+    fn fixed_is_deterministic() {
+        let mut g = ArrivalGen::new(ArrivalProcess::Fixed, 1_000_000.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(g.next_gap_ns(&mut rng), 1_000);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_matches_rate() {
+        let mut g = ArrivalGen::new(ArrivalProcess::Poisson, 1_000_000.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mean = mean_of(&mut g, &mut rng, 200_000);
+        assert!(
+            (900.0..1_100.0).contains(&mean),
+            "poisson mean gap {mean:.1}ns, want ~1000"
+        );
+    }
+
+    #[test]
+    fn burst_preserves_rate_and_shape() {
+        let mut g = ArrivalGen::new(ArrivalProcess::Burst { burst: 8 }, 1_000_000.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        // Shape: 7 zero gaps then one long gap, repeating.
+        let gaps: Vec<u64> = (0..16).map(|_| g.next_gap_ns(&mut rng)).collect();
+        assert!(gaps[..7].iter().all(|&g| g == 0), "{gaps:?}");
+        assert!(gaps[7] > 0, "{gaps:?}");
+        assert!(gaps[8..15].iter().all(|&g| g == 0), "{gaps:?}");
+        // Long-run mean still ~1000ns per arrival.
+        let mean = mean_of(&mut g, &mut rng, 160_000);
+        assert!(
+            (850.0..1_150.0).contains(&mean),
+            "burst mean gap {mean:.1}ns, want ~1000"
+        );
+    }
+
+    #[test]
+    fn burst_of_one_is_poisson() {
+        let mut g = ArrivalGen::new(ArrivalProcess::Burst { burst: 1 }, 1_000_000.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let nonzero = (0..1_000).filter(|_| g.next_gap_ns(&mut rng) > 0).count();
+        assert!(nonzero > 990, "burst:1 must not emit zero-gap runs");
+    }
+
+    #[test]
+    fn parse_roundtrips() {
+        for s in ["fixed", "poisson", "burst:7"] {
+            let p = ArrivalProcess::parse(s).unwrap();
+            assert_eq!(p.label(), s);
+        }
+        assert_eq!(
+            ArrivalProcess::parse("burst"),
+            Some(ArrivalProcess::Burst { burst: 64 })
+        );
+        assert_eq!(ArrivalProcess::parse("burst:0"), None);
+        assert_eq!(ArrivalProcess::parse("uniform"), None);
+    }
+}

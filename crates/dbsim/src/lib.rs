@@ -30,10 +30,21 @@
 //! Request processing cost is expressed in emulated work units
 //! (`asl_runtime::work`), so critical sections take proportionally
 //! longer on little cores — the asymmetry under study.
+//!
+//! Beyond the thread-per-core engines, the crate also hosts the
+//! *serving-side* evaluation: [`kv`] is a sharded KV service whose
+//! shard locks are `asl-locks` async mutexes (FIFO or SLO-aware), and
+//! [`openloop`] drives it with an open-loop simulated client
+//! population — arrivals drawn from an [`arrival::ArrivalProcess`] on
+//! the generator's own clock, so tail latency is measured free of
+//! coordinated omission.
 
+pub mod arrival;
+pub mod kv;
 pub mod kyoto;
 pub mod leveldb;
 pub mod lmdb;
+pub mod openloop;
 pub mod sqlite;
 pub mod upscale;
 pub mod workload;

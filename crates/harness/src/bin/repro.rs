@@ -222,7 +222,7 @@ fn usage() {
         "usage: repro [--quick|--full] [--profile] [--out DIR] [--lock NAME]... <figure-id>... | all | list | locks\n\
          figure ids: fig1 fig4 fig5 fig8a fig8b fig8c fig8d fig8ef fig8g fig8hi\n\
          \u{20}          fig9-kyoto fig9-upscale fig9-lmdb fig10-leveldb fig10-sqlite alt-topology\n\
-         \u{20}          sec2-numa sec5-delegation rw adapt overhead\n\
+         \u{20}          sec2-numa sec5-delegation rw adapt overhead kv\n\
          \u{20}          sim-numa sim-fair sim-oversub sim-fig1 sim-fig8 (or `sim` for the family)\n\
          lock names: see `repro locks` (e.g. mcs, shfl-pb10, libasl-70us, rw-ticket, adaptive)"
     );

@@ -14,6 +14,7 @@ pub mod adapt;
 pub mod bench1;
 pub mod db;
 pub mod extra;
+pub mod kv;
 pub mod micro;
 pub mod overhead;
 pub mod rw;
@@ -158,6 +159,7 @@ pub fn registry() -> Vec<(&'static str, FigureFn)> {
         ("rw", rw::rw),
         ("adapt", adapt::adapt),
         ("overhead", overhead::overhead),
+        ("kv", kv::kv),
         ("sim-numa", sim::sim_numa),
         ("sim-fair", sim::sim_fair),
         ("sim-oversub", sim::sim_oversub),
@@ -201,6 +203,7 @@ mod tests {
             "rw",
             "adapt",
             "overhead",
+            "kv",
             "fig1",
             "fig4",
             "fig5",

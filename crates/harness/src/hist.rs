@@ -139,6 +139,13 @@ impl Hist {
         self.percentile(99.0)
     }
 
+    /// P99.9 shorthand — the serving-side tail the KV figure reports
+    /// (one request in a thousand; where FIFO queue-jumping costs and
+    /// SLO-aware reordering gains actually live).
+    pub fn p999(&self) -> u64 {
+        self.percentile(99.9)
+    }
+
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &Hist) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
@@ -331,6 +338,31 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn p999_matches_exact_oracle() {
+        // The shorthand must agree with the exact 99.9th percentile of
+        // the raw samples to within bucket rounding, including the
+        // small-n regime where p99.9 degenerates to the max.
+        for n in [1u64, 10, 1_000, 50_000] {
+            let mut h = Hist::new();
+            let mut raw: Vec<u64> = Vec::new();
+            for i in 0..n {
+                let v = (i * 104_729 + 31) % 1_000_000 + 1;
+                h.record(v);
+                raw.push(v);
+            }
+            let exact = asl_runtime::stats::percentile(&mut raw, 99.9);
+            let approx = h.p999();
+            assert_eq!(approx, h.percentile(99.9));
+            assert!(approx >= exact, "n={n}: {approx} below exact {exact}");
+            assert!(
+                approx as f64 <= exact as f64 * 1.04 + 1.0,
+                "n={n}: {approx} vs exact {exact}"
+            );
+        }
+        assert!(Hist::new().p999() == 0);
     }
 
     #[test]

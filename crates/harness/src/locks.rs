@@ -42,8 +42,8 @@ use asl_locks::plain::{ExclusiveRw, PlainLock, PlainRwLock, PlainToken, WriteHal
 use asl_locks::shuffle::{ClassLocalPolicy, FifoPolicy, ShuffleLock};
 use asl_locks::telemetry;
 use asl_locks::{
-    Adaptive, Bravo, ClhLock, CnaLock, CohortLock, MalthusianLock, McsLock, McsStpLock,
-    ProportionalLock, PthreadMutex, RwTicketLock, TasLock, TicketLock,
+    Adaptive, AsyncPolicy, Bravo, ClhLock, CnaLock, CohortLock, MalthusianLock, McsLock,
+    McsStpLock, ProportionalLock, PthreadMutex, RwTicketLock, TasLock, TicketLock,
 };
 use asl_runtime::registry::is_big_core;
 use asl_runtime::AtomicAffinity;
@@ -195,6 +195,24 @@ impl LockSpec {
             | LockSpec::AslRw { slo_ns } => *slo_ns,
             LockSpec::Instrumented(inner) => inner.epoch_slo(),
             _ => None,
+        }
+    }
+
+    /// The async wait-queue policy this spec maps to when it guards a
+    /// KV-service shard: the LibASL family becomes the SLO-aware
+    /// deadline-ordered queue (a missing SLO — `libasl-max` — means an
+    /// unbounded reorder window, i.e. pure earliest-deadline-first),
+    /// every thread-oriented spec degenerates to FIFO handoff, the
+    /// async analogue of an MCS queue.
+    pub fn async_policy(&self) -> AsyncPolicy {
+        match self {
+            LockSpec::Asl { slo_ns, .. }
+            | LockSpec::AslBlocking { slo_ns }
+            | LockSpec::AslRw { slo_ns } => AsyncPolicy::Slo {
+                slo_ns: slo_ns.unwrap_or(u64::MAX),
+            },
+            LockSpec::Instrumented(inner) => inner.async_policy(),
+            _ => AsyncPolicy::Fifo,
         }
     }
 
@@ -1012,6 +1030,25 @@ mod tests {
         assert_eq!(
             LockSpec::AslBlocking { slo_ns: Some(7) }.epoch_slo(),
             Some(7)
+        );
+    }
+
+    #[test]
+    fn async_policy_bridges_the_registry() {
+        assert_eq!(LockSpec::Mcs.async_policy(), AsyncPolicy::Fifo);
+        assert_eq!(LockSpec::Ticket.async_policy(), AsyncPolicy::Fifo);
+        assert_eq!(
+            LockSpec::asl(Some(50_000)).async_policy(),
+            AsyncPolicy::Slo { slo_ns: 50_000 }
+        );
+        assert_eq!(
+            LockSpec::asl(None).async_policy(),
+            AsyncPolicy::Slo { slo_ns: u64::MAX },
+            "libasl-max = unbounded reorder window = pure EDF"
+        );
+        assert_eq!(
+            LockSpec::Instrumented(Box::new(LockSpec::asl(Some(9)))).async_policy(),
+            AsyncPolicy::Slo { slo_ns: 9 }
         );
     }
 

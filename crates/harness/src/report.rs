@@ -22,6 +22,11 @@ pub struct BenchSample {
     pub threads: usize,
     /// Measured operations per second.
     pub ops_per_sec: f64,
+    /// P99 request latency (ns), for figures that measure latency
+    /// (the KV service); `None` for throughput-only figures.
+    pub p99_ns: Option<u64>,
+    /// P99.9 request latency (ns); `None` for throughput-only figures.
+    pub p999_ns: Option<u64>,
 }
 
 /// One reproduced figure (or sub-figure).
@@ -71,6 +76,27 @@ impl Table {
             lock: lock.to_string(),
             threads,
             ops_per_sec,
+            p99_ns: None,
+            p999_ns: None,
+        });
+    }
+
+    /// Attach one machine-readable throughput + tail-latency point
+    /// (serving-side figures that report p99/p999 alongside ops/s).
+    pub fn push_latency_sample(
+        &mut self,
+        lock: &str,
+        threads: usize,
+        ops_per_sec: f64,
+        p99_ns: u64,
+        p999_ns: u64,
+    ) {
+        self.samples.push(BenchSample {
+            lock: lock.to_string(),
+            threads,
+            ops_per_sec,
+            p99_ns: Some(p99_ns),
+            p999_ns: Some(p999_ns),
         });
     }
 
@@ -129,11 +155,19 @@ pub fn render_bench_json(figure: &str, samples: &[BenchSample]) -> String {
         json_str(figure)
     );
     for (i, s) in samples.iter().enumerate() {
+        let mut tail = String::new();
+        if let Some(p99) = s.p99_ns {
+            tail.push_str(&format!(", \"p99_ns\": {p99}"));
+        }
+        if let Some(p999) = s.p999_ns {
+            tail.push_str(&format!(", \"p999_ns\": {p999}"));
+        }
         out.push_str(&format!(
-            "    {{\"lock\": {}, \"threads\": {}, \"ops_per_sec\": {:.1}}}{}\n",
+            "    {{\"lock\": {}, \"threads\": {}, \"ops_per_sec\": {:.1}{}}}{}\n",
             json_str(&s.lock),
             s.threads,
             s.ops_per_sec,
+            tail,
             if i + 1 < samples.len() { "," } else { "" }
         ));
     }
@@ -256,6 +290,25 @@ mod tests {
         assert!(json.contains("\"ops_per_sec\": 1234.6"));
         // Exactly one trailing comma (two records).
         assert_eq!(json.matches("},").count(), 1);
+        // Throughput-only samples must not emit latency fields.
+        assert!(!json.contains("p99_ns"));
+    }
+
+    #[test]
+    fn bench_json_latency_fields() {
+        let mut t = Table::new("kv", "demo", &["lock"]);
+        t.push_latency_sample("async-slo@rate=500k", 4, 480_000.0, 90_000, 240_000);
+        t.push_sample("mcs", 4, 1_000.0);
+        let json = render_bench_json("kv", &t.samples);
+        assert!(json.contains("\"p99_ns\": 90000"));
+        assert!(json.contains("\"p999_ns\": 240000"));
+        assert_eq!(json.matches("},").count(), 1);
+        // The latency fields ride inside the record, before its close.
+        let rec = json
+            .lines()
+            .find(|l| l.contains("async-slo"))
+            .expect("record present");
+        assert!(rec.trim_end().ends_with("\"p999_ns\": 240000},"));
     }
 
     #[test]

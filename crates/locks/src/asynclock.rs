@@ -1,0 +1,603 @@
+//! SLO-aware async mutexes: `lock().await` parks the waiter as a
+//! queued [`Waker`], not a blocked OS thread.
+//!
+//! The thread locks in this crate spin or park a *thread* per waiter;
+//! at 10⁵–10⁶ concurrent clients that is the scalability collapse the
+//! serving literature warns about. The async layer keeps one small
+//! wait node per parked *task* instead, and reuses the paper's
+//! SLO-reordering idea for wake ordering:
+//!
+//! * [`AsyncMutex<T>`] — deadline-ordered (EDF) wake list. Each
+//!   waiter's deadline is its arrival time plus a reorder window
+//!   bounded by the lock's `slo_ns` (exactly the bound
+//!   `ReorderableLock::lock_reorder` clamps to), so no waiter can be
+//!   overtaken by more than `slo_ns` of later arrivals —
+//!   starvation-free for the same reason the paper's standby queue
+//!   is. [`AsyncMutex::lock_with_deadline`] lets a request carry its
+//!   *generation-time* deadline (e.g. scheduled arrival + SLO) so an
+//!   open-loop service equalizes response times across requests
+//!   rather than lock-arrival times — that is where the p999 win over
+//!   FIFO comes from.
+//! * [`AsyncFifoMutex<T>`] — strict arrival-order baseline (what a
+//!   fair thread mutex would do), for comparison.
+//! * [`AsyncDynMutex<T>`] — policy chosen at runtime
+//!   ([`AsyncPolicy`]), the bridge the harness registry uses to
+//!   resolve `LockSpec` names to async locks.
+//!
+//! All three hand the lock over *directly*: release marks the chosen
+//! wait node `GRANTED` and wakes it without ever making the lock
+//! observably free, so there is no barging and wake order is grant
+//! order. Lock futures are cancel-safe — dropping one mid-wait
+//! unlinks its node under the queue lock; dropping one after it was
+//! granted but before it was polled passes the grant on (or frees the
+//! lock) instead of deadlocking. Guards release on drop, including
+//! panic unwind.
+//!
+//! ```
+//! use asl_locks::asynclock::AsyncMutex;
+//! use asl_runtime::exec::block_on;
+//!
+//! let hits = AsyncMutex::new(0u64);
+//! block_on(async {
+//!     *hits.lock().await += 1;
+//!     assert_eq!(*hits.lock().await, 1);
+//! });
+//! ```
+
+use std::cell::UnsafeCell;
+use std::collections::BTreeMap;
+use std::future::Future;
+use std::ops::{Deref, DerefMut};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+use asl_runtime::clock;
+
+/// Wake-ordering policy for an [`AsyncDynMutex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsyncPolicy {
+    /// Strict arrival order (fair FIFO baseline).
+    Fifo,
+    /// Deadline order with the reorder window bounded by `slo_ns`
+    /// (`u64::MAX` ≈ maximum window).
+    Slo {
+        /// Reorder-window bound in nanoseconds.
+        slo_ns: u64,
+    },
+}
+
+/// Waiting in the queue; cancel unlinks, release grants.
+const W_QUEUED: u8 = 0;
+/// Chosen by a release; owns the lock once polled (or via cancel).
+const W_GRANTED: u8 = 1;
+/// The future observed the grant and returned `Ready`.
+const W_CLAIMED: u8 = 2;
+
+struct WaitNode {
+    state: AtomicU8,
+}
+
+struct Queue {
+    /// Ground truth for "is the lock held". Stays `true` across a
+    /// direct handoff.
+    locked: bool,
+    /// Wait list keyed by `(deadline_ns, seq)`: FIFO futures use
+    /// deadline 0 so ordering degenerates to the arrival sequence;
+    /// SLO futures use their bounded absolute deadline (EDF).
+    waiters: BTreeMap<(u64, u64), (Arc<WaitNode>, Waker)>,
+}
+
+/// The policy-agnostic core: an async lock word plus the wait queue.
+struct RawAsyncLock {
+    inner: Mutex<Queue>,
+    /// Arrival sequence for queue keys (ties and FIFO order).
+    seq: AtomicU64,
+    policy: AsyncPolicy,
+}
+
+impl RawAsyncLock {
+    fn new(policy: AsyncPolicy) -> Self {
+        RawAsyncLock {
+            inner: Mutex::new(Queue {
+                locked: false,
+                waiters: BTreeMap::new(),
+            }),
+            seq: AtomicU64::new(0),
+            policy,
+        }
+    }
+
+    /// Queue key for a waiter arriving now with an optional explicit
+    /// deadline. The window is always bounded by the policy's
+    /// `slo_ns` — the same starvation-freedom clamp as
+    /// `ReorderableLock::lock_reorder`.
+    fn key(&self, deadline_ns: Option<u64>) -> (u64, u64) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        match self.policy {
+            AsyncPolicy::Fifo => (0, seq),
+            AsyncPolicy::Slo { slo_ns } => {
+                let bound = clock::coarse_now_ns().saturating_add(slo_ns);
+                (deadline_ns.unwrap_or(bound).min(bound), seq)
+            }
+        }
+    }
+
+    /// Release: hand off to the earliest-keyed waiter (the lock stays
+    /// `locked` across the handoff — no barging), or mark free.
+    fn unlock(&self) {
+        let mut q = self.inner.lock().unwrap();
+        debug_assert!(q.locked, "unlock of an unheld async lock");
+        if let Some((&key, _)) = q.waiters.iter().next() {
+            let (node, waker) = q.waiters.remove(&key).expect("first key present");
+            node.state.store(W_GRANTED, Ordering::Release);
+            drop(q);
+            waker.wake();
+        } else {
+            q.locked = false;
+        }
+    }
+
+    fn try_lock(&self) -> bool {
+        let mut q = self.inner.lock().unwrap();
+        if q.locked {
+            false
+        } else {
+            q.locked = true;
+            true
+        }
+    }
+
+    fn is_locked(&self) -> bool {
+        self.inner.lock().unwrap().locked
+    }
+
+    fn waiters(&self) -> usize {
+        self.inner.lock().unwrap().waiters.len()
+    }
+}
+
+/// Future returned by the async lock methods. Cancel-safe: see the
+/// module docs.
+struct RawLockFuture<'a> {
+    raw: &'a RawAsyncLock,
+    deadline_ns: Option<u64>,
+    /// `Some` once enqueued; the key locates the node for waker
+    /// refresh and cancellation.
+    node: Option<(Arc<WaitNode>, (u64, u64))>,
+}
+
+impl Future for RawLockFuture<'_> {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = &mut *self;
+        match &this.node {
+            None => {
+                let mut q = this.raw.inner.lock().unwrap();
+                if !q.locked {
+                    q.locked = true;
+                    return Poll::Ready(());
+                }
+                let key = this.raw.key(this.deadline_ns);
+                let node = Arc::new(WaitNode {
+                    state: AtomicU8::new(W_QUEUED),
+                });
+                q.waiters.insert(key, (node.clone(), cx.waker().clone()));
+                this.node = Some((node, key));
+                Poll::Pending
+            }
+            Some((node, key)) => {
+                // The queue lock orders this read against release's
+                // GRANTED store + removal.
+                let mut q = this.raw.inner.lock().unwrap();
+                if node.state.load(Ordering::Acquire) == W_GRANTED {
+                    node.state.store(W_CLAIMED, Ordering::Release);
+                    return Poll::Ready(());
+                }
+                // Spurious poll while still queued: refresh the waker.
+                if let Some(entry) = q.waiters.get_mut(key) {
+                    entry.1 = cx.waker().clone();
+                }
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl Drop for RawLockFuture<'_> {
+    fn drop(&mut self) {
+        let Some((node, key)) = self.node.take() else {
+            return; // never enqueued (or completed on first poll)
+        };
+        match node.state.load(Ordering::Acquire) {
+            // Claimed: ownership moved to a guard; nothing to undo.
+            W_CLAIMED => {}
+            // Still queued: unlink so the slot is not leaked.
+            W_QUEUED => {
+                let mut q = self.raw.inner.lock().unwrap();
+                // Re-check under the lock: a concurrent release may
+                // have granted us in the meantime (and removed the
+                // entry). If removal succeeds we were still queued.
+                if q.waiters.remove(&key).is_none()
+                    && node.state.load(Ordering::Acquire) == W_GRANTED
+                {
+                    // Granted after our first check: we own the lock
+                    // but will never claim it — pass it on.
+                    drop(q);
+                    self.raw.unlock();
+                }
+            }
+            // Granted but never polled again: we own the lock; pass
+            // it on (or free it) instead of leaking the acquisition.
+            W_GRANTED => self.raw.unlock(),
+            s => unreachable!("wait node state {s}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Data-carrying mutexes
+// ---------------------------------------------------------------------------
+
+macro_rules! common_mutex_impl {
+    ($name:ident) => {
+        impl<T> $name<T> {
+            /// Acquire without waiting, if free.
+            pub fn try_lock(&self) -> Option<AsyncGuard<'_, T>> {
+                // `then`, not `then_some`: constructing a guard is
+                // effectful (its drop releases), so it must only
+                // exist when the acquisition succeeded.
+                self.raw.try_lock().then(|| AsyncGuard { mutex: self })
+            }
+
+            /// Whether the lock is currently held (racy diagnostic).
+            pub fn is_locked(&self) -> bool {
+                self.raw.is_locked()
+            }
+
+            /// Number of parked waiters (racy diagnostic).
+            pub fn waiters(&self) -> usize {
+                self.raw.waiters()
+            }
+
+            /// Consume the mutex, returning the protected value.
+            pub fn into_inner(self) -> T {
+                self.data.into_inner()
+            }
+
+            /// Exclusive access without locking (`&mut self` proves
+            /// no other handle exists).
+            pub fn get_mut(&mut self) -> &mut T {
+                self.data.get_mut()
+            }
+        }
+
+        // SAFETY: standard mutex reasoning — the protected value
+        // moves across threads with the lock (`T: Send`); `&$name<T>`
+        // only hands out `&T`/`&mut T` under mutual exclusion, and
+        // unlike thread locks the guard may be dropped on a different
+        // worker thread than the one that acquired it, which is fine
+        // because release is just queue-mutex operations.
+        unsafe impl<T: Send> Send for $name<T> {}
+        unsafe impl<T: Send> Sync for $name<T> {}
+    };
+}
+
+/// SLO-aware async mutex: deadline-ordered wakes with the reorder
+/// window bounded by `slo_ns` (see the module docs).
+pub struct AsyncMutex<T> {
+    raw: RawAsyncLock,
+    data: UnsafeCell<T>,
+}
+
+impl<T> AsyncMutex<T> {
+    /// Default reorder-window bound when none is given: 100µs, the
+    /// same order as the paper's hand-tuned SLOs (Bench-1 uses 70µs).
+    pub const DEFAULT_SLO_NS: u64 = 100_000;
+
+    /// New mutex with the default SLO bound.
+    pub fn new(value: T) -> Self {
+        Self::with_slo(value, Self::DEFAULT_SLO_NS)
+    }
+
+    /// New mutex with an explicit reorder-window bound (ns).
+    pub fn with_slo(value: T, slo_ns: u64) -> Self {
+        AsyncMutex {
+            raw: RawAsyncLock::new(AsyncPolicy::Slo { slo_ns }),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// The reorder-window bound (ns).
+    pub fn slo_ns(&self) -> u64 {
+        match self.raw.policy {
+            AsyncPolicy::Slo { slo_ns } => slo_ns,
+            AsyncPolicy::Fifo => unreachable!("AsyncMutex is always SLO-policied"),
+        }
+    }
+
+    /// Acquire; the waiter's deadline is its arrival time plus the
+    /// SLO bound.
+    pub fn lock(&self) -> AsyncLockFuture<'_, T> {
+        self.lock_inner(None)
+    }
+
+    /// Acquire with an explicit absolute deadline (ns, same clock as
+    /// `asl_runtime::clock`). The effective deadline is still bounded
+    /// by arrival + `slo_ns`, so a request that is already past its
+    /// deadline goes to the head of the queue but cannot push others
+    /// out by more than the SLO window.
+    pub fn lock_with_deadline(&self, deadline_ns: u64) -> AsyncLockFuture<'_, T> {
+        self.lock_inner(Some(deadline_ns))
+    }
+
+    fn lock_inner(&self, deadline_ns: Option<u64>) -> AsyncLockFuture<'_, T> {
+        AsyncLockFuture {
+            fut: RawLockFuture {
+                raw: &self.raw,
+                deadline_ns,
+                node: None,
+            },
+            mutex: self,
+        }
+    }
+}
+
+common_mutex_impl!(AsyncMutex);
+
+/// Strict arrival-order async mutex — the FIFO baseline the SLO-aware
+/// [`AsyncMutex`] is compared against.
+pub struct AsyncFifoMutex<T> {
+    raw: RawAsyncLock,
+    data: UnsafeCell<T>,
+}
+
+impl<T> AsyncFifoMutex<T> {
+    /// New FIFO mutex.
+    pub fn new(value: T) -> Self {
+        AsyncFifoMutex {
+            raw: RawAsyncLock::new(AsyncPolicy::Fifo),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquire in arrival order.
+    pub fn lock(&self) -> AsyncFifoLockFuture<'_, T> {
+        AsyncFifoLockFuture {
+            fut: RawLockFuture {
+                raw: &self.raw,
+                deadline_ns: None,
+                node: None,
+            },
+            mutex: self,
+        }
+    }
+}
+
+common_mutex_impl!(AsyncFifoMutex);
+
+/// Async mutex with the wake-ordering policy chosen at runtime — the
+/// registry bridge (`LockSpec` names resolve to an [`AsyncPolicy`],
+/// FIFO-ordered specs to [`AsyncPolicy::Fifo`], LibASL specs to
+/// [`AsyncPolicy::Slo`] with their SLO).
+pub struct AsyncDynMutex<T> {
+    raw: RawAsyncLock,
+    data: UnsafeCell<T>,
+}
+
+impl<T> AsyncDynMutex<T> {
+    /// New mutex under the given policy.
+    pub fn new(policy: AsyncPolicy, value: T) -> Self {
+        AsyncDynMutex {
+            raw: RawAsyncLock::new(policy),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// The wake-ordering policy.
+    pub fn policy(&self) -> AsyncPolicy {
+        self.raw.policy
+    }
+
+    /// Acquire (arrival-deadline under SLO policy, arrival order
+    /// under FIFO).
+    pub fn lock(&self) -> AsyncDynLockFuture<'_, T> {
+        self.lock_inner(None)
+    }
+
+    /// Acquire with an explicit absolute deadline; under the FIFO
+    /// policy the deadline is ignored (arrival order).
+    pub fn lock_with_deadline(&self, deadline_ns: u64) -> AsyncDynLockFuture<'_, T> {
+        self.lock_inner(Some(deadline_ns))
+    }
+
+    fn lock_inner(&self, deadline_ns: Option<u64>) -> AsyncDynLockFuture<'_, T> {
+        AsyncDynLockFuture {
+            fut: RawLockFuture {
+                raw: &self.raw,
+                deadline_ns,
+                node: None,
+            },
+            mutex: self,
+        }
+    }
+}
+
+common_mutex_impl!(AsyncDynMutex);
+
+// ---------------------------------------------------------------------------
+// Lock futures and the guard
+// ---------------------------------------------------------------------------
+
+macro_rules! lock_future_impl {
+    ($future:ident, $mutex:ident) => {
+        impl<'a, T> Future for $future<'a, T> {
+            type Output = AsyncGuard<'a, T>;
+
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+                // All fields are `Unpin` (references and plain data,
+                // no self-references), so projection is safe.
+                let this = self.get_mut();
+                match Pin::new(&mut this.fut).poll(cx) {
+                    Poll::Ready(()) => Poll::Ready(AsyncGuard { mutex: this.mutex }),
+                    Poll::Pending => Poll::Pending,
+                }
+            }
+        }
+    };
+}
+
+/// Future returned by [`AsyncMutex::lock`] /
+/// [`AsyncMutex::lock_with_deadline`].
+#[must_use = "futures do nothing unless awaited"]
+pub struct AsyncLockFuture<'a, T> {
+    fut: RawLockFuture<'a>,
+    mutex: &'a AsyncMutex<T>,
+}
+lock_future_impl!(AsyncLockFuture, AsyncMutex);
+
+/// Future returned by [`AsyncFifoMutex::lock`].
+#[must_use = "futures do nothing unless awaited"]
+pub struct AsyncFifoLockFuture<'a, T> {
+    fut: RawLockFuture<'a>,
+    mutex: &'a AsyncFifoMutex<T>,
+}
+lock_future_impl!(AsyncFifoLockFuture, AsyncFifoMutex);
+
+/// Future returned by [`AsyncDynMutex::lock`] /
+/// [`AsyncDynMutex::lock_with_deadline`].
+#[must_use = "futures do nothing unless awaited"]
+pub struct AsyncDynLockFuture<'a, T> {
+    fut: RawLockFuture<'a>,
+    mutex: &'a AsyncDynMutex<T>,
+}
+lock_future_impl!(AsyncDynLockFuture, AsyncDynMutex);
+
+/// RAII guard over any of the async mutexes: derefs to the protected
+/// value, releases (with a direct handoff to the next waiter) on
+/// drop — including panic unwind.
+#[must_use = "the lock releases as soon as the guard drops"]
+pub struct AsyncGuard<'a, T> {
+    mutex: &'a dyn GuardTarget<T>,
+}
+
+/// Internal object-safe view the guard releases through (one guard
+/// type for all three mutexes).
+trait GuardTarget<T> {
+    fn raw(&self) -> &RawAsyncLock;
+    fn data(&self) -> &UnsafeCell<T>;
+}
+
+macro_rules! guard_target_impl {
+    ($name:ident) => {
+        impl<T> GuardTarget<T> for $name<T> {
+            fn raw(&self) -> &RawAsyncLock {
+                &self.raw
+            }
+            fn data(&self) -> &UnsafeCell<T> {
+                &self.data
+            }
+        }
+    };
+}
+guard_target_impl!(AsyncMutex);
+guard_target_impl!(AsyncFifoMutex);
+guard_target_impl!(AsyncDynMutex);
+
+impl<T> Deref for AsyncGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves exclusive acquisition.
+        unsafe { &*self.mutex.data().get() }
+    }
+}
+
+impl<T> DerefMut for AsyncGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above, and `&mut self` prevents aliasing.
+        unsafe { &mut *self.mutex.data().get() }
+    }
+}
+
+impl<T> Drop for AsyncGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.raw().unlock();
+    }
+}
+
+// SAFETY: a guard held across an `.await` migrates between executor
+// workers with its task, so it must be `Send` when the data is; the
+// release path is thread-agnostic (queue-mutex operations only).
+unsafe impl<T: Send> Send for AsyncGuard<'_, T> {}
+// SAFETY: `&AsyncGuard` only exposes `&T`.
+unsafe impl<T: Send + Sync> Sync for AsyncGuard<'_, T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asl_runtime::exec::{block_on, Executor};
+
+    #[test]
+    fn uncontended_roundtrip() {
+        let m = AsyncMutex::new(1u64);
+        block_on(async {
+            *m.lock().await += 41;
+        });
+        assert_eq!(block_on(async { *m.lock().await }), 42);
+        assert!(!m.is_locked());
+        assert_eq!(m.waiters(), 0);
+    }
+
+    #[test]
+    fn try_lock_and_introspection() {
+        let m = AsyncFifoMutex::new(5u32);
+        let g = m.try_lock().expect("free");
+        assert!(m.is_locked());
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(!m.is_locked());
+        assert_eq!(m.into_inner(), 5);
+    }
+
+    #[test]
+    fn get_mut_skips_locking() {
+        let mut m = AsyncMutex::new(3u8);
+        *m.get_mut() += 1;
+        assert_eq!(m.into_inner(), 4);
+    }
+
+    #[test]
+    fn contended_increments_on_executor() {
+        let exec = Executor::new(4);
+        let m = Arc::new(AsyncMutex::new(0u64));
+        let handles: Vec<_> = (0..64)
+            .map(|_| {
+                let m = m.clone();
+                exec.spawn(async move {
+                    for _ in 0..100 {
+                        *m.lock().await += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(*m.try_lock().expect("all released"), 6_400);
+    }
+
+    #[test]
+    fn dyn_mutex_both_policies() {
+        for policy in [AsyncPolicy::Fifo, AsyncPolicy::Slo { slo_ns: 1_000 }] {
+            let m = AsyncDynMutex::new(policy, 0u64);
+            assert_eq!(m.policy(), policy);
+            block_on(async {
+                *m.lock().await += 1;
+                *m.lock_with_deadline(123).await += 1;
+            });
+            assert_eq!(m.into_inner(), 2);
+        }
+    }
+}

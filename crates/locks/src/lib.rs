@@ -22,6 +22,13 @@
 //! | [`Bravo`] | BRAVO-style reader-bias wrapper: any exclusive lock becomes an rwlock | [`bravo`] |
 //! | [`Adaptive`] | contention-adaptive TAS that morphs to a FIFO queue (Fissile-style) | [`adaptive`] |
 //!
+//! The [`asynclock`] module is the task-parking counterpart of the
+//! zoo: [`AsyncMutex`] (SLO-aware deadline-ordered wakes, the async
+//! analogue of the paper's reorder window), [`AsyncFifoMutex`] (the
+//! arrival-order baseline) and [`AsyncDynMutex`] (policy chosen at
+//! runtime) park waiters as queued wakers instead of blocked
+//! threads — the substrate for connection-per-task serving.
+//!
 //! Observability is a first-class layer: [`telemetry`] provides the
 //! lock-agnostic [`telemetry::TelemetryCell`] counters, the
 //! [`telemetry::Instrumented`] wrapper that records them for *any*
@@ -77,6 +84,7 @@
 
 pub mod adaptive;
 pub mod api;
+pub mod asynclock;
 pub mod backoff;
 pub mod blocking;
 pub mod bravo;
@@ -100,6 +108,7 @@ pub use api::{
     DynGuard, DynLock, DynMutex, DynMutexGuard, DynRwLock, DynRwMutex, Guard, GuardedLock,
     GuardedRwLock, Mutex, MutexGuard, ReadGuard, RwLock, WriteGuard,
 };
+pub use asynclock::{AsyncDynMutex, AsyncFifoMutex, AsyncGuard, AsyncMutex, AsyncPolicy};
 pub use backoff::BackoffLock;
 pub use blocking::{McsStpLock, PthreadMutex};
 pub use bravo::Bravo;

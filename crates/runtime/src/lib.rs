@@ -24,6 +24,10 @@
 //!   disadvantaged core class pays between failed lock attempts.
 //! * [`affinity`] optionally pins threads to distinct physical CPUs for
 //!   stable measurements (the paper pins threads too).
+//! * [`exec`] is a minimal no-dependency async executor (multi-worker
+//!   run queue, `block_on`, waker vtable) — the task substrate for
+//!   connection-per-task serving workloads, where `asl-locks`' async
+//!   mutexes park waiters as queued wakers instead of blocked threads.
 //! * [`substrate`] is the pluggable execution backend behind every
 //!   lock-visible platform interaction (clock reads, spin-loop
 //!   relaxes, emulated work, park/unpark). The default is the OS —
@@ -38,6 +42,7 @@ pub mod affinity;
 pub mod atomic_model;
 pub mod cacheline;
 pub mod clock;
+pub mod exec;
 pub mod registry;
 pub mod relax;
 pub mod spawn;
@@ -49,6 +54,7 @@ pub mod work;
 pub use atomic_model::AtomicAffinity;
 pub use cacheline::CacheLineArena;
 pub use clock::{coarse_now_ns, now_ns};
+pub use exec::{block_on, Executor, JoinHandle};
 pub use registry::{current_core, is_big_core, register_on_core, CoreAssignment};
 pub use relax::Spin;
 pub use spawn::{run_on_topology, ThreadCtx};

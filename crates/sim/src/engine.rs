@@ -11,6 +11,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use asl_dbsim::arrival::{ArrivalGen, ArrivalProcess};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -69,6 +70,8 @@ struct ThreadState {
     unit: u64,
     standby_gen: u64,
     in_standby: bool,
+    /// Think-time sampler (per-thread: burst streams carry state).
+    arrivals: ArrivalGen,
 }
 
 struct LockModel {
@@ -324,6 +327,10 @@ pub fn run(cfg: &SimConfig) -> SimResult {
             unit: UNIT_FLOOR_NS,
             standby_gen: 0,
             in_standby: false,
+            arrivals: ArrivalGen::from_mean_gap(
+                cfg.arrival,
+                cfg.ncs_ns as f64 * cfg.multiplier(tid),
+            ),
         })
         .collect();
 
@@ -398,8 +405,16 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                         }
                     }
                 }
-                let ncs = sim.jittered(cfg.ncs_ns as f64 * sim.threads[tid].mult);
-                sim.q.push(t + ncs, Ev::Arrive(tid));
+                // Fixed keeps the classic jittered-constant think
+                // time (bit-identical to earlier revisions); the
+                // stochastic processes own their randomness.
+                let ncs = match cfg.arrival {
+                    ArrivalProcess::Fixed => {
+                        sim.jittered(cfg.ncs_ns as f64 * sim.threads[tid].mult)
+                    }
+                    _ => sim.threads[tid].arrivals.next_gap_ns(&mut sim.rng),
+                };
+                sim.q.push(t.saturating_add(ncs), Ev::Arrive(tid));
                 sim.dispatch_next(t);
             }
         }

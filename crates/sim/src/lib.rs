@@ -42,7 +42,7 @@ mod model;
 
 pub use engine::{run, SimResult};
 pub use exec::{run_lock, run_rw, CostModel, ZooConfig, ZooResult, ZooRwResult};
-pub use model::{SimConfig, SimLockKind};
+pub use model::{ArrivalProcess, SimConfig, SimLockKind};
 
 /// Exact percentile over raw simulated samples (the workspace-shared
 /// definition — see [`asl_runtime::stats`]).
@@ -65,6 +65,7 @@ mod tests {
             slo_ns: None,
             seed: 7,
             jitter: 0.05,
+            arrival: ArrivalProcess::Fixed,
         }
     }
 
@@ -264,6 +265,39 @@ mod tests {
         assert!(
             (0.85..1.15).contains(&ratio),
             "expected FIFO-like throughput, ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn poisson_think_time_is_deterministic_and_distinct() {
+        let mut cfg = base_cfg(SimLockKind::Fifo);
+        cfg.arrival = ArrivalProcess::Poisson;
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.total_ops, b.total_ops, "same seed, same trace");
+        assert_eq!(a.p99_overall, b.p99_overall);
+        let fixed = run(&base_cfg(SimLockKind::Fifo));
+        assert_ne!(
+            a.total_ops, fixed.total_ops,
+            "poisson arrivals must change the trace"
+        );
+    }
+
+    #[test]
+    fn bursty_arrivals_fatten_the_fifo_tail() {
+        // A burst dumps the whole little-core cohort on the queue at
+        // one instant; FIFO's tail should be no better than under
+        // evenly spread think times.
+        let mut burst = base_cfg(SimLockKind::Fifo);
+        burst.arrival = ArrivalProcess::Burst { burst: 16 };
+        let smooth = run(&base_cfg(SimLockKind::Fifo));
+        let bursty = run(&burst);
+        assert!(bursty.total_ops > 0);
+        assert!(
+            bursty.p99_overall >= smooth.p99_overall,
+            "burst p99 {} vs smooth p99 {}",
+            bursty.p99_overall,
+            smooth.p99_overall
         );
     }
 

@@ -2,6 +2,8 @@
 
 use asl_runtime::topology::{CoreKind, Topology};
 
+pub use asl_dbsim::arrival::ArrivalProcess;
+
 /// Which lock policy the simulated threads compete under.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimLockKind {
@@ -67,6 +69,12 @@ pub struct SimConfig {
     /// Relative duration jitter in `[0, 1)` (0 = fully deterministic
     /// durations; a little jitter avoids degenerate lockstep).
     pub jitter: f64,
+    /// Shape of each thread's think time between release and the next
+    /// arrival (shared with the KV service's open-loop generator).
+    /// [`ArrivalProcess::Fixed`] keeps the classic jittered-constant
+    /// NCS; `Poisson`/`Burst` draw gaps with mean `ncs_ns × mult`
+    /// (jitter then only applies to critical sections).
+    pub arrival: ArrivalProcess,
 }
 
 impl SimConfig {
@@ -99,6 +107,7 @@ mod tests {
             slo_ns: None,
             seed: 0,
             jitter: 0.0,
+            arrival: ArrivalProcess::Fixed,
         };
         assert!(cfg.is_big(0));
         assert!(cfg.is_big(3));

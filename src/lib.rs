@@ -21,7 +21,11 @@
 //!   Observability is first-class: `asl_locks::telemetry` records
 //!   lock-agnostic acquisition counters ([`TelemetryCell`],
 //!   [`Instrumented`]) and the contention-[`Adaptive`] lock morphs
-//!   its substrate (TAS ↔ FIFO queue) from that signal.
+//!   its substrate (TAS ↔ FIFO queue) from that signal. The async
+//!   layer ([`AsyncMutex`], [`AsyncFifoMutex`], [`AsyncDynMutex`])
+//!   parks waiters as queued wakers on the [`runtime`]'s executor
+//!   ([`Executor`], [`block_on`]) and wakes them FIFO or in SLO-aware
+//!   deadline order.
 //! * [`core`] — LibASL itself: reorderable lock, epoch/SLO feedback,
 //!   the [`Mutex`] dispatch ([`asl_core`]).
 //! * [`sim`] — deterministic discrete-event simulation of the same
@@ -81,6 +85,29 @@
 //! let r2 = catalog.read();          // ...concurrently
 //! assert_eq!(r1.len() + r2.len(), 4);
 //! ```
+//!
+//! Async critical sections park *tasks*, not threads: `lock().await`
+//! queues a waker a few hundred bytes wide, which is what lets the KV
+//! service model 10⁵–10⁶ concurrent clients. Guards release on drop
+//! here too:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use libasl::{block_on, AsyncMutex, Executor};
+//!
+//! let exec = Executor::new(2);
+//! let total = Arc::new(AsyncMutex::new(0u64));
+//! let handles: Vec<_> = (0..8)
+//!     .map(|_| {
+//!         let total = total.clone();
+//!         exec.spawn(async move { *total.lock().await += 1 })
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     h.join();
+//! }
+//! assert_eq!(*block_on(total.lock()), 8);
+//! ```
 
 pub use asl_core as core;
 pub use asl_dbsim as dbsim;
@@ -98,7 +125,8 @@ pub use asl_locks::api::{
     ReadGuard, WriteGuard,
 };
 pub use asl_locks::{Adaptive, AdaptiveMode, Instrumented, TelemetryCell, TelemetrySnapshot};
-pub use asl_runtime::{CoreKind, Topology};
+pub use asl_locks::{AsyncDynMutex, AsyncFifoMutex, AsyncGuard, AsyncMutex, AsyncPolicy};
+pub use asl_runtime::{block_on, CoreKind, Executor, JoinHandle, Topology};
 
 /// The recommended application-facing mutex: LibASL dispatch over a
 /// reorderable MCS lock.

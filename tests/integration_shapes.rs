@@ -6,7 +6,7 @@
 //! lock or in the feedback loop show up as failed shapes.
 
 use libasl::runtime::Topology;
-use libasl::sim::{run, SimConfig, SimLockKind};
+use libasl::sim::{run, ArrivalProcess, SimConfig, SimLockKind};
 
 fn cfg(lock: SimLockKind) -> SimConfig {
     SimConfig {
@@ -19,6 +19,7 @@ fn cfg(lock: SimLockKind) -> SimConfig {
         slo_ns: None,
         seed: 11,
         jitter: 0.05,
+        arrival: ArrivalProcess::Fixed,
     }
 }
 

@@ -6,7 +6,7 @@ use libasl::dbsim::LockFactory;
 use libasl::harness::Hist;
 use libasl::locks::plain::PlainLock;
 use libasl::runtime::Topology;
-use libasl::sim::{run, SimConfig, SimLockKind};
+use libasl::sim::{run, ArrivalProcess, SimConfig, SimLockKind};
 use proptest::prelude::*;
 
 fn mcs_factory() -> impl LockFactory {
@@ -82,6 +82,7 @@ proptest! {
             cs_ns: cs, ncs_ns: ncs,
             duration_ns: 20_000_000,
             lock: SimLockKind::Fifo, slo_ns: None, seed, jitter: 0.05,
+            arrival: ArrivalProcess::Fixed,
         };
         let a = run(&cfg);
         let b = run(&cfg);
@@ -99,6 +100,7 @@ proptest! {
             duration_ns: 100_000_000,
             lock: SimLockKind::Reorderable { feedback: false, static_window_ns: Some(window) },
             slo_ns: None, seed, jitter: 0.05,
+            arrival: ArrivalProcess::Fixed,
         };
         let r = run(&cfg);
         // Bounded windows guarantee little-core progress.
@@ -116,6 +118,7 @@ proptest! {
             duration_ns: 100_000_000,
             lock: SimLockKind::Reorderable { feedback: false, static_window_ns: Some(w) },
             slo_ns: None, seed, jitter: 0.05,
+            arrival: ArrivalProcess::Fixed,
         };
         let small = run(&mk(1_000)).throughput;
         let large = run(&mk(10_000_000)).throughput;
