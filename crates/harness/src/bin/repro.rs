@@ -9,6 +9,7 @@
 //! repro fig1 --profile       # + per-lock telemetry stats tables
 //! repro all --quick --out results/
 //! repro sim --quick --out simA/    # deterministic-simulator family
+//! repro diff old/BENCH_fig8a.json new/BENCH_fig8a.json   # regression gate
 //! ```
 //!
 //! Each figure prints aligned text tables; with `--out DIR` every
@@ -30,6 +31,12 @@ fn main() {
     if args.is_empty() {
         usage();
         std::process::exit(2);
+    }
+
+    // `repro diff <old.json> <new.json> [--noise F]` is its own
+    // subcommand with its own exit discipline (1 = regression).
+    if args[0] == "diff" {
+        run_diff(&args[1..]);
     }
 
     let mut quick = false;
@@ -199,6 +206,51 @@ fn emit(table: &Table, out_dir: &Option<String>) {
     }
 }
 
+/// `repro diff old.json new.json [--noise F]`: compare per-cell
+/// ops/s between two BENCH files; exit 1 iff a cell regressed by
+/// more than the noise bound (default 10%), 2 on usage errors.
+fn run_diff(args: &[String]) -> ! {
+    let mut noise = 0.10f64;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--noise" => {
+                i += 1;
+                noise = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|n: &f64| (0.0..10.0).contains(n))
+                    .unwrap_or_else(|| {
+                        eprintln!("--noise requires a fraction, e.g. 0.10");
+                        std::process::exit(2);
+                    });
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown diff flag: {other}");
+                eprintln!("usage: repro diff <old.json> <new.json> [--noise 0.10]");
+                std::process::exit(2);
+            }
+            _ => paths.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [old_path, new_path] = paths[..] else {
+        eprintln!("usage: repro diff <old.json> <new.json> [--noise 0.10]");
+        std::process::exit(2);
+    };
+    match asl_harness::diff::diff_files(old_path, new_path, noise) {
+        Ok(report) => {
+            println!("{report}");
+            std::process::exit(if report.regressed() { 1 } else { 0 });
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn list_locks() {
     let reg = registry();
     let width = reg
@@ -220,10 +272,11 @@ fn list_locks() {
 fn usage() {
     eprintln!(
         "usage: repro [--quick|--full] [--profile] [--out DIR] [--lock NAME]... <figure-id>... | all | list | locks\n\
+         \u{20}      repro diff <old.json> <new.json> [--noise 0.10]   # exit 1 on regression\n\
          figure ids: fig1 fig4 fig5 fig8a fig8b fig8c fig8d fig8ef fig8g fig8hi\n\
          \u{20}          fig9-kyoto fig9-upscale fig9-lmdb fig10-leveldb fig10-sqlite alt-topology\n\
-         \u{20}          sec2-numa sec5-delegation rw adapt overhead kv\n\
+         \u{20}          sec2-numa sec5-delegation delegation rw adapt overhead kv\n\
          \u{20}          sim-numa sim-fair sim-oversub sim-fig1 sim-fig8 (or `sim` for the family)\n\
-         lock names: see `repro locks` (e.g. mcs, shfl-pb10, libasl-70us, rw-ticket, adaptive)"
+         lock names: see `repro locks` (e.g. mcs, ccsynch, fc-ban, libasl-70us, rw-ticket)"
     );
 }

@@ -1,0 +1,386 @@
+//! `repro diff` — compare two `BENCH_<figure>.json` files cell by
+//! cell and flag throughput deltas beyond a noise bound.
+//!
+//! Seeds ROADMAP item 5 (regression gating): CI regenerates a figure
+//! and diffs it against a committed baseline. A cell is the
+//! `(lock, threads)` pair; the compared quantity is `ops_per_sec`.
+//! `@key=value` label suffixes are part of the cell key (that's how
+//! figures sweep a second parameter, e.g. `mcs@layer=dyn`) — except
+//! the fairness annotations `@share=`/`@usage=`, which carry
+//! fractions rather than throughput and are skipped.
+//!
+//! Verdicts per cell: within noise, improved (delta > noise, worth a
+//! look but never fatal), or **regressed** (delta < -noise — the only
+//! verdict that makes [`DiffReport::regressed`] true). Cells present
+//! on one side only are reported but don't fail the diff: benches
+//! grow columns over time and a missing cell is a schema change, not
+//! a slowdown.
+
+use std::fmt;
+
+/// One `(lock, threads) -> ops/s` cell parsed from a bench file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCell {
+    pub lock: String,
+    pub threads: usize,
+    pub ops_per_sec: f64,
+}
+
+/// A parsed `BENCH_<figure>.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchFile {
+    pub figure: String,
+    pub cells: Vec<BenchCell>,
+}
+
+/// Pull the string value of `"key": "..."` out of a line of our own
+/// `render_bench_json` output (names never contain escapes).
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let rest = &line[line.find(&needle)? + needle.len()..];
+    let open = rest.find('"')?;
+    let rest = &rest[open + 1..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Pull the numeric value of `"key": 123.4` out of a line.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = line[line.find(&needle)? + needle.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse the line-oriented JSON `render_bench_json` emits. Tolerant:
+/// anything that isn't a recognizable result line is ignored, so the
+/// format can grow fields without breaking old binaries.
+pub fn parse_bench_json(text: &str) -> Result<BenchFile, String> {
+    let figure = text
+        .lines()
+        .find_map(|l| field_str(l, "figure"))
+        .ok_or_else(|| "no \"figure\" field found".to_string())?;
+    let mut cells = Vec::new();
+    for line in text.lines() {
+        let Some(lock) = field_str(line, "lock") else {
+            continue;
+        };
+        let Some(threads) = field_num(line, "threads") else {
+            continue;
+        };
+        let Some(ops_per_sec) = field_num(line, "ops_per_sec") else {
+            continue;
+        };
+        cells.push(BenchCell {
+            lock,
+            threads: threads as usize,
+            ops_per_sec,
+        });
+    }
+    if cells.is_empty() {
+        return Err(format!("no result cells found for figure {figure}"));
+    }
+    Ok(BenchFile { figure, cells })
+}
+
+/// Per-cell verdict of a diff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// |delta| within the noise bound.
+    Within,
+    /// Faster by more than the noise bound.
+    Improved,
+    /// Slower by more than the noise bound — the failing verdict.
+    Regressed,
+    /// Present only in the old file.
+    MissingInNew,
+    /// Present only in the new file.
+    OnlyInNew,
+}
+
+/// One compared cell.
+#[derive(Debug, Clone)]
+pub struct DiffLine {
+    pub lock: String,
+    pub threads: usize,
+    pub old_ops: Option<f64>,
+    pub new_ops: Option<f64>,
+    pub verdict: Verdict,
+}
+
+impl DiffLine {
+    /// Relative delta `(new - old) / old`, when both sides exist.
+    pub fn delta(&self) -> Option<f64> {
+        match (self.old_ops, self.new_ops) {
+            (Some(o), Some(n)) if o > 0.0 => Some((n - o) / o),
+            _ => None,
+        }
+    }
+}
+
+/// Full result of comparing two bench files.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    pub old_figure: String,
+    pub new_figure: String,
+    pub noise: f64,
+    pub lines: Vec<DiffLine>,
+    /// Annotation rows (`@`-labelled) skipped on either side.
+    pub skipped: usize,
+}
+
+impl DiffReport {
+    /// True iff any cell regressed beyond the noise bound.
+    pub fn regressed(&self) -> bool {
+        self.lines.iter().any(|l| l.verdict == Verdict::Regressed)
+    }
+
+    pub fn count(&self, v: Verdict) -> usize {
+        self.lines.iter().filter(|l| l.verdict == v).count()
+    }
+}
+
+impl fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "diff: {} -> {} (noise bound {:.0}%)",
+            self.old_figure,
+            self.new_figure,
+            self.noise * 100.0
+        )?;
+        let width = self
+            .lines
+            .iter()
+            .map(|l| l.lock.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        for l in &self.lines {
+            let tag = match l.verdict {
+                Verdict::Within => "  ok",
+                Verdict::Improved => "  up",
+                Verdict::Regressed => "REGR",
+                Verdict::MissingInNew => "MISS",
+                Verdict::OnlyInNew => " new",
+            };
+            let delta = l
+                .delta()
+                .map(|d| format!("{:+6.1}%", d * 100.0))
+                .unwrap_or_else(|| "      -".to_string());
+            writeln!(
+                f,
+                "{tag}  {:<width$}  t={:<3}  old={:>12}  new={:>12}  {delta}",
+                l.lock,
+                l.threads,
+                l.old_ops.map(|v| format!("{v:.0}")).unwrap_or_default(),
+                l.new_ops.map(|v| format!("{v:.0}")).unwrap_or_default(),
+            )?;
+        }
+        if self.skipped > 0 {
+            writeln!(f, "({} share/usage annotation rows skipped)", self.skipped)?;
+        }
+        write!(
+            f,
+            "{} within, {} improved, {} regressed, {} missing, {} new",
+            self.count(Verdict::Within),
+            self.count(Verdict::Improved),
+            self.count(Verdict::Regressed),
+            self.count(Verdict::MissingInNew),
+            self.count(Verdict::OnlyInNew),
+        )
+    }
+}
+
+/// Fairness annotation rows carry fractions (shares), not
+/// throughput; every other `@key=value` suffix is a real sweep
+/// parameter and part of the cell key.
+fn is_annotation(lock: &str) -> bool {
+    lock.contains("@share=") || lock.contains("@usage=")
+}
+
+/// Compare two parsed bench files. `noise` is the relative bound
+/// (0.10 = 10%); a cell regresses when `(new-old)/old < -noise`.
+pub fn diff(old: &BenchFile, new: &BenchFile, noise: f64) -> DiffReport {
+    let mut lines = Vec::new();
+    let mut skipped = 0usize;
+    let mut seen = Vec::new();
+    for o in &old.cells {
+        if is_annotation(&o.lock) {
+            skipped += 1;
+            continue;
+        }
+        seen.push((o.lock.clone(), o.threads));
+        let n = new
+            .cells
+            .iter()
+            .find(|c| c.lock == o.lock && c.threads == o.threads);
+        let (new_ops, verdict) = match n {
+            None => (None, Verdict::MissingInNew),
+            Some(n) => {
+                let d = if o.ops_per_sec > 0.0 {
+                    (n.ops_per_sec - o.ops_per_sec) / o.ops_per_sec
+                } else {
+                    0.0
+                };
+                let v = if d < -noise {
+                    Verdict::Regressed
+                } else if d > noise {
+                    Verdict::Improved
+                } else {
+                    Verdict::Within
+                };
+                (Some(n.ops_per_sec), v)
+            }
+        };
+        lines.push(DiffLine {
+            lock: o.lock.clone(),
+            threads: o.threads,
+            old_ops: Some(o.ops_per_sec),
+            new_ops,
+            verdict,
+        });
+    }
+    for n in &new.cells {
+        if is_annotation(&n.lock) {
+            skipped += 1;
+            continue;
+        }
+        if !seen.contains(&(n.lock.clone(), n.threads)) {
+            lines.push(DiffLine {
+                lock: n.lock.clone(),
+                threads: n.threads,
+                old_ops: None,
+                new_ops: Some(n.ops_per_sec),
+                verdict: Verdict::OnlyInNew,
+            });
+        }
+    }
+    DiffReport {
+        old_figure: old.figure.clone(),
+        new_figure: new.figure.clone(),
+        noise,
+        lines,
+        skipped,
+    }
+}
+
+/// Convenience: read, parse, and diff two files on disk.
+pub fn diff_files(old_path: &str, new_path: &str, noise: f64) -> Result<DiffReport, String> {
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+    let old = parse_bench_json(&read(old_path)?).map_err(|e| format!("{old_path}: {e}"))?;
+    let new = parse_bench_json(&read(new_path)?).map_err(|e| format!("{new_path}: {e}"))?;
+    Ok(diff(&old, &new, noise))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{render_bench_json, BenchSample};
+
+    fn sample(lock: &str, threads: usize, ops: f64) -> BenchSample {
+        BenchSample {
+            lock: lock.to_string(),
+            threads,
+            ops_per_sec: ops,
+            p99_ns: None,
+            p999_ns: None,
+        }
+    }
+
+    fn bench(cells: &[(&str, usize, f64)]) -> BenchFile {
+        let samples: Vec<_> = cells.iter().map(|(l, t, o)| sample(l, *t, *o)).collect();
+        parse_bench_json(&render_bench_json("fig", &samples)).unwrap()
+    }
+
+    #[test]
+    fn parses_render_bench_json_output() {
+        let samples = vec![sample("mcs", 8, 1234.56), sample("ticket", 4, 99.0)];
+        let f = parse_bench_json(&render_bench_json("fig8a", &samples)).unwrap();
+        assert_eq!(f.figure, "fig8a");
+        assert_eq!(f.cells.len(), 2);
+        assert_eq!(f.cells[0].lock, "mcs");
+        assert_eq!(f.cells[0].threads, 8);
+        assert!((f.cells[0].ops_per_sec - 1234.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_bench_json("not json at all").is_err());
+        assert!(parse_bench_json("{\"figure\": \"x\", \"results\": []}").is_err());
+    }
+
+    #[test]
+    fn within_noise_is_clean() {
+        let old = bench(&[("mcs", 8, 1000.0)]);
+        let new = bench(&[("mcs", 8, 950.0)]);
+        let r = diff(&old, &new, 0.10);
+        assert!(!r.regressed());
+        assert_eq!(r.lines[0].verdict, Verdict::Within);
+    }
+
+    #[test]
+    fn regression_beyond_noise_flags() {
+        let old = bench(&[("mcs", 8, 1000.0), ("ticket", 8, 1000.0)]);
+        let new = bench(&[("mcs", 8, 800.0), ("ticket", 8, 1300.0)]);
+        let r = diff(&old, &new, 0.10);
+        assert!(r.regressed());
+        assert_eq!(r.lines[0].verdict, Verdict::Regressed);
+        assert_eq!(r.lines[1].verdict, Verdict::Improved);
+        let shown = r.to_string();
+        assert!(shown.contains("REGR"), "{shown}");
+        assert!(shown.contains("1 regressed"), "{shown}");
+    }
+
+    #[test]
+    fn noise_bound_is_configurable() {
+        let old = bench(&[("mcs", 8, 1000.0)]);
+        let new = bench(&[("mcs", 8, 800.0)]);
+        assert!(diff(&old, &new, 0.10).regressed());
+        assert!(!diff(&old, &new, 0.25).regressed());
+    }
+
+    #[test]
+    fn missing_and_new_cells_reported_not_fatal() {
+        let old = bench(&[("mcs", 8, 1000.0), ("gone", 8, 1.0)]);
+        let new = bench(&[("mcs", 8, 1000.0), ("added", 8, 2.0)]);
+        let r = diff(&old, &new, 0.10);
+        assert!(!r.regressed());
+        assert_eq!(r.count(Verdict::MissingInNew), 1);
+        assert_eq!(r.count(Verdict::OnlyInNew), 1);
+    }
+
+    #[test]
+    fn share_annotation_rows_are_skipped_but_sweep_suffixes_compare() {
+        let old = bench(&[
+            ("fc-ban", 8, 1000.0),
+            ("fc-ban@share=hog", 8, 0.5),
+            ("mcs@layer=dyn", 1, 1000.0),
+        ]);
+        let new = bench(&[
+            ("fc-ban", 8, 1000.0),
+            ("fc-ban@share=hog", 8, 0.03),
+            ("mcs@layer=dyn", 1, 500.0),
+        ]);
+        let r = diff(&old, &new, 0.10);
+        assert_eq!(r.skipped, 2, "share rows must not be treated as ops/s");
+        assert_eq!(r.lines.len(), 2);
+        assert!(r.regressed(), "@layer cells are real throughput cells");
+        let regr: Vec<_> = r
+            .lines
+            .iter()
+            .filter(|l| l.verdict == Verdict::Regressed)
+            .collect();
+        assert_eq!(regr.len(), 1);
+        assert_eq!(regr[0].lock, "mcs@layer=dyn");
+    }
+
+    #[test]
+    fn same_file_diffs_clean() {
+        let old = bench(&[("mcs", 2, 10.0), ("mcs", 4, 20.0), ("mcs", 8, 30.0)]);
+        let r = diff(&old, &old, 0.10);
+        assert!(!r.regressed());
+        assert_eq!(r.count(Verdict::Within), 3);
+    }
+}

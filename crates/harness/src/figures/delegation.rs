@@ -1,0 +1,350 @@
+//! `delegation` — ASL reordering vs the delegation family on a
+//! skewed-hold-time workload.
+//!
+//! One *hog* worker holds the lock 10× longer than everyone else —
+//! the regime where the §5 trade-off between SLO-aware reordering and
+//! delegation actually bites. Delegation executes the hog's long
+//! critical section at executor speed but lets it re-enter
+//! immediately; the usage-fair banning combiner (`fc-ban`) charges
+//! the hog its overage instead. For every lock we report throughput
+//! plus the per-thread fairness spread: the hog's share of completed
+//! ops and the min/max share across workers (an even spread is
+//! 1/threads each; a classic combiner lets the hog starve the rest of
+//! lock *time* while op shares stay deceptively flat, so the ban
+//! shows up as the hog's share dropping below its unbanned value).
+//!
+//! The sweep crosses {mcs, libasl-100us, libasl-max, flatcomb,
+//! ccsynch, rcl, fc-ban} × thread counts; `--out` lands the samples
+//! in `BENCH_delegation.json` (`<lock>` rows carry ops/s;
+//! `<lock>@share=hog|min|max` and `<lock>@usage=hog` rows carry
+//! share fractions, not ops/s).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+use asl_core::epoch;
+use asl_locks::delegation::DelegationHandle;
+use asl_locks::{CcSynch, FcBan, FlatCombiner, RclLock};
+use asl_runtime::clock::now_ns;
+use asl_runtime::registry::register_on_core;
+use asl_runtime::spawn::run_on_topology_with_stop;
+use asl_runtime::topology::{CoreId, Topology};
+use asl_runtime::work::execute_units;
+use asl_runtime::CacheLineArena;
+
+use crate::locks::LockSpec;
+use crate::report::{fmt_ops, Table};
+use crate::scenario::{CS_UNITS_PER_LINE, FIG1_LINES, FIG1_NCS_UNITS};
+
+use super::Profile;
+
+const PHASE_WARMUP: u8 = 0;
+const PHASE_MEASURE: u8 = 1;
+const PHASE_DONE: u8 = 2;
+
+/// The hog's critical sections are this many times longer.
+const HOG_FACTOR: u64 = 10;
+
+/// Per-worker measured op counts plus the measured wall time.
+struct RunOut {
+    per_worker: Vec<u64>,
+    elapsed_ns: u64,
+}
+
+impl RunOut {
+    fn throughput(&self) -> f64 {
+        let total: u64 = self.per_worker.iter().sum();
+        total as f64 / (self.elapsed_ns.max(1) as f64 / 1e9)
+    }
+
+    /// (hog, min, max) shares of completed ops. Worker 0 is the hog.
+    fn shares(&self) -> (f64, f64, f64) {
+        let total: u64 = self.per_worker.iter().sum();
+        let total = total.max(1) as f64;
+        let hog = self.per_worker.first().copied().unwrap_or(0) as f64 / total;
+        let min = self.per_worker.iter().min().copied().unwrap_or(0) as f64 / total;
+        let max = self.per_worker.iter().max().copied().unwrap_or(0) as f64 / total;
+        (hog, min, max)
+    }
+
+    /// The hog's share of *lock usage* (CS time): its ops are
+    /// `HOG_FACTOR`× longer, so weight them accordingly. This is the
+    /// quantity usage-fair banning drives toward 1/threads.
+    fn hog_usage(&self) -> f64 {
+        let hog = self.per_worker.first().copied().unwrap_or(0) * HOG_FACTOR;
+        let rest: u64 = self.per_worker.iter().skip(1).sum();
+        hog as f64 / ((hog + rest).max(1)) as f64
+    }
+}
+
+/// Warmup → measure → done phase driver (same protocol as the
+/// `sec5-delegation` figure).
+struct Controller {
+    phase: Arc<AtomicU8>,
+    stop: Arc<AtomicBool>,
+    measured_ns: Arc<AtomicU64>,
+    join: std::thread::JoinHandle<()>,
+}
+
+fn start_controller(profile: &Profile) -> Controller {
+    let phase = Arc::new(AtomicU8::new(PHASE_WARMUP));
+    let stop = Arc::new(AtomicBool::new(false));
+    let measured_ns = Arc::new(AtomicU64::new(0));
+    let join = {
+        let phase = phase.clone();
+        let stop = stop.clone();
+        let measured_ns = measured_ns.clone();
+        let warmup = std::time::Duration::from_millis(profile.warmup_ms);
+        let duration = std::time::Duration::from_millis(profile.duration_ms);
+        std::thread::spawn(move || {
+            std::thread::sleep(warmup);
+            let t0 = now_ns();
+            // Relaxed protocol flags; `measured_ns` is read only after
+            // join(), which orders it.
+            phase.store(PHASE_MEASURE, Ordering::Relaxed);
+            std::thread::sleep(duration);
+            phase.store(PHASE_DONE, Ordering::Relaxed);
+            measured_ns.store(now_ns() - t0, Ordering::Relaxed);
+            stop.store(true, Ordering::Relaxed);
+        })
+    };
+    Controller {
+        phase,
+        stop,
+        measured_ns,
+        join,
+    }
+}
+
+/// Drive pre-registered delegation handles: worker `i` submits ops of
+/// `base_units` (worker 0: `HOG_FACTOR`×) and thinks `think_units`
+/// between ops. Workers land on cores `shift..` so an RCL server can
+/// keep core 0 to itself.
+fn drive_handles<H>(
+    profile: &Profile,
+    topo: &Topology,
+    handles: Vec<H>,
+    shift: usize,
+    base_units: u64,
+    think_units: u64,
+) -> RunOut
+where
+    H: DelegationHandle<Op = u64, Out = ()> + Send + 'static,
+{
+    let n = handles.len();
+    let ctl = start_controller(profile);
+    let handles = Mutex::new(handles.into_iter().map(Some).collect::<Vec<_>>());
+    let phase_ref = &ctl.phase;
+    let per_worker = run_on_topology_with_stop(
+        topo,
+        n,
+        false, // manual (possibly shifted) pinning below
+        ctl.stop.clone(),
+        |ctx| {
+            let core = CoreId((ctx.index + shift) % topo.cores().len());
+            register_on_core(topo, core);
+            if profile.pin {
+                if let Some(cpu) = topo.core(core).os_cpu {
+                    let _ = asl_runtime::affinity::pin_to_cpu(cpu);
+                }
+            }
+            let units = if ctx.index == 0 {
+                base_units * HOG_FACTOR
+            } else {
+                base_units
+            };
+            let h = handles.lock().unwrap()[ctx.index].take().expect("handle");
+            let mut ops = 0u64;
+            while phase_ref.load(Ordering::Relaxed) != PHASE_DONE {
+                let recording = phase_ref.load(Ordering::Relaxed) == PHASE_MEASURE;
+                h.apply(units);
+                if recording {
+                    ops += 1;
+                }
+                execute_units(think_units);
+            }
+            ops
+        },
+    );
+    ctl.join.join().expect("controller panicked");
+    RunOut {
+        per_worker,
+        elapsed_ns: ctl.measured_ns.load(Ordering::Relaxed),
+    }
+}
+
+/// Drive a registry spec through the guard API on the same workload
+/// (epoch-wrapped when the spec carries an SLO).
+fn drive_spec(
+    profile: &Profile,
+    topo: &Topology,
+    spec: &LockSpec,
+    n: usize,
+    base_units: u64,
+    think_units: u64,
+) -> RunOut {
+    let lock = spec.make_dyn();
+    let arena = Arc::new(CacheLineArena::new(FIG1_LINES));
+    let slo = spec.epoch_slo();
+    let ctl = start_controller(profile);
+    let phase_ref = &ctl.phase;
+    let lock_ref = &lock;
+    let arena_ref = &arena;
+    let per_worker = run_on_topology_with_stop(topo, n, profile.pin, ctl.stop.clone(), |ctx| {
+        let units = if ctx.index == 0 {
+            base_units * HOG_FACTOR
+        } else {
+            base_units
+        };
+        let critical = || {
+            let _held = lock_ref.lock();
+            arena_ref.rmw(0, FIG1_LINES);
+            execute_units(units);
+        };
+        let mut ops = 0u64;
+        while phase_ref.load(Ordering::Relaxed) != PHASE_DONE {
+            let recording = phase_ref.load(Ordering::Relaxed) == PHASE_MEASURE;
+            match slo {
+                Some(slo) => epoch::with_epoch(0, slo, critical),
+                None => critical(),
+            }
+            if recording {
+                ops += 1;
+            }
+            execute_units(think_units);
+        }
+        ops
+    });
+    ctl.join.join().expect("controller panicked");
+    RunOut {
+        per_worker,
+        elapsed_ns: ctl.measured_ns.load(Ordering::Relaxed),
+    }
+}
+
+/// Build the op-apply function every delegation lock in the sweep
+/// runs: same cache-line RMW + emulated work as the guard path.
+fn delegated_apply(arena: Arc<CacheLineArena>) -> impl Fn(&mut (), u64) + Send + Sync + 'static {
+    move |_, units| {
+        arena.rmw(0, FIG1_LINES);
+        execute_units(units);
+    }
+}
+
+/// One delegation-lock cell of the sweep.
+fn run_delegation_lock(
+    profile: &Profile,
+    topo: &Topology,
+    name: &str,
+    threads: usize,
+    base_units: u64,
+    think_units: u64,
+) -> RunOut {
+    let arena = Arc::new(CacheLineArena::new(FIG1_LINES));
+    let apply = delegated_apply(arena);
+    match name {
+        "flatcomb" => {
+            let fc = FlatCombiner::new((), apply);
+            let handles: Vec<_> = (0..threads).map(|_| fc.register()).collect();
+            drive_handles(profile, topo, handles, 0, base_units, think_units)
+        }
+        "ccsynch" => {
+            let cc = CcSynch::new((), apply);
+            let handles: Vec<_> = (0..threads).map(|_| cc.register()).collect();
+            drive_handles(profile, topo, handles, 0, base_units, think_units)
+        }
+        "fc-ban" => {
+            let fb = FcBan::new((), apply);
+            let handles: Vec<_> = (0..threads).map(|_| fb.register()).collect();
+            drive_handles(profile, topo, handles, 0, base_units, think_units)
+        }
+        "rcl" => {
+            // The server owns big core 0; clients shift onto cores
+            // 1.. (so at 8 requested threads only 7 clients run).
+            let lock = RclLock::new((), apply);
+            let server = {
+                let lock = lock.clone();
+                let topo = topo.clone();
+                std::thread::spawn(move || {
+                    register_on_core(&topo, CoreId(0));
+                    if let Some(cpu) = topo.core(CoreId(0)).os_cpu {
+                        let _ = asl_runtime::affinity::pin_to_cpu(cpu);
+                    }
+                    lock.serve();
+                })
+            };
+            let clients = threads.min(topo.cores().len() - 1);
+            let handles: Vec<_> = (0..clients).map(|_| lock.register()).collect();
+            let out = drive_handles(profile, topo, handles, 1, base_units, think_units);
+            lock.shutdown();
+            server.join().expect("rcl server panicked");
+            out
+        }
+        other => unreachable!("unknown delegation lock {other}"),
+    }
+}
+
+/// The `delegation` figure: reordering vs delegation under one
+/// 10×-hold-time hog, with per-thread fairness shares.
+pub fn delegation(profile: &Profile) -> Vec<Table> {
+    let topo = Topology::apple_m1();
+    let base_units = FIG1_LINES as u64 * CS_UNITS_PER_LINE;
+    let think_units = FIG1_NCS_UNITS;
+    let guard_specs = [
+        LockSpec::Mcs,
+        LockSpec::asl(Some(100_000)),
+        LockSpec::asl(None),
+    ];
+    let delegated = ["flatcomb", "ccsynch", "rcl", "fc-ban"];
+
+    let mut table = Table::new(
+        "delegation",
+        "reordering vs delegation, skewed hold times (worker 0 holds 10x longer)",
+        &[
+            "lock",
+            "threads",
+            "thpt",
+            "thpt_ops_s",
+            "hog_share",
+            "min_share",
+            "max_share",
+            "hog_usage",
+        ],
+    );
+    for &threads in &[2usize, 4, 8] {
+        let mut record = |label: &str, out: &RunOut| {
+            let thpt = out.throughput();
+            let (hog, min, max) = out.shares();
+            let usage = out.hog_usage();
+            table.push_row(vec![
+                label.to_string(),
+                threads.to_string(),
+                fmt_ops(thpt),
+                format!("{thpt:.0}"),
+                format!("{hog:.3}"),
+                format!("{min:.3}"),
+                format!("{max:.3}"),
+                format!("{usage:.3}"),
+            ]);
+            table.push_sample(label, threads, thpt);
+            table.push_sample(&format!("{label}@share=hog"), threads, hog);
+            table.push_sample(&format!("{label}@share=min"), threads, min);
+            table.push_sample(&format!("{label}@share=max"), threads, max);
+            table.push_sample(&format!("{label}@usage=hog"), threads, usage);
+        };
+        for spec in &guard_specs {
+            let out = drive_spec(profile, &topo, spec, threads, base_units, think_units);
+            record(&spec.label(), &out);
+        }
+        for name in delegated {
+            let out = run_delegation_lock(profile, &topo, name, threads, base_units, think_units);
+            record(name, &out);
+        }
+    }
+    table.note("worker 0 is the hog (10x CS length); shares are fractions of completed ops");
+    table.note("hog_usage weights the hog's ops 10x: its share of lock *time* (fair = 1/threads)");
+    table.note("fc-ban evens usage by banning the hog for its overage, so its op share drops too");
+    table.note("rcl: server burns big core 0, so the 8-thread cell runs 7 clients");
+    table.note("@share=hog/min/max sample rows carry fractions, not ops/s");
+    vec![table]
+}

@@ -13,6 +13,7 @@
 pub mod adapt;
 pub mod bench1;
 pub mod db;
+pub mod delegation;
 pub mod extra;
 pub mod kv;
 pub mod micro;
@@ -156,6 +157,7 @@ pub fn registry() -> Vec<(&'static str, FigureFn)> {
         ("alt-topology", db::alt_topology),
         ("sec2-numa", extra::sec2_numa),
         ("sec5-delegation", extra::sec5_delegation),
+        ("delegation", delegation::delegation),
         ("rw", rw::rw),
         ("adapt", adapt::adapt),
         ("overhead", overhead::overhead),
@@ -222,6 +224,7 @@ mod tests {
             "alt-topology",
             "sec2-numa",
             "sec5-delegation",
+            "delegation",
             "sim-numa",
             "sim-fair",
             "sim-oversub",

@@ -31,10 +31,13 @@ use asl_locks::plain::PlainLock;
 use asl_locks::shuffle::{ClassLocalPolicy, ShuffleLock};
 use asl_locks::telemetry::{self, Instrumented, InstrumentedRw};
 use asl_locks::{
-    Adaptive, Bravo, ClhLock, CnaLock, CohortLock, MalthusianLock, McsLock, McsStpLock,
-    ProportionalLock, PthreadMutex, RawLock, RawRwLock, RwTicketLock, TasLock, TicketLock,
+    bridge_apply, Adaptive, Bravo, CcSynch, ClhLock, CnaLock, CohortLock, DelegatedMutex, FcBan,
+    FlatCombiner, MalthusianLock, McsLock, McsStpLock, ProportionalLock, PthreadMutex, RawLock,
+    RawRwLock, RclLock, RwTicketLock, TasLock, TicketLock,
 };
 use asl_runtime::clock::now_ns;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 use super::Profile;
 use crate::locks::{registry, AslSubstrate, BravoInner, LockSpec, StaticWindowLock};
@@ -213,6 +216,30 @@ fn static_leg(spec: &LockSpec, m: &Meter, instr: bool) -> Leg {
             BravoInner::Asl => m.rw(Bravo::new(AslSpinLock::default()), instr),
         },
         LockSpec::AslRw { .. } => m.rw(AslRwLock::default(), instr),
+        // Delegation locks exist only behind the plain facade (the
+        // baton bridge is itself the concrete PlainLock impl); like
+        // LibASL-OPT they have no static-instrumented combination.
+        LockSpec::Flatcomb => {
+            let mirror = Arc::new(AtomicBool::new(false));
+            let inner = FlatCombiner::new(0u64, bridge_apply(mirror.clone()));
+            m.plain(DelegatedMutex::new("flatcomb", inner, mirror))
+        }
+        LockSpec::CcSynch => {
+            let mirror = Arc::new(AtomicBool::new(false));
+            let inner = CcSynch::new(0u64, bridge_apply(mirror.clone()));
+            m.plain(DelegatedMutex::new("ccsynch", inner, mirror))
+        }
+        LockSpec::Rcl => {
+            let mirror = Arc::new(AtomicBool::new(false));
+            let inner = RclLock::new(0u64, bridge_apply(mirror.clone()));
+            let server = inner.start();
+            m.plain(DelegatedMutex::new("rcl", inner, mirror).keep_alive(server))
+        }
+        LockSpec::FcBan => {
+            let mirror = Arc::new(AtomicBool::new(false));
+            let inner = FcBan::new(0u64, bridge_apply(mirror.clone()));
+            m.plain(DelegatedMutex::new("fc-ban", inner, mirror))
+        }
     }
 }
 

@@ -21,6 +21,7 @@
 //! The `repro` binary ties it together:
 //! `repro fig8a`, `repro all --quick`, `repro list`.
 
+pub mod diff;
 pub mod figures;
 pub mod hist;
 pub mod locks;

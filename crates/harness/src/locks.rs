@@ -42,11 +42,13 @@ use asl_locks::plain::{ExclusiveRw, PlainLock, PlainRwLock, PlainToken, WriteHal
 use asl_locks::shuffle::{ClassLocalPolicy, FifoPolicy, ShuffleLock};
 use asl_locks::telemetry;
 use asl_locks::{
-    Adaptive, AsyncPolicy, Bravo, ClhLock, CnaLock, CohortLock, MalthusianLock, McsLock,
-    McsStpLock, ProportionalLock, PthreadMutex, RwTicketLock, TasLock, TicketLock,
+    bridge_apply, Adaptive, AsyncPolicy, Bravo, CcSynch, ClhLock, CnaLock, CohortLock,
+    DelegatedMutex, FcBan, FlatCombiner, MalthusianLock, McsLock, McsStpLock, ProportionalLock,
+    PthreadMutex, RclLock, RwTicketLock, TasLock, TicketLock,
 };
 use asl_runtime::registry::is_big_core;
 use asl_runtime::AtomicAffinity;
+use std::sync::atomic::AtomicBool;
 
 /// FIFO substrate under the LibASL dispatch layer (one type parameter
 /// at the `AslLock` level, one name fragment here).
@@ -163,6 +165,15 @@ pub enum LockSpec {
     /// Contention-adaptive lock: TAS that morphs to a FIFO queue
     /// under sustained contention (Fissile-style).
     Adaptive,
+    /// Flat-combining delegation behind the generic bridge (§5).
+    Flatcomb,
+    /// CC-Synch combining queue behind the generic bridge (§5).
+    CcSynch,
+    /// RCL-style server lock behind the generic bridge; constructing
+    /// the spec spawns (and owns) the server thread.
+    Rcl,
+    /// Usage-fair banning combiner behind the generic bridge.
+    FcBan,
     /// Telemetry-recording wrapper over any other spec
     /// (`instrumented-<name>`): acquisitions land in the process-wide
     /// telemetry registry under the spec's label.
@@ -281,6 +292,43 @@ impl LockSpec {
             LockSpec::AslOpt { window_ns } => Arc::new(StaticWindowLock::new(*window_ns)),
             LockSpec::AslBlocking { .. } => Arc::new(AslBlockingLock::new_blocking()),
             LockSpec::Adaptive => Arc::new(Adaptive::new()),
+            // Delegation locks behind the generic baton bridge: the
+            // protected state is the baton word, ops are Lock/Unlock
+            // transfers. Under --profile the native constructors also
+            // register `<label>.combine` (and `.ban`) wait cells.
+            LockSpec::Flatcomb => {
+                let mirror = Arc::new(AtomicBool::new(false));
+                let inner = FlatCombiner::new(0u64, bridge_apply(mirror.clone()));
+                Arc::new(DelegatedMutex::new("flatcomb", inner, mirror))
+            }
+            LockSpec::CcSynch => {
+                let mirror = Arc::new(AtomicBool::new(false));
+                let inner = if telemetry::profiling() {
+                    CcSynch::instrumented(0u64, bridge_apply(mirror.clone()), &self.label())
+                } else {
+                    CcSynch::new(0u64, bridge_apply(mirror.clone()))
+                };
+                Arc::new(DelegatedMutex::new("ccsynch", inner, mirror))
+            }
+            LockSpec::Rcl => {
+                let mirror = Arc::new(AtomicBool::new(false));
+                let inner = if telemetry::profiling() {
+                    RclLock::instrumented(0u64, bridge_apply(mirror.clone()), &self.label())
+                } else {
+                    RclLock::new(0u64, bridge_apply(mirror.clone()))
+                };
+                let server = inner.start();
+                Arc::new(DelegatedMutex::new("rcl", inner, mirror).keep_alive(server))
+            }
+            LockSpec::FcBan => {
+                let mirror = Arc::new(AtomicBool::new(false));
+                let inner = if telemetry::profiling() {
+                    FcBan::instrumented(0u64, bridge_apply(mirror.clone()), &self.label())
+                } else {
+                    FcBan::new(0u64, bridge_apply(mirror.clone()))
+                };
+                Arc::new(DelegatedMutex::new("fc-ban", inner, mirror))
+            }
             LockSpec::Instrumented(inner) => {
                 telemetry::instrument(&self.label(), inner.make_lock_raw())
             }
@@ -364,6 +412,10 @@ impl fmt::Display for LockSpec {
             LockSpec::AslRw { slo_ns: None } => f.write_str("libasl-rw-max"),
             LockSpec::AslRw { slo_ns: Some(s) } => write!(f, "libasl-rw-{}", fmt_slo(*s)),
             LockSpec::Adaptive => f.write_str("adaptive"),
+            LockSpec::Flatcomb => f.write_str("flatcomb"),
+            LockSpec::CcSynch => f.write_str("ccsynch"),
+            LockSpec::Rcl => f.write_str("rcl"),
+            LockSpec::FcBan => f.write_str("fc-ban"),
             LockSpec::Instrumented(inner) => write!(f, "instrumented-{inner}"),
         }
     }
@@ -414,6 +466,10 @@ impl FromStr for LockSpec {
             "mcs" => LockSpec::Mcs,
             "mcs-stp" => LockSpec::McsStp,
             "adaptive" => LockSpec::Adaptive,
+            "flatcomb" => LockSpec::Flatcomb,
+            "ccsynch" => LockSpec::CcSynch,
+            "rcl" => LockSpec::Rcl,
+            "fc-ban" => LockSpec::FcBan,
             "cna" => LockSpec::Cna,
             "cohort" => LockSpec::Cohort,
             "malthusian" => LockSpec::Malthusian,
@@ -636,6 +692,22 @@ pub fn registry() -> Vec<RegistryEntry> {
             "contention-adaptive: TAS that morphs to a FIFO queue under load",
         ),
         e(
+            LockSpec::Flatcomb,
+            "flat-combining delegation (publication array) via the op bridge",
+        ),
+        e(
+            LockSpec::CcSynch,
+            "CC-Synch combining queue: cache-local combiner handoff",
+        ),
+        e(
+            LockSpec::Rcl,
+            "RCL-style server lock: dedicated server thread polls client slots",
+        ),
+        e(
+            LockSpec::FcBan,
+            "usage-fair banning combiner: overdrawn threads wait out overage",
+        ),
+        e(
             LockSpec::Instrumented(Box::new(LockSpec::Mcs)),
             "telemetry-recording MCS (any name: instrumented-<name>)",
         ),
@@ -738,6 +810,10 @@ mod tests {
         );
         // Non-round SLOs keep an exact printed form.
         assert_eq!(LockSpec::asl(Some(1_500)).label(), "libasl-1500ns");
+        assert_eq!(LockSpec::CcSynch.label(), "ccsynch");
+        assert_eq!(LockSpec::Rcl.label(), "rcl");
+        assert_eq!(LockSpec::FcBan.label(), "fc-ban");
+        assert_eq!(LockSpec::Flatcomb.label(), "flatcomb");
     }
 
     #[test]
@@ -794,6 +870,10 @@ mod tests {
                 },
             ),
             ("adaptive", LockSpec::Adaptive),
+            ("flatcomb", LockSpec::Flatcomb),
+            ("ccsynch", LockSpec::CcSynch),
+            ("rcl", LockSpec::Rcl),
+            ("fc-ban", LockSpec::FcBan),
             (
                 "instrumented-mcs",
                 LockSpec::Instrumented(Box::new(LockSpec::Mcs)),

@@ -92,6 +92,27 @@ fn every_entry_constructs_and_locks_via_make_dyn_rw() {
 }
 
 #[test]
+fn delegation_family_is_registered() {
+    // The delegation locks reach the registry through the bridge
+    // adapter; each must be listed (so `repro locks` shows it) and
+    // must run a guard-shaped critical section.
+    for name in ["flatcomb", "ccsynch", "rcl", "fc-ban"] {
+        assert!(
+            registry().iter().any(|e| e.spec.to_string() == name),
+            "{name}: missing from the registry listing"
+        );
+        let spec: LockSpec = name.parse().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let lock = spec.make_dyn();
+        for _ in 0..3 {
+            let held = lock.lock();
+            assert!(lock.is_locked(), "{name}");
+            held.unlock();
+            assert!(!lock.is_locked(), "{name}");
+        }
+    }
+}
+
+#[test]
 fn parameterized_families_stay_reachable_beyond_canonical_members() {
     // The registry lists canonical members of each parameterized
     // family; any other parameter must stay addressable by name.

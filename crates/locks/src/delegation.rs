@@ -1,0 +1,428 @@
+//! Delegation-lock core: the op-apply [`DelegationLock`] interface,
+//! the shared publication-slot machinery, and the registry bridge.
+//!
+//! Delegation locks never migrate the lock to the waiter — waiters
+//! ship their critical section (an `Op` value) to whichever thread
+//! currently *executes* (a combiner or a dedicated server), which
+//! applies it against the protected state and ships the result back.
+//! The paper's §5 positions this family as the main alternative to
+//! SLO-aware reordering: it hides slow cores (the executor can sit on
+//! a big core) at the cost of converting critical sections into
+//! operations.
+//!
+//! Four implementations share this interface:
+//!
+//! * [`FlatCombiner`](crate::flatcomb::FlatCombiner) — publication
+//!   array scanned by an opportunistic combiner (Hendler et al.).
+//! * [`CcSynch`](crate::ccsynch::CcSynch) — combining *queue*: the
+//!   combiner walks only announced requests and hands the role off
+//!   cache-locally (Fatourou & Kallimanis).
+//! * [`RclLock`](crate::rcl::RclLock) — RCL-style client/server lock:
+//!   a dedicated server thread polls per-client padded slots.
+//! * [`FcBan`](crate::fcban::FcBan) — usage-fair banning combiner:
+//!   threads whose cumulative critical-section time exceeds their
+//!   proportional share are banned for the overage before they may
+//!   submit again.
+//!
+//! The hot path is allocation-free everywhere: `Op`/`Out` values move
+//! through preallocated cache-padded slots (or queue nodes), never
+//! boxed closures.
+//!
+//! ```
+//! use asl_locks::ccsynch::CcSynch;
+//!
+//! // Shared state `u64`, operation `u64`, result `u64`.
+//! let counter = CcSynch::new(0u64, |v: &mut u64, add: u64| {
+//!     *v += add;
+//!     *v
+//! });
+//! let h = counter.try_register().expect("slot");
+//! assert_eq!(h.apply(5), 5);
+//! assert_eq!(h.apply(2), 7);
+//! ```
+//!
+//! # Panics inside delegated operations
+//!
+//! A delegated `Op` that panics is *caught on the executor*, which
+//! marks the request poisoned and keeps serving everyone else — the
+//! combiner/server never wedges. The panic then re-raises on the
+//! *submitting* thread as `"delegated operation panicked"` (the
+//! original payload stays on the executor's side; transporting it
+//! would allocate on the hot path). The protected state keeps
+//! whatever partial mutation the op made — the same caveat as
+//! [`std::sync::Mutex`] poisoning, minus the sticky flag.
+//!
+//! # The registry bridge
+//!
+//! [`DelegatedMutex`] adapts any delegation lock whose op type is
+//! [`BridgeOp`] into a [`PlainLock`], so delegation locks are
+//! addressable from the harness registry (`repro --lock ccsynch`)
+//! and usable behind RAII guards. The bridge runs a generic
+//! acquire/release critical section as a pair of delegated
+//! operations: a `Lock` op that transfers a baton to the caller (the
+//! executor never blocks in an op), and an `Unlock` op that returns
+//! it. This preserves each algorithm's submission mechanics but not
+//! its batching benefit — real users should delegate whole
+//! operations via [`DelegationHandle::apply`].
+
+use std::any::Any;
+use std::cell::{RefCell, UnsafeCell};
+use std::collections::HashMap;
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::plain::{PlainLock, PlainToken};
+
+/// Max participants a delegation structure supports (one padded slot
+/// or queue node each). Claiming more reports [`SlotsExhausted`].
+pub const MAX_SLOTS: usize = 64;
+
+/// A delegation structure ran out of participant slots: more than
+/// [`MAX_SLOTS`] handles were claimed over the structure's lifetime.
+///
+/// Slots are never recycled (a handle's slot stays claimed even after
+/// the handle drops — reclaiming would race the executor's scan), so
+/// long-lived structures should register once per thread and reuse
+/// the handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotsExhausted {
+    /// The participant cap that was hit ([`MAX_SLOTS`]).
+    pub limit: usize,
+}
+
+impl fmt::Display for SlotsExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "delegation slots exhausted: more than {} participants registered \
+             (register once per thread and reuse the handle)",
+            self.limit
+        )
+    }
+}
+
+impl std::error::Error for SlotsExhausted {}
+
+/// Claim the next free slot index, or report exhaustion. The counter
+/// never passes [`MAX_SLOTS`], so a failed claim cannot corrupt a
+/// neighbouring slot (the silent-overflow bug this replaces).
+pub(crate) fn claim_slot(next_slot: &AtomicUsize) -> Result<usize, SlotsExhausted> {
+    next_slot
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+            (n < MAX_SLOTS).then_some(n + 1)
+        })
+        .map_err(|_| SlotsExhausted { limit: MAX_SLOTS })
+}
+
+pub(crate) const SLOT_EMPTY: u32 = 0;
+pub(crate) const SLOT_PENDING: u32 = 1;
+pub(crate) const SLOT_DONE: u32 = 2;
+/// The op panicked on the executor; no result was written.
+pub(crate) const SLOT_PANICKED: u32 = 3;
+
+/// One publication slot, cache-line padded: the owner writes `op`,
+/// flips `seq` to PENDING, and spins for DONE (or PANICKED); the
+/// executor does the reverse.
+#[repr(align(128))]
+pub(crate) struct Slot<Op, Out> {
+    pub(crate) seq: AtomicU32,
+    pub(crate) op: UnsafeCell<MaybeUninit<Op>>,
+    pub(crate) out: UnsafeCell<MaybeUninit<Out>>,
+}
+
+// SAFETY: `op`/`out` accesses are ordered by the `seq` protocol.
+unsafe impl<Op: Send, Out: Send> Send for Slot<Op, Out> {}
+unsafe impl<Op: Send, Out: Send> Sync for Slot<Op, Out> {}
+
+impl<Op, Out> Slot<Op, Out> {
+    pub(crate) fn new() -> Self {
+        Slot {
+            seq: AtomicU32::new(SLOT_EMPTY),
+            op: UnsafeCell::new(MaybeUninit::uninit()),
+            out: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+
+    /// Publish `op` for the executor (EMPTY → PENDING).
+    ///
+    /// # Safety
+    /// The calling thread must own this slot and the slot must be
+    /// EMPTY (no outstanding publication).
+    pub(crate) unsafe fn publish(&self, op: Op) {
+        (*self.op.get()).write(op);
+        self.seq.store(SLOT_PENDING, Ordering::Release);
+    }
+
+    /// Execute a PENDING slot's op against `data`, catching a panic
+    /// so the executor survives (DONE on success, PANICKED on panic —
+    /// the submitter re-raises).
+    ///
+    /// # Safety
+    /// Caller must be the sole executor (exclusive access to `data`)
+    /// and have observed `seq == PENDING` with acquire ordering.
+    pub(crate) unsafe fn execute<T, F: Fn(&mut T, Op) -> Out>(&self, data: *mut T, apply: &F) {
+        let op = (*self.op.get()).assume_init_read();
+        match catch_unwind(AssertUnwindSafe(|| apply(&mut *data, op))) {
+            Ok(out) => {
+                (*self.out.get()).write(out);
+                self.seq.store(SLOT_DONE, Ordering::Release);
+            }
+            Err(payload) => {
+                // The payload cannot ride the preallocated slot
+                // without boxing; drop it here and re-raise a fresh
+                // panic on the submitter.
+                drop(payload);
+                self.seq.store(SLOT_PANICKED, Ordering::Release);
+            }
+        }
+    }
+
+    /// Consume a finished slot (`seq` observed DONE or PANICKED with
+    /// acquire ordering): reset to EMPTY and return the result,
+    /// re-raising a delegated panic.
+    ///
+    /// # Safety
+    /// The calling thread must own this slot.
+    pub(crate) unsafe fn take_result(&self, seq: u32) -> Out {
+        self.seq.store(SLOT_EMPTY, Ordering::Relaxed);
+        if seq == SLOT_PANICKED {
+            panic!("delegated operation panicked");
+        }
+        debug_assert_eq!(seq, SLOT_DONE);
+        (*self.out.get()).assume_init_read()
+    }
+}
+
+/// A lock whose critical sections are *delegated*: participants
+/// register once (claiming a padded slot or queue node) and then
+/// submit operations through their [`DelegationHandle`].
+///
+/// Implemented by [`FlatCombiner`](crate::flatcomb::FlatCombiner),
+/// [`DedicatedServer`](crate::flatcomb::DedicatedServer),
+/// [`CcSynch`](crate::ccsynch::CcSynch),
+/// [`RclLock`](crate::rcl::RclLock) and
+/// [`FcBan`](crate::fcban::FcBan).
+pub trait DelegationLock: Send + Sync {
+    /// The operation shipped to the executor.
+    type Op: Send;
+    /// The result shipped back.
+    type Out: Send;
+    /// Per-participant submission handle.
+    type Handle: DelegationHandle<Op = Self::Op, Out = Self::Out> + 'static;
+
+    /// Claim a participant slot (call once per thread; the handle is
+    /// reused for every submission).
+    fn try_register(&self) -> Result<Self::Handle, SlotsExhausted>;
+
+    /// Implementation name for reports (`"ccsynch"`, `"rcl"`, ...).
+    fn delegation_name(&self) -> &'static str;
+}
+
+/// A registered participant of a [`DelegationLock`]: submits one
+/// operation at a time and blocks until its result is back.
+pub trait DelegationHandle: Send {
+    /// The operation shipped to the executor.
+    type Op: Send;
+    /// The result shipped back.
+    type Out: Send;
+
+    /// Apply `op` to the protected state (possibly becoming the
+    /// executor) and return its result.
+    ///
+    /// # Panics
+    /// Re-raises (as a fresh panic) if the delegated op panicked on
+    /// the executor.
+    fn apply(&self, op: Self::Op) -> Self::Out;
+}
+
+/// The operation type of the generic critical-section bridge: a
+/// baton-transfer protocol the executor can run without blocking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BridgeOp {
+    /// Try to take the baton for `owner` (a process-unique thread
+    /// tag). Succeeds iff the baton is free.
+    Lock {
+        /// Process-unique tag of the acquiring thread.
+        owner: u64,
+    },
+    /// Return the baton held by `owner`.
+    Unlock {
+        /// The tag that acquired.
+        owner: u64,
+    },
+}
+
+/// Build the apply function of a bridge: the protected state is the
+/// baton (`0` = free, else the holder's thread tag); `mirror` tracks
+/// held-ness for the lock-free [`PlainLock::held`] probe.
+pub fn bridge_apply(
+    mirror: Arc<AtomicBool>,
+) -> impl Fn(&mut u64, BridgeOp) -> bool + Send + Sync + 'static {
+    move |baton, op| match op {
+        BridgeOp::Lock { owner } => {
+            if *baton == 0 {
+                *baton = owner;
+                mirror.store(true, Ordering::Relaxed);
+                true
+            } else {
+                false
+            }
+        }
+        BridgeOp::Unlock { owner } => {
+            debug_assert_eq!(*baton, owner, "bridge unlock by non-holder");
+            *baton = 0;
+            mirror.store(false, Ordering::Relaxed);
+            true
+        }
+    }
+}
+
+static NEXT_THREAD_TAG: AtomicU64 = AtomicU64::new(1);
+static NEXT_MUTEX_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Process-unique tag for the bridge's baton (0 is "free").
+    static THREAD_TAG: u64 = NEXT_THREAD_TAG.fetch_add(1, Ordering::Relaxed);
+    /// This thread's registered handle per [`DelegatedMutex`]
+    /// instance, keyed by the mutex's process-unique id. Entries are
+    /// retained for the thread's lifetime (a handle per delegated
+    /// lock the thread ever touched) — registration is once per
+    /// (thread, lock), as the slot cap requires.
+    static BRIDGE_HANDLES: RefCell<HashMap<u64, Box<dyn Any>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// [`PlainLock`] adapter over any delegation lock speaking
+/// [`BridgeOp`]: generic acquire/release critical sections run as
+/// delegated baton transfers, making every delegation lock
+/// addressable from the harness registry and the guard API.
+///
+/// `acquire` retries the `Lock` op (with backoff) until the baton is
+/// granted; mutual exclusion comes from the delegation structure
+/// serializing ops. Handles are cached per thread automatically.
+///
+/// # Panics
+/// Acquiring from more than [`MAX_SLOTS`] distinct threads panics
+/// with [`SlotsExhausted`] (the `PlainLock` interface has no error
+/// channel; delegate via [`DelegationLock::try_register`] directly to
+/// handle exhaustion).
+pub struct DelegatedMutex<L: DelegationLock<Op = BridgeOp, Out = bool>> {
+    inner: L,
+    mirror: Arc<AtomicBool>,
+    name: &'static str,
+    id: u64,
+    /// Owned attachments dropped with the mutex (e.g. the RCL server
+    /// lifecycle guard, which stops and joins the server thread).
+    _attachment: Option<Box<dyn Any + Send + Sync>>,
+}
+
+impl<L: DelegationLock<Op = BridgeOp, Out = bool> + 'static> DelegatedMutex<L> {
+    /// Bridge `inner` under `name`; `mirror` must be the cell given
+    /// to [`bridge_apply`] when `inner` was constructed.
+    pub fn new(name: &'static str, inner: L, mirror: Arc<AtomicBool>) -> Self {
+        DelegatedMutex {
+            inner,
+            mirror,
+            name,
+            id: NEXT_MUTEX_ID.fetch_add(1, Ordering::Relaxed),
+            _attachment: None,
+        }
+    }
+
+    /// Tie `attachment`'s lifetime to the mutex (dropped with it).
+    pub fn keep_alive(mut self, attachment: impl Any + Send + Sync) -> Self {
+        self._attachment = Some(Box::new(attachment));
+        self
+    }
+
+    /// The bridged delegation lock.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+
+    fn apply_bridge(&self, op: BridgeOp) -> bool {
+        BRIDGE_HANDLES.with(|m| {
+            let mut m = m.borrow_mut();
+            let h = m
+                .entry(self.id)
+                .or_insert_with(|| {
+                    let h = self
+                        .inner
+                        .try_register()
+                        .unwrap_or_else(|e| panic!("{}: {e}", self.name));
+                    Box::new(h)
+                })
+                .downcast_ref::<L::Handle>()
+                .expect("bridge handle type");
+            h.apply(op)
+        })
+    }
+}
+
+impl<L: DelegationLock<Op = BridgeOp, Out = bool> + 'static> PlainLock for DelegatedMutex<L> {
+    fn acquire(&self) -> PlainToken {
+        let owner = THREAD_TAG.with(|t| *t);
+        let mut spin = asl_runtime::relax::Spin::new();
+        while !self.apply_bridge(BridgeOp::Lock { owner }) {
+            spin.relax();
+        }
+        PlainToken::issue(self, owner as usize, 0)
+    }
+
+    fn try_acquire(&self) -> Option<PlainToken> {
+        let owner = THREAD_TAG.with(|t| *t);
+        self.apply_bridge(BridgeOp::Lock { owner })
+            .then(|| PlainToken::issue(self, owner as usize, 0))
+    }
+
+    fn release(&self, token: PlainToken) {
+        let (owner, _) = token.redeem(self);
+        self.apply_bridge(BridgeOp::Unlock {
+            owner: owner as u64,
+        });
+    }
+
+    fn held(&self) -> bool {
+        self.mirror.load(Ordering::Relaxed)
+    }
+
+    fn lock_name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_exhausted_reports_limit() {
+        let next = AtomicUsize::new(0);
+        for i in 0..MAX_SLOTS {
+            assert_eq!(claim_slot(&next), Ok(i));
+        }
+        let err = claim_slot(&next).unwrap_err();
+        assert_eq!(err.limit, MAX_SLOTS);
+        assert!(err.to_string().contains("64"));
+        // The counter is saturated, not corrupted: further claims
+        // keep failing cleanly.
+        assert!(claim_slot(&next).is_err());
+        assert_eq!(next.load(Ordering::Relaxed), MAX_SLOTS);
+    }
+
+    #[test]
+    fn bridge_apply_baton_protocol() {
+        let mirror = Arc::new(AtomicBool::new(false));
+        let apply = bridge_apply(mirror.clone());
+        let mut baton = 0u64;
+        assert!(apply(&mut baton, BridgeOp::Lock { owner: 7 }));
+        assert!(mirror.load(Ordering::Relaxed));
+        assert!(!apply(&mut baton, BridgeOp::Lock { owner: 9 }), "held");
+        assert!(apply(&mut baton, BridgeOp::Unlock { owner: 7 }));
+        assert!(!mirror.load(Ordering::Relaxed));
+        assert!(apply(&mut baton, BridgeOp::Lock { owner: 9 }));
+    }
+}

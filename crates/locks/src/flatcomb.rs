@@ -21,43 +21,23 @@
 //!
 //! Operations are a caller-chosen `Op` type applied by a caller-
 //! chosen function, keeping the hot path allocation-free (no boxed
-//! closures).
+//! closures). The slot machinery, participant cap
+//! ([`MAX_SLOTS`] — exhaustion is the clean
+//! [`SlotsExhausted`] error) and the panic-isolation
+//! protocol are shared with the rest of the delegation family in
+//! [`delegation`](crate::delegation); the modern successors live in
+//! [`ccsynch`](crate::ccsynch), [`rcl`](crate::rcl) and
+//! [`fcban`](crate::fcban).
 
 use std::cell::UnsafeCell;
-use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// Max threads a combiner instance supports (one slot each).
-pub const MAX_SLOTS: usize = 64;
+use crate::delegation::{
+    claim_slot, DelegationHandle, DelegationLock, Slot, SlotsExhausted, SLOT_PENDING,
+};
 
-const SLOT_EMPTY: u32 = 0;
-const SLOT_PENDING: u32 = 1;
-const SLOT_DONE: u32 = 2;
-
-/// One publication slot, cache-line padded: a thread writes `op`,
-/// flips `seq` to PENDING, and spins for DONE; the combiner does the
-/// reverse.
-#[repr(align(128))]
-struct Slot<Op, Out> {
-    seq: AtomicU32,
-    op: UnsafeCell<MaybeUninit<Op>>,
-    out: UnsafeCell<MaybeUninit<Out>>,
-}
-
-// SAFETY: `op`/`out` accesses are ordered by the `seq` protocol.
-unsafe impl<Op: Send, Out: Send> Send for Slot<Op, Out> {}
-unsafe impl<Op: Send, Out: Send> Sync for Slot<Op, Out> {}
-
-impl<Op, Out> Slot<Op, Out> {
-    fn new() -> Self {
-        Slot {
-            seq: AtomicU32::new(SLOT_EMPTY),
-            op: UnsafeCell::new(MaybeUninit::uninit()),
-            out: UnsafeCell::new(MaybeUninit::uninit()),
-        }
-    }
-}
+pub use crate::delegation::MAX_SLOTS;
 
 /// Shared state of a flat-combining structure over `T`.
 struct FcShared<T, Op, Out, F: Fn(&mut T, Op) -> Out> {
@@ -80,22 +60,30 @@ unsafe impl<T: Send, Op: Send, Out: Send, F: Fn(&mut T, Op) -> Out + Send + Sync
 }
 
 impl<T, Op, Out, F: Fn(&mut T, Op) -> Out> FcShared<T, Op, Out, F> {
-    /// Execute every pending published operation.
+    fn new(value: T, apply: F) -> Self {
+        FcShared {
+            slots: (0..MAX_SLOTS).map(|_| Slot::new()).collect(),
+            next_slot: AtomicUsize::new(0),
+            combiner_lock: AtomicBool::new(false),
+            data: UnsafeCell::new(value),
+            apply,
+        }
+    }
+
+    /// Execute every pending published operation (panics inside an op
+    /// are caught per-slot; the submitter re-raises).
     ///
     /// # Safety
     /// Caller must have exclusive access to `data` (combiner lock or
     /// dedicated server).
     unsafe fn combine_pass(&self) -> usize {
         let mut executed = 0;
-        let data = &mut *self.data.get();
-        for slot in &self.slots {
+        let data = self.data.get();
+        let claimed = self.next_slot.load(Ordering::Acquire).min(MAX_SLOTS);
+        for slot in &self.slots[..claimed] {
             if slot.seq.load(Ordering::Acquire) == SLOT_PENDING {
-                // SAFETY: PENDING guarantees an initialized op the
-                // owner will not touch until DONE.
-                let op = (*slot.op.get()).assume_init_read();
-                let out = (self.apply)(data, op);
-                (*slot.out.get()).write(out);
-                slot.seq.store(SLOT_DONE, Ordering::Release);
+                // SAFETY: sole executor; PENDING acquired.
+                slot.execute(data, &self.apply);
                 executed += 1;
             }
         }
@@ -117,30 +105,28 @@ where
 {
     /// Wrap `value`; `apply` executes one operation against it.
     pub fn new(value: T, apply: F) -> Self {
-        let slots = (0..MAX_SLOTS).map(|_| Slot::new()).collect();
         FlatCombiner {
-            shared: Arc::new(FcShared {
-                slots,
-                next_slot: AtomicUsize::new(0),
-                combiner_lock: AtomicBool::new(false),
-                data: UnsafeCell::new(value),
-                apply,
-            }),
+            shared: Arc::new(FcShared::new(value, apply)),
         }
     }
 
     /// Claim this thread's publication slot. Call once per thread;
     /// the handle submits operations.
-    ///
-    /// # Panics
-    /// Panics when more than [`MAX_SLOTS`] handles are claimed.
-    pub fn register(&self) -> FcHandle<T, Op, Out, F> {
-        let idx = self.shared.next_slot.fetch_add(1, Ordering::Relaxed);
-        assert!(idx < MAX_SLOTS, "too many flat-combining participants");
-        FcHandle {
+    pub fn try_register(&self) -> Result<FcHandle<T, Op, Out, F>, SlotsExhausted> {
+        let idx = claim_slot(&self.shared.next_slot)?;
+        Ok(FcHandle {
             shared: self.shared.clone(),
             idx,
-        }
+        })
+    }
+
+    /// [`FlatCombiner::try_register`], panicking on exhaustion.
+    ///
+    /// # Panics
+    /// Panics with [`SlotsExhausted`] when more than [`MAX_SLOTS`]
+    /// handles are claimed.
+    pub fn register(&self) -> FcHandle<T, Op, Out, F> {
+        self.try_register().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Consume, returning the inner value.
@@ -151,6 +137,26 @@ where
         let shared =
             Arc::try_unwrap(self.shared).unwrap_or_else(|_| panic!("handles still registered"));
         shared.data.into_inner()
+    }
+}
+
+impl<T, Op, Out, F> DelegationLock for FlatCombiner<T, Op, Out, F>
+where
+    T: Send + 'static,
+    Op: Send + 'static,
+    Out: Send + 'static,
+    F: Fn(&mut T, Op) -> Out + Send + Sync + 'static,
+{
+    type Op = Op;
+    type Out = Out;
+    type Handle = FcHandle<T, Op, Out, F>;
+
+    fn try_register(&self) -> Result<Self::Handle, SlotsExhausted> {
+        FlatCombiner::try_register(self)
+    }
+
+    fn delegation_name(&self) -> &'static str {
+        "flatcomb"
     }
 }
 
@@ -171,31 +177,45 @@ where
     /// and executing other threads' operations too.
     pub fn apply(&self, op: Op) -> Out {
         let slot = &self.shared.slots[self.idx];
-        // SAFETY: the slot is ours (EMPTY), nobody reads `op` until
-        // we flip to PENDING.
-        unsafe { (*slot.op.get()).write(op) };
-        slot.seq.store(SLOT_PENDING, Ordering::Release);
+        // SAFETY: the slot is ours and EMPTY (the previous apply
+        // consumed the result).
+        unsafe { slot.publish(op) };
 
         let mut spin = asl_runtime::relax::Spin::new();
         loop {
-            if slot.seq.load(Ordering::Acquire) == SLOT_DONE {
-                break;
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq != SLOT_PENDING {
+                // SAFETY: observed DONE/PANICKED with acquire.
+                return unsafe { slot.take_result(seq) };
             }
             if !self.shared.combiner_lock.swap(true, Ordering::Acquire) {
                 // We are the combiner: run every pending op.
                 // SAFETY: combiner lock held.
                 unsafe { self.shared.combine_pass() };
                 self.shared.combiner_lock.store(false, Ordering::Release);
-                // Our own op was pending, so it is done now.
-                debug_assert_eq!(slot.seq.load(Ordering::Relaxed), SLOT_DONE);
-                break;
+                // Our own op was pending, so it is resolved now.
+                let seq = slot.seq.load(Ordering::Acquire);
+                debug_assert_ne!(seq, SLOT_PENDING, "own op unserved after pass");
+                // SAFETY: observed DONE/PANICKED with acquire.
+                return unsafe { slot.take_result(seq) };
             }
             spin.relax();
         }
-        slot.seq.store(SLOT_EMPTY, Ordering::Relaxed);
-        // SAFETY: DONE guarantees an initialized result written by
-        // the combiner; we are the only reader.
-        unsafe { (*slot.out.get()).assume_init_read() }
+    }
+}
+
+impl<T, Op, Out, F> DelegationHandle for FcHandle<T, Op, Out, F>
+where
+    T: Send,
+    Op: Send,
+    Out: Send,
+    F: Fn(&mut T, Op) -> Out + Send + Sync,
+{
+    type Op = Op;
+    type Out = Out;
+
+    fn apply(&self, op: Op) -> Out {
+        FcHandle::apply(self, op)
     }
 }
 
@@ -204,7 +224,8 @@ where
 /// The caller spawns the server loop (typically pinned to a big
 /// core) via [`DedicatedServer::serve`]; clients submit with
 /// [`ServerHandle::apply`]. Dropping all handles and calling
-/// [`DedicatedServer::shutdown`] stops the server.
+/// [`DedicatedServer::shutdown`] stops the server. For a variant with
+/// managed server lifecycle see [`RclLock`](crate::rcl::RclLock).
 pub struct DedicatedServer<T, Op, Out, F: Fn(&mut T, Op) -> Out> {
     shared: Arc<FcShared<T, Op, Out, F>>,
     stop: Arc<AtomicBool>,
@@ -219,15 +240,8 @@ where
 {
     /// Wrap `value`; `apply` executes one operation against it.
     pub fn new(value: T, apply: F) -> Self {
-        let slots = (0..MAX_SLOTS).map(|_| Slot::new()).collect();
         DedicatedServer {
-            shared: Arc::new(FcShared {
-                slots,
-                next_slot: AtomicUsize::new(0),
-                combiner_lock: AtomicBool::new(false),
-                data: UnsafeCell::new(value),
-                apply,
-            }),
+            shared: Arc::new(FcShared::new(value, apply)),
             stop: Arc::new(AtomicBool::new(false)),
         }
     }
@@ -257,17 +271,43 @@ where
         self.stop.store(true, Ordering::Release);
     }
 
-    /// Claim a client slot.
-    ///
-    /// # Panics
-    /// Panics when more than [`MAX_SLOTS`] handles are claimed.
-    pub fn register(&self) -> ServerHandle<T, Op, Out, F> {
-        let idx = self.shared.next_slot.fetch_add(1, Ordering::Relaxed);
-        assert!(idx < MAX_SLOTS, "too many delegation clients");
-        ServerHandle {
+    /// Claim a client slot. Call once per thread; the handle submits
+    /// operations.
+    pub fn try_register(&self) -> Result<ServerHandle<T, Op, Out, F>, SlotsExhausted> {
+        let idx = claim_slot(&self.shared.next_slot)?;
+        Ok(ServerHandle {
             shared: self.shared.clone(),
             idx,
-        }
+        })
+    }
+
+    /// [`DedicatedServer::try_register`], panicking on exhaustion.
+    ///
+    /// # Panics
+    /// Panics with [`SlotsExhausted`] when more than [`MAX_SLOTS`]
+    /// handles are claimed.
+    pub fn register(&self) -> ServerHandle<T, Op, Out, F> {
+        self.try_register().unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+impl<T, Op, Out, F> DelegationLock for DedicatedServer<T, Op, Out, F>
+where
+    T: Send + 'static,
+    Op: Send + 'static,
+    Out: Send + 'static,
+    F: Fn(&mut T, Op) -> Out + Send + Sync + 'static,
+{
+    type Op = Op;
+    type Out = Out;
+    type Handle = ServerHandle<T, Op, Out, F>;
+
+    fn try_register(&self) -> Result<Self::Handle, SlotsExhausted> {
+        DedicatedServer::try_register(self)
+    }
+
+    fn delegation_name(&self) -> &'static str {
+        "fc-server"
     }
 }
 
@@ -288,15 +328,32 @@ where
     pub fn apply(&self, op: Op) -> Out {
         let slot = &self.shared.slots[self.idx];
         // SAFETY: slot protocol as in FcHandle::apply.
-        unsafe { (*slot.op.get()).write(op) };
-        slot.seq.store(SLOT_PENDING, Ordering::Release);
+        unsafe { slot.publish(op) };
         let mut spin = asl_runtime::relax::Spin::new();
-        while slot.seq.load(Ordering::Acquire) != SLOT_DONE {
+        let seq = loop {
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq != SLOT_PENDING {
+                break seq;
+            }
             spin.relax();
-        }
-        slot.seq.store(SLOT_EMPTY, Ordering::Relaxed);
-        // SAFETY: DONE ⇒ initialized result, single reader.
-        unsafe { (*slot.out.get()).assume_init_read() }
+        };
+        // SAFETY: observed DONE/PANICKED with acquire.
+        unsafe { slot.take_result(seq) }
+    }
+}
+
+impl<T, Op, Out, F> DelegationHandle for ServerHandle<T, Op, Out, F>
+where
+    T: Send,
+    Op: Send,
+    Out: Send,
+    F: Fn(&mut T, Op) -> Out + Send + Sync,
+{
+    type Op = Op;
+    type Out = Out;
+
+    fn apply(&self, op: Op) -> Out {
+        ServerHandle::apply(self, op)
     }
 }
 
@@ -390,11 +447,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn slot_exhaustion_panics() {
-        let fc = FlatCombiner::new((), |_, _op: ()| ());
+    fn slot_exhaustion_is_a_clean_error_at_the_boundary() {
+        let fc = FlatCombiner::new(0u64, |v, add: u64| {
+            *v += add;
+            *v
+        });
+        // Claiming exactly MAX_SLOTS succeeds and slot MAX_SLOTS-1
+        // still works (the old silent-overflow bug corrupted here).
         let handles: Vec<_> = (0..MAX_SLOTS).map(|_| fc.register()).collect();
-        let _one_too_many = fc.register();
+        assert_eq!(handles[MAX_SLOTS - 1].apply(3), 3);
+        // One more is a clean, typed error — and keeps erroring.
+        assert_eq!(
+            fc.try_register().err(),
+            Some(SlotsExhausted { limit: MAX_SLOTS })
+        );
+        assert!(fc.try_register().is_err());
+        // Existing handles are unaffected.
+        assert_eq!(handles[0].apply(4), 7);
         drop(handles);
+        assert_eq!(fc.into_inner(), 7);
+    }
+
+    #[test]
+    fn dedicated_server_slot_exhaustion_is_clean() {
+        let srv = DedicatedServer::new((), |_, _: ()| ());
+        let clients: Vec<_> = (0..MAX_SLOTS).map(|_| srv.register()).collect();
+        assert_eq!(
+            srv.try_register().err(),
+            Some(SlotsExhausted { limit: MAX_SLOTS })
+        );
+        drop(clients);
     }
 }

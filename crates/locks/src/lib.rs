@@ -18,6 +18,9 @@
 //! | [`MalthusianLock`] | culling + periodic reintroduction (§2.2 long-term fairness) | [`malthusian`] |
 //! | [`ShuffleLock`] | ShflLock-style framework with pluggable policies (§5, ablations) | [`shuffle`] |
 //! | [`FlatCombiner`] | flat-combining delegation (§5 related-work comparator) | [`flatcomb`] |
+//! | [`CcSynch`] | combining-queue delegation, cache-local combiner handoff (§5) | [`ccsynch`] |
+//! | [`RclLock`] | RCL-style client/server lock with managed server lifecycle (§5) | [`rcl`] |
+//! | [`FcBan`] | usage-fair banning combiner: overdrawn threads wait out their overage | [`fcban`] |
 //! | [`RwTicketLock`] | phase-fair ticket reader-writer lock (read-mostly workloads) | [`rw_ticket`] |
 //! | [`Bravo`] | BRAVO-style reader-bias wrapper: any exclusive lock becomes an rwlock | [`bravo`] |
 //! | [`Adaptive`] | contention-adaptive TAS that morphs to a FIFO queue (Fissile-style) | [`adaptive`] |
@@ -88,15 +91,19 @@ pub mod asynclock;
 pub mod backoff;
 pub mod blocking;
 pub mod bravo;
+pub mod ccsynch;
 pub mod clh;
 pub mod cna;
 pub mod cohort;
+pub mod delegation;
+pub mod fcban;
 pub mod flatcomb;
 pub mod futex;
 pub mod malthusian;
 pub mod mcs;
 pub mod plain;
 pub mod proportional;
+pub mod rcl;
 pub mod rw_ticket;
 pub mod shuffle;
 pub mod tas;
@@ -112,14 +119,21 @@ pub use asynclock::{AsyncDynMutex, AsyncFifoMutex, AsyncGuard, AsyncMutex, Async
 pub use backoff::BackoffLock;
 pub use blocking::{McsStpLock, PthreadMutex};
 pub use bravo::Bravo;
+pub use ccsynch::CcSynch;
 pub use clh::ClhLock;
 pub use cna::CnaLock;
 pub use cohort::CohortLock;
+pub use delegation::{
+    bridge_apply, BridgeOp, DelegatedMutex, DelegationHandle, DelegationLock, SlotsExhausted,
+    MAX_SLOTS,
+};
+pub use fcban::FcBan;
 pub use flatcomb::{DedicatedServer, FlatCombiner};
 pub use malthusian::MalthusianLock;
 pub use mcs::McsLock;
 pub use plain::{ExclusiveRw, PlainLock, PlainRwLock, PlainRwToken, PlainToken, WriteHalf};
 pub use proportional::ProportionalLock;
+pub use rcl::{RclLock, RclServer};
 pub use rw_ticket::RwTicketLock;
 pub use shuffle::{Candidate, ShuffleLock, ShufflePolicy};
 pub use tas::TasLock;

@@ -1,0 +1,235 @@
+//! Cross-cutting delegation semantics: every member of the family
+//! (FlatCombiner, DedicatedServer, CcSynch, RclLock, FcBan) must
+//! survive a panicking op without wedging, preserve each thread's
+//! FIFO order for its own ops, and — for the usage-fair combiner —
+//! actually suppress a hog's ops share relative to CC-Synch.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use asl_locks::ccsynch::CcSynch;
+use asl_locks::delegation::DelegationHandle;
+use asl_locks::fcban::FcBan;
+use asl_locks::flatcomb::{DedicatedServer, FlatCombiner};
+use asl_locks::rcl::RclLock;
+use asl_runtime::clock::busy_wait_ns;
+
+/// Shared op language for the panic tests: `u64::MAX` panics, any
+/// other value is added to the counter; returns the new total.
+fn counting_apply() -> impl Fn(&mut u64, u64) -> u64 + Send + Sync + 'static {
+    |state, op| {
+        if op == u64::MAX {
+            panic!("poisoned op");
+        }
+        *state += op;
+        *state
+    }
+}
+
+/// Drive one lock's handles through the panic scenario: thread A's
+/// poisoned op panics *at A's call site*, and afterwards both A and a
+/// fresh thread B still complete ops (the combiner isn't wedged).
+fn panic_does_not_wedge<H>(ha: H, hb: H, lock_name: &str)
+where
+    H: DelegationHandle<Op = u64, Out = u64> + Send + 'static,
+{
+    assert_eq!(ha.apply(5), 5, "{lock_name}: pre-panic op");
+    let boom = catch_unwind(AssertUnwindSafe(|| ha.apply(u64::MAX)));
+    assert!(boom.is_err(), "{lock_name}: poisoned op must panic");
+    // The submitter that observed the panic can keep going...
+    assert_eq!(ha.apply(7), 12, "{lock_name}: same handle after panic");
+    // ...and so can a different thread.
+    let t = std::thread::spawn(move || hb.apply(8));
+    assert_eq!(
+        t.join().expect("worker"),
+        20,
+        "{lock_name}: other thread after panic"
+    );
+}
+
+#[test]
+fn panic_in_op_does_not_wedge_flatcomb() {
+    let fc = FlatCombiner::new(0u64, counting_apply());
+    panic_does_not_wedge(fc.register(), fc.register(), "flatcomb");
+}
+
+#[test]
+fn panic_in_op_does_not_wedge_dedicated_server() {
+    let ds = Arc::new(DedicatedServer::new(0u64, counting_apply()));
+    let server = {
+        let ds = ds.clone();
+        std::thread::spawn(move || ds.serve())
+    };
+    panic_does_not_wedge(ds.register(), ds.register(), "fc-server");
+    ds.shutdown();
+    server.join().expect("server");
+}
+
+#[test]
+fn panic_in_op_does_not_wedge_ccsynch() {
+    let cc = CcSynch::new(0u64, counting_apply());
+    panic_does_not_wedge(cc.register(), cc.register(), "ccsynch");
+}
+
+#[test]
+fn panic_in_op_does_not_wedge_rcl() {
+    let lock = RclLock::new(0u64, counting_apply());
+    let server = lock.start();
+    panic_does_not_wedge(lock.register(), lock.register(), "rcl");
+    drop(server);
+}
+
+#[test]
+fn panic_in_op_does_not_wedge_fcban() {
+    let fb = FcBan::new(0u64, counting_apply());
+    panic_does_not_wedge(fb.register(), fb.register(), "fc-ban");
+}
+
+/// Op executions are serialized (one combiner/server at a time), so
+/// an external log captures global execution order without racing.
+type Log = Arc<Mutex<Vec<(usize, u64)>>>;
+
+fn log_apply(log: Log) -> impl Fn(&mut (), (usize, u64)) + Send + Sync + 'static {
+    move |_, op| log.lock().unwrap().push(op)
+}
+
+/// Every thread's own ops must land in the order it submitted them,
+/// whoever ends up combining. Each of 4 workers submits (worker, seq)
+/// through the lock; per-worker seqs must be increasing in the log.
+fn fifo_preserved<H>(handles: Vec<H>, log: Log, name: &str)
+where
+    H: DelegationHandle<Op = (usize, u64), Out = ()> + Send + 'static,
+{
+    const OPS: u64 = 500;
+    let workers = handles.len();
+    let joins: Vec<_> = handles
+        .into_iter()
+        .enumerate()
+        .map(|(w, h)| {
+            std::thread::spawn(move || {
+                for seq in 0..OPS {
+                    h.apply((w, seq));
+                }
+            })
+        })
+        .collect();
+    for j in joins {
+        j.join().expect("worker");
+    }
+    let log = log.lock().unwrap();
+    assert_eq!(log.len(), workers * OPS as usize, "{name}: ops lost");
+    let mut next = vec![0u64; workers];
+    for &(w, seq) in log.iter() {
+        assert_eq!(seq, next[w], "{name}: worker {w} ops reordered");
+        next[w] += 1;
+    }
+}
+
+#[test]
+fn per_thread_fifo_preserved_flatcomb() {
+    let log: Log = Arc::default();
+    let fc = FlatCombiner::new((), log_apply(log.clone()));
+    fifo_preserved((0..4).map(|_| fc.register()).collect(), log, "flatcomb");
+}
+
+#[test]
+fn per_thread_fifo_preserved_ccsynch() {
+    let log: Log = Arc::default();
+    let cc = CcSynch::new((), log_apply(log.clone()));
+    fifo_preserved((0..4).map(|_| cc.register()).collect(), log, "ccsynch");
+}
+
+#[test]
+fn per_thread_fifo_preserved_rcl() {
+    let log: Log = Arc::default();
+    let lock = RclLock::new((), log_apply(log.clone()));
+    let server = lock.start();
+    fifo_preserved((0..4).map(|_| lock.register()).collect(), log, "rcl");
+    drop(server);
+}
+
+#[test]
+fn per_thread_fifo_preserved_fcban() {
+    let log: Log = Arc::default();
+    let fb = FcBan::new((), log_apply(log.clone()));
+    fifo_preserved((0..4).map(|_| fb.register()).collect(), log, "fc-ban");
+}
+
+/// Skewed-hold-time duel: worker 0's critical sections are 10× longer
+/// (emulated via `busy_wait_ns` inside the op). Returns each worker's
+/// share of completed ops.
+fn hog_shares<H>(handles: Vec<H>, hog_ns: u64, base_ns: u64, window: Duration) -> Vec<f64>
+where
+    H: DelegationHandle<Op = u64, Out = ()> + Send + 'static,
+{
+    let stop = Arc::new(AtomicBool::new(false));
+    let joins: Vec<_> = handles
+        .into_iter()
+        .enumerate()
+        .map(|(w, h)| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let ns = if w == 0 { hog_ns } else { base_ns };
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    h.apply(ns);
+                    ops += 1;
+                }
+                ops
+            })
+        })
+        .collect();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let counts: Vec<u64> = joins
+        .into_iter()
+        .map(|j| j.join().expect("worker"))
+        .collect();
+    let total: u64 = counts.iter().sum::<u64>().max(1);
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+fn wait_apply() -> impl Fn(&mut (), u64) + Send + Sync + 'static {
+    |_, ns| busy_wait_ns(ns)
+}
+
+/// The banning combiner must cut the hog's ops share well below what
+/// CC-Synch (no usage accounting) gives it: the hog burns 10× the
+/// lock time per op, so usage-fairness delays its re-entry while
+/// CC-Synch admits it every round.
+#[test]
+fn fcban_suppresses_hog_share_vs_ccsynch() {
+    const THREADS: usize = 4;
+    const HOG_NS: u64 = 500_000;
+    const BASE_NS: u64 = 20_000;
+    let window = Duration::from_millis(250);
+
+    let cc = CcSynch::new((), wait_apply());
+    let cc_handles: Vec<_> = (0..THREADS).map(|_| cc.register()).collect();
+    let cc_shares = hog_shares(cc_handles, HOG_NS, BASE_NS, window);
+
+    // Zero slack so the first overdrawn pass already bans.
+    let fb = FcBan::with_slack((), wait_apply(), 0);
+    let fb_handles: Vec<_> = (0..THREADS).map(|_| fb.register()).collect();
+    let fb_shares = hog_shares(fb_handles, HOG_NS, BASE_NS, window);
+
+    let (cc_hog, fb_hog) = (cc_shares[0], fb_shares[0]);
+    // CC-Synch's round-robin combining hands the hog a near-even op
+    // share despite its 10x usage; the ban must at least halve it.
+    assert!(
+        cc_hog > 0.10,
+        "ccsynch hog share unexpectedly low: {cc_shares:?}"
+    );
+    assert!(
+        fb_hog < cc_hog * 0.5,
+        "fc-ban failed to suppress the hog: ccsynch={cc_shares:?} fc-ban={fb_shares:?}"
+    );
+    // The peers must actually pick up the reclaimed ops.
+    let fb_peer_min = fb_shares[1..].iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        fb_peer_min > fb_hog,
+        "peers should out-complete the banned hog: {fb_shares:?}"
+    );
+}

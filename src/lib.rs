@@ -25,7 +25,12 @@
 //!   layer ([`AsyncMutex`], [`AsyncFifoMutex`], [`AsyncDynMutex`])
 //!   parks waiters as queued wakers on the [`runtime`]'s executor
 //!   ([`Executor`], [`block_on`]) and wakes them FIFO or in SLO-aware
-//!   deadline order.
+//!   deadline order. The delegation family ([`FlatCombiner`],
+//!   [`CcSynch`], [`RclLock`], [`FcBan`]) executes submitted ops at a
+//!   combiner or dedicated server instead of migrating the lock,
+//!   unified by [`DelegationLock`]/[`DelegationHandle`] and bridged
+//!   into the registry (`ccsynch`, `rcl`, `fc-ban`) by
+//!   [`DelegatedMutex`].
 //! * [`core`] — LibASL itself: reorderable lock, epoch/SLO feedback,
 //!   the [`Mutex`] dispatch ([`asl_core`]).
 //! * [`sim`] — deterministic discrete-event simulation of the same
@@ -71,6 +76,32 @@
 //!     assert!(lock.is_locked());
 //! } // released on drop
 //! assert!(!lock.is_locked());
+//! ```
+//!
+//! Contended hot state can skip lock migration entirely: the
+//! delegation family ([`FlatCombiner`], [`CcSynch`], [`RclLock`],
+//! [`FcBan`]) ships the *operation* to a combiner or server thread
+//! instead of shipping the lock to the waiter. Submit ops through a
+//! per-thread handle; the result comes back when some thread has
+//! executed it:
+//!
+//! ```
+//! use libasl::{CcSynch, DelegationHandle};
+//!
+//! // The op language: add `n`, return the new total.
+//! let counter = CcSynch::new(0u64, |total: &mut u64, n: u64| {
+//!     *total += n;
+//!     *total
+//! });
+//! let h = counter.register();
+//! assert_eq!(h.apply(2), 2);
+//! let t = {
+//!     let h2 = counter.register();
+//!     std::thread::spawn(move || h2.apply(3))
+//! };
+//! assert_eq!(t.join().unwrap(), 5);
+//! drop(h);
+//! assert_eq!(counter.into_inner(), 5);
 //! ```
 //!
 //! Read-mostly state goes behind the reader-writer shapes — shared
@@ -126,6 +157,10 @@ pub use asl_locks::api::{
 };
 pub use asl_locks::{Adaptive, AdaptiveMode, Instrumented, TelemetryCell, TelemetrySnapshot};
 pub use asl_locks::{AsyncDynMutex, AsyncFifoMutex, AsyncGuard, AsyncMutex, AsyncPolicy};
+pub use asl_locks::{
+    CcSynch, DelegatedMutex, DelegationHandle, DelegationLock, FcBan, FlatCombiner, RclLock,
+    RclServer, SlotsExhausted,
+};
 pub use asl_runtime::{block_on, CoreKind, Executor, JoinHandle, Topology};
 
 /// The recommended application-facing mutex: LibASL dispatch over a
