@@ -10,6 +10,7 @@
 //! repro all --quick --out results/
 //! repro sim --quick --out simA/    # deterministic-simulator family
 //! repro diff old/BENCH_fig8a.json new/BENCH_fig8a.json   # regression gate
+//! repro diff baselines/BENCH_collapse.json a.json b.json c.json  # median-of-3 gate
 //! ```
 //!
 //! Each figure prints aligned text tables; with `--out DIR` every
@@ -206,12 +207,16 @@ fn emit(table: &Table, out_dir: &Option<String>) {
     }
 }
 
-/// `repro diff old.json new.json [--noise F]`: compare per-cell
-/// ops/s between two BENCH files; exit 1 iff a cell regressed by
-/// more than the noise bound (default 10%), 2 on usage errors.
+/// `repro diff old.json new.json [new2.json ...] [--noise F]`:
+/// compare per-cell ops/s between a baseline and the per-cell
+/// **median** of one or more new BENCH files; exit 1 iff a cell
+/// regressed by more than the noise bound (default 10%), 2 on usage
+/// errors. Passing several new files is how CI de-noises the gate:
+/// run the figure N times, let the median vote the outlier run out.
 fn run_diff(args: &[String]) -> ! {
+    const USAGE: &str = "usage: repro diff <old.json> <new.json>... [--noise 0.10]";
     let mut noise = 0.10f64;
-    let mut paths: Vec<&String> = Vec::new();
+    let mut paths: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -228,19 +233,23 @@ fn run_diff(args: &[String]) -> ! {
             }
             other if other.starts_with('-') => {
                 eprintln!("unknown diff flag: {other}");
-                eprintln!("usage: repro diff <old.json> <new.json> [--noise 0.10]");
+                eprintln!("{USAGE}");
                 std::process::exit(2);
             }
-            _ => paths.push(&args[i]),
+            _ => paths.push(args[i].clone()),
         }
         i += 1;
     }
-    let [old_path, new_path] = paths[..] else {
-        eprintln!("usage: repro diff <old.json> <new.json> [--noise 0.10]");
+    if paths.len() < 2 {
+        eprintln!("{USAGE}");
         std::process::exit(2);
-    };
-    match asl_harness::diff::diff_files(old_path, new_path, noise) {
+    }
+    let old_path = paths.remove(0);
+    match asl_harness::diff::diff_files_median(&old_path, &paths, noise) {
         Ok(report) => {
+            if paths.len() > 1 {
+                println!("(new side: per-cell median of {} runs)", paths.len());
+            }
             println!("{report}");
             std::process::exit(if report.regressed() { 1 } else { 0 });
         }
@@ -272,11 +281,11 @@ fn list_locks() {
 fn usage() {
     eprintln!(
         "usage: repro [--quick|--full] [--profile] [--out DIR] [--lock NAME]... <figure-id>... | all | list | locks\n\
-         \u{20}      repro diff <old.json> <new.json> [--noise 0.10]   # exit 1 on regression\n\
+         \u{20}      repro diff <old.json> <new.json>... [--noise 0.10]   # exit 1 on regression (several new files: median)\n\
          figure ids: fig1 fig4 fig5 fig8a fig8b fig8c fig8d fig8ef fig8g fig8hi\n\
          \u{20}          fig9-kyoto fig9-upscale fig9-lmdb fig10-leveldb fig10-sqlite alt-topology\n\
-         \u{20}          sec2-numa sec5-delegation delegation rw adapt overhead kv\n\
+         \u{20}          sec2-numa sec5-delegation delegation collapse rw adapt overhead kv\n\
          \u{20}          sim-numa sim-fair sim-oversub sim-fig1 sim-fig8 (or `sim` for the family)\n\
-         lock names: see `repro locks` (e.g. mcs, ccsynch, fc-ban, libasl-70us, rw-ticket)"
+         lock names: see `repro locks` (e.g. mcs, ccsynch, fc-ban, gcr-mcs, libasl-70us)"
     );
 }

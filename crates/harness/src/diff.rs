@@ -266,12 +266,68 @@ pub fn diff(old: &BenchFile, new: &BenchFile, noise: f64) -> DiffReport {
     }
 }
 
+/// Collapse several runs of the same figure into one file holding the
+/// per-cell **median** ops/s — the CI gate regenerates a figure
+/// `N` times and compares the median, so one descheduled run can't
+/// fail (or mask) the gate. Cells are keyed `(lock, threads)`; a cell
+/// missing from some runs takes the median of the runs that have it.
+pub fn median_bench(runs: &[BenchFile]) -> BenchFile {
+    assert!(!runs.is_empty(), "median of zero runs");
+    let mut cells: Vec<BenchCell> = Vec::new();
+    for c in runs.iter().flat_map(|r| &r.cells) {
+        if cells
+            .iter()
+            .any(|seen| seen.lock == c.lock && seen.threads == c.threads)
+        {
+            continue;
+        }
+        let mut vals: Vec<f64> = runs
+            .iter()
+            .flat_map(|r| &r.cells)
+            .filter(|o| o.lock == c.lock && o.threads == c.threads)
+            .map(|o| o.ops_per_sec)
+            .collect();
+        vals.sort_by(|a, b| a.total_cmp(b));
+        let mid = vals.len() / 2;
+        let median = if vals.len() % 2 == 1 {
+            vals[mid]
+        } else {
+            (vals[mid - 1] + vals[mid]) / 2.0
+        };
+        cells.push(BenchCell {
+            lock: c.lock.clone(),
+            threads: c.threads,
+            ops_per_sec: median,
+        });
+    }
+    BenchFile {
+        figure: runs[0].figure.clone(),
+        cells,
+    }
+}
+
 /// Convenience: read, parse, and diff two files on disk.
 pub fn diff_files(old_path: &str, new_path: &str, noise: f64) -> Result<DiffReport, String> {
+    diff_files_median(old_path, &[new_path.to_string()], noise)
+}
+
+/// Diff a baseline against the per-cell median of several new runs
+/// (the `repro diff old.json new1.json new2.json ...` form).
+pub fn diff_files_median(
+    old_path: &str,
+    new_paths: &[String],
+    noise: f64,
+) -> Result<DiffReport, String> {
     let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
     let old = parse_bench_json(&read(old_path)?).map_err(|e| format!("{old_path}: {e}"))?;
-    let new = parse_bench_json(&read(new_path)?).map_err(|e| format!("{new_path}: {e}"))?;
-    Ok(diff(&old, &new, noise))
+    let mut runs = Vec::new();
+    for p in new_paths {
+        runs.push(parse_bench_json(&read(p)?).map_err(|e| format!("{p}: {e}"))?);
+    }
+    if runs.is_empty() {
+        return Err("no new files to diff against".to_string());
+    }
+    Ok(diff(&old, &median_bench(&runs), noise))
 }
 
 #[cfg(test)]
@@ -374,6 +430,34 @@ mod tests {
             .collect();
         assert_eq!(regr.len(), 1);
         assert_eq!(regr[0].lock, "mcs@layer=dyn");
+    }
+
+    #[test]
+    fn median_of_three_discards_the_outlier_run() {
+        let baseline = bench(&[("mcs", 8, 1000.0)]);
+        // One descheduled run craters; the median must not regress.
+        let runs = [
+            bench(&[("mcs", 8, 980.0)]),
+            bench(&[("mcs", 8, 100.0)]),
+            bench(&[("mcs", 8, 1010.0)]),
+        ];
+        let med = median_bench(&runs);
+        assert!((med.cells[0].ops_per_sec - 980.0).abs() < f64::EPSILON);
+        assert!(!diff(&baseline, &med, 0.10).regressed());
+        // ...but a consistent slowdown across runs still fails.
+        let slow = [
+            bench(&[("mcs", 8, 500.0)]),
+            bench(&[("mcs", 8, 480.0)]),
+            bench(&[("mcs", 8, 510.0)]),
+        ];
+        assert!(diff(&baseline, &median_bench(&slow), 0.10).regressed());
+    }
+
+    #[test]
+    fn median_of_even_runs_averages_the_middle_pair() {
+        let runs = [bench(&[("mcs", 8, 100.0)]), bench(&[("mcs", 8, 300.0)])];
+        let med = median_bench(&runs);
+        assert!((med.cells[0].ops_per_sec - 200.0).abs() < f64::EPSILON);
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub fn adapt(profile: &Profile) -> Vec<Table> {
         let mode = match lock.mode() {
             AdaptiveMode::Tas => "tas",
             AdaptiveMode::Queue => "queue",
+            AdaptiveMode::Restricted => "restricted",
         };
         table.push_row(vec![
             threads.to_string(),

@@ -1,0 +1,160 @@
+//! `collapse` — scalability collapse at saturation, bare vs GCR.
+//!
+//! The headline chart for the concurrency-restriction layer: sweep
+//! thread counts through and far past the core count ({2, 8, 32, 128}
+//! on the 8-core emulated topology) for representative lock families
+//! — TAS (unfair spin), ticket (FIFO spin, the worst collapser: every
+//! waiter *must* run in ticket order), MCS (FIFO queue spin), and
+//! LibASL-MAX (reordering) — each bare and behind the `gcr-` wrapper.
+//!
+//! Bare spin locks collapse once runnable threads exceed cores: the
+//! holder loses its quantum to waiters who can do nothing with
+//! theirs, so throughput falls off a cliff while p99 explodes. The
+//! GCR wrapper admits a bounded set and parks the rest passively, so
+//! its curve stays flat where the bare curve dives — the acceptance
+//! bar is gcr ≥ 2× bare at 128 threads for at least two families.
+//!
+//! `--out` lands the samples in `BENCH_collapse.json`: per
+//! (lock, threads) cell, throughput plus measured p99/p999 full-op
+//! latency. This figure is the CI perf gate (`repro diff
+//! baselines/BENCH_collapse.json ...`), so keep its cells cheap.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use asl_core::epoch;
+use asl_runtime::clock::now_ns;
+use asl_runtime::spawn::run_on_topology_with_stop;
+use asl_runtime::topology::Topology;
+use asl_runtime::work::execute_units;
+use asl_runtime::CacheLineArena;
+
+use crate::hist::Hist;
+use crate::locks::LockSpec;
+use crate::report::{fmt_ops, Table};
+use crate::scenario::{CS_UNITS_PER_LINE, FIG1_LINES};
+
+use super::delegation::{start_controller, PHASE_DONE, PHASE_MEASURE};
+use super::Profile;
+
+/// Per-worker measured ops + full-op latency histogram.
+struct CellOut {
+    per_worker: Vec<(u64, Hist)>,
+    elapsed_ns: u64,
+}
+
+impl CellOut {
+    fn throughput(&self) -> f64 {
+        let total: u64 = self.per_worker.iter().map(|(ops, _)| ops).sum();
+        total as f64 / (self.elapsed_ns.max(1) as f64 / 1e9)
+    }
+
+    fn latencies(&self) -> Hist {
+        let mut all = Hist::new();
+        for (_, h) in &self.per_worker {
+            all.merge(h);
+        }
+        all
+    }
+}
+
+/// One (lock, threads) cell: the Bench-1-style fixed critical section
+/// (cache-line RMW + emulated work) with short think time between ops,
+/// epoch-wrapped when the spec carries an SLO. Thread counts beyond
+/// the topology share cores via the round-robin assignment — exactly
+/// the oversubscription this figure is about.
+fn drive_cell(profile: &Profile, topo: &Topology, spec: &LockSpec, n: usize) -> CellOut {
+    let base_units = FIG1_LINES as u64 * CS_UNITS_PER_LINE;
+    // Think time is deliberately short (2x the critical section):
+    // collapse is a *contention* phenomenon, so the lock must stay
+    // the bottleneck for the admitted set. A think-dominated cell
+    // (fig1's 9x) measures the scheduler instead — every lock looks
+    // the same once each thread only wants the lock 10% of the time.
+    let think_units = 2 * base_units;
+    let lock = spec.make_dyn();
+    let arena = Arc::new(CacheLineArena::new(FIG1_LINES));
+    let slo = spec.epoch_slo();
+    let ctl = start_controller(profile);
+    let phase_ref = &ctl.phase;
+    let lock_ref = &lock;
+    let arena_ref = &arena;
+    let per_worker = run_on_topology_with_stop(topo, n, profile.pin, ctl.stop.clone(), |_ctx| {
+        let critical = || {
+            let _held = lock_ref.lock();
+            arena_ref.rmw(0, FIG1_LINES);
+            execute_units(base_units);
+        };
+        let mut ops = 0u64;
+        let mut hist = Hist::new();
+        while phase_ref.load(Ordering::Relaxed) != PHASE_DONE {
+            let recording = phase_ref.load(Ordering::Relaxed) == PHASE_MEASURE;
+            let t0 = now_ns();
+            match slo {
+                Some(slo) => epoch::with_epoch(0, slo, critical),
+                None => critical(),
+            }
+            if recording {
+                ops += 1;
+                hist.record(now_ns().saturating_sub(t0));
+            }
+            execute_units(think_units);
+        }
+        (ops, hist)
+    });
+    ctl.join.join().expect("controller panicked");
+    CellOut {
+        per_worker,
+        elapsed_ns: ctl.measured_ns.load(Ordering::Relaxed),
+    }
+}
+
+/// The families swept, bare and wrapped. TAS and ticket are the
+/// canonical collapsers; MCS shows queue-lock convoying; LibASL-MAX
+/// shows reordering alone does not fix oversubscription.
+fn families() -> Vec<LockSpec> {
+    vec![
+        "tas".parse().expect("tas"),
+        LockSpec::Ticket,
+        LockSpec::Mcs,
+        LockSpec::asl(None),
+    ]
+}
+
+/// The `collapse` figure: throughput + p99 across the saturation
+/// cliff, bare vs `gcr-` for each family.
+pub fn collapse(profile: &Profile) -> Vec<Table> {
+    let topo = Topology::apple_m1();
+    let mut table = Table::new(
+        "collapse",
+        "scalability collapse at threads >> cores: bare locks vs the gcr- admission wrapper",
+        &["lock", "threads", "thpt", "thpt_ops_s", "p99_us", "p999_us"],
+    );
+    for &threads in &[2usize, 8, 32, 128] {
+        for family in &families() {
+            for wrapped in [false, true] {
+                let spec = if wrapped {
+                    LockSpec::Gcr(Box::new(family.clone()))
+                } else {
+                    family.clone()
+                };
+                let out = drive_cell(profile, &topo, &spec, threads);
+                let thpt = out.throughput();
+                let lat = out.latencies();
+                let (p99, p999) = (lat.p99(), lat.p999());
+                table.push_row(vec![
+                    spec.label(),
+                    threads.to_string(),
+                    fmt_ops(thpt),
+                    format!("{thpt:.0}"),
+                    format!("{:.1}", p99 as f64 / 1_000.0),
+                    format!("{:.1}", p999 as f64 / 1_000.0),
+                ]);
+                table.push_latency_sample(&spec.label(), threads, thpt, p99, p999);
+            }
+        }
+    }
+    table.note("cores = 8 (emulated M1 topology); 32- and 128-thread cells are oversubscribed");
+    table.note("gcr- wrappers admit a bounded set into the inner lock and park the rest passively");
+    table.note("p99/p999 are full-op latencies (lock + CS + release), measured per op");
+    vec![table]
+}

@@ -38,9 +38,9 @@ use crate::scenario::{CS_UNITS_PER_LINE, FIG1_LINES, FIG1_NCS_UNITS};
 
 use super::Profile;
 
-const PHASE_WARMUP: u8 = 0;
-const PHASE_MEASURE: u8 = 1;
-const PHASE_DONE: u8 = 2;
+pub(crate) const PHASE_WARMUP: u8 = 0;
+pub(crate) const PHASE_MEASURE: u8 = 1;
+pub(crate) const PHASE_DONE: u8 = 2;
 
 /// The hog's critical sections are this many times longer.
 const HOG_FACTOR: u64 = 10;
@@ -78,15 +78,15 @@ impl RunOut {
 }
 
 /// Warmup → measure → done phase driver (same protocol as the
-/// `sec5-delegation` figure).
-struct Controller {
-    phase: Arc<AtomicU8>,
-    stop: Arc<AtomicBool>,
-    measured_ns: Arc<AtomicU64>,
-    join: std::thread::JoinHandle<()>,
+/// `sec5-delegation` figure; the `collapse` figure shares it).
+pub(crate) struct Controller {
+    pub(crate) phase: Arc<AtomicU8>,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) measured_ns: Arc<AtomicU64>,
+    pub(crate) join: std::thread::JoinHandle<()>,
 }
 
-fn start_controller(profile: &Profile) -> Controller {
+pub(crate) fn start_controller(profile: &Profile) -> Controller {
     let phase = Arc::new(AtomicU8::new(PHASE_WARMUP));
     let stop = Arc::new(AtomicBool::new(false));
     let measured_ns = Arc::new(AtomicU64::new(0));

@@ -38,7 +38,7 @@ pub fn sec2_numa(profile: &Profile) -> Vec<Table> {
         LockSpec::Mcs,
         LockSpec::Cna,
         LockSpec::Cohort,
-        LockSpec::Malthusian,
+        LockSpec::Malthusian(None),
         LockSpec::ShuffleClassLocal { max_skips: 16 },
         LockSpec::asl(None),
     ];

@@ -12,6 +12,7 @@
 
 pub mod adapt;
 pub mod bench1;
+pub mod collapse;
 pub mod db;
 pub mod delegation;
 pub mod extra;
@@ -158,6 +159,7 @@ pub fn registry() -> Vec<(&'static str, FigureFn)> {
         ("sec2-numa", extra::sec2_numa),
         ("sec5-delegation", extra::sec5_delegation),
         ("delegation", delegation::delegation),
+        ("collapse", collapse::collapse),
         ("rw", rw::rw),
         ("adapt", adapt::adapt),
         ("overhead", overhead::overhead),
@@ -225,6 +227,7 @@ mod tests {
             "sec2-numa",
             "sec5-delegation",
             "delegation",
+            "collapse",
             "sim-numa",
             "sim-fair",
             "sim-oversub",

@@ -187,7 +187,13 @@ fn static_leg(spec: &LockSpec, m: &Meter, instr: bool) -> Leg {
         LockSpec::ShflPb(n) => m.raw(ProportionalLock::new(*n), instr),
         LockSpec::Cna => m.raw(CnaLock::new(), instr),
         LockSpec::Cohort => m.raw(CohortLock::new(), instr),
-        LockSpec::Malthusian => m.raw(MalthusianLock::new(), instr),
+        LockSpec::Malthusian(None) => m.raw(MalthusianLock::new(), instr),
+        LockSpec::Malthusian(Some(p)) => m.raw(MalthusianLock::with_period(*p), instr),
+        // The GCR wrapper is generic over its inner lock, so the
+        // "static" layer here is the concrete GcrPlain facade over
+        // the inner spec's plain lock (the gate cost is identical;
+        // only the inner dispatch differs, measured by dyn_ns).
+        LockSpec::Gcr(inner) => m.plain(asl_locks::GcrPlain::new(inner.make_lock_raw())),
         LockSpec::ShuffleClassLocal { max_skips } => {
             m.raw(ShuffleLock::new(ClassLocalPolicy::new(*max_skips)), instr)
         }

@@ -81,7 +81,7 @@ pub fn sim_numa(profile: &Profile) -> Vec<Table> {
         LockSpec::Ticket,
         LockSpec::Cna,
         LockSpec::Cohort,
-        LockSpec::Malthusian,
+        LockSpec::Malthusian(None),
     ] {
         let r = run_lock(&cfg(profile, topo(), 64), spec_lock(&spec));
         t.push_sample(&spec.label(), 64, r.throughput);

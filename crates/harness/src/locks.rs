@@ -43,8 +43,8 @@ use asl_locks::shuffle::{ClassLocalPolicy, FifoPolicy, ShuffleLock};
 use asl_locks::telemetry;
 use asl_locks::{
     bridge_apply, Adaptive, AsyncPolicy, Bravo, CcSynch, ClhLock, CnaLock, CohortLock,
-    DelegatedMutex, FcBan, FlatCombiner, MalthusianLock, McsLock, McsStpLock, ProportionalLock,
-    PthreadMutex, RclLock, RwTicketLock, TasLock, TicketLock,
+    DelegatedMutex, FcBan, FlatCombiner, GcrPlain, MalthusianLock, McsLock, McsStpLock,
+    ProportionalLock, PthreadMutex, RclLock, RwTicketLock, TasLock, TicketLock,
 };
 use asl_runtime::registry::is_big_core;
 use asl_runtime::AtomicAffinity;
@@ -127,8 +127,10 @@ pub enum LockSpec {
     Cna,
     /// Cohort lock (C-BO-MCS) on core classes (§2.2 comparator).
     Cohort,
-    /// Malthusian MCS (culling + reintroduction, §2.2 comparator).
-    Malthusian,
+    /// Malthusian MCS (culling + reintroduction, §2.2 comparator);
+    /// `Some(n)` reintroduces a culled waiter every `n` handovers,
+    /// `None` keeps the lock's default period.
+    Malthusian(Option<u32>),
     /// ShflLock framework with the NUMA-local-analog class policy.
     ShuffleClassLocal {
         /// Consecutive out-of-order grants before forcing FIFO.
@@ -178,6 +180,10 @@ pub enum LockSpec {
     /// (`instrumented-<name>`): acquisitions land in the process-wide
     /// telemetry registry under the spec's label.
     Instrumented(Box<LockSpec>),
+    /// Concurrency-restriction wrapper over any other spec
+    /// (`gcr-<name>`): admission control bounds how many threads
+    /// compete inside the inner lock; the rest park passively.
+    Gcr(Box<LockSpec>),
 }
 
 impl LockSpec {
@@ -204,7 +210,7 @@ impl LockSpec {
             LockSpec::Asl { slo_ns, .. }
             | LockSpec::AslBlocking { slo_ns }
             | LockSpec::AslRw { slo_ns } => *slo_ns,
-            LockSpec::Instrumented(inner) => inner.epoch_slo(),
+            LockSpec::Instrumented(inner) | LockSpec::Gcr(inner) => inner.epoch_slo(),
             _ => None,
         }
     }
@@ -222,7 +228,7 @@ impl LockSpec {
             | LockSpec::AslRw { slo_ns } => AsyncPolicy::Slo {
                 slo_ns: slo_ns.unwrap_or(u64::MAX),
             },
-            LockSpec::Instrumented(inner) => inner.async_policy(),
+            LockSpec::Instrumented(inner) | LockSpec::Gcr(inner) => inner.async_policy(),
             _ => AsyncPolicy::Fifo,
         }
     }
@@ -234,6 +240,11 @@ impl LockSpec {
         match self {
             LockSpec::RwTicket | LockSpec::BravoRw(_) | LockSpec::AslRw { .. } => true,
             LockSpec::Instrumented(inner) => inner.is_rw(),
+            // A gcr-wrapped rw spec degenerates to exclusive: the
+            // admission gate serializes entries, so shared overlap
+            // behind it would be misleading — and the write-half
+            // degeneration is exactly the collapse case GCR targets.
+            LockSpec::Gcr(_) => false,
             _ => false,
         }
     }
@@ -279,7 +290,8 @@ impl LockSpec {
             LockSpec::ShflPb(n) => Arc::new(ProportionalLock::new(*n)),
             LockSpec::Cna => Arc::new(CnaLock::new()),
             LockSpec::Cohort => Arc::new(CohortLock::new()),
-            LockSpec::Malthusian => Arc::new(MalthusianLock::new()),
+            LockSpec::Malthusian(None) => Arc::new(MalthusianLock::new()),
+            LockSpec::Malthusian(Some(p)) => Arc::new(MalthusianLock::with_period(*p)),
             LockSpec::ShuffleClassLocal { max_skips } => {
                 Arc::new(ShuffleLock::new(ClassLocalPolicy::new(*max_skips)))
             }
@@ -332,6 +344,10 @@ impl LockSpec {
             LockSpec::Instrumented(inner) => {
                 telemetry::instrument(&self.label(), inner.make_lock_raw())
             }
+            // The inner spec keeps its own telemetry/profiling
+            // wrapping (under its own label); the gate goes outside
+            // so passive parking is invisible to the inner lock.
+            LockSpec::Gcr(inner) => Arc::new(GcrPlain::new(inner.make_lock())),
             // rw specs at exclusive call sites: every acquisition
             // takes the write side.
             LockSpec::RwTicket | LockSpec::BravoRw(_) | LockSpec::AslRw { .. } => {
@@ -390,7 +406,8 @@ impl fmt::Display for LockSpec {
             LockSpec::ShflPb(n) => write!(f, "shfl-pb{n}"),
             LockSpec::Cna => f.write_str("cna"),
             LockSpec::Cohort => f.write_str("cohort"),
-            LockSpec::Malthusian => f.write_str("malthusian"),
+            LockSpec::Malthusian(None) => f.write_str("malthusian"),
+            LockSpec::Malthusian(Some(p)) => write!(f, "malthusian-{p}"),
             LockSpec::ShuffleClassLocal { max_skips } => write!(f, "shfl-local{max_skips}"),
             LockSpec::Asl {
                 substrate,
@@ -417,6 +434,7 @@ impl fmt::Display for LockSpec {
             LockSpec::Rcl => f.write_str("rcl"),
             LockSpec::FcBan => f.write_str("fc-ban"),
             LockSpec::Instrumented(inner) => write!(f, "instrumented-{inner}"),
+            LockSpec::Gcr(inner) => write!(f, "gcr-{inner}"),
         }
     }
 }
@@ -472,7 +490,7 @@ impl FromStr for LockSpec {
             "fc-ban" => LockSpec::FcBan,
             "cna" => LockSpec::Cna,
             "cohort" => LockSpec::Cohort,
-            "malthusian" => LockSpec::Malthusian,
+            "malthusian" => LockSpec::Malthusian(None),
             "rw-ticket" => LockSpec::RwTicket,
             "bravo-tas" => LockSpec::BravoRw(BravoInner::Tas),
             "bravo-ticket" => LockSpec::BravoRw(BravoInner::Ticket),
@@ -482,6 +500,14 @@ impl FromStr for LockSpec {
             _ => {
                 if let Some(inner) = s.strip_prefix("instrumented-") {
                     LockSpec::Instrumented(Box::new(inner.parse().map_err(|_| err())?))
+                } else if let Some(inner) = s.strip_prefix("gcr-") {
+                    LockSpec::Gcr(Box::new(inner.parse().map_err(|_| err())?))
+                } else if let Some(p) = s.strip_prefix("malthusian-") {
+                    let period: u32 = p.parse().map_err(|_| err())?;
+                    if period == 0 {
+                        return Err(err());
+                    }
+                    LockSpec::Malthusian(Some(period))
                 } else if let Some(p) = s.strip_prefix("tas-big-p") {
                     LockSpec::Tas(AtomicAffinity::BigWins {
                         penalty_units: p.parse().map_err(|_| err())?,
@@ -620,8 +646,8 @@ pub fn registry() -> Vec<RegistryEntry> {
             "lock cohorting (C-BO-MCS) on core classes",
         ),
         e(
-            LockSpec::Malthusian,
-            "Malthusian MCS: culling + periodic reintroduction",
+            LockSpec::Malthusian(None),
+            "Malthusian MCS: culling + reintroduction (any period: malthusian-<n>)",
         ),
         e(
             LockSpec::asl(Some(70_000)),
@@ -710,6 +736,10 @@ pub fn registry() -> Vec<RegistryEntry> {
         e(
             LockSpec::Instrumented(Box::new(LockSpec::Mcs)),
             "telemetry-recording MCS (any name: instrumented-<name>)",
+        ),
+        e(
+            LockSpec::Gcr(Box::new(LockSpec::Mcs)),
+            "concurrency-restricted MCS (any name: gcr-<name>)",
         ),
     ]
 }

@@ -127,6 +127,10 @@ fn parameterized_families_stay_reachable_beyond_canonical_members() {
         "tas-big-p77",
         "instrumented-adaptive",
         "instrumented-bravo-clh",
+        "malthusian-16",
+        "gcr-ticket",
+        "gcr-libasl-70us",
+        "instrumented-gcr-mcs",
     ] {
         let spec: LockSpec = name
             .parse()
@@ -139,4 +143,50 @@ fn parameterized_families_stay_reachable_beyond_canonical_members() {
         }
         assert!(!lock.is_locked(), "{name}");
     }
+}
+
+#[test]
+fn every_registry_name_is_reachable_behind_the_gcr_wrapper() {
+    // `gcr-` composes like `instrumented-`: any registry name must be
+    // wrappable, round-trip through the prefixed spelling, and still
+    // run a guard-shaped critical section through the admission gate.
+    for entry in registry() {
+        let name = format!("gcr-{}", entry.spec);
+        let spec: LockSpec = name
+            .parse()
+            .unwrap_or_else(|e| panic!("{name}: must parse: {e}"));
+        assert_eq!(spec.to_string(), name, "{name}: round-trip");
+        assert!(!spec.is_rw(), "{name}: the gate serializes, never rw");
+        let lock = spec.make_dyn();
+        for _ in 0..2 {
+            let held = lock.lock();
+            assert!(lock.is_locked(), "{name}: guard must hold");
+            held.unlock();
+            assert!(!lock.is_locked(), "{name}: guard must release");
+        }
+        assert!(
+            lock.try_lock().is_some(),
+            "{name}: free wrapped lock must try_lock"
+        );
+    }
+}
+
+#[test]
+fn malthusian_family_parses_any_period() {
+    for name in ["malthusian", "malthusian-16", "malthusian-1024"] {
+        let spec: LockSpec = name
+            .parse()
+            .unwrap_or_else(|e| panic!("{name}: must stay addressable: {e}"));
+        assert_eq!(spec.to_string(), name, "{name}: round-trip");
+        let lock = spec.make_dyn();
+        {
+            let _held = lock.lock();
+            assert!(lock.is_locked(), "{name}");
+        }
+        assert!(!lock.is_locked(), "{name}");
+    }
+    assert!(
+        "malthusian-0".parse::<LockSpec>().is_err(),
+        "a zero culling period must be rejected, not wrapped"
+    );
 }

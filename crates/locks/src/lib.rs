@@ -99,6 +99,7 @@ pub mod delegation;
 pub mod fcban;
 pub mod flatcomb;
 pub mod futex;
+pub mod gcr;
 pub mod malthusian;
 pub mod mcs;
 pub mod plain;
@@ -129,6 +130,7 @@ pub use delegation::{
 };
 pub use fcban::FcBan;
 pub use flatcomb::{DedicatedServer, FlatCombiner};
+pub use gcr::{Gate, Gcr, GcrConfig, GcrPlain};
 pub use malthusian::MalthusianLock;
 pub use mcs::McsLock;
 pub use plain::{ExclusiveRw, PlainLock, PlainRwLock, PlainRwToken, PlainToken, WriteHalf};

@@ -114,6 +114,12 @@ pub struct TelemetryCell {
     /// between a sampled acquire and its release; protected by the
     /// lock itself being held).
     hold_start_ns: AtomicU64,
+    /// Consecutive contended acquisitions (zeroed by any uncontended
+    /// one). Maintained by [`TelemetryCell::record_acquisition`] only
+    /// — the split `record_contended`/`record_acquired` API leaves it
+    /// untouched. This is the collapse-onset signal the GCR admission
+    /// controller ([`crate::gcr`]) shrinks on.
+    contended_streak: AtomicU64,
     /// Whether hold/wait timing is recorded.
     sampling: AtomicBool,
 }
@@ -154,13 +160,25 @@ impl TelemetryCell {
     }
 
     /// Record one successful acquisition (`contended` = the lock was
-    /// observed held or queued on entry).
+    /// observed held or queued on entry). Also advances (or resets)
+    /// the consecutive-contended streak.
     #[inline]
     pub fn record_acquisition(&self, contended: bool) {
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
         if contended {
             self.contended.fetch_add(1, Ordering::Relaxed);
+            self.contended_streak.fetch_add(1, Ordering::Relaxed);
+        } else if self.contended_streak.load(Ordering::Relaxed) != 0 {
+            self.contended_streak.store(0, Ordering::Relaxed);
         }
+    }
+
+    /// Consecutive contended acquisitions, as of now (reset by any
+    /// uncontended acquisition recorded through
+    /// [`TelemetryCell::record_acquisition`]).
+    #[inline]
+    pub fn contended_streak(&self) -> u64 {
+        self.contended_streak.load(Ordering::Relaxed)
     }
 
     /// Record a contention *observation* before blocking (used by
@@ -238,6 +256,7 @@ impl TelemetryCell {
         self.hold_ns.store(0, Ordering::Relaxed);
         self.wait_ns.store(0, Ordering::Relaxed);
         self.hold_start_ns.store(0, Ordering::Relaxed);
+        self.contended_streak.store(0, Ordering::Relaxed);
     }
 }
 
@@ -271,6 +290,21 @@ impl TelemetrySnapshot {
     /// Mean wait time per acquisition (ns; zero without sampling).
     pub fn avg_wait_ns(&self) -> f64 {
         self.wait_ns as f64 / self.acquisitions.max(1) as f64
+    }
+
+    /// Component-wise saturating difference: the activity *window*
+    /// between an `earlier` snapshot and this one. Feedback loops
+    /// (the GCR admission controller) tick on windows, not lifetime
+    /// totals, so hold-time inflation in the last window is not
+    /// averaged away by a long calm history.
+    pub fn delta(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            acquisitions: self.acquisitions.saturating_sub(earlier.acquisitions),
+            contended: self.contended.saturating_sub(earlier.contended),
+            spin_iters: self.spin_iters.saturating_sub(earlier.spin_iters),
+            hold_ns: self.hold_ns.saturating_sub(earlier.hold_ns),
+            wait_ns: self.wait_ns.saturating_sub(earlier.wait_ns),
+        }
     }
 
     /// Component-wise sum (aggregating several locks under one
@@ -1036,6 +1070,47 @@ mod tests {
         let labels: Vec<String> = snapshots().into_iter().map(|(l, _)| l).collect();
         assert!(labels.iter().any(|l| l == "trunc-test-before"));
         assert!(!labels.iter().any(|l| l == "trunc-test-after"));
+    }
+
+    #[test]
+    fn contended_streak_advances_and_resets() {
+        let c = TelemetryCell::new();
+        assert_eq!(c.contended_streak(), 0);
+        c.record_acquisition(true);
+        c.record_acquisition(true);
+        assert_eq!(c.contended_streak(), 2);
+        c.record_acquisition(false);
+        assert_eq!(c.contended_streak(), 0, "uncontended resets the streak");
+        c.record_acquisition(true);
+        assert_eq!(c.contended_streak(), 1);
+        // The split API is streak-neutral (self-reporting locks keep
+        // their own streaks — see `Adaptive`).
+        c.record_contended();
+        c.record_acquired();
+        assert_eq!(c.contended_streak(), 1);
+        c.reset();
+        assert_eq!(c.contended_streak(), 0);
+    }
+
+    #[test]
+    fn snapshot_delta_is_a_window() {
+        let c = TelemetryCell::new();
+        c.record_acquisition(true);
+        c.add_spins(3);
+        let early = c.snapshot();
+        c.record_acquisition(false);
+        c.record_acquisition(true);
+        c.add_spins(4);
+        c.add_wait_ns(100);
+        let w = c.snapshot().delta(&early);
+        assert_eq!(w.acquisitions, 2);
+        assert_eq!(w.contended, 1);
+        assert_eq!(w.spin_iters, 4);
+        assert_eq!(w.wait_ns, 100);
+        // Saturating: a reset between snapshots cannot underflow.
+        c.reset();
+        let w2 = c.snapshot().delta(&early);
+        assert_eq!(w2.acquisitions, 0);
     }
 
     #[test]

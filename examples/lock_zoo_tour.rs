@@ -44,7 +44,7 @@ fn main() {
         LockSpec::ShflPb(10),
         LockSpec::Cna,
         LockSpec::Cohort,
-        LockSpec::Malthusian,
+        LockSpec::Malthusian(None),
         LockSpec::ShuffleClassLocal { max_skips: 16 },
         LockSpec::asl(None),
     ];

@@ -21,7 +21,11 @@
 //!   Observability is first-class: `asl_locks::telemetry` records
 //!   lock-agnostic acquisition counters ([`TelemetryCell`],
 //!   [`Instrumented`]) and the contention-[`Adaptive`] lock morphs
-//!   its substrate (TAS ↔ FIFO queue) from that signal. The async
+//!   its substrate (TAS ↔ FIFO queue ↔ admission-restricted) from
+//!   that signal. Generic concurrency restriction ([`Gcr`],
+//!   [`GcrPlain`]) wraps *any* lock in an admission gate that parks
+//!   surplus waiters passively — the collapse-proofing layer behind
+//!   every `gcr-<name>` registry spec. The async
 //!   layer ([`AsyncMutex`], [`AsyncFifoMutex`], [`AsyncDynMutex`])
 //!   parks waiters as queued wakers on the [`runtime`]'s executor
 //!   ([`Executor`], [`block_on`]) and wakes them FIFO or in SLO-aware
@@ -104,6 +108,26 @@
 //! assert_eq!(counter.into_inner(), 5);
 //! ```
 //!
+//! When runnable threads outnumber cores, restrict instead of queue:
+//! [`Gcr`] wraps any lock in an admission gate — at most `K` threads
+//! compete inside, the rest park passively (off the run queue) and
+//! are reintroduced periodically for long-term fairness. The same
+//! guards, no collapse at 128 threads on 8 cores:
+//!
+//! ```
+//! use libasl::locks::{RawLock, TicketLock};
+//! use libasl::{Gcr, GcrConfig, GuardedLock};
+//!
+//! // Admit at most 2 threads into the ticket lock's waiter set.
+//! let lock = Gcr::with_config(TicketLock::new(), GcrConfig::fixed(2));
+//! {
+//!     let _held = lock.guard();
+//!     assert!(lock.is_locked());
+//!     assert_eq!(lock.limit(), 2);
+//! }
+//! assert!(!lock.is_locked());
+//! ```
+//!
 //! Read-mostly state goes behind the reader-writer shapes — shared
 //! guards overlap, exclusive guards exclude everyone:
 //!
@@ -161,6 +185,7 @@ pub use asl_locks::{
     CcSynch, DelegatedMutex, DelegationHandle, DelegationLock, FcBan, FlatCombiner, RclLock,
     RclServer, SlotsExhausted,
 };
+pub use asl_locks::{Gate, Gcr, GcrConfig, GcrPlain};
 pub use asl_runtime::{block_on, CoreKind, Executor, JoinHandle, Topology};
 
 /// The recommended application-facing mutex: LibASL dispatch over a

@@ -71,7 +71,7 @@ fn cohort_mutual_exclusion_mixed_classes() {
 
 #[test]
 fn malthusian_mutual_exclusion_mixed_classes() {
-    hammer_spec(&LockSpec::Malthusian, 10_000);
+    hammer_spec(&LockSpec::Malthusian(None), 10_000);
 }
 
 #[test]
@@ -194,7 +194,7 @@ fn new_specs_have_distinct_labels() {
     let labels = [
         LockSpec::Cna.label(),
         LockSpec::Cohort.label(),
-        LockSpec::Malthusian.label(),
+        LockSpec::Malthusian(None).label(),
         LockSpec::ShuffleClassLocal { max_skips: 16 }.label(),
     ];
     let mut sorted = labels.to_vec();
