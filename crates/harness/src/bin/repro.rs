@@ -40,6 +40,13 @@ fn main() {
         run_diff(&args[1..]);
     }
 
+    // `repro torture [--quick] [--seed N] [--sim|--os] [--lock NAME]
+    // [--out DIR]` — the locktorture-style fault-schedule sweep
+    // (exit 1 = an invariant oracle failed).
+    if args[0] == "torture" {
+        std::process::exit(asl_harness::torture::run_torture(&args[1..]));
+    }
+
     let mut quick = false;
     let mut profile_locks = false;
     let mut out_dir: Option<String> = None;
@@ -282,6 +289,7 @@ fn usage() {
     eprintln!(
         "usage: repro [--quick|--full] [--profile] [--out DIR] [--lock NAME]... <figure-id>... | all | list | locks\n\
          \u{20}      repro diff <old.json> <new.json>... [--noise 0.10]   # exit 1 on regression (several new files: median)\n\
+         \u{20}      repro torture [--quick] [--seed N] [--sim|--os] [--lock NAME] [--out DIR]   # fault-schedule sweep, exit 1 on oracle failure\n\
          figure ids: fig1 fig4 fig5 fig8a fig8b fig8c fig8d fig8ef fig8g fig8hi\n\
          \u{20}          fig9-kyoto fig9-upscale fig9-lmdb fig10-leveldb fig10-sqlite alt-topology\n\
          \u{20}          sec2-numa sec5-delegation delegation collapse rw adapt overhead kv\n\

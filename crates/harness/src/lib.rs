@@ -28,6 +28,7 @@ pub mod locks;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod torture;
 
 pub use hist::Hist;
 pub use runner::{run_timed, RunConfig, RunResult};

@@ -1,0 +1,96 @@
+//! The three named adversarial schedules as exact deterministic
+//! tests (ISSUE 10 acceptance): each runs on the simulated machine,
+//! must pass every invariant oracle, and must replay byte-identically
+//! from its seed.
+
+use asl_harness::torture::{
+    run_sim_sweep, schedule_gcr_spurious, schedule_holder_preemption, schedule_panic_delegated,
+    BoutReport, TortureOpts,
+};
+
+fn assert_green_and_replayable(name: &str, a: BoutReport, b: BoutReport) {
+    assert!(a.passed(), "{name}: oracle failed:\n{}", a.render());
+    assert_eq!(
+        a.render(),
+        b.render(),
+        "{name}: schedule is not replayable from its seed"
+    );
+}
+
+/// Schedule 1: the MCS holder is stalled mid-handover (poll and wake
+/// boundaries both fire). FIFO hand-off order must survive exactly,
+/// nobody starves, mutual exclusion holds.
+#[test]
+fn holder_preemption_mid_handover() {
+    let a = schedule_holder_preemption(1009);
+    let b = schedule_holder_preemption(1009);
+    let fifo = a
+        .oracles
+        .iter()
+        .find(|o| o.name == "fifo")
+        .expect("fifo oracle");
+    assert!(
+        fifo.pass,
+        "fifo violated under holder stalls: {}",
+        fifo.detail
+    );
+    assert_green_and_replayable("holder-preemption", a, b);
+}
+
+/// Schedule 2: every second park returns spuriously while GCR's
+/// reintroduction keeps force-admitting passive waiters. The
+/// admission bound must hold (modulo force-admit overshoot) and the
+/// reintroduction path must actually exercise.
+#[test]
+fn spurious_wake_during_gcr_reintroduction() {
+    let a = schedule_gcr_spurious(2003);
+    let b = schedule_gcr_spurious(2003);
+    // The schedule is pointless if spurious wakes never fired.
+    assert!(
+        a.faults.contains("spurious=") && !a.faults.contains("spurious=0 "),
+        "no spurious wakes injected: {}",
+        a.faults
+    );
+    assert_green_and_replayable("gcr-spurious-reintroduction", a, b);
+}
+
+/// Schedule 3: a planned panic fires inside a delegated op on the
+/// combiner's stack. Exactly one submitter sees it re-raised, the
+/// combiner and the shared state survive.
+#[test]
+fn panic_inside_delegated_op() {
+    let a = schedule_panic_delegated(3001);
+    let b = schedule_panic_delegated(3001);
+    let delivered = a
+        .oracles
+        .iter()
+        .find(|o| o.name == "panic-delivered")
+        .expect("panic oracle");
+    assert!(
+        delivered.pass,
+        "panic not delivered exactly once: {}",
+        delivered.detail
+    );
+    assert_green_and_replayable("panic-in-delegated-op", a, b);
+}
+
+/// The full quick sim sweep (what CI's torture-smoke runs) passes and
+/// replays byte-identically — the `--seed` contract end to end.
+#[test]
+fn quick_sim_sweep_is_green_and_byte_stable() {
+    let opts = TortureOpts {
+        seed: 42,
+        quick: true,
+        sim: true,
+        os: false,
+        lock: None,
+        out: std::path::PathBuf::new(),
+    };
+    let a = run_sim_sweep(&opts);
+    let b = run_sim_sweep(&opts);
+    assert!(!a.is_empty());
+    for (x, y) in a.iter().zip(&b) {
+        assert!(x.passed(), "{}: oracle failed:\n{}", x.title, x.render());
+        assert_eq!(x.render(), y.render(), "{} not replayable", x.title);
+    }
+}

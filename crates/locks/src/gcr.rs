@@ -94,6 +94,17 @@ const GRANTED: u32 = 1;
 /// wakes, short enough that draining an abandoned gate is prompt.
 pub const PASSIVE_RESCUE_BOUND: std::time::Duration = std::time::Duration::from_millis(50);
 
+/// How a passive wait on the gate ended (see `Gate::wait_passive`).
+enum PassiveWait {
+    /// An admission slot was transferred to us by a waker.
+    Granted,
+    /// We delisted ourselves before parking (headroom appeared); no
+    /// slot held — re-compete.
+    Retracted,
+    /// The deadline passed and we delisted ourselves; no slot held.
+    TimedOut,
+}
+
 /// One parked passive waiter. Lives on the waiting thread's stack;
 /// linked into the gate's LIFO under the list lock. Ownership hands
 /// back to the waiter the instant `state` becomes [`GRANTED`] — a
@@ -249,20 +260,58 @@ impl Gate {
             return false;
         }
         loop {
-            if self.wait_passive() {
-                // Granted: the waker already transferred a slot to us.
-                return true;
-            }
-            // Retracted — room appeared while we were publishing.
-            if self.try_enter() {
-                return true;
+            match self.wait_passive(None) {
+                PassiveWait::Granted => {
+                    // The waker already transferred a slot to us.
+                    return true;
+                }
+                PassiveWait::TimedOut => unreachable!("no deadline"),
+                // Retracted — room appeared while we were publishing.
+                PassiveWait::Retracted => {
+                    if self.try_enter() {
+                        return true;
+                    }
+                }
             }
         }
     }
 
-    /// Park on the passive LIFO. Returns `true` if an admission slot
-    /// was transferred to us, `false` if we retracted before parking.
-    fn wait_passive(&self) -> bool {
+    /// [`Gate::admit`] with a deadline (absolute
+    /// [`asl_runtime::clock`] nanoseconds): the timed-acquisition
+    /// front half of [`Gcr`]'s `try_lock_until`. Returns
+    /// `Some(waited)` when admitted (`waited` is the contention
+    /// signal, as in `admit`), `None` when the deadline passed first —
+    /// in which case the caller holds no admission slot and no
+    /// passive-list node remains.
+    pub fn admit_until(&self, deadline_ns: u64) -> Option<bool> {
+        if self.try_enter() {
+            return Some(false);
+        }
+        loop {
+            match self.wait_passive(Some(deadline_ns)) {
+                PassiveWait::Granted => return Some(true),
+                PassiveWait::TimedOut => return None,
+                PassiveWait::Retracted => {
+                    if self.try_enter() {
+                        return Some(true);
+                    }
+                    if asl_runtime::clock::now_ns() >= deadline_ns {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Park on the passive LIFO until granted a slot, retracted, or
+    /// (with a deadline) expired. The timeout path is the passive
+    /// *self-rescue* path pointed at the caller instead of the gate:
+    /// the expired waiter unlinks its own node under the list lock,
+    /// exactly like a rescuer delisting itself on observed headroom —
+    /// and a failed unlink means a grant is already published, which
+    /// the waiter then accepts (a late win, allowed by the timed
+    /// contract).
+    fn wait_passive(&self, deadline_ns: Option<u64>) -> PassiveWait {
         let node = PassiveNode {
             state: AtomicU32::new(WAITING),
             thread: std::thread::current(),
@@ -289,12 +338,12 @@ impl Gate {
             }
             self.passive_len.fetch_sub(1, Ordering::SeqCst);
             self.list_lock.unlock(());
-            return false;
+            return PassiveWait::Retracted;
         }
         self.list_lock.unlock(());
         loop {
             if node.state.load(Ordering::Acquire) == GRANTED {
-                return true;
+                return PassiveWait::Granted;
             }
             // Self-rescue: a releaser leaves a freed slot silently
             // (no wake — see `exit`), betting it will be reclaimed by
@@ -304,19 +353,33 @@ impl Gate {
             // nobody for longer than one park bound.
             if self.active.load(Ordering::SeqCst) < self.limit.load(Ordering::Relaxed) {
                 if self.try_unlink(node_ptr) {
-                    return false;
+                    return PassiveWait::Retracted;
                 }
                 // Not on the list and not (yet) GRANTED is impossible
                 // under the list lock, so a failed unlink means our
                 // grant is already published: loop to observe it.
                 continue;
             }
+            // Timed admission: expire by the same delisting move.
+            let mut park_bound = PASSIVE_RESCUE_BOUND;
+            if let Some(d) = deadline_ns {
+                let now = asl_runtime::clock::now_ns();
+                if now >= d {
+                    if self.try_unlink(node_ptr) {
+                        return PassiveWait::TimedOut;
+                    }
+                    // Grant already published: observe it above.
+                    continue;
+                }
+                // Never oversleep the deadline by a full rescue bound.
+                park_bound = park_bound.min(std::time::Duration::from_nanos(d - now));
+            }
             // Substrate-aware: on the simulator this charges a
             // bounded virtual wait and returns (so the rescue check
             // above reruns in virtual time); on the OS it parks with
             // a timeout bounding the rescue latency. Spurious returns
             // just re-check the predicate.
-            asl_runtime::substrate::park_or(|| std::thread::park_timeout(PASSIVE_RESCUE_BOUND));
+            asl_runtime::substrate::park_or(|| std::thread::park_timeout(park_bound));
         }
     }
 
@@ -822,6 +885,37 @@ impl<L: RawLock> RawLock for Gcr<L> {
 
 // Deliberately NOT FifoLock: admission control reorders waiters (the
 // passive LIFO jumps recent arrivals ahead of parked ones).
+
+impl<L: crate::timed::RawTimedLock> crate::timed::RawTimedLock for Gcr<L> {
+    /// Timed acquisition in two halves sharing one deadline: a timed
+    /// admission ([`Gate::admit_until`], built on the passive
+    /// self-rescue path) and then the inner lock's own timed wait. An
+    /// inner timeout rolls the admission back, so a `None` leaves no
+    /// residue in either layer.
+    fn try_lock_until(&self, deadline_ns: u64) -> Option<L::Token> {
+        let waited = self.gate.admit_until(deadline_ns)?;
+        let contended = waited || self.inner.is_locked();
+        let t0 = if self.cell.sampling() && contended {
+            now_ns()
+        } else {
+            0
+        };
+        match self.inner.try_lock_until(deadline_ns) {
+            Some(token) => {
+                if t0 != 0 {
+                    self.cell.add_wait_ns(now_ns().saturating_sub(t0));
+                }
+                self.cell.record_acquisition(contended);
+                self.cell.note_hold_start();
+                Some(token)
+            }
+            None => {
+                self.gate.exit();
+                None
+            }
+        }
+    }
+}
 
 /// Concurrency-restricted wrapper over a runtime-chosen lock — the
 /// registry's `gcr-<name>` specs materialize these. The inner lock's

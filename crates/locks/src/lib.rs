@@ -40,6 +40,13 @@
 //! [`Adaptive`] lock is built on the same signal: it morphs substrate
 //! when its own telemetry shows sustained contention.
 //!
+//! Robustness is another: [`timed`] defines [`RawTimedLock`]
+//! (deadline-bounded acquisition with per-family back-out protocols,
+//! implemented for TAS, ticket, MCS and `Gcr<L>`), and [`watchdog`]
+//! provides the telemetry-fed [`StallWatchdog`] that dumps a
+//! diagnostic snapshot instead of letting a stalled lock hang
+//! silently.
+//!
 //! Three lock interfaces are provided, layered:
 //!
 //! * [`api`] — **the recommended surface**: RAII guards over any lock.
@@ -110,6 +117,8 @@ pub mod shuffle;
 pub mod tas;
 pub mod telemetry;
 pub mod ticket;
+pub mod timed;
+pub mod watchdog;
 
 pub use adaptive::{Adaptive, AdaptiveMode, AdaptiveToken};
 pub use api::{
@@ -141,6 +150,8 @@ pub use shuffle::{Candidate, ShuffleLock, ShufflePolicy};
 pub use tas::TasLock;
 pub use telemetry::{Instrumented, InstrumentedRw, TelemetryCell, TelemetrySnapshot};
 pub use ticket::TicketLock;
+pub use timed::RawTimedLock;
+pub use watchdog::{StallReport, StallWatchdog, WatchSample, WatchdogConfig};
 
 /// A statically dispatched lock.
 ///

@@ -21,6 +21,10 @@ use crate::{FifoLock, RawLock};
 
 const WAITING: u32 = 1;
 const GRANTED: u32 = 0;
+/// A timed waiter that gave up. The node's ownership transfers to
+/// whichever releaser reaches it: the releaser *adopts* the node —
+/// skips it in the grant chain and reclaims it (see `unlock`).
+const ABANDONED: u32 = 2;
 
 /// One queue node. Aligned to a cache line so waiters' spin targets
 /// do not false-share.
@@ -161,36 +165,54 @@ impl RawLock for McsLock {
 
     #[inline]
     fn unlock(&self, token: McsToken) {
-        let node = token.0;
-        unsafe {
-            let mut next = node.as_ref().next.load(Ordering::Acquire);
-            if next.is_null() {
-                // No known successor: try to close the queue.
-                if self
-                    .tail
-                    .compare_exchange(
-                        node.as_ptr(),
-                        ptr::null_mut(),
-                        Ordering::Release,
-                        Ordering::Relaxed,
-                    )
-                    .is_ok()
-                {
-                    put_node(node);
+        let mut node = token.0;
+        // Grant chain: hand to the successor, but a successor that
+        // abandoned its timed wait transferred its node to us — adopt
+        // it (reclaim) and repeat on *its* successor. Untimed waiters
+        // never abandon, so without timed use the loop runs once and
+        // the grant CAS cannot fail.
+        loop {
+            unsafe {
+                let mut next = node.as_ref().next.load(Ordering::Acquire);
+                if next.is_null() {
+                    // No known successor: try to close the queue.
+                    if self
+                        .tail
+                        .compare_exchange(
+                            node.as_ptr(),
+                            ptr::null_mut(),
+                            Ordering::Release,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                    {
+                        put_node(node);
+                        return;
+                    }
+                    // A successor is enqueueing; wait for the link.
+                    let mut spin = asl_runtime::relax::Spin::new();
+                    loop {
+                        next = node.as_ref().next.load(Ordering::Acquire);
+                        if !next.is_null() {
+                            break;
+                        }
+                        spin.relax();
+                    }
+                }
+                // The CAS races the successor's own WAITING → ABANDONED
+                // at its deadline: exactly one side wins, so the lock
+                // is either granted or the node is ours to adopt.
+                let granted = (*next)
+                    .state
+                    .compare_exchange(WAITING, GRANTED, Ordering::Release, Ordering::Acquire)
+                    .is_ok();
+                put_node(node);
+                if granted {
                     return;
                 }
-                // A successor is enqueueing; wait for the link.
-                let mut spin = asl_runtime::relax::Spin::new();
-                loop {
-                    next = node.as_ref().next.load(Ordering::Acquire);
-                    if !next.is_null() {
-                        break;
-                    }
-                    spin.relax();
-                }
+                debug_assert_eq!((*next).state.load(Ordering::Relaxed), ABANDONED);
+                node = NonNull::new_unchecked(next);
             }
-            (*next).state.store(GRANTED, Ordering::Release);
-            put_node(node);
         }
     }
 
@@ -203,6 +225,53 @@ impl RawLock for McsLock {
 }
 
 impl FifoLock for McsLock {}
+
+impl crate::timed::RawTimedLock for McsLock {
+    /// Timed abandon: at the deadline the waiter CASes its own node
+    /// `WAITING → ABANDONED`. Success transfers node ownership to the
+    /// eventual releaser (which adopts and reclaims it — see
+    /// `unlock`); failure means the grant already landed, so the
+    /// acquisition succeeded at the wire.
+    fn try_lock_until(&self, deadline_ns: u64) -> Option<McsToken> {
+        let node = take_node();
+        unsafe {
+            node.as_ref().state.store(WAITING, Ordering::Relaxed);
+            node.as_ref().next.store(ptr::null_mut(), Ordering::Relaxed);
+        }
+        let pred = self.tail.swap(node.as_ptr(), Ordering::AcqRel);
+        if pred.is_null() {
+            return Some(McsToken(node));
+        }
+        // SAFETY: `pred` cannot be recycled until we link ourselves —
+        // its owner (or adopter) spins on `pred.next`.
+        unsafe {
+            (*pred).next.store(node.as_ptr(), Ordering::Release);
+        }
+        let mut spin = asl_runtime::relax::Spin::new();
+        loop {
+            if unsafe { node.as_ref().state.load(Ordering::Acquire) } == GRANTED {
+                return Some(McsToken(node));
+            }
+            if asl_runtime::clock::coarse_now_ns() >= deadline_ns {
+                match unsafe {
+                    node.as_ref().state.compare_exchange(
+                        WAITING,
+                        ABANDONED,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                } {
+                    // Abandoned: the node now belongs to the releaser
+                    // that reaches it; we must not touch it again.
+                    Ok(_) => return None,
+                    // The grant won the race: we hold the lock.
+                    Err(_) => return Some(McsToken(node)),
+                }
+            }
+            spin.relax();
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -237,6 +237,18 @@ impl TelemetryCell {
         }
     }
 
+    /// Timestamp ([`now_ns`] timeline) at which the in-flight hold
+    /// began, or 0 when no hold is open (or sampling is off). The
+    /// [`crate::watchdog::StallWatchdog`]'s signal: `now - start` is
+    /// how long the current holder has been inside the critical
+    /// section, readable from *outside* the lock without touching the
+    /// accumulated `hold_ns` (which only advances on release —
+    /// exactly the counter a stalled holder never reaches).
+    #[inline]
+    pub fn hold_started_ns(&self) -> u64 {
+        self.hold_start_ns.load(Ordering::Relaxed)
+    }
+
     /// Consistent-enough point-in-time view for reporting.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         TelemetrySnapshot {

@@ -3,7 +3,19 @@
 //! Take a ticket, spin until the now-serving counter reaches it.
 //! Strict FIFO handover, so on AMP it exhibits the same throughput
 //! collapse as MCS (Fig. 8a measures it explicitly).
+//!
+//! ## Timed back-out
+//!
+//! A timed waiter ([`crate::timed::RawTimedLock`]) that expires
+//! first tries to *retract* its ticket (CAS `next` back down — only
+//! possible for the tail ticket); failing that it deeds the ticket to
+//! a small abandon list that the release path drains: whenever
+//! `serving` lands on an abandoned ticket, the releaser advances it
+//! again. This is the same drain-target idea as
+//! [`crate::rw_ticket`]'s writer drain — the counter the grant chain
+//! waits on is pushed *past* entries nobody will claim.
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::{FifoLock, RawLock};
@@ -12,7 +24,21 @@ use crate::{FifoLock, RawLock};
 pub struct TicketLock {
     next: AtomicU64,
     serving: AtomicU64,
+    /// Exact count of deeded (abandoned, not yet drained) tickets —
+    /// the release fast path's one-load gate.
+    abandoned_len: AtomicU64,
+    /// Protects `abandoned`. A TAS lock, not a ticket lock: it is
+    /// only ever held for a few loads/stores, and using the same
+    /// family would recurse.
+    abandon_lock: crate::tas::TasLock,
+    /// Deeded tickets awaiting drain. Tiny (bounded by concurrent
+    /// timed waiters), scanned linearly.
+    abandoned: UnsafeCell<Vec<u64>>,
 }
+
+// SAFETY: `abandoned` is only touched while `abandon_lock` is held.
+unsafe impl Send for TicketLock {}
+unsafe impl Sync for TicketLock {}
 
 impl TicketLock {
     /// New unlocked ticket lock.
@@ -20,14 +46,42 @@ impl TicketLock {
         TicketLock {
             next: AtomicU64::new(0),
             serving: AtomicU64::new(0),
+            abandoned_len: AtomicU64::new(0),
+            abandon_lock: crate::tas::TasLock::new(),
+            abandoned: UnsafeCell::new(Vec::new()),
         }
     }
 
-    /// Number of threads currently holding or waiting.
+    /// Number of threads currently holding or waiting (abandoned
+    /// tickets count until drained — transiently, since every release
+    /// drains).
     pub fn queue_depth(&self) -> u64 {
         let next = self.next.load(Ordering::Relaxed);
         let serving = self.serving.load(Ordering::Relaxed);
         next.saturating_sub(serving)
+    }
+
+    /// Advance `serving` past consecutively abandoned tickets. Called
+    /// by the release path whenever the abandon list is non-empty;
+    /// granters pop under the same lock timed waiters deed under, so
+    /// `serving == T` with `T` undrained means `T`'s owner abandoned
+    /// and the chain must move on.
+    #[cold]
+    fn drain_abandoned(&self) {
+        self.abandon_lock.lock();
+        loop {
+            let s = self.serving.load(Ordering::Relaxed);
+            let list = unsafe { &mut *self.abandoned.get() };
+            match list.iter().position(|&t| t == s) {
+                Some(pos) => {
+                    list.swap_remove(pos);
+                    self.abandoned_len.fetch_sub(1, Ordering::Relaxed);
+                    self.serving.fetch_add(1, Ordering::Release);
+                }
+                None => break,
+            }
+        }
+        self.abandon_lock.unlock(());
     }
 }
 
@@ -73,7 +127,15 @@ impl RawLock for TicketLock {
 
     #[inline]
     fn unlock(&self, _t: ()) {
-        self.serving.fetch_add(1, Ordering::Release);
+        // SeqCst: Dekker pair with the timed back-out. The abandoner
+        // publishes its ticket (list push + `abandoned_len` add),
+        // then re-reads `serving`; we advance `serving`, then read
+        // `abandoned_len`. At least one side must observe the other,
+        // or a grant could land on a deeded ticket nobody drains.
+        self.serving.fetch_add(1, Ordering::SeqCst);
+        if self.abandoned_len.load(Ordering::SeqCst) != 0 {
+            self.drain_abandoned();
+        }
     }
 
     #[inline]
@@ -85,6 +147,74 @@ impl RawLock for TicketLock {
 }
 
 impl FifoLock for TicketLock {}
+
+impl crate::timed::RawTimedLock for TicketLock {
+    /// Back out of a ticket wait (module docs): retract the tail
+    /// ticket if nobody queued behind us, else deed it to the abandon
+    /// list. Both paths leave the grant chain able to reach every
+    /// live waiter.
+    fn try_lock_until(&self, deadline_ns: u64) -> Option<()> {
+        // Fast path: a free lock is a plain immediate acquisition.
+        if self.try_lock().is_some() {
+            return Some(());
+        }
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        if self.serving.load(Ordering::Acquire) == ticket {
+            return Some(());
+        }
+        let mut spin = asl_runtime::relax::Spin::new();
+        loop {
+            if self.serving.load(Ordering::Acquire) == ticket {
+                return Some(());
+            }
+            if asl_runtime::clock::coarse_now_ns() >= deadline_ns {
+                break;
+            }
+            spin.relax();
+        }
+        // Expired. Retract if we are still the tail: `next` back from
+        // `ticket + 1` to `ticket` unissues our ticket entirely.
+        if self
+            .next
+            .compare_exchange(
+                ticket.wrapping_add(1),
+                ticket,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+        {
+            return None;
+        }
+        // Someone queued behind us: the ticket must be deeded so the
+        // chain can drain past it. Grants pop under `abandon_lock`
+        // (see `drain_abandoned`), so the `serving == ticket` checks
+        // below cannot race a concurrent drain of our own ticket.
+        self.abandon_lock.lock();
+        if self.serving.load(Ordering::Acquire) == ticket {
+            // The grant landed while we were expiring: we own the
+            // lock (a late win, allowed by the timed contract).
+            self.abandon_lock.unlock(());
+            return Some(());
+        }
+        unsafe { (*self.abandoned.get()).push(ticket) };
+        self.abandoned_len.fetch_add(1, Ordering::SeqCst);
+        // Dekker pair with `unlock` (see there): re-read `serving`
+        // after publishing. If the grant landed in between and the
+        // releaser missed our publication, nobody would drain us —
+        // so take the lock instead.
+        if self.serving.load(Ordering::SeqCst) == ticket {
+            let list = unsafe { &mut *self.abandoned.get() };
+            let pos = list.iter().position(|&t| t == ticket).expect("own ticket");
+            list.swap_remove(pos);
+            self.abandoned_len.fetch_sub(1, Ordering::Relaxed);
+            self.abandon_lock.unlock(());
+            return Some(());
+        }
+        self.abandon_lock.unlock(());
+        None
+    }
+}
 
 #[cfg(test)]
 mod tests {

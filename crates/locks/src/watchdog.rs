@@ -1,0 +1,375 @@
+//! Telemetry-fed stall watchdog.
+//!
+//! A stalled lock is the worst observability case: the counters stop
+//! moving and the process just hangs. [`StallWatchdog`] runs a small
+//! background sampler over probe closures (one per watched lock) and,
+//! past a configurable hold or no-progress bound, dumps a diagnostic
+//! snapshot — lock label, how long the hold has been open, waiter
+//! count, admitted set — to stderr and to an in-process report list,
+//! instead of hanging silently.
+//!
+//! Two conditions fire, each once per stall episode (they re-arm when
+//! the condition clears):
+//!
+//! * **hold exceeded** — the in-flight hold
+//!   ([`crate::telemetry::TelemetryCell::hold_started_ns`], surfaced
+//!   through [`WatchSample::hold_started_ns`]) has been open longer
+//!   than [`WatchdogConfig::hold_bound_ns`]. This is the
+//!   holder-preempted / holder-looping case.
+//! * **no progress** — waiters exist but the acquisition counter has
+//!   not advanced for [`WatchdogConfig::wait_bound_ns`]. This is the
+//!   lost-wakeup / stranded-queue case, which an in-flight hold alone
+//!   cannot see.
+//!
+//! The sampler reads wall-clock time and runs on a plain OS thread —
+//! it observes, it never participates in the locking protocol, so it
+//! keeps working even when every workload thread is wedged (which is
+//! the point).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use asl_runtime::clock::{ms, now_ns};
+
+/// One probe reading: everything the watchdog needs to judge a lock,
+/// gathered by the watch's closure so any lock family (telemetry
+/// cell, GCR gate, delegation slots) can be watched without a common
+/// trait.
+#[derive(Clone, Debug, Default)]
+pub struct WatchSample {
+    /// Total acquisitions so far (the progress counter).
+    pub acquisitions: u64,
+    /// When the in-flight hold began ([`now_ns`] timeline), 0 if none
+    /// is open — see
+    /// [`crate::telemetry::TelemetryCell::hold_started_ns`].
+    pub hold_started_ns: u64,
+    /// Threads currently waiting (queue depth, passive length, …).
+    pub waiters: u64,
+    /// Human-readable admitted-set / holder description for the dump
+    /// (e.g. `"active=3/4 passive=9"`).
+    pub admitted: String,
+}
+
+/// Bounds and cadence for a [`StallWatchdog`].
+#[derive(Clone, Copy, Debug)]
+pub struct WatchdogConfig {
+    /// Fire when an in-flight hold exceeds this (ns).
+    pub hold_bound_ns: u64,
+    /// Fire when waiters exist but acquisitions have not advanced for
+    /// this long (ns).
+    pub wait_bound_ns: u64,
+    /// Sampler period.
+    pub poll: Duration,
+}
+
+impl Default for WatchdogConfig {
+    /// A hold of 500ms or a second of waiter starvation is far past
+    /// anything the harness workloads do on purpose.
+    fn default() -> Self {
+        WatchdogConfig {
+            hold_bound_ns: ms(500),
+            wait_bound_ns: ms(1_000),
+            poll: Duration::from_millis(20),
+        }
+    }
+}
+
+/// What tripped a report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallKind {
+    /// In-flight hold exceeded [`WatchdogConfig::hold_bound_ns`].
+    HoldExceeded,
+    /// Waiters present, no acquisition for
+    /// [`WatchdogConfig::wait_bound_ns`].
+    NoProgress,
+}
+
+/// One diagnostic snapshot dumped by the watchdog.
+#[derive(Clone, Debug)]
+pub struct StallReport {
+    /// Label the watch was registered under.
+    pub label: String,
+    /// Which bound tripped.
+    pub kind: StallKind,
+    /// How long the offending condition had lasted when sampled (ns).
+    pub stalled_ns: u64,
+    /// Waiter count at sampling time.
+    pub waiters: u64,
+    /// Admitted-set / holder description at sampling time.
+    pub admitted: String,
+}
+
+impl StallReport {
+    /// The one-line diagnostic the sampler prints to stderr.
+    pub fn render(&self) -> String {
+        format!(
+            "[watchdog] {}: {:?} for {}ms (waiters={}, admitted: {})",
+            self.label,
+            self.kind,
+            self.stalled_ns / 1_000_000,
+            self.waiters,
+            if self.admitted.is_empty() {
+                "?"
+            } else {
+                &self.admitted
+            },
+        )
+    }
+}
+
+type Probe = Box<dyn Fn() -> WatchSample + Send + Sync>;
+
+struct Watch {
+    label: String,
+    probe: Probe,
+    last_acquisitions: u64,
+    last_progress_ns: u64,
+    hold_fired: bool,
+    progress_fired: bool,
+}
+
+struct Shared {
+    cfg: WatchdogConfig,
+    watches: Mutex<Vec<Watch>>,
+    reports: Mutex<Vec<StallReport>>,
+    stalls: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn sample_all(&self) {
+        let now = now_ns();
+        let mut watches = self.watches.lock().unwrap();
+        for w in watches.iter_mut() {
+            let s = (w.probe)();
+            // Hold bound: an open hold older than the bound.
+            let hold_open_ns = match s.hold_started_ns {
+                0 => 0,
+                t => now.saturating_sub(t),
+            };
+            if hold_open_ns > self.cfg.hold_bound_ns {
+                if !w.hold_fired {
+                    w.hold_fired = true;
+                    self.report(StallReport {
+                        label: w.label.clone(),
+                        kind: StallKind::HoldExceeded,
+                        stalled_ns: hold_open_ns,
+                        waiters: s.waiters,
+                        admitted: s.admitted.clone(),
+                    });
+                }
+            } else {
+                w.hold_fired = false;
+            }
+            // Progress bound: waiters but no acquisitions.
+            if s.acquisitions != w.last_acquisitions {
+                w.last_acquisitions = s.acquisitions;
+                w.last_progress_ns = now;
+                w.progress_fired = false;
+            } else if s.waiters > 0 {
+                let stuck = now.saturating_sub(w.last_progress_ns);
+                if stuck > self.cfg.wait_bound_ns && !w.progress_fired {
+                    w.progress_fired = true;
+                    self.report(StallReport {
+                        label: w.label.clone(),
+                        kind: StallKind::NoProgress,
+                        stalled_ns: stuck,
+                        waiters: s.waiters,
+                        admitted: s.admitted,
+                    });
+                }
+            } else {
+                // Nobody waiting: an idle lock is not a stalled one.
+                w.last_progress_ns = now;
+                w.progress_fired = false;
+            }
+        }
+    }
+
+    fn report(&self, r: StallReport) {
+        eprintln!("{}", r.render());
+        self.stalls.fetch_add(1, Ordering::Relaxed);
+        self.reports.lock().unwrap().push(r);
+    }
+}
+
+/// The watchdog: register watches, read reports, stops (and joins its
+/// sampler thread) on drop.
+pub struct StallWatchdog {
+    shared: Arc<Shared>,
+    sampler: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StallWatchdog {
+    /// Start a sampler with `cfg`.
+    pub fn new(cfg: WatchdogConfig) -> Self {
+        let shared = Arc::new(Shared {
+            cfg,
+            watches: Mutex::new(Vec::new()),
+            reports: Mutex::new(Vec::new()),
+            stalls: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let s = shared.clone();
+        let sampler = std::thread::Builder::new()
+            .name("stall-watchdog".into())
+            .spawn(move || {
+                while !s.stop.load(Ordering::Relaxed) {
+                    s.sample_all();
+                    std::thread::sleep(s.cfg.poll);
+                }
+            })
+            .expect("spawn watchdog sampler");
+        StallWatchdog {
+            shared,
+            sampler: Some(sampler),
+        }
+    }
+
+    /// Watch a lock: `probe` is called once per sampling period and
+    /// must be cheap and non-blocking (read counters, never take the
+    /// watched lock).
+    pub fn watch(
+        &self,
+        label: impl Into<String>,
+        probe: impl Fn() -> WatchSample + Send + Sync + 'static,
+    ) {
+        self.shared.watches.lock().unwrap().push(Watch {
+            label: label.into(),
+            probe: Box::new(probe),
+            last_acquisitions: 0,
+            last_progress_ns: now_ns(),
+            hold_fired: false,
+            progress_fired: false,
+        });
+    }
+
+    /// Stall episodes reported so far.
+    pub fn stalls(&self) -> u64 {
+        self.shared.stalls.load(Ordering::Relaxed)
+    }
+
+    /// Drain the accumulated reports.
+    pub fn take_reports(&self) -> Vec<StallReport> {
+        std::mem::take(&mut *self.shared.reports.lock().unwrap())
+    }
+}
+
+impl Default for StallWatchdog {
+    fn default() -> Self {
+        Self::new(WatchdogConfig::default())
+    }
+}
+
+impl Drop for StallWatchdog {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.sampler.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::TelemetryCell;
+    use crate::{RawLock, TasLock};
+
+    fn fast_cfg() -> WatchdogConfig {
+        WatchdogConfig {
+            hold_bound_ns: ms(20),
+            wait_bound_ns: ms(30),
+            poll: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn quiet_lock_never_fires() {
+        let dog = StallWatchdog::new(fast_cfg());
+        let cell = Arc::new(TelemetryCell::sampled());
+        let c = cell.clone();
+        dog.watch("idle", move || WatchSample {
+            acquisitions: c.snapshot().acquisitions,
+            hold_started_ns: c.hold_started_ns(),
+            waiters: 0,
+            admitted: String::new(),
+        });
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(dog.stalls(), 0);
+    }
+
+    #[test]
+    fn long_hold_fires_once_and_rearms() {
+        let dog = StallWatchdog::new(fast_cfg());
+        let cell = Arc::new(TelemetryCell::sampled());
+        let c = cell.clone();
+        dog.watch("held", move || WatchSample {
+            acquisitions: c.snapshot().acquisitions,
+            hold_started_ns: c.hold_started_ns(),
+            waiters: 0,
+            admitted: "holder=test".into(),
+        });
+        cell.record_acquisition(false);
+        cell.note_hold_start();
+        std::thread::sleep(Duration::from_millis(120));
+        cell.note_hold_end();
+        let reports = dog.take_reports();
+        assert_eq!(reports.len(), 1, "one episode, one report");
+        assert_eq!(reports[0].kind, StallKind::HoldExceeded);
+        assert_eq!(reports[0].label, "held");
+        assert!(reports[0].stalled_ns > ms(20));
+        assert_eq!(reports[0].admitted, "holder=test");
+        // A second episode fires again.
+        cell.record_acquisition(false);
+        cell.note_hold_start();
+        std::thread::sleep(Duration::from_millis(120));
+        cell.note_hold_end();
+        assert_eq!(dog.take_reports().len(), 1);
+        assert_eq!(dog.stalls(), 2);
+    }
+
+    #[test]
+    fn stranded_waiters_fire_no_progress() {
+        let dog = StallWatchdog::new(fast_cfg());
+        let lock = Arc::new(TasLock::new());
+        let l = lock.clone();
+        // Probe a genuinely wedged lock: held elsewhere, one waiter,
+        // no telemetry hold visible (the holder bypassed
+        // instrumentation) — only the no-progress condition can see
+        // this.
+        dog.watch("wedged", move || WatchSample {
+            acquisitions: 0,
+            hold_started_ns: 0,
+            waiters: l.is_locked() as u64,
+            admitted: format!("is_locked={}", l.is_locked()),
+        });
+        lock.lock();
+        std::thread::sleep(Duration::from_millis(150));
+        lock.unlock(());
+        let reports = dog.take_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind, StallKind::NoProgress);
+        assert!(reports[0].waiters > 0);
+    }
+
+    #[test]
+    fn progress_suppresses_no_progress_reports() {
+        let dog = StallWatchdog::new(fast_cfg());
+        let acq = Arc::new(AtomicU64::new(0));
+        let a = acq.clone();
+        dog.watch("busy", move || WatchSample {
+            acquisitions: a.load(Ordering::Relaxed),
+            hold_started_ns: 0,
+            waiters: 5,
+            admitted: String::new(),
+        });
+        // Keep the counter moving faster than the wait bound.
+        for _ in 0..20 {
+            acq.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(8));
+        }
+        assert_eq!(dog.stalls(), 0);
+    }
+}

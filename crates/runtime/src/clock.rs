@@ -44,6 +44,21 @@ pub fn now_ns() -> u64 {
     anchor().elapsed().as_nanos() as u64
 }
 
+/// Monotonic OS nanoseconds since process start, bypassing any
+/// installed substrate.
+///
+/// [`now_ns`] dispatches to the thread's substrate when one is
+/// installed, which makes it unusable *from inside* a substrate
+/// implementation that needs a real-time reading for its own OS
+/// fallback (calling back into `now_ns` would recurse through the
+/// substrate dispatch). Substrate decorators such as
+/// [`crate::fault::FaultInjector`] use this instead; everything else
+/// should call [`now_ns`].
+#[inline]
+pub fn os_now_ns() -> u64 {
+    anchor().elapsed().as_nanos() as u64
+}
+
 /// How many [`coarse_now_ns`] reads share one precise clock read on a
 /// machine where spinning is cheap.
 ///

@@ -34,6 +34,11 @@
 //!   one relaxed atomic load of overhead on the hot paths; `asl-sim`
 //!   installs a virtual-time backend to run the unmodified locks on a
 //!   modeled machine, deterministically.
+//! * [`fault`] decorates either substrate backend with seeded,
+//!   replayable fault injection — lock-holder stalls at poll/park/wake
+//!   boundaries, spurious park returns, coarse-clock jumps, planned
+//!   critical-section panics — so the torture harness can drive the
+//!   unmodified locks through their liveness obligations.
 //!
 //! Nothing in this crate depends on the lock algorithms; it is the
 //! hardware stand-in every other crate builds on.
@@ -43,6 +48,7 @@ pub mod atomic_model;
 pub mod cacheline;
 pub mod clock;
 pub mod exec;
+pub mod fault;
 pub mod registry;
 pub mod relax;
 pub mod spawn;
@@ -55,6 +61,7 @@ pub use atomic_model::AtomicAffinity;
 pub use cacheline::CacheLineArena;
 pub use clock::{coarse_now_ns, now_ns};
 pub use exec::{block_on, Executor, JoinHandle};
+pub use fault::{FaultInjector, FaultPlan, FaultState, FaultStats};
 pub use registry::{current_core, is_big_core, register_on_core, CoreAssignment};
 pub use relax::Spin;
 pub use spawn::{run_on_topology, ThreadCtx};

@@ -34,6 +34,16 @@ pub fn execute_raw_units(units: u64) {
     if crate::substrate::with_current(|s| s.charge_work_units(units)).is_some() {
         return;
     }
+    run_raw_loop(units);
+}
+
+/// The calibration loop itself, with no substrate dispatch. Substrate
+/// decorators that fall through to real execution
+/// ([`crate::fault::FaultInjector`] over the OS backend) call this
+/// directly — going through [`execute_raw_units`] would recurse into
+/// the substrate hook.
+#[inline]
+pub(crate) fn run_raw_loop(units: u64) {
     let mut acc: u64 = units;
     for i in 0..units {
         // A data-dependent multiply-xor chain: roughly constant work

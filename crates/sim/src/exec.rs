@@ -144,6 +144,13 @@ pub struct ZooConfig {
     pub slo_ns: Option<u64>,
     /// Per-operation charges.
     pub cost: CostModel,
+    /// Optional fault schedule: when set, every virtual thread's
+    /// substrate handle is wrapped in a
+    /// [`asl_runtime::fault::FaultInjector`] sharing this state, so
+    /// the modeled machine runs the *faulted* schedule — still fully
+    /// deterministic, because the baton-passing scheduler serializes
+    /// the shared fault counters (see `asl_runtime::fault`).
+    pub fault: Option<Arc<asl_runtime::fault::FaultState>>,
 }
 
 impl ZooConfig {
@@ -159,6 +166,7 @@ impl ZooConfig {
             seed,
             slo_ns: None,
             cost: CostModel::default(),
+            fault: None,
         }
     }
 }
@@ -593,15 +601,57 @@ fn with_vthread(
 ) {
     let vc = cfg.topology.assignment_for_thread(tid);
     registry::register_on_core(&cfg.topology, vc.id);
-    let _sub = substrate::install(Arc::new(VthreadHandle {
+    let handle: Arc<dyn substrate::Substrate> = Arc::new(VthreadHandle {
         machine: machine.clone(),
         tid,
-    }));
+    });
+    // Fault schedules decorate the vthread handle, never stack on it:
+    // the injector *is* the installed substrate (install refuses
+    // stacking), delegating every charge to the machine.
+    let handle: Arc<dyn substrate::Substrate> = match &cfg.fault {
+        Some(state) => Arc::new(asl_runtime::fault::FaultInjector::wrapping(
+            state.clone(),
+            handle,
+        )),
+        None => handle,
+    };
+    let _sub = substrate::install(handle);
     machine.wait_start(tid);
     asl_core::epoch::reset_thread_epochs();
     body(machine);
     machine.finish(tid);
     registry::unregister();
+}
+
+/// Run an arbitrary per-thread body on the modeled machine: the
+/// custom-workload escape hatch behind the torture harness.
+///
+/// Each closure call runs as virtual thread `tid` with the substrate
+/// installed (and the fault injector, when [`ZooConfig::fault`] is
+/// set), so everything inside — lock calls, clock reads, emulated
+/// work — executes in deterministic virtual time. Unlike
+/// [`run_lock`], the body decides its own loop/termination (the
+/// duration field is ignored); it must not panic (a vthread that
+/// unwinds strands the baton — catch panics inside the body).
+///
+/// Returns the machine's final virtual time (max over threads).
+pub fn run_threads<F>(cfg: &ZooConfig, body: F) -> u64
+where
+    F: Fn(usize) + Send + Sync,
+{
+    let machine = SimMachine::new(cfg);
+    std::thread::scope(|s| {
+        let body = &body;
+        for tid in 0..cfg.threads {
+            let machine = machine.clone();
+            s.spawn(move || {
+                with_vthread(&machine, cfg, tid, |_m| body(tid));
+            });
+        }
+        machine.begin();
+    });
+    let sh = machine.shared.lock().expect("sim scheduler poisoned");
+    sh.th.iter().map(|t| t.vtime).max().unwrap_or(0)
 }
 
 /// Run the standard contended-counter workload on `lock`: `threads`

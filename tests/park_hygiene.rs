@@ -1,0 +1,154 @@
+//! Park hygiene audit.
+//!
+//! PR 10 convention: `asl_runtime::substrate::park_or` may return
+//! spuriously — the substrate contract says so explicitly, and the
+//! fault injector exercises it (`FaultPlan::with_spurious`). Every
+//! call site must therefore sit inside a loop that re-checks its wake
+//! condition; a bare straight-line `park_or` silently turns a
+//! spurious return into a lost-wakeup bug the moment a fault schedule
+//! (or a real futex) wakes it early. This audit greps the source tree
+//! and fails if a call site is not inside an enclosing `loop`/`while`.
+//!
+//! The check mirrors `tests/spin_hygiene.rs`: indentation-based scope
+//! walk over rustfmt-formatted code.
+
+use std::path::{Path, PathBuf};
+
+/// Files exempt from the loop-recheck requirement:
+/// * `substrate.rs` defines `park_or` and tests its dispatch;
+/// * `fault.rs` tests the injector's spurious-return behavior itself;
+/// * this audit names the pattern it greps for.
+const ALLOWED: &[&str] = &[
+    "crates/runtime/src/substrate.rs",
+    "crates/runtime/src/fault.rs",
+    "tests/park_hygiene.rs",
+];
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable source tree") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn indent_of(line: &str) -> usize {
+    line.len() - line.trim_start().len()
+}
+
+/// Walk the enclosing-scope chain upward by indentation from
+/// `call_line` and report whether any enclosing header is a loop
+/// before the function header is reached.
+fn inside_loop(lines: &[&str], call_line: usize) -> bool {
+    let mut bound = indent_of(lines[call_line]);
+    for line in lines[..call_line].iter().rev() {
+        let trimmed = line.trim_start();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let ind = indent_of(line);
+        if ind >= bound {
+            continue;
+        }
+        // This line opens (or continues the header of) an enclosing
+        // scope of the call site.
+        bound = ind;
+        if trimmed.starts_with("loop")
+            || trimmed.starts_with("while ")
+            || trimmed.starts_with("while(")
+            || trimmed.starts_with("for ")
+        {
+            return true;
+        }
+        if trimmed.starts_with("fn ")
+            || trimmed.starts_with("pub fn ")
+            || trimmed.starts_with("pub(crate) fn ")
+        {
+            return false;
+        }
+    }
+    false
+}
+
+#[test]
+fn every_park_or_call_site_tolerates_spurious_returns() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut sources = Vec::new();
+    for dir in ["crates", "src", "examples", "tests"] {
+        rust_sources(&root.join(dir), &mut sources);
+    }
+
+    let mut audited = 0usize;
+    let mut offenders = Vec::new();
+    for path in &sources {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap()
+            .to_string_lossy()
+            .replace('\\', "/");
+        if ALLOWED.contains(&rel.as_str()) {
+            continue;
+        }
+        let text = std::fs::read_to_string(path).expect("readable source file");
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if !line.contains("park_or(") || line.trim_start().starts_with("//") {
+                continue;
+            }
+            audited += 1;
+            if !inside_loop(&lines, i) {
+                offenders.push(format!("{rel}:{}: {}", i + 1, line.trim()));
+            }
+        }
+    }
+
+    // The workspace has at least the condvar, GCR passive-wait and
+    // STP-block call sites; zero means the grep went stale (e.g. a
+    // rename) and the audit is vacuous.
+    assert!(
+        audited >= 3,
+        "park_or audit found only {audited} call sites — pattern gone stale?"
+    );
+    assert!(
+        offenders.is_empty(),
+        "park_or call site without an enclosing recheck loop — spurious \
+         returns are allowed, wrap the park in `loop {{ if cond {{ break }} park_or(..) }}`:\n{}",
+        offenders.join("\n")
+    );
+}
+
+/// The audit's scope walk must actually catch a straight-line park —
+/// guard against the checker rotting into always-pass.
+#[test]
+fn audit_detects_a_bare_park() {
+    let bad = r#"
+fn wait_once(flag: &AtomicBool) {
+    if !flag.load(Ordering::Acquire) {
+        asl_runtime::substrate::park_or(std::thread::park);
+    }
+}
+"#;
+    let lines: Vec<&str> = bad.lines().collect();
+    let call = lines
+        .iter()
+        .position(|l| l.contains("park_or("))
+        .expect("sample has a call");
+    assert!(!inside_loop(&lines, call), "bare park not flagged");
+
+    let good = r#"
+fn wait(flag: &AtomicBool) {
+    while !flag.load(Ordering::Acquire) {
+        asl_runtime::substrate::park_or(std::thread::park);
+    }
+}
+"#;
+    let lines: Vec<&str> = good.lines().collect();
+    let call = lines
+        .iter()
+        .position(|l| l.contains("park_or("))
+        .expect("sample has a call");
+    assert!(inside_loop(&lines, call), "looped park wrongly flagged");
+}
